@@ -1,0 +1,49 @@
+"""Ablation — quantization-bin width (§4.1 design choice).
+
+SZ-1.4 uses 16-bit codes (65,536 bins); GhostSZ effectively loses 2 bits
+to the fit-type field (16,384 bins), which 'will increase the number of
+unpredictable data points, degrading the compression ratios in turn'.
+This bench sweeps the code width and measures the overflow rate / ratio
+curve directly.
+"""
+
+from common import emit, fmt_row
+
+from repro import load_field
+from repro.config import QuantizerConfig
+from repro.sz import SZ14Compressor
+
+
+def test_ablation_quant_bits(benchmark):
+    x = load_field("NYX", "baryon_density")
+    bits_sweep = [6, 8, 10, 12, 14, 16]
+
+    def run():
+        out = {}
+        for bits in bits_sweep:
+            comp = SZ14Compressor(quant=QuantizerConfig(bits=bits))
+            cf = comp.compress(x, 1e-4, "vr_rel")
+            out[bits] = {
+                "ratio": cf.stats.ratio,
+                "unpred": cf.stats.n_unpredictable,
+                "unpred_frac": cf.stats.unpredictable_fraction,
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    widths = [5, 9, 8, 13, 13]
+    lines = [fmt_row(["bits", "bins", "ratio", "unpredictable",
+                      "unpred frac"], widths)]
+    for bits, r in results.items():
+        lines.append(fmt_row(
+            [bits, 1 << bits, r["ratio"], r["unpred"],
+             round(r["unpred_frac"], 5)], widths))
+
+    # Fewer bins -> monotonically more overflow outliers.
+    unp = [results[b]["unpred"] for b in bits_sweep]
+    assert all(a >= b for a, b in zip(unp, unp[1:]))
+    # The 14-vs-16 bit difference (GhostSZ's 2-bit loss) costs ratio
+    # whenever any overflow occurs.
+    assert results[16]["ratio"] >= results[6]["ratio"]
+    emit("ablation_quant_bits", lines)

@@ -1,0 +1,57 @@
+"""Extension — online SZ vs ZFP selection (paper ref [53]).
+
+§5.1 cites Tao et al.'s observation that "neither SZ nor ZFP can always
+lead to the best compression quality over the other across multiple
+fields" and their online selector.  This bench runs both codecs on every
+synthetic field, shows the per-field winners, and verifies the selector
+picks them from a strided sample.
+"""
+
+import numpy as np
+from common import emit, fmt_row
+
+from repro import OnlineSelector, SZ14Compressor, ZFPCompressor, load_field
+from repro.data import DATASETS
+
+FIELDS = [
+    ("CESM-ATM", f) for f in DATASETS["CESM-ATM"].field_names[:4]
+] + [("NYX", f) for f in DATASETS["NYX"].field_names[:2]]
+
+
+def test_extension_selector(benchmark):
+    sz, zfp = SZ14Compressor(), ZFPCompressor()
+    selector = OnlineSelector([sz, zfp])
+
+    def run():
+        rows = []
+        for ds, fname in FIELDS:
+            x = load_field(ds, fname)
+            r_sz = sz.compress(x, 1e-3, "vr_rel").stats.ratio
+            r_zfp = zfp.compress(x, 1e-3, "vr_rel").stats.ratio
+            sel = selector.select(x, 1e-3, "vr_rel")
+            out = selector.decompress(sel.compressed)
+            assert np.abs(out.astype(np.float64) - x).max() <= (
+                sel.compressed.bound.absolute
+            )
+            rows.append((f"{ds}/{fname}", r_sz, r_zfp, sel.chosen,
+                         sel.compressed.stats.ratio))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    widths = [26, 8, 9, 10, 9]
+    lines = [fmt_row(["field", "SZ-1.4", "ZFP-like", "selected", "ratio"],
+                     widths)]
+    correct = 0
+    for name, r_sz, r_zfp, chosen, r_sel in rows:
+        lines.append(fmt_row([name, r_sz, r_zfp, chosen, r_sel], widths))
+        best = "SZ-1.4" if r_sz >= r_zfp else "ZFP-like"
+        correct += chosen == best
+
+    lines.append("")
+    lines.append(f"selector picked the true winner on {correct}/{len(rows)} "
+                 f"fields from a 1/4-strided sample")
+    # The selector must be right on a clear majority and never lose badly.
+    assert correct >= len(rows) - 1
+    for name, r_sz, r_zfp, chosen, r_sel in rows:
+        assert r_sel >= 0.8 * max(r_sz, r_zfp)
+    emit("extension_selector", lines)

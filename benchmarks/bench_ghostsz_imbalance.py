@@ -1,0 +1,46 @@
+"""Extension — GhostSZ's three-unit load imbalance, quantified (§2.2).
+
+The paper's third criticism of GhostSZ: running three prediction methods
+per point "significantly wastes the FPGA computation resources" and the
+1:2:4 workload split leaves the lighter units idle.  This bench runs the
+unit-level simulation and connects it to the Table 5 throughput model and
+the Table 6 resource bill.
+"""
+
+from common import emit, fmt_row
+
+from repro.fpga.imbalance import simulate_units
+from repro.fpga.resources import ghostsz_resources, wavesz_resources
+from repro.fpga.timing import ghostsz_throughput, wavesz_throughput
+
+
+def test_ghostsz_imbalance(benchmark):
+    res = benchmark(lambda: simulate_units(100_000))
+
+    widths = [28, 10, 13]
+    lines = [fmt_row(["unit", "work/pt", "utilization"], widths)]
+    for u in res.units:
+        lines.append(fmt_row(
+            [u.name, u.work_per_point, f"{100 * u.utilization:.0f}%"],
+            widths))
+    lines.append("")
+    lines.append(f"effective initiation interval: {res.effective_pii:.1f} "
+                 f"cycles/point (the Table 5 model's GhostSZ pII)")
+    lines.append(f"idle unit-cycles per 1k points: "
+                 f"{res.wasted_unit_cycles // (res.n_points // 1000)}")
+
+    g = ghostsz_resources()
+    w = wavesz_resources()
+    tg = ghostsz_throughput((100, 500, 500)).mb_per_s
+    tw = wavesz_throughput((100, 500, 500)).mb_per_s
+    lines.append("")
+    lines.append(
+        f"resources per MB/s: GhostSZ {g.lut / tg:.0f} LUT/(MB/s) vs "
+        f"waveSZ {w.lut / tw:.0f} LUT/(MB/s) — "
+        f"{(g.lut / tg) / (w.lut / tw):.0f}x less efficient"
+    )
+
+    assert res.effective_pii == 4.0
+    assert res.units[0].utilization == 0.25
+    assert (g.lut / tg) > 5 * (w.lut / tw)
+    emit("ghostsz_imbalance", lines)

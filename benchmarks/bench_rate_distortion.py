@@ -1,0 +1,50 @@
+"""Extension — rate-distortion curves across variants.
+
+The comparison style of the papers waveSZ cites ([32, 36, 53]): bit rate
+vs PSNR over a bound sweep, summarized by a Bjøntegaard-style delta rate.
+Checks the structural facts: waveSZ-H*G* tracks SZ-1.4's curve closely
+(same algorithm, power-of-two bounds) while GhostSZ needs substantially
+more bits at equal quality.
+"""
+
+from common import emit, fmt_row
+
+from repro import GhostSZCompressor, SZ14Compressor, WaveSZCompressor, load_field
+from repro.metrics import bd_rate_like, rd_sweep
+
+BOUNDS = [1e-2, 1e-3, 1e-4]
+
+
+def test_rate_distortion(benchmark):
+    x = load_field("CESM-ATM", "FLNS")
+
+    def run():
+        return {
+            "SZ-1.4": rd_sweep(SZ14Compressor(), x, BOUNDS),
+            "waveSZ (H*G*)": rd_sweep(
+                WaveSZCompressor(use_huffman=True), x, BOUNDS
+            ),
+            "GhostSZ": rd_sweep(GhostSZCompressor(), x, BOUNDS),
+        }
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    widths = [14, 9, 10, 8]
+    lines = [fmt_row(["variant", "eb", "bits/pt", "PSNR"], widths)]
+    for name, pts in curves.items():
+        for p in pts:
+            lines.append(fmt_row(
+                [name, f"{p.eb:g}", round(p.bit_rate, 2),
+                 round(p.psnr_db, 1)], widths))
+
+    ref = curves["SZ-1.4"]
+    bd_wave = bd_rate_like(ref, curves["waveSZ (H*G*)"])
+    bd_ghost = bd_rate_like(ref, curves["GhostSZ"])
+    lines.append("")
+    lines.append(f"BD-rate vs SZ-1.4: waveSZ H*G* {bd_wave:+.1f} %, "
+                 f"GhostSZ {bd_ghost:+.1f} %")
+
+    assert abs(bd_wave) < 80, "waveSZ must track the SZ-1.4 curve"
+    assert bd_ghost > bd_wave, "GhostSZ needs more bits at equal quality"
+    assert bd_ghost > 30
+    emit("rate_distortion", lines)

@@ -1,0 +1,46 @@
+"""Meta — wall-clock speed of this Python functional simulation.
+
+Explicitly NOT hardware throughput (the repro band is "functional
+simulation only"): this table records how fast the *simulator itself*
+runs, so users can budget their sweeps, and demonstrates that the
+wavefront vectorization keeps the Python PQD loop at NumPy speed rather
+than interpreter speed.
+"""
+
+from common import emit, fmt_row
+
+from repro import (
+    GhostSZCompressor,
+    SZ14Compressor,
+    SZ20Compressor,
+    WaveSZCompressor,
+    load_field,
+)
+from repro.perf import measure_compressor
+
+
+def test_simulation_speed(benchmark):
+    x = load_field("CESM-ATM", "CLDHGH")
+
+    def run():
+        rows = []
+        for comp in (SZ14Compressor(), SZ20Compressor(),
+                     WaveSZCompressor(use_huffman=True), GhostSZCompressor()):
+            timing, _ = measure_compressor(comp, x, 1e-3, "vr_rel")
+            rows.append((timing.variant, timing.compress_mb_s,
+                         timing.decompress_mb_s))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    widths = [10, 18, 20]
+    lines = [
+        "Python wall clock on a 180x360 float32 field — simulator speed,",
+        "NOT the modelled FPGA/CPU throughput of Table 5.",
+        "",
+        fmt_row(["variant", "compress MB/s", "decompress MB/s"], widths),
+    ]
+    for name, c, d in rows:
+        lines.append(fmt_row([name, c, d], widths))
+    for name, c, d in rows:
+        assert c > 0.05 and d > 0.05, (name, c, d)
+    emit("simulation_speed", lines)

@@ -1,0 +1,40 @@
+"""Table 1 — average compression ratio: GhostSZ vs SZ-1.4 at VR-REL 1e-3.
+
+Paper: GhostSZ 7.9 / 6.2 / 6.6 vs SZ-1.4 31.2 / 21.4 / 33.8 — the modern
+Lorenzo-based SZ beats the Order-{0,1,2} FPGA design by ~3-5x on every
+dataset.  The reproduction asserts the *direction and a >=1.5x factor* on
+the synthetic SDRB stand-ins (scaled grids compress less in absolute
+terms; see EXPERIMENTS.md).
+"""
+
+from common import emit, fmt_row
+
+from repro import SZ14Compressor, load_field
+
+PAPER = {
+    "CESM-ATM": (7.9, 31.2),
+    "Hurricane": (6.2, 21.4),
+    "NYX": (6.6, 33.8),
+}
+
+
+def test_table1(benchmark, dataset_means):
+    lines = [
+        fmt_row(
+            ["dataset", "GhostSZ", "SZ-1.4", "SZ/Ghost",
+             "paper Ghost", "paper SZ"],
+            [10, 8, 8, 9, 11, 9],
+        )
+    ]
+    for ds, (pg, ps) in PAPER.items():
+        g = dataset_means[(ds, "GhostSZ")]["ratio"]
+        s = dataset_means[(ds, "SZ-1.4")]["ratio"]
+        lines.append(fmt_row([ds, g, s, s / g, pg, ps], [10, 8, 8, 9, 11, 9]))
+        assert s > 1.5 * g, f"SZ-1.4 must clearly beat GhostSZ on {ds}"
+    emit("table1_ratio_baselines", lines)
+
+    # Timed kernel: one representative SZ-1.4 compression.
+    x = load_field("CESM-ATM", "CLDHGH")
+    comp = SZ14Compressor()
+    benchmark.pedantic(lambda: comp.compress(x, 1e-3, "vr_rel"),
+                       rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Table 2 — SZ variants: functionality modules and design goals.
+
+Regenerates the feature matrix from the variant registry and checks the
+distinguishing cells the paper's comparison hinges on.
+"""
+
+from common import emit
+
+from repro.variants import VARIANTS, Feature, feature_matrix
+
+
+def test_table2(benchmark):
+    rows = benchmark(feature_matrix)
+    features = [f for f in Feature]
+    lines = []
+    header = f"{'feature':<28} {'scope':<5} " + " ".join(
+        f"{v:<10}" for v in VARIANTS
+    )
+    lines.append(header)
+    mark = {"required": "  required", "optional": "  optional*", "": "  -"}
+    for feat in features:
+        cells = []
+        for row in rows:
+            cells.append(mark[row[feat.label]][:10])
+        lines.append(
+            f"{feat.label:<28} ({feat.scope})  " + " ".join(
+                f"{c:<10}" for c in cells
+            )
+        )
+
+    # The distinguishing cells of the comparison:
+    assert VARIANTS["waveSZ"].uses(Feature.MEMORY_LAYOUT_TRANSFORM)
+    assert not VARIANTS["GhostSZ"].uses(Feature.MEMORY_LAYOUT_TRANSFORM)
+    assert VARIANTS["waveSZ"].uses(Feature.BASE2_MAPPING)
+    assert VARIANTS["GhostSZ"].uses(Feature.PREDICTION_WRITEBACK)
+    assert VARIANTS["waveSZ"].uses(Feature.DECOMPRESSION_WRITEBACK)
+    emit("table2_variants", lines)

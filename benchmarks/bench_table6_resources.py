@@ -1,0 +1,51 @@
+"""Table 6 — ZC706 resource utilization from synthesis.
+
+Paper:              total    waveSZ (3 PQD)   (%)    GhostSZ     (%)
+    BRAM_18K        1,090          9          0.84       20       1.83
+    DSP48E            900          0          0.00       51       5.67
+    FF            437,200      4,473          1.02   12,615       2.89
+    LUT           218,600      8,208          3.75   19,718       9.02
+
+The operator-level model (calibrated once, repro.fpga.resources) must
+land within 5 % on FF/LUT, exactly on BRAM, zero DSP for waveSZ.
+"""
+
+from common import emit, fmt_row
+
+from repro.fpga import ZC706, ghostsz_resources, wavesz_resources
+
+PAPER = {
+    "BRAM_18K": (1090, 9, 20),
+    "DSP48E": (900, 0, 51),
+    "FF": (437200, 4473, 12615),
+    "LUT": (218600, 8208, 19718),
+}
+
+
+def test_table6(benchmark):
+    w, g = benchmark(lambda: (wavesz_resources(), ghostsz_resources()))
+    got = {
+        "BRAM_18K": (ZC706.bram_18k, w.bram_18k, g.bram_18k),
+        "DSP48E": (ZC706.dsp48e, w.dsp48e, g.dsp48e),
+        "FF": (ZC706.ff, w.ff, g.ff),
+        "LUT": (ZC706.lut, w.lut, g.lut),
+    }
+    uw, ug = w.utilization(ZC706), g.utilization(ZC706)
+    widths = [9, 8, 8, 7, 8, 7, 22]
+    lines = [fmt_row(["resource", "total", "waveSZ", "(%)", "GhostSZ", "(%)",
+                      "paper (w/G)"], widths)]
+    for res, (total, mw, mg) in got.items():
+        pt, pw, pg = PAPER[res]
+        lines.append(fmt_row(
+            [res, total, mw, round(uw[res], 2), mg, round(ug[res], 2),
+             f"{pw}/{pg}"], widths))
+        assert total == pt
+        if res == "DSP48E":
+            assert mw == 0  # base-2: no multipliers/dividers at all
+            assert abs(mg - pg) <= 5
+        elif res == "BRAM_18K":
+            assert (mw, mg) == (pw, pg)
+        else:
+            assert abs(mw - pw) / pw < 0.05
+            assert abs(mg - pg) / pg < 0.05
+    emit("table6_resources", lines)

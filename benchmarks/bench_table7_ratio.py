@@ -1,0 +1,48 @@
+"""Table 7 — compression ratio of GhostSZ / waveSZ-G* / waveSZ-H*G* / SZ-1.4.
+
+Paper (1e-3 VR-REL, borders counted as unpredictable in waveSZ):
+
+    dataset     GhostSZ   G*     H*G*   SZ-1.4
+    CESM-ATM       7.9   12.3    29.4    31.2
+    Hurricane      6.2   13.2    20.3    21.4
+    NYX            6.6   18.3    34.8    33.8
+
+Shape asserted here: H*G* recovers most of SZ-1.4's ratio (the paper's
+"similar compression ratios as SZ-1.4"), G* sits between, and GhostSZ is
+lowest on the 2D dataset (on the scaled 3D grids the verbatim-border
+charge narrows the GhostSZ-vs-G* gap; see EXPERIMENTS.md).
+"""
+
+from common import emit, fmt_row
+
+from repro import WaveSZCompressor, load_field
+
+PAPER = {
+    "CESM-ATM": (7.9, 12.3, 29.4, 31.2),
+    "Hurricane": (6.2, 13.2, 20.3, 21.4),
+    "NYX": (6.6, 18.3, 34.8, 33.8),
+}
+COLS = ["GhostSZ", "waveSZ (G*)", "waveSZ (H*G*)", "SZ-1.4"]
+
+
+def test_table7(benchmark, dataset_means):
+    widths = [10, 9, 12, 14, 8, 30]
+    lines = [fmt_row(["dataset"] + COLS + ["paper (G/G*/H*G*/SZ)"], widths)]
+    for ds, paper in PAPER.items():
+        row = [dataset_means[(ds, v)]["ratio"] for v in COLS]
+        lines.append(
+            fmt_row([ds] + row + ["/".join(f"{p:.1f}" for p in paper)], widths)
+        )
+        g, wg, wh, sz = row
+        assert wh > wg, f"{ds}: H* must improve over raw G*"
+        assert wh > 0.55 * sz, f"{ds}: H*G* must approach SZ-1.4"
+        assert g < sz and wg < sz
+    lines.append("")
+    lines.append("note: absolute ratios are lower than the paper's because the")
+    lines.append("synthetic fields are 10x coarser grids (DESIGN.md §6).")
+    emit("table7_ratio", lines)
+
+    x = load_field("CESM-ATM", "CLDLOW")
+    comp = WaveSZCompressor(use_huffman=True)
+    benchmark.pedantic(lambda: comp.compress(x, 1e-3, "vr_rel"),
+                       rounds=1, iterations=1)

@@ -1,0 +1,33 @@
+"""Shared reporting helpers for the reproduction benches.
+
+Every bench regenerates one table or figure of the paper and prints it in
+a paper-vs-measured layout; the same text is archived under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the exact output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: Iterable[str]) -> str:
+    """Print a bench report and archive it under benchmarks/results/."""
+    text = "\n".join(lines)
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def fmt_row(cols: Iterable[object], widths: Iterable[int]) -> str:
+    out = []
+    for c, w in zip(cols, widths):
+        if isinstance(c, float):
+            out.append(f"{c:>{w}.1f}")
+        else:
+            out.append(f"{str(c):>{w}}")
+    return "  ".join(out)

@@ -1,0 +1,77 @@
+"""Shared fixtures for the reproduction benches.
+
+``evaluation`` runs the full dataset x variant compression matrix exactly
+once per session; the per-table benches then format their own views of it
+(Tables 1, 7, 8 and Figure 9 all share these runs, like the artifact's
+single execution sweep).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import (
+    GhostSZCompressor,
+    SZ14Compressor,
+    WaveSZCompressor,
+    load_field,
+    psnr,
+    verify_error_bound,
+)
+from repro.data import DATASETS
+
+EB = 1e-3  # the paper's value-range-based relative bound
+
+VARIANTS = {
+    "GhostSZ": GhostSZCompressor(),
+    "waveSZ (G*)": WaveSZCompressor(use_huffman=False),
+    "waveSZ (H*G*)": WaveSZCompressor(use_huffman=True),
+    "SZ-1.4": SZ14Compressor(),
+}
+
+
+@pytest.fixture(scope="session")
+def evaluation():
+    """(dataset, field, variant) -> {ratio, psnr, max_err, bound, ...}."""
+    results: dict[tuple[str, str, str], dict] = {}
+    for ds, spec in DATASETS.items():
+        for field in spec.field_names:
+            x = load_field(ds, field)
+            for vname, comp in VARIANTS.items():
+                cf = comp.compress(x, EB, "vr_rel")
+                out = comp.decompress(cf)
+                verify_error_bound(x, out, cf.bound.absolute)
+                err = out.astype(np.float64) - x
+                results[(ds, field, vname)] = {
+                    "ratio": cf.stats.ratio,
+                    "psnr": psnr(x, out),
+                    "max_err": float(np.abs(err).max()),
+                    "bound_abs": cf.bound.absolute,
+                    "exact_frac": float((err == 0).mean()),
+                    "unpredictable": cf.stats.n_unpredictable,
+                    "n_points": x.size,
+                    "errors_sample": err.reshape(-1)[:: max(err.size // 20000, 1)],
+                }
+    return results
+
+
+@pytest.fixture(scope="session")
+def dataset_means(evaluation):
+    """Per-(dataset, variant) means over fields — the Table 7/8 rows."""
+    means: dict[tuple[str, str], dict] = {}
+    for ds, spec in DATASETS.items():
+        for vname in VARIANTS:
+            rows = [
+                evaluation[(ds, f, vname)] for f in spec.field_names
+            ]
+            means[(ds, vname)] = {
+                "ratio": float(np.mean([r["ratio"] for r in rows])),
+                "psnr": float(np.mean([r["psnr"] for r in rows])),
+            }
+    return means

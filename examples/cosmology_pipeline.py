@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Cosmology streaming scenario: size an FPGA deployment for NYX output.
+
+HACC/NYX-scale simulations emit hundreds of TB per snapshot (paper §1);
+instruments like LCLS-II stream at up to 250 GB/s.  This example combines
+the functional compressor (what ratio do we get on NYX-like data?) with
+the hardware model (how many waveSZ lanes, at what modelled throughput,
+behind which PCIe generation?) to answer a deployment question end to end.
+
+Run:  python examples/cosmology_pipeline.py
+"""
+
+import numpy as np
+
+from repro import WaveSZCompressor, load_field
+from repro.data import DATASETS
+from repro.fpga import (
+    PCIE_GEN2_X4,
+    PCIE_GEN3_X4,
+    ZC706,
+    ghostsz_throughput,
+    max_lanes_by_bram,
+    scale_lanes,
+    wavesz_resources,
+    wavesz_throughput,
+)
+
+
+def main() -> None:
+    spec = DATASETS["NYX"]
+    paper_shape = spec.paper_dims
+
+    # --- functional side: measure the achievable ratio on NYX-like data.
+    comp = WaveSZCompressor(use_huffman=True)
+    ratios = []
+    for fname in spec.field_names:
+        x = load_field("NYX", fname)
+        cf = comp.compress(x, 1e-3, "vr_rel")
+        out = comp.decompress(cf)
+        assert np.abs(out.astype(np.float64) - x).max() <= cf.bound.absolute
+        ratios.append(cf.stats.ratio)
+        print(f"  {fname:<22} ratio {cf.stats.ratio:6.1f}x  "
+              f"(bound 2^{cf.bound.exponent})")
+    avg_ratio = float(np.mean(ratios))
+    print(f"average waveSZ (H*G*) ratio on NYX-like fields: {avg_ratio:.1f}x")
+
+    # --- hardware side: modelled per-lane throughput at paper-scale dims.
+    per_lane = wavesz_throughput(paper_shape, dataset="NYX")
+    ghost = ghostsz_throughput(paper_shape, dataset="NYX")
+    print(f"\nmodelled per-lane throughput at {paper_shape}: "
+          f"waveSZ {per_lane.mb_per_s:.0f} MB/s "
+          f"(GhostSZ would do {ghost.mb_per_s:.0f} MB/s)")
+
+    res = wavesz_resources(lanes=3)
+    util = res.utilization(ZC706)
+    print(f"3-lane PQD utilization on {ZC706.name}: "
+          + ", ".join(f"{k} {v:.2f}%" for k, v in util.items()))
+    lanes_fit = max_lanes_by_bram(per_lane_bram=3)
+    print(f"BRAM budget (incl. 303 BRAM gzip per lane): {lanes_fit} lanes fit")
+
+    print("\ndeployment throughput vs lane count:")
+    print(f"{'lanes':>6}{'gen2 x4':>12}{'gen3 x4':>12}   limit(gen2)")
+    for n in (1, 2, 3, 4, 8):
+        g2 = scale_lanes("waveSZ", per_lane.mb_per_s, n, pcie=PCIE_GEN2_X4)
+        g3 = scale_lanes("waveSZ", per_lane.mb_per_s, n, pcie=PCIE_GEN3_X4)
+        print(f"{n:>6}{g2.mb_per_s:>12.0f}{g3.mb_per_s:>12.0f}   "
+              f"{g2.limited_by}")
+
+    # --- the deployment answer: boards needed for a target ingest rate.
+    target_gb_s = 10.0
+    board = scale_lanes("waveSZ", per_lane.mb_per_s, lanes_fit,
+                        pcie=PCIE_GEN2_X4)
+    boards = int(np.ceil(target_gb_s * 1000 / board.mb_per_s))
+    snapshot_gb = np.prod(paper_shape) * 4 * spec.paper_fields / 1e9
+    print(f"\nto ingest {target_gb_s:.0f} GB/s of simulation output: "
+          f"{boards} ZC706 boards ({board.mb_per_s:.0f} MB/s each, "
+          f"{board.limited_by}-limited)")
+    print(f"a {snapshot_gb:.1f} GB NYX snapshot shrinks to "
+          f"~{1000 * snapshot_gb / avg_ratio:.0f} MB at the measured ratio")
+
+
+if __name__ == "__main__":
+    main()

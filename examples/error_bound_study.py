@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Rate-distortion study: sweep the error bound and map the trade-offs.
+
+Scientific users pick the loosest bound their analysis tolerates (paper
+§2.1: 'recent studies show that users often require a relatively high
+precision').  This example sweeps VR-REL bounds from 1e-1 to 1e-5 on a
+Hurricane-like wind field, for SZ-1.4 and waveSZ, reporting ratio, PSNR,
+bit rate and the unpredictable-point fraction — and shows where base-2
+tightening sits relative to the requested decimal bound.
+
+Run:  python examples/error_bound_study.py
+"""
+
+import numpy as np
+
+from repro import SZ14Compressor, WaveSZCompressor, load_field, psnr
+
+BOUNDS = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5]
+
+
+def main() -> None:
+    x = load_field("Hurricane", "Uf48")
+    print(f"field: Hurricane/Uf48 {x.shape}, "
+          f"range [{x.min():.1f}, {x.max():.1f}] m/s\n")
+    print(f"{'eb (VR-REL)':>12} {'variant':>10} {'enforced':>11} "
+          f"{'ratio':>7} {'bits/pt':>8} {'PSNR':>7} {'unpred %':>9}")
+    for eb in BOUNDS:
+        for comp in (SZ14Compressor(), WaveSZCompressor(use_huffman=True)):
+            cf = comp.compress(x, eb, "vr_rel")
+            out = comp.decompress(cf)
+            err = np.abs(out.astype(np.float64) - x).max()
+            assert err <= cf.bound.absolute
+            s = cf.stats
+            print(f"{eb:>12g} {comp.name:>10} {cf.bound.absolute:>11.2e} "
+                  f"{s.ratio:>7.1f} {s.bit_rate:>8.2f} "
+                  f"{psnr(x, out):>7.1f} "
+                  f"{100 * s.unpredictable_fraction:>9.3f}")
+        print()
+
+    print("observations:")
+    print(" - ratio falls and PSNR rises ~20 dB per decade of bound, the")
+    print("   classic SZ rate-distortion slope;")
+    print(" - waveSZ's enforced bound is the nearest power of two below the")
+    print("   request, so its PSNR is always >= SZ-1.4's at the same request;")
+    print(" - at very tight bounds the unpredictable fraction grows — the")
+    print("   regime where the paper notes lossy compressors degrade.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""waveSZ reproduction — hardware-algorithm co-design of SZ lossy compression.
+
+A from-scratch Python reproduction of *waveSZ: A Hardware-Algorithm
+Co-Design of Efficient Lossy Compression for Scientific Data* (Tian et
+al., PPoPP'20), including every substrate it depends on: the SZ-1.4 and
+SZ-1.0 software compressors, the GhostSZ FPGA baseline, canonical Huffman
+and DEFLATE-style lossless coding, an FPGA pipeline/resource model for the
+ZC706, and synthetic SDRB-like datasets.
+
+Quickstart::
+
+    import numpy as np
+    from repro import WaveSZCompressor, load_field
+
+    field = load_field("CESM-ATM", "CLDLOW")
+    wavesz = WaveSZCompressor(use_huffman=True)
+    compressed = wavesz.compress(field, eb=1e-3, mode="vr_rel")
+    restored = wavesz.decompress(compressed)
+    assert np.abs(restored - field).max() <= compressed.bound.absolute
+    print(f"ratio: {compressed.stats.ratio:.1f}x")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .config import ErrorBound, ErrorBoundMode, QuantizerConfig, resolve_error_bound
+from .core import WaveSZCompressor
+from .data import list_datasets, load_field
+from .errors import ReproError
+from .ghostsz import GhostSZCompressor
+from .metrics import max_abs_error, psnr, rmse, verify_error_bound
+from .selector import OnlineSelector
+from .sz import SZ10Compressor, SZ14Compressor, SZ20Compressor
+from .zfp import ZFPCompressor
+from .types import CompressedField, CompressionStats, ResourceReport, ThroughputReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ErrorBound",
+    "ErrorBoundMode",
+    "QuantizerConfig",
+    "resolve_error_bound",
+    "WaveSZCompressor",
+    "GhostSZCompressor",
+    "SZ14Compressor",
+    "SZ10Compressor",
+    "SZ20Compressor",
+    "ZFPCompressor",
+    "OnlineSelector",
+    "list_datasets",
+    "load_field",
+    "ReproError",
+    "max_abs_error",
+    "psnr",
+    "rmse",
+    "verify_error_bound",
+    "CompressedField",
+    "CompressionStats",
+    "ResourceReport",
+    "ThroughputReport",
+    "__version__",
+]

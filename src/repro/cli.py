@@ -1,0 +1,247 @@
+"""Command-line interface, mirroring the artifact's ``sz`` invocations.
+
+The artifact drives SZ as ``sz -z -f -c sz.config -M REL -R 1E-3 -i data
+-2 3600 1800`` and waveSZ/GhostSZ as ``cpurun d0 d1 1 -3 base10 data wave
+VRREL``.  This CLI provides the same workflow on the reproduction:
+
+    wavesz compress  snapshot.f32 --dims 180 360 --variant wavesz \
+        --eb 1e-3 --mode vr_rel -o snapshot.wsz
+    wavesz decompress snapshot.wsz -o restored.f32
+    wavesz info       snapshot.wsz
+    wavesz datasets
+    wavesz generate   CESM-ATM CLDLOW -o cldlow.f32
+
+Exit status is non-zero on any error; all output goes to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from . import __version__
+from .config import ErrorBoundMode
+from .data import DATASETS, load_field
+from .errors import ReproError
+from .ghostsz import GhostSZCompressor
+from .io import Archive, Container, read_raw_field, write_raw_field
+from .metrics import max_abs_error, psnr
+from .core import WaveSZCompressor
+from .sz import SZ10Compressor, SZ14Compressor, SZ20Compressor
+
+__all__ = ["main", "build_parser"]
+
+_VARIANTS = {
+    "wavesz": lambda: WaveSZCompressor(use_huffman=True),
+    "wavesz-g": lambda: WaveSZCompressor(use_huffman=False),
+    "sz14": SZ14Compressor,
+    "sz20": SZ20Compressor,
+    "sz10": SZ10Compressor,
+    "ghostsz": GhostSZCompressor,
+}
+
+_VARIANT_BY_NAME = {
+    "waveSZ": lambda: WaveSZCompressor(use_huffman=True),
+    "SZ-1.4": SZ14Compressor,
+    "SZ-2.0": SZ20Compressor,
+    "SZ-1.0": SZ10Compressor,
+    "GhostSZ": GhostSZCompressor,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="wavesz",
+        description="waveSZ reproduction: error-bounded lossy compression "
+        "for scientific data",
+    )
+    p.add_argument("--version", action="version", version=__version__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compress", help="compress a raw binary field")
+    c.add_argument("input", type=Path)
+    c.add_argument("--dims", type=int, nargs="+", required=True,
+                   help="field dimensions, slowest axis first")
+    c.add_argument("--variant", choices=sorted(_VARIANTS), default="wavesz")
+    c.add_argument("--eb", type=float, default=1e-3, help="error bound")
+    c.add_argument("--mode", choices=[m.value for m in ErrorBoundMode],
+                   default="vr_rel")
+    c.add_argument("--dtype", choices=["float32", "float64"],
+                   default="float32")
+    c.add_argument("-o", "--output", type=Path, required=True)
+    c.add_argument("--verify", action="store_true",
+                   help="decompress and verify the bound after compressing")
+
+    d = sub.add_parser("decompress", help="decompress a .wsz payload")
+    d.add_argument("input", type=Path)
+    d.add_argument("-o", "--output", type=Path, required=True)
+
+    i = sub.add_parser("info", help="print a payload's header and sections")
+    i.add_argument("input", type=Path)
+
+    sub.add_parser("datasets", help="list the synthetic SDRB datasets")
+
+    g = sub.add_parser("generate", help="generate a synthetic field")
+    g.add_argument("dataset", choices=sorted(DATASETS))
+    g.add_argument("field")
+    g.add_argument("--scale", type=int, default=1)
+    g.add_argument("-o", "--output", type=Path, required=True)
+
+    a = sub.add_parser("archive",
+                       help="compress a whole synthetic snapshot")
+    a.add_argument("dataset", choices=sorted(DATASETS))
+    a.add_argument("--variant", choices=sorted(_VARIANTS), default="wavesz")
+    a.add_argument("--eb", type=float, default=1e-3)
+    a.add_argument("-o", "--output", type=Path, required=True)
+
+    e = sub.add_parser("extract", help="extract one field from an archive")
+    e.add_argument("input", type=Path)
+    e.add_argument("field")
+    e.add_argument("-o", "--output", type=Path, required=True)
+
+    r = sub.add_parser("report",
+                       help="print the waveSZ HLS synthesis report")
+    r.add_argument("--dims", type=int, nargs=2, required=True,
+                   metavar=("D0", "D1"))
+    r.add_argument("--base10", action="store_true",
+                   help="model the base-10 (divider) datapath instead")
+    return p
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    dtype = np.dtype(args.dtype)
+    data = read_raw_field(args.input, tuple(args.dims), dtype)
+    comp = _VARIANTS[args.variant]()
+    cf = comp.compress(data, args.eb, args.mode)
+    args.output.write_bytes(cf.payload)
+    s = cf.stats
+    print(f"{args.input} -> {args.output}")
+    print(f"  variant {cf.variant}, bound {cf.bound.mode.value} "
+          f"{cf.bound.value:g} (abs {cf.bound.absolute:.3e})")
+    print(f"  {s.original_bytes} -> {s.compressed_bytes} bytes, "
+          f"ratio {s.ratio:.2f}x, {s.bit_rate:.2f} bits/point")
+    if args.verify:
+        out = comp.decompress(cf.payload)
+        err = max_abs_error(data, out)
+        print(f"  verified: max error {err:.3e}, PSNR {psnr(data, out):.1f} dB")
+        if cf.bound.mode is not ErrorBoundMode.PW_REL and (
+            err > cf.bound.absolute
+        ):
+            print("  ERROR: bound violated", file=sys.stderr)
+            return 2
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    payload = args.input.read_bytes()
+    header = Container.from_bytes(payload).header
+    variant = header.get("variant", "")
+    factory = _VARIANT_BY_NAME.get(variant)
+    if factory is None:
+        print(f"unknown variant {variant!r} in payload", file=sys.stderr)
+        return 2
+    out = factory().decompress(payload)
+    write_raw_field(args.output, out)
+    print(f"{args.input} -> {args.output} "
+          f"({variant}, shape {tuple(header['shape'])}, {header['dtype']})")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    container = Container.from_bytes(args.input.read_bytes())
+    print(json.dumps(container.header, indent=2, sort_keys=True))
+    for s in container.sections:
+        print(f"  section {s.name:<18} {len(s.payload):>10} bytes")
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    for name, spec in DATASETS.items():
+        print(f"{name}: {spec.description}")
+        print(f"  paper dims {spec.paper_dims} x {spec.paper_fields} fields; "
+              f"repro dims {spec.repro_dims}")
+        for f in spec.fields:
+            print(f"    {f.name:<22} {f.description}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    field = load_field(args.dataset, args.field, scale=args.scale)
+    write_raw_field(args.output, field)
+    print(f"{args.dataset}/{args.field} {field.shape} {field.dtype} "
+          f"-> {args.output} ({field.nbytes} bytes)")
+    return 0
+
+
+def _cmd_archive(args: argparse.Namespace) -> int:
+    from .data import DATASETS as _D
+
+    spec = _D[args.dataset]
+    comp = _VARIANTS[args.variant]()
+    fields = {f: load_field(args.dataset, f) for f in spec.field_names}
+    arch = Archive.build(fields, comp, args.eb, "vr_rel")
+    args.output.write_bytes(arch.to_bytes())
+    total_raw = sum(f.nbytes for f in fields.values())
+    print(f"{args.dataset} snapshot ({len(fields)} fields, {total_raw} B) "
+          f"-> {args.output} ({args.output.stat().st_size} B)")
+    for entry in arch.entries:
+        print(f"  {entry.name:<22} {entry.variant:<9} "
+              f"ratio {entry.ratio:6.1f}x  {entry.compressed_bytes} B")
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    arch = Archive.from_bytes(args.input.read_bytes())
+    entry = next((e for e in arch.entries if e.name == args.field), None)
+    if entry is None:
+        print(f"error: archive has no field {args.field!r}; "
+              f"available: {arch.field_names}", file=sys.stderr)
+        return 1
+    factory = _VARIANT_BY_NAME.get(entry.variant)
+    if factory is None:
+        print(f"error: unknown variant {entry.variant!r}", file=sys.stderr)
+        return 2
+    out = arch.extract(args.field, factory())
+    write_raw_field(args.output, out)
+    print(f"{args.field} {entry.shape} -> {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .fpga.report import synthesis_report
+
+    print(synthesis_report(args.dims[0], args.dims[1],
+                           base2=not args.base10))
+    return 0
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "info": _cmd_info,
+    "datasets": _cmd_datasets,
+    "generate": _cmd_generate,
+    "archive": _cmd_archive,
+    "extract": _cmd_extract,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

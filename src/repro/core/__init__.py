@@ -1,0 +1,36 @@
+"""waveSZ — the paper's contribution: wavefront-scheduled, fully pipelined SZ.
+
+* :mod:`repro.core.wavefront` — the wavefront memory-layout transform
+  (Figure 5) and its inverse; Manhattan-distance dependency analysis.
+* :mod:`repro.core.layout` — head/body/tail loop partition and the Figure 6
+  timing algebra (start ``c*Λ + r``, end ``(c+1)*Λ + r - 1``).
+* :mod:`repro.core.base2` — power-of-two error bounds and exponent-only
+  quantization (Table 3, §3.3).
+* :mod:`repro.core.kernel` — the wavefront-ordered PQD kernel and its
+  equivalence with raster-order SZ-1.4.
+* :mod:`repro.core.wavesz` — the end-to-end waveSZ compressor (G⋆ and
+  H⋆G⋆ backends, verbatim borders, 2D interpretation of 3D fields).
+* :mod:`repro.core.pipeline` — the PQD hardware stage inventory consumed
+  by the FPGA timing/resource models.
+"""
+
+from .base2 import binary_representation, pow2_tighten, quantize_base2_vector
+from .kernel import wavefront_order_codes, wavefront_pqd
+from .layout import LoopPartition, end_cycle, start_cycle
+from .wavefront import WavefrontLayout, from_wavefront, to_wavefront
+from .wavesz import WaveSZCompressor
+
+__all__ = [
+    "binary_representation",
+    "pow2_tighten",
+    "quantize_base2_vector",
+    "wavefront_order_codes",
+    "wavefront_pqd",
+    "LoopPartition",
+    "start_cycle",
+    "end_cycle",
+    "WavefrontLayout",
+    "to_wavefront",
+    "from_wavefront",
+    "WaveSZCompressor",
+]

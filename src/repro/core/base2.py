@@ -1,0 +1,96 @@
+"""Base-2 operation (paper §3.3, Table 3).
+
+An arbitrary decimal error bound has a 0-1-mixed mantissa in IEEE-754, so
+the quantization division needs a full FPU/DSP divide.  Tightening the
+bound to the nearest smaller power of two (``1e-3 -> 2**-10``) turns the
+division into an exponent subtraction: :func:`quantize_base2_vector` does
+exactly Algorithm 1 but with ``ldexp`` scaling (add/subtract in the
+exponent field) instead of division, and the FPGA resource model charges
+it zero DSP blocks (Table 6's waveSZ DSP48E = 0).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import QuantizerConfig
+from ..errors import ConfigError
+
+__all__ = [
+    "pow2_tighten",
+    "binary_representation",
+    "quantize_base2_vector",
+    "TABLE3_BASES",
+]
+
+#: The decimal bases of paper Table 3.
+TABLE3_BASES = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7]
+
+
+def pow2_tighten(eb: float) -> tuple[float, int]:
+    """Nearest power of two <= ``eb``; returns ``(2**k, k)``."""
+    if not (eb > 0 and math.isfinite(eb)):
+        raise ConfigError(f"error bound must be positive finite, got {eb}")
+    k = math.floor(math.log2(eb))
+    tightened = math.ldexp(1.0, k)
+    if tightened > eb:  # guard against log2 rounding at exact powers
+        k -= 1
+        tightened = math.ldexp(1.0, k)
+    return tightened, k
+
+
+def binary_representation(x: float, mantissa_bits: int = 13) -> tuple[str, int]:
+    """Normalized binary form of ``x`` as ``(mantissa_bits_string, exponent)``.
+
+    ``binary_representation(1e-3)`` returns ``("1.0000011000100", -10)``,
+    reproducing the rows of Table 3 (which display 13 mantissa bits of the
+    23-bit float32 mantissa).
+    """
+    if not (x > 0 and math.isfinite(x)):
+        raise ConfigError(f"need a positive finite value, got {x}")
+    m, e = math.frexp(x)  # x = m * 2**e with m in [0.5, 1)
+    m *= 2.0
+    e -= 1  # now m in [1, 2)
+    bits = []
+    frac = m - 1.0
+    for _ in range(mantissa_bits):
+        frac *= 2.0
+        bit = int(frac)
+        bits.append(str(bit))
+        frac -= bit
+    return "1." + "".join(bits), e
+
+
+def quantize_base2_vector(
+    d: np.ndarray,
+    pred: np.ndarray,
+    exponent: int,
+    quant: QuantizerConfig,
+    out_dtype: np.dtype,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Algorithm 1 with exponent-only scaling: precision is ``2**exponent``.
+
+    Bit-identical to :func:`repro.sz.quantizer.quantize_vector` called with
+    ``precision = 2**exponent`` (property-tested); the difference is that
+    every multiply/divide by the precision is an ``ldexp`` — the operation
+    the FPGA implements with plain integer adders on the exponent field.
+    """
+    capacity = quant.capacity
+    r = quant.radius
+    diff = d - pred
+    # |diff| / 2**e  ==  ldexp(|diff|, -e): exponent-only arithmetic.
+    code0 = np.floor(np.ldexp(np.abs(diff), -exponent)).astype(np.int64) + 1
+    quantizable = code0 < capacity
+    signed = np.where(diff > 0, code0, -code0)
+    code_dot = np.sign(signed) * (np.abs(signed) // 2) + r
+    # pred + (code - r) * 2**(e+1)  ==  pred + ldexp(code - r, e+1).
+    d_re = (pred + np.ldexp((code_dot - r).astype(np.float64), exponent + 1)).astype(
+        out_dtype
+    )
+    in_bound = np.abs(d_re.astype(np.float64) - d) <= np.ldexp(1.0, exponent)
+    ok = quantizable & in_bound & (code_dot > 0) & (code_dot < capacity)
+    codes = np.where(ok, code_dot, 0)
+    d_out = np.where(ok, d_re, d.astype(out_dtype))
+    return codes, d_out

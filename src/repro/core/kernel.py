@@ -1,0 +1,138 @@
+"""Wavefront-ordered PQD kernel — the Listing 1 transcription.
+
+Two implementations exist on purpose:
+
+* :func:`wavefront_pqd` — a literal, scalar transcription of the paper's
+  HLS kernel (Listing 1): head/body/tail double loops over the
+  wavefront-transformed stream, with the ``NW/N/W/_gi`` index arithmetic.
+  It is the *oracle* the test-suite uses; its per-point order is exactly
+  the order the FPGA pipeline issues PQD operations.
+* the production path — :func:`repro.sz.pqd.pqd_compress` with verbatim
+  borders, plus :func:`wavefront_order_codes` to permute the code stream
+  into issue order.  Equality of the two (codes and reconstructions) is
+  the "order independence" invariant of DESIGN.md §5.
+
+Note: the paper's printed TailH loop bounds (``for (h=d1-1; h<d1-d0; ...)``)
+are typographically garbled (the condition is false on entry); we generate
+the tail from the column geometry instead, which matches the head/body
+pattern and covers every remaining interior point exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..config import QuantizerConfig
+from ..errors import ShapeError
+from ..sz.quantizer import quantize_vector
+from .base2 import quantize_base2_vector
+from .wavefront import WavefrontLayout, build_layout, to_wavefront
+
+__all__ = [
+    "listing1_indices",
+    "wavefront_pqd",
+    "wavefront_order_codes",
+    "WavefrontPQDResult",
+]
+
+
+def listing1_indices(d0: int, d1: int) -> Iterator[tuple[int, int, int, int, int]]:
+    """Yield ``(column, NW, N, W, gi)`` stream positions in issue order.
+
+    ``gi`` is the wavefront-stream position of the point being predicted;
+    ``NW/N/W`` are the positions of its Lorenzo dependencies.  Columns are
+    issued in order; within a column, points go top-to-bottom (ascending
+    row), matching the inner vertical loop of Listing 1.
+    """
+    if d0 < 2 or d1 < 2:
+        raise ShapeError(f"kernel needs dims >= 2, got {d0}x{d1}")
+    layout = build_layout((d0, d1))
+    starts = layout.col_starts
+
+    def i_lo(t: int) -> int:
+        return max(0, t - (d1 - 1))
+
+    for t in range(2, layout.n_cols):
+        lo_t, lo_1, lo_2 = i_lo(t), i_lo(t - 1), i_lo(t - 2)
+        s_t, s_1, s_2 = int(starts[t]), int(starts[t - 1]), int(starts[t - 2])
+        i_first = max(1, lo_t)
+        i_last = min(d0 - 1, t - 1)  # j = t - i >= 1
+        for i in range(i_first, i_last + 1):
+            gi = s_t + (i - lo_t)
+            n_pos = s_1 + ((i - 1) - lo_1)  # (i-1, j)   on column t-1
+            w_pos = s_1 + (i - lo_1)  # (i, j-1)   on column t-1
+            nw_pos = s_2 + ((i - 1) - lo_2)  # (i-1, j-1) on column t-2
+            yield t, nw_pos, n_pos, w_pos, gi
+
+
+@dataclass(frozen=True)
+class WavefrontPQDResult:
+    """Output of the scalar Listing-1 kernel."""
+
+    codes_stream: np.ndarray  # int64, wavefront order (borders = 0)
+    decompressed: np.ndarray  # field dtype, raster order
+    layout: WavefrontLayout
+    issue_order: np.ndarray  # stream positions in the order points issued
+
+    def codes_raster(self) -> np.ndarray:
+        """Codes permuted back to the original (raster) layout."""
+        out = np.empty_like(self.codes_stream)
+        out[:] = self.codes_stream
+        raster = np.empty_like(out)
+        raster[self.layout.flat_order] = out
+        return raster.reshape(self.layout.shape)
+
+
+def wavefront_pqd(
+    data: np.ndarray,
+    precision: float,
+    quant: QuantizerConfig,
+    *,
+    base2_exponent: int | None = None,
+) -> WavefrontPQDResult:
+    """Scalar Listing-1 kernel over the wavefront stream (test oracle).
+
+    Borders (first row/column) are written back verbatim, exactly as
+    waveSZ does; unpredictable interior points likewise.  With
+    ``base2_exponent`` set, quantization runs the exponent-only path.
+    """
+    if data.ndim != 2:
+        raise ShapeError(f"kernel expects 2D data, got {data.ndim}D")
+    dtype = data.dtype
+    d0, d1 = data.shape
+    wdata, layout = to_wavefront(data)
+    work = wdata.astype(np.float64)  # borders already hold exact values
+    codes = np.zeros(wdata.size, dtype=np.int64)
+    issue = []
+
+    for _, nw, n_, w_, gi in listing1_indices(d0, d1):
+        pred = np.array([work[n_] + work[w_] - work[nw]])
+        d = np.array([work[gi]])
+        if base2_exponent is None:
+            c, d_out = quantize_vector(d, pred, precision, quant, dtype)
+        else:
+            c, d_out = quantize_base2_vector(d, pred, base2_exponent, quant, dtype)
+        codes[gi] = c[0]
+        work[gi] = float(d_out[0])
+        issue.append(gi)
+
+    dec_stream = work.astype(dtype)
+    dec = np.empty_like(dec_stream)
+    dec[layout.flat_order] = dec_stream
+    return WavefrontPQDResult(
+        codes_stream=codes,
+        decompressed=dec.reshape(d0, d1),
+        layout=layout,
+        issue_order=np.array(issue, dtype=np.int64),
+    )
+
+
+def wavefront_order_codes(codes: np.ndarray) -> np.ndarray:
+    """Permute a raster-order code grid into the hardware issue order."""
+    if codes.ndim != 2:
+        raise ShapeError(f"expected a 2D code grid, got {codes.ndim}D")
+    layout = build_layout(codes.shape)
+    return codes.reshape(-1)[layout.flat_order]

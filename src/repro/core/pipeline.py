@@ -1,0 +1,89 @@
+"""PQD hardware stage inventory (consumed by the FPGA timing/resource models).
+
+Latencies are cycles of Xilinx 7-series floating-point operator IPs
+configured for maximum frequency (paper §4.1: "IP configuration is set for
+the highest frequency when it is possible"), plus the integer/exponent
+units the base-2 co-optimization substitutes for them.  The chained PQD
+latency Δ these stages sum to is the quantity Figure 6 maps onto the
+pipeline depth Λ; the calibrated total (≈118 cycles, see DESIGN.md §3) is
+what makes small-Λ datasets (Hurricane, Λ=99) stall and lose ~16 %
+throughput in Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "HWStage",
+    "OP_LATENCY",
+    "wavesz_pqd_stages",
+    "ghostsz_pqd_stages",
+    "pqd_latency",
+]
+
+#: Operator latencies in cycles (max-frequency IP configs).
+OP_LATENCY = {
+    "fadd": 11,  # FP add/sub, logic implementation
+    "fmul": 8,
+    "fdiv": 28,
+    "fcmp": 2,
+    "f2i": 6,
+    "i2f": 6,
+    "int_alu": 1,
+    "exp_unit": 2,  # exponent extract/add (base-2 scaling)
+    "shift": 1,
+    "mux": 1,
+    "mem_rw": 2,  # BRAM read or write
+}
+
+
+@dataclass(frozen=True)
+class HWStage:
+    """One pipeline stage: a named group of chained operators."""
+
+    name: str
+    ops: tuple[str, ...]  # operators on the critical path, in order
+
+    @property
+    def latency(self) -> int:
+        return sum(OP_LATENCY[op] for op in self.ops)
+
+
+def wavesz_pqd_stages(base2: bool = True) -> tuple[HWStage, ...]:
+    """waveSZ's PQD chain: Lorenzo → quantize → reconstruct → write back.
+
+    With ``base2=True`` (the co-optimization) the divide and the overbound
+    check disappear: scaling is exponent arithmetic and the power-of-two
+    reconstruction is exact by construction (§3.3).
+    """
+    lorenzo = HWStage("lorenzo_2d", ("mem_rw", "fadd", "fadd"))
+    diff = HWStage("diff", ("fadd",))
+    if base2:
+        quant = HWStage("quantize_base2", ("exp_unit", "int_alu", "shift", "fcmp"))
+        recon = HWStage("reconstruct_base2", ("int_alu", "shift", "i2f", "fadd"))
+        check: tuple[HWStage, ...] = ()
+    else:
+        quant = HWStage("quantize_base10", ("fdiv", "f2i", "int_alu", "fcmp"))
+        recon = HWStage("reconstruct_base10", ("int_alu", "i2f", "fmul", "fadd"))
+        check = (HWStage("overbound_check", ("fadd", "fcmp", "mux")),)
+    writeback = HWStage("writeback", ("mux", "mem_rw"))
+    return (lorenzo, diff, quant, recon) + check + (writeback,)
+
+
+def ghostsz_pqd_stages() -> tuple[HWStage, ...]:
+    """GhostSZ's chain: 3 curve fits (quadratic dominates) → bestfit →
+    base-10 quantize → reconstruct → overbound check → write back."""
+    return (
+        HWStage("curvefit_quadratic", ("mem_rw", "fmul", "fadd", "fadd")),
+        HWStage("bestfit_select", ("fadd", "fcmp", "fcmp", "mux")),
+        HWStage("quantize_base10", ("fdiv", "f2i", "int_alu", "fcmp")),
+        HWStage("reconstruct_base10", ("int_alu", "i2f", "fmul", "fadd")),
+        HWStage("overbound_check", ("fadd", "fcmp", "mux")),
+        HWStage("writeback", ("mux", "mem_rw")),
+    )
+
+
+def pqd_latency(stages: tuple[HWStage, ...]) -> int:
+    """Chained latency Δ of a PQD pipeline (cycles)."""
+    return sum(s.latency for s in stages)

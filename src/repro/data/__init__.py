@@ -1,0 +1,25 @@
+"""Synthetic stand-ins for the SDRB evaluation datasets.
+
+The paper evaluates on three SDRB datasets (Table 4): 2D CESM-ATM climate,
+3D Hurricane ISABEL, 3D NYX cosmology — multi-gigabyte downloads we cannot
+ship.  This package generates spectrally-shaped Gaussian random fields with
+the per-dataset statistics that drive the paper's comparisons (DESIGN.md §3
+substitution 1): smoothness (Lorenzo vs curve-fit accuracy, Figure 1/Table
+1), saturated constant regions in cloud-fraction fields (GhostSZ's PSNR
+edge, Table 8/Figure 9), log-normal density tails (NYX ratios).
+
+All generators are deterministic in their seed.
+"""
+
+from .fields import gaussian_random_field, radial_wavenumber
+from .registry import DATASETS, DatasetSpec, FieldSpec, list_datasets, load_field
+
+__all__ = [
+    "gaussian_random_field",
+    "radial_wavenumber",
+    "DATASETS",
+    "DatasetSpec",
+    "FieldSpec",
+    "list_datasets",
+    "load_field",
+]

@@ -1,0 +1,105 @@
+"""CESM-ATM-like 2D climate fields (paper Table 4: 1800x3600, 79 fields).
+
+Generator design (calibrated in DESIGN.md §3):
+
+* spectra are steep (``beta`` 4-5) so fields are smooth at the pixel scale
+  — at 1/10 the paper's grid resolution, steeper spectra stand in for the
+  smoothness a finer grid would provide;
+* every field carries "mantissa noise" of order the 1e-3 VR-REL bound —
+  the nearly-random trailing mantissa bits the paper's introduction calls
+  out — which sets the quantization-code entropy in the regime that makes
+  the code stream Huffman/gzip-compressible without being trivial;
+* cloud fractions are clamped to [0,1] *after* the noise, producing
+  large exactly-constant saturated regions: the structure behind GhostSZ's
+  concentrated compression errors (Figure 9) and higher PSNR (Table 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fields import gaussian_random_field
+
+__all__ = ["cldlow", "cldhgh", "ts", "prect", "flns", "psl", "icefrac", "u10"]
+
+
+def _white(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    return np.random.default_rng(seed ^ 0x5EED).standard_normal(shape)
+
+
+def cldlow(shape: tuple[int, int] = (180, 360), seed: int = 101) -> np.ndarray:
+    """Low-cloud fraction: smooth field clamped to [0,1], ~55 % saturated."""
+    g = gaussian_random_field(shape, beta=4.5, seed=seed)
+    return np.clip(0.45 + 0.9 * g + 1e-3 * _white(shape, seed), 0.0, 1.0).astype(
+        np.float32
+    )
+
+
+def cldhgh(shape: tuple[int, int] = (180, 360), seed: int = 102) -> np.ndarray:
+    """High-cloud fraction: patchier spectrum, mostly clear sky."""
+    g = gaussian_random_field(shape, beta=4.0, seed=seed)
+    return np.clip(0.30 + 0.7 * g + 1e-3 * _white(shape, seed), 0.0, 1.0).astype(
+        np.float32
+    )
+
+
+def _zonal_rough(shape: tuple[int, int], seed: int, beta: float = 1.5) -> np.ndarray:
+    """Longitude-locked rough structure, nearly constant along latitude.
+
+    The 2D analogue of :func:`repro.data.fields.depth_invariant_web`:
+    the Lorenzo N-term cancels it, a 1D rowwise fit cannot.
+    """
+    rough = gaussian_random_field((shape[1],), beta=beta, seed=seed)
+    latmod = (1.0 + 0.1 * np.cos(np.linspace(0, np.pi, shape[0])))[:, None]
+    return rough[None, :] * latmod
+
+
+def ts(shape: tuple[int, int] = (180, 360), seed: int = 103) -> np.ndarray:
+    """Surface temperature (K): latitudinal gradient + smooth anomaly."""
+    g = gaussian_random_field(shape, beta=5.0, seed=seed)
+    lat = np.cos(np.linspace(-np.pi / 2, np.pi / 2, shape[0]))[:, None]
+    base = 250.0 + 45.0 * lat + 6.0 * g + 3.0 * _zonal_rough(shape, seed + 10)
+    vr = float(base.max() - base.min())
+    return (base + 7e-4 * vr * _white(shape, seed)).astype(np.float32)
+
+
+def prect(shape: tuple[int, int] = (180, 360), seed: int = 104) -> np.ndarray:
+    """Precipitation rate (m/s): heavy-tailed, non-negative."""
+    g = gaussian_random_field(shape, beta=3.8, seed=seed)
+    base = 2e-8 * np.exp(1.4 * g)
+    vr = float(base.max() - base.min())
+    return (base + 5e-4 * vr * np.abs(_white(shape, seed))).astype(np.float32)
+
+
+def flns(shape: tuple[int, int] = (180, 360), seed: int = 105) -> np.ndarray:
+    """Net surface longwave flux (W/m^2): smooth mid-range field."""
+    g = gaussian_random_field(shape, beta=4.5, seed=seed)
+    base = 60.0 + 25.0 * g + 12.0 * _zonal_rough(shape, seed + 10)
+    vr = float(base.max() - base.min())
+    return (base + 7e-4 * vr * _white(shape, seed)).astype(np.float32)
+
+
+def psl(shape: tuple[int, int] = (180, 360), seed: int = 106) -> np.ndarray:
+    """Sea-level pressure (Pa): very smooth large-scale field."""
+    g = gaussian_random_field(shape, beta=5.0, seed=seed)
+    base = 101325.0 + 1200.0 * g + 500.0 * _zonal_rough(shape, seed + 10)
+    vr = float(base.max() - base.min())
+    return (base + 5e-4 * vr * _white(shape, seed)).astype(np.float32)
+
+
+def icefrac(shape: tuple[int, int] = (180, 360), seed: int = 107) -> np.ndarray:
+    """Sea-ice fraction: saturated at 0 over most of the globe, 1 at the
+    poles — the most extreme constant-region field in the set."""
+    g = gaussian_random_field(shape, beta=4.0, seed=seed)
+    lat = np.abs(np.linspace(-1, 1, shape[0]))[:, None]
+    base = 3.0 * (lat - 0.72) + 0.5 * g + 1e-3 * _white(shape, seed)
+    return np.clip(base, 0.0, 1.0).astype(np.float32)
+
+
+def u10(shape: tuple[int, int] = (180, 360), seed: int = 108) -> np.ndarray:
+    """10 m wind speed (m/s): non-negative with storm-track bands."""
+    g = gaussian_random_field(shape, beta=3.8, seed=seed)
+    band = 4.0 * np.exp(-((np.linspace(-1, 1, shape[0])[:, None] ** 2 - 0.25) ** 2) * 40)
+    base = np.abs(5.0 + band + 3.0 * g)
+    vr = float(base.max() - base.min())
+    return (base + 7e-4 * vr * _white(shape, seed)).astype(np.float32)

@@ -1,0 +1,113 @@
+"""Hurricane-ISABEL-like 3D fields (paper Table 4: 100x500x500, 20 fields).
+
+ISABEL is a storm simulation: velocity fields carry a coherent vortex,
+cloud moisture is non-negative with large exactly-zero regions (the
+GhostSZ exact-hit structure — see :mod:`repro.data.cesm`), temperature has
+a strong vertical (first-axis) lapse plus frontal structure.  Shapes
+follow the paper's axis order (z, y, x) with z the short dimension, which
+is also what makes waveSZ's pipeline depth Λ small on this dataset
+(Table 5's Hurricane slowdown).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fields import depth_invariant_web, gaussian_random_field
+
+__all__ = ["cloudf48", "uf48", "vf48", "tcf48", "pf48", "qvaporf48", "wf48"]
+
+_DEFAULT_SHAPE = (40, 100, 100)
+
+
+def _white(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    return np.random.default_rng(seed ^ 0x5EED).standard_normal(shape)
+
+
+def _grid(shape: tuple[int, int, int]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    nz, ny, nx = shape
+    z = np.linspace(0.0, 1.0, nz)[:, None, None]
+    y = np.linspace(-1, 1, ny)[None, :, None]
+    x = np.linspace(-1, 1, nx)[None, None, :]
+    return z, y, x
+
+
+def _vortex(shape: tuple[int, int, int], component: str, seed: int) -> np.ndarray:
+    """Rankine-like rotating wind around the domain centre + turbulence."""
+    _, y, x = _grid(shape)
+    r2 = x**2 + y**2 + 0.05
+    radial_profile = np.exp(-2.0 * r2) / r2
+    tangential = (x if component == "u" else -y) * radial_profile
+    z_decay = np.linspace(1.0, 0.35, shape[0])[:, None, None]
+    turb = gaussian_random_field(shape, beta=4.0, seed=seed)
+    web = depth_invariant_web(shape, beta=2.2, seed=seed + 10)
+    base = 30.0 * tangential * z_decay + 1.5 * turb + 2.0 * web
+    vr = float(base.max() - base.min())
+    return base + 1e-3 * vr * _white(shape, seed)
+
+
+def cloudf48(shape: tuple[int, int, int] = _DEFAULT_SHAPE, seed: int = 201) -> np.ndarray:
+    """Cloud moisture (kg/kg): non-negative, ~80 % exactly zero."""
+    g = gaussian_random_field(shape, beta=3.5, seed=seed)
+    base = np.clip(g - 0.8 + 5e-4 * _white(shape, seed), 0.0, None) * 2e-3
+    return base.astype(np.float32)
+
+
+def uf48(shape: tuple[int, int, int] = _DEFAULT_SHAPE, seed: int = 202) -> np.ndarray:
+    """Zonal wind (m/s) with the vortex signature."""
+    return _vortex(shape, "u", seed).astype(np.float32)
+
+
+def vf48(shape: tuple[int, int, int] = _DEFAULT_SHAPE, seed: int = 203) -> np.ndarray:
+    """Meridional wind (m/s) with the vortex signature."""
+    return _vortex(shape, "v", seed).astype(np.float32)
+
+
+def tcf48(shape: tuple[int, int, int] = _DEFAULT_SHAPE, seed: int = 204) -> np.ndarray:
+    """Temperature (C): vertical lapse + warm core + fronts + turbulence."""
+    nz, ny, nx = shape
+    g = gaussian_random_field(shape, beta=4.5, seed=seed)
+    z, y, x = _grid(shape)
+    lapse = 25.0 - 85.0 * z
+    core = 8.0 * np.exp(-6.0 * (x**2 + y**2))
+    front = 5.0 * np.tanh(25.0 * (0.6 * x + 0.8 * y - 0.2))
+    web = depth_invariant_web(shape, beta=2.2, seed=seed + 10)
+    base = lapse + core + front + 1.0 * g + 1.5 * web
+    vr = float(base.max() - base.min())
+    return (base + 5e-4 * vr * _white(shape, seed)).astype(np.float32)
+
+
+def pf48(shape: tuple[int, int, int] = _DEFAULT_SHAPE, seed: int = 205) -> np.ndarray:
+    """Pressure perturbation (Pa): smooth with a deep central low."""
+    g = gaussian_random_field(shape, beta=5.0, seed=seed)
+    _, y, x = _grid(shape)
+    web = depth_invariant_web(shape, beta=2.0, seed=seed + 10)
+    base = -4000.0 * np.exp(-5.0 * (x**2 + y**2)) + 300.0 * g + 250.0 * web
+    vr = float(base.max() - base.min())
+    return (base + 5e-4 * vr * _white(shape, seed)).astype(np.float32)
+
+
+def qvaporf48(shape: tuple[int, int, int] = _DEFAULT_SHAPE, seed: int = 206) -> np.ndarray:
+    """Water vapour mixing ratio (kg/kg): exponential decay with height,
+    moist core, non-negative."""
+    nz, ny, nx = shape
+    g = gaussian_random_field(shape, beta=3.8, seed=seed)
+    z, y, x = _grid(shape)
+    column = 0.02 * np.exp(-3.0 * z)
+    core = 1.0 + 0.8 * np.exp(-5.0 * (x**2 + y**2))
+    base = np.clip(column * core * (1.0 + 0.15 * g), 0.0, None)
+    vr = float(base.max()) or 1.0
+    return (base + 5e-4 * vr * np.abs(_white(shape, seed))).astype(np.float32)
+
+
+def wf48(shape: tuple[int, int, int] = _DEFAULT_SHAPE, seed: int = 207) -> np.ndarray:
+    """Vertical wind (m/s): small-scale convective cells around the
+    eyewall — the roughest field of the set."""
+    nz, ny, nx = shape
+    g = gaussian_random_field(shape, beta=2.8, seed=seed)
+    _, y, x = _grid(shape)
+    r2 = x**2 + y**2
+    eyewall = np.exp(-60.0 * (np.sqrt(r2) - 0.25) ** 2)
+    base = 2.5 * g * (0.3 + eyewall)
+    vr = float(base.max() - base.min())
+    return (base + 1e-3 * vr * _white(shape, seed)).astype(np.float32)

@@ -1,0 +1,84 @@
+"""NYX-cosmology-like 3D fields (paper Table 4: 512^3, 6 fields).
+
+NYX snapshots contain baryon density (log-normal, power-law spectrum),
+temperature correlated with density, large-scale velocities, and a
+particle-deposited dark-matter density whose void cells are *exactly*
+zero (CIC deposition of no particles) — the constant structure the
+GhostSZ previous-value fit exploits.  The log-normal amplitude is kept
+moderate (sigma ~1) so the bulk of the field varies on the scale of the
+VR-REL bound rather than sitting flat far below it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fields import depth_invariant_web, gaussian_random_field
+
+__all__ = ["baryon_density", "temperature", "dark_matter_density",
+           "velocity_x", "velocity_y", "velocity_z"]
+
+_DEFAULT_SHAPE = (64, 64, 64)
+
+
+def _white(shape: tuple[int, ...], seed: int) -> np.ndarray:
+    return np.random.default_rng(seed ^ 0x5EED).standard_normal(shape)
+
+
+def baryon_density(shape: tuple[int, int, int] = _DEFAULT_SHAPE, seed: int = 301) -> np.ndarray:
+    """Baryon density (mean-normalized): log-normal, smooth web."""
+    g = gaussian_random_field(shape, beta=4.0, seed=seed)
+    web = depth_invariant_web(shape, beta=2.0, seed=seed + 10)
+    # Shift the web to be non-negative so density stays positive.
+    base = np.exp(1.0 * g) + 2.0 * (web - web.min())
+    vr = float(base.max() - base.min())
+    return (base + 5e-4 * vr * np.abs(_white(shape, seed))).astype(np.float32)
+
+
+def dark_matter_density(
+    shape: tuple[int, int, int] = _DEFAULT_SHAPE, seed: int = 302
+) -> np.ndarray:
+    """Dark-matter density: clustered, with exactly-zero void cells."""
+    g = gaussian_random_field(shape, beta=3.5, seed=seed)
+    web = depth_invariant_web(shape, beta=2.2, seed=seed + 10)
+    base = np.clip(np.exp(1.2 * g) - 0.5 + 0.3 * web, 0.0, None)
+    vr = float(base.max()) or 1.0
+    noise = 5e-4 * vr * np.abs(_white(shape, seed))
+    return (base + noise * (base > 0)).astype(np.float32)
+
+
+def temperature(shape: tuple[int, int, int] = _DEFAULT_SHAPE, seed: int = 303) -> np.ndarray:
+    """Gas temperature (K): density power law + scatter."""
+    rho = baryon_density(shape, seed=301).astype(np.float64)
+    g = gaussian_random_field(shape, beta=4.0, seed=seed)
+    web = depth_invariant_web(shape, beta=2.2, seed=seed + 10)
+    base = 1e4 * rho**0.6 * np.exp(0.2 * g) + 3e3 * web
+    vr = float(base.max() - base.min())
+    return (base + 5e-4 * vr * np.abs(_white(shape, seed))).astype(np.float32)
+
+
+def velocity_x(shape: tuple[int, int, int] = _DEFAULT_SHAPE, seed: int = 304) -> np.ndarray:
+    """Peculiar velocity (km/s): large-scale coherent flows."""
+    g = gaussian_random_field(shape, beta=4.0, seed=seed)
+    web = depth_invariant_web(shape, beta=2.2, seed=seed + 10)
+    base = 350.0 * g + 60.0 * web
+    vr = float(base.max() - base.min())
+    return (base + 7e-4 * vr * _white(shape, seed)).astype(np.float32)
+
+
+def velocity_y(shape: tuple[int, int, int] = _DEFAULT_SHAPE, seed: int = 305) -> np.ndarray:
+    """Peculiar velocity, y component (independent large-scale modes)."""
+    g = gaussian_random_field(shape, beta=4.0, seed=seed)
+    web = depth_invariant_web(shape, beta=2.2, seed=seed + 10)
+    base = 350.0 * g + 60.0 * web
+    vr = float(base.max() - base.min())
+    return (base + 7e-4 * vr * _white(shape, seed)).astype(np.float32)
+
+
+def velocity_z(shape: tuple[int, int, int] = _DEFAULT_SHAPE, seed: int = 306) -> np.ndarray:
+    """Peculiar velocity, z component (slightly rougher spectrum)."""
+    g = gaussian_random_field(shape, beta=3.7, seed=seed)
+    web = depth_invariant_web(shape, beta=2.2, seed=seed + 10)
+    base = 350.0 * g + 60.0 * web
+    vr = float(base.max() - base.min())
+    return (base + 7e-4 * vr * _white(shape, seed)).astype(np.float32)

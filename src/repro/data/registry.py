@@ -1,0 +1,131 @@
+"""Dataset registry mirroring paper Table 4.
+
+Each :class:`DatasetSpec` carries the paper's metadata (dims, field count)
+plus the scaled-down reproduction fields actually generated (DESIGN.md §6).
+``load_field(dataset, field, scale=...)`` scales the repro dims by an
+integer factor when a larger run is wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import DatasetError
+from . import cesm, hurricane, nyx
+
+__all__ = ["FieldSpec", "DatasetSpec", "DATASETS", "list_datasets", "load_field"]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    name: str
+    generator: Callable[..., np.ndarray]
+    description: str
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    name: str
+    paper_dims: tuple[int, ...]
+    paper_fields: int
+    repro_dims: tuple[int, ...]
+    fields: tuple[FieldSpec, ...]
+    description: str
+
+    def field(self, name: str) -> FieldSpec:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise DatasetError(
+            f"dataset {self.name!r} has no field {name!r}; "
+            f"available: {[f.name for f in self.fields]}"
+        )
+
+    @property
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "CESM-ATM": DatasetSpec(
+        name="CESM-ATM",
+        paper_dims=(1800, 3600),
+        paper_fields=79,
+        repro_dims=(180, 360),
+        description="2D climate simulation (CESM atmosphere model)",
+        fields=(
+            FieldSpec("CLDLOW", cesm.cldlow, "low cloud fraction, [0,1] saturated"),
+            FieldSpec("CLDHGH", cesm.cldhgh, "high cloud fraction, patchy"),
+            FieldSpec("TS", cesm.ts, "surface temperature (K)"),
+            FieldSpec("PRECT", cesm.prect, "precipitation rate (m/s), heavy tail"),
+            FieldSpec("FLNS", cesm.flns, "net surface longwave flux (W/m^2)"),
+            FieldSpec("PSL", cesm.psl, "sea-level pressure (Pa), very smooth"),
+            FieldSpec("ICEFRAC", cesm.icefrac, "sea-ice fraction, polar saturated"),
+            FieldSpec("U10", cesm.u10, "10 m wind speed with storm tracks"),
+        ),
+    ),
+    "Hurricane": DatasetSpec(
+        name="Hurricane",
+        paper_dims=(100, 500, 500),
+        paper_fields=20,
+        repro_dims=(40, 100, 100),
+        description="3D hurricane ISABEL simulation",
+        fields=(
+            FieldSpec("CLOUDf48", hurricane.cloudf48, "cloud moisture, mostly zero"),
+            FieldSpec("Uf48", hurricane.uf48, "zonal wind with vortex"),
+            FieldSpec("Vf48", hurricane.vf48, "meridional wind with vortex"),
+            FieldSpec("TCf48", hurricane.tcf48, "temperature with lapse + warm core"),
+            FieldSpec("Pf48", hurricane.pf48, "pressure perturbation"),
+            FieldSpec("QVAPORf48", hurricane.qvaporf48, "water vapour, exp. lapse"),
+            FieldSpec("Wf48", hurricane.wf48, "vertical wind, convective cells"),
+        ),
+    ),
+    "NYX": DatasetSpec(
+        name="NYX",
+        paper_dims=(512, 512, 512),
+        paper_fields=6,
+        repro_dims=(64, 64, 64),
+        description="3D NYX cosmology simulation",
+        fields=(
+            FieldSpec("baryon_density", nyx.baryon_density, "log-normal density"),
+            FieldSpec(
+                "dark_matter_density", nyx.dark_matter_density, "clustered density"
+            ),
+            FieldSpec("temperature", nyx.temperature, "density-correlated T"),
+            FieldSpec("velocity_x", nyx.velocity_x, "large-scale velocity"),
+            FieldSpec("velocity_y", nyx.velocity_y, "large-scale velocity (y)"),
+            FieldSpec("velocity_z", nyx.velocity_z, "large-scale velocity (z)"),
+        ),
+    ),
+}
+
+
+def list_datasets() -> list[str]:
+    return list(DATASETS)
+
+
+def load_field(
+    dataset: str, field: str, *, scale: int = 1, seed_offset: int = 0
+) -> np.ndarray:
+    """Generate one field, optionally scaled up by an integer factor."""
+    try:
+        spec = DATASETS[dataset]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {dataset!r}; available: {list(DATASETS)}"
+        ) from None
+    if scale < 1:
+        raise DatasetError(f"scale must be >= 1, got {scale}")
+    fs = spec.field(field)
+    shape = tuple(int(n * scale) for n in spec.repro_dims)
+    kwargs: dict = {"shape": shape}
+    if seed_offset:
+        # Generators take `seed=`; offset it for multi-snapshot workloads.
+        import inspect
+
+        default_seed = inspect.signature(fs.generator).parameters["seed"].default
+        kwargs["seed"] = default_seed + seed_offset
+    return fs.generator(**kwargs)

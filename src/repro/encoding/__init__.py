@@ -1,0 +1,26 @@
+"""Entropy-coding substrate: bit-level IO and the customized Huffman coder.
+
+SZ's "customized variable-length encoding" (paper §2.1 step 4) is a canonical
+Huffman code over 16-bit linear-scaling quantization codes.  This package
+implements it from scratch:
+
+* :mod:`repro.encoding.bitio` — MSB-first bit writer/reader with a
+  vectorized multi-symbol pack path and a buffered decode path.
+* :mod:`repro.encoding.histogram` — symbol frequency and entropy helpers.
+* :mod:`repro.encoding.huffman` — canonical Huffman table construction,
+  serialization, vectorized encode, table-accelerated decode.
+"""
+
+from .bitio import BitReader, BitWriter, pack_codes
+from .histogram import entropy_bits, symbol_histogram
+from .huffman import HuffmanCodec, HuffmanTable
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "pack_codes",
+    "entropy_bits",
+    "symbol_histogram",
+    "HuffmanCodec",
+    "HuffmanTable",
+]

@@ -1,0 +1,48 @@
+"""Symbol statistics for the entropy-coding stage.
+
+The linear-scaling quantizer emits codes that are heavily concentrated
+around the radius (accurately predicted points), which is exactly why SZ
+follows it with Huffman coding (paper §2.1 step 4).  These helpers compute
+the frequency table the Huffman builder consumes and the empirical entropy
+used by tests to check encode optimality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["symbol_histogram", "entropy_bits"]
+
+
+def symbol_histogram(symbols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(values, counts)`` for the distinct symbols in ``symbols``.
+
+    Symbols must be non-negative integers.  Uses ``bincount`` when the
+    alphabet is dense and small (the 16-bit quant-code case), falling back
+    to ``unique`` for sparse/large alphabets.
+    """
+    symbols = np.asarray(symbols)
+    if symbols.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    if not np.issubdtype(symbols.dtype, np.integer):
+        raise TypeError(f"symbols must be integers, got {symbols.dtype}")
+    flat = symbols.reshape(-1)
+    if flat.min() < 0:
+        raise ValueError("symbols must be non-negative")
+    hi = int(flat.max())
+    if hi < 1 << 22:  # dense path: one pass, no sort
+        counts = np.bincount(flat.astype(np.int64, copy=False))
+        values = np.nonzero(counts)[0]
+        return values.astype(np.int64), counts[values].astype(np.int64)
+    values, counts = np.unique(flat, return_counts=True)
+    return values.astype(np.int64), counts.astype(np.int64)
+
+
+def entropy_bits(counts: np.ndarray) -> float:
+    """Shannon entropy in bits/symbol of an empirical distribution."""
+    counts = np.asarray(counts, dtype=np.float64)
+    counts = counts[counts > 0]
+    if counts.size == 0:
+        return 0.0
+    p = counts / counts.sum()
+    return float(-(p * np.log2(p)).sum())

@@ -1,0 +1,295 @@
+"""Customized canonical Huffman coding over quantization codes.
+
+SZ-1.4's "customized variable-length encoding" is a Huffman code whose
+alphabet is the 16-bit linear-scaling quantization codes (paper §2.1,
+Table 7's H⋆ stage).  This module implements it from scratch:
+
+* tree construction with a binary heap over the non-zero-frequency symbols,
+* canonicalization (codes assigned in (length, symbol) order) so the table
+  serializes as just *lengths + symbols in canonical order*,
+* a fully vectorized encoder built on :func:`repro.encoding.bitio.pack_codes`,
+* a decoder with a 12-bit first-level lookup table and a canonical
+  per-length fallback for longer codes.
+
+Maximum code depth for an alphabet with integer counts is bounded by the
+Fibonacci growth of subtree weights; exceeding 57 levels would require more
+than 2**57 input symbols, so depths always fit the bit-IO buffer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import HuffmanError
+from .bitio import BitReader, pack_codes
+from .histogram import symbol_histogram
+
+__all__ = ["HuffmanTable", "HuffmanCodec"]
+
+_FAST_BITS = 12
+_MAGIC = b"HUF1"
+
+
+def _code_lengths(counts: np.ndarray) -> np.ndarray:
+    """Huffman code length per (non-zero-count) symbol, by heap merging."""
+    n = counts.size
+    if n == 1:
+        return np.array([1], dtype=np.int64)
+    # Heap entries: (weight, tiebreak, node_id). Internal nodes get ids >= n;
+    # parent[] lets us recover each leaf's depth after the merge.
+    parent = np.full(2 * n - 1, -1, dtype=np.int64)
+    heap = [(int(c), i, i) for i, c in enumerate(counts)]
+    heapq.heapify(heap)
+    next_id = n
+    while len(heap) > 1:
+        w1, _, a = heapq.heappop(heap)
+        w2, _, b = heapq.heappop(heap)
+        parent[a] = next_id
+        parent[b] = next_id
+        heapq.heappush(heap, (w1 + w2, next_id, next_id))
+        next_id += 1
+    depths = np.zeros(n, dtype=np.int64)
+    for leaf in range(n):
+        d = 0
+        node = leaf
+        while parent[node] != -1:
+            node = parent[node]
+            d += 1
+        depths[leaf] = d
+    return depths
+
+
+@dataclass(frozen=True)
+class HuffmanTable:
+    """A canonical Huffman code: symbols in canonical order and their lengths.
+
+    ``symbols[i]`` is the i-th symbol in (length, symbol) canonical order;
+    ``lengths[i]`` its code length.  Codes are implied: within each length,
+    codes are consecutive, starting from ``(prev_first + prev_count) << 1``.
+    """
+
+    symbols: np.ndarray  # int64, canonical order
+    lengths: np.ndarray  # int64, non-decreasing
+
+    def __post_init__(self) -> None:
+        if self.symbols.shape != self.lengths.shape or self.symbols.ndim != 1:
+            raise HuffmanError("symbols/lengths must be matching 1-D arrays")
+        if self.symbols.size and (np.diff(self.lengths) < 0).any():
+            raise HuffmanError("lengths must be non-decreasing (canonical order)")
+
+    @classmethod
+    def from_frequencies(
+        cls, values: np.ndarray, counts: np.ndarray
+    ) -> "HuffmanTable":
+        """Build the canonical table for an empirical distribution."""
+        values = np.asarray(values, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if values.size == 0:
+            return cls(np.empty(0, np.int64), np.empty(0, np.int64))
+        if (counts <= 0).any():
+            raise HuffmanError("all counts must be positive")
+        lengths = _code_lengths(counts)
+        order = np.lexsort((values, lengths))
+        return cls(values[order], lengths[order])
+
+    @classmethod
+    def from_symbols(cls, symbols: np.ndarray) -> "HuffmanTable":
+        """Build the table directly from a symbol stream."""
+        return cls.from_frequencies(*symbol_histogram(symbols))
+
+    # -- canonical code assignment -------------------------------------
+
+    def assign_codes(self) -> np.ndarray:
+        """Return the canonical code value for each table entry (uint64)."""
+        n = self.symbols.size
+        codes = np.zeros(n, dtype=np.uint64)
+        if n == 0:
+            return codes
+        code = 0
+        prev_len = int(self.lengths[0])
+        for i in range(n):
+            li = int(self.lengths[i])
+            code <<= li - prev_len
+            codes[i] = code
+            code += 1
+            prev_len = li
+        return codes
+
+    def is_prefix_free_and_complete(self) -> bool:
+        """Kraft sum == 1 exactly (true for any Huffman code with >= 1 symbol)."""
+        if self.symbols.size == 0:
+            return True
+        if self.symbols.size == 1:
+            return int(self.lengths[0]) == 1  # single-symbol convention
+        kraft = np.sum(np.ldexp(1.0, -self.lengths.astype(np.int64)))
+        return bool(abs(kraft - 1.0) < 1e-12)
+
+    @property
+    def max_length(self) -> int:
+        return int(self.lengths[-1]) if self.symbols.size else 0
+
+    # -- serialization ---------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Compact serialization: per-length symbol counts + canonical symbols."""
+        out = bytearray(_MAGIC)
+        n = self.symbols.size
+        out += struct.pack("<I", n)
+        if n == 0:
+            return bytes(out)
+        maxlen = self.max_length
+        out += struct.pack("<B", maxlen)
+        per_len = np.bincount(self.lengths, minlength=maxlen + 1)[1:]
+        out += per_len.astype("<u4").tobytes()
+        out += self.symbols.astype("<u4").tobytes()
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> tuple["HuffmanTable", int]:
+        """Parse a serialized table; returns (table, bytes_consumed)."""
+        if data[:4] != _MAGIC:
+            raise HuffmanError("bad Huffman table magic")
+        (n,) = struct.unpack_from("<I", data, 4)
+        pos = 8
+        if n == 0:
+            return cls(np.empty(0, np.int64), np.empty(0, np.int64)), pos
+        (maxlen,) = struct.unpack_from("<B", data, pos)
+        pos += 1
+        per_len = np.frombuffer(data, dtype="<u4", count=maxlen, offset=pos)
+        pos += 4 * maxlen
+        if int(per_len.sum()) != n:
+            raise HuffmanError("corrupt Huffman table: count mismatch")
+        symbols = np.frombuffer(data, dtype="<u4", count=n, offset=pos).astype(
+            np.int64
+        )
+        pos += 4 * n
+        lengths = np.repeat(
+            np.arange(1, maxlen + 1, dtype=np.int64), per_len.astype(np.int64)
+        )
+        return cls(symbols, lengths), pos
+
+
+class HuffmanCodec:
+    """Encode/decode symbol streams against a :class:`HuffmanTable`."""
+
+    def __init__(self, table: HuffmanTable) -> None:
+        self.table = table
+        self._codes = table.assign_codes()
+        n = table.symbols.size
+        # Dense symbol -> (code, length) lookup for vectorized encode.
+        if n:
+            hi = int(table.symbols.max()) + 1
+            self._enc_len = np.zeros(hi, dtype=np.int64)
+            self._enc_code = np.zeros(hi, dtype=np.uint64)
+            self._enc_len[table.symbols] = table.lengths
+            self._enc_code[table.symbols] = self._codes
+        else:
+            self._enc_len = np.zeros(0, dtype=np.int64)
+            self._enc_code = np.zeros(0, dtype=np.uint64)
+        self._build_decode_tables()
+
+    def _build_decode_tables(self) -> None:
+        t = self.table
+        maxlen = t.max_length
+        fast_bits = min(_FAST_BITS, max(maxlen, 1))
+        fast_sym = np.full(1 << fast_bits, -1, dtype=np.int64)
+        fast_len = np.zeros(1 << fast_bits, dtype=np.int64)
+        # Canonical per-length bounds for the slow path.
+        first_code = np.zeros(maxlen + 2, dtype=np.int64)
+        first_idx = np.zeros(maxlen + 2, dtype=np.int64)
+        count = np.bincount(t.lengths, minlength=maxlen + 2) if t.symbols.size else (
+            np.zeros(maxlen + 2, dtype=np.int64)
+        )
+        code = 0
+        idx = 0
+        for length in range(1, maxlen + 1):
+            first_code[length] = code
+            first_idx[length] = idx
+            c = int(count[length]) if length < len(count) else 0
+            if length <= fast_bits and c:
+                # Fill all fast-table slots whose top `length` bits match.
+                span = 1 << (fast_bits - length)
+                for j in range(c):
+                    base = (code + j) << (fast_bits - length)
+                    fast_sym[base : base + span] = t.symbols[idx + j]
+                    fast_len[base : base + span] = length
+            code = (code + c) << 1
+            idx += c
+        self._fast_bits = fast_bits
+        self._fast_sym = fast_sym
+        self._fast_len = fast_len
+        self._first_code = first_code
+        self._first_idx = first_idx
+        self._len_count = count
+
+    # -- encode ------------------------------------------------------------
+
+    def encode(self, symbols: np.ndarray) -> tuple[bytes, int]:
+        """Encode a 1-D symbol array; returns (payload, total_bits)."""
+        symbols = np.asarray(symbols).reshape(-1)
+        if symbols.size == 0:
+            return b"", 0
+        if symbols.min() < 0 or symbols.max() >= self._enc_len.size:
+            raise HuffmanError("symbol outside table alphabet")
+        lengths = self._enc_len[symbols]
+        if (lengths == 0).any():
+            raise HuffmanError("symbol with zero frequency in table")
+        return pack_codes(self._enc_code[symbols], lengths)
+
+    # -- decode ------------------------------------------------------------
+
+    def decode(self, payload: bytes, n_symbols: int) -> np.ndarray:
+        """Decode ``n_symbols`` symbols from an MSB-first payload."""
+        if n_symbols == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.table.symbols.size == 0:
+            raise HuffmanError("cannot decode with an empty table")
+        out = np.empty(n_symbols, dtype=np.int64)
+        if self.table.symbols.size == 1:
+            # Degenerate single-symbol stream: 1 bit per symbol by convention.
+            out[:] = self.table.symbols[0]
+            return out
+        reader = BitReader(payload)
+        fast_bits = self._fast_bits
+        fast_sym = self._fast_sym
+        fast_len = self._fast_len
+        first_code = self._first_code
+        first_idx = self._first_idx
+        len_count = self._len_count
+        symbols = self.table.symbols
+        maxlen = self.table.max_length
+        peek = reader.peek
+        skip = reader.skip
+        for i in range(n_symbols):
+            window = peek(fast_bits)
+            s = fast_sym[window]
+            if s >= 0:
+                skip(int(fast_len[window]))
+                out[i] = s
+                continue
+            # Slow path: extend bit by bit beyond the fast window.
+            code = window
+            length = fast_bits
+            while True:
+                length += 1
+                if length > maxlen:
+                    raise HuffmanError("invalid code in bitstream")
+                code = peek(length)
+                c = int(len_count[length]) if length < len(len_count) else 0
+                fc = int(first_code[length])
+                if c and fc <= code < fc + c:
+                    skip(length)
+                    out[i] = symbols[first_idx[length] + (code - fc)]
+                    break
+        return out
+
+    def encoded_size_bits(self, symbols: np.ndarray) -> int:
+        """Exact payload size in bits without materializing the stream."""
+        symbols = np.asarray(symbols).reshape(-1)
+        if symbols.size == 0:
+            return 0
+        return int(self._enc_len[symbols].sum())

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the waveSZ reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single type at API boundaries.  Subtypes are split by subsystem so
+tests can assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid compressor / model configuration (bad error bound, bins, mode)."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Input array has an unsupported shape or dimensionality."""
+
+
+class DTypeError(ReproError, TypeError):
+    """Input array has an unsupported dtype (only float32/float64 fields)."""
+
+
+class EncodingError(ReproError):
+    """Entropy-coding failure (corrupt bitstream, unknown symbol)."""
+
+
+class BitstreamError(EncodingError):
+    """Low-level bit IO failure: truncated or misaligned stream."""
+
+
+class HuffmanError(EncodingError):
+    """Huffman table construction or decode failure."""
+
+
+class LosslessError(ReproError):
+    """LZ77 / DEFLATE-substrate failure (corrupt container, bad backend)."""
+
+
+class ContainerError(ReproError):
+    """Compressed container is malformed (bad magic, truncated section)."""
+
+
+class ErrorBoundViolation(ReproError):
+    """Decompressed data violates the user-set error bound.
+
+    This is never expected in correct operation; it exists so verification
+    helpers can signal a hard invariant break rather than return a bool.
+    """
+
+
+class ModelError(ReproError):
+    """FPGA / CPU performance-model misuse (e.g. Λ <= 0, zero lanes)."""
+
+
+class DatasetError(ReproError):
+    """Unknown dataset / field name in the synthetic SDRB registry."""

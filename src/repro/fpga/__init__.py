@@ -1,0 +1,53 @@
+"""FPGA substrate: device model, HLS pipeline timing, resources, PCIe, lanes.
+
+The paper's throughput and utilization results (Tables 5-6, Figure 8) come
+from a Xilinx Zynq-7000 ZC706 running Vivado HLS output.  Reproducing them
+in Python means modelling, not synthesizing: this package implements
+
+* :mod:`repro.fpga.device` — the ZC706 resource/clock envelope,
+* :mod:`repro.fpga.hls` — an HLS-style loop-nest scheduler (pII, unroll,
+  pipeline depth) with an event-driven column simulator that verifies the
+  closed-form timing of Figure 6,
+* :mod:`repro.fpga.timing` — the waveSZ/GhostSZ cycle models of Table 5,
+* :mod:`repro.fpga.resources` — an operator-level utilization estimator
+  calibrated against Table 6,
+* :mod:`repro.fpga.pcie` — PCIe gen2/gen3 link throughput caps,
+* :mod:`repro.fpga.lanes` — multi-lane scaling under resource + link
+  limits (Figure 8).
+
+Calibration constants (Δ_PQD = 118 cycles, f = 250 MHz for waveSZ lanes)
+are documented in DESIGN.md §3 and printed by the benches next to the
+paper's numbers.
+"""
+
+from .device import ZC706, FPGADevice
+from .hls import HLSLoopNest, simulate_columns
+from .lanes import LaneScaling, max_lanes_by_bram, scale_lanes
+from .pcie import PCIeLink, PCIE_GEN2_X4, PCIE_GEN3_X4
+from .resources import design_resources, ghostsz_resources, wavesz_resources
+from .timing import (
+    cpu_sz14_throughput,
+    ghostsz_throughput,
+    wavesz_cycles,
+    wavesz_throughput,
+)
+
+__all__ = [
+    "ZC706",
+    "FPGADevice",
+    "HLSLoopNest",
+    "simulate_columns",
+    "LaneScaling",
+    "max_lanes_by_bram",
+    "scale_lanes",
+    "PCIeLink",
+    "PCIE_GEN2_X4",
+    "PCIE_GEN3_X4",
+    "design_resources",
+    "ghostsz_resources",
+    "wavesz_resources",
+    "cpu_sz14_throughput",
+    "ghostsz_throughput",
+    "wavesz_cycles",
+    "wavesz_throughput",
+]

@@ -1,0 +1,53 @@
+"""FPGA device envelopes.
+
+The evaluation platform is the Xilinx Zynq-7000 SoC ZC706 (XC7Z045): the
+resource totals below are the denominators of Table 6's utilization
+percentages, and the PCIe block is 4x gen2 (the "peak perf for ZC706" line
+of Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+
+__all__ = ["FPGADevice", "ZC706"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Resource and clocking envelope of one FPGA part."""
+
+    name: str
+    bram_18k: int
+    dsp48e: int
+    ff: int
+    lut: int
+    default_clock_hz: float = 156.25e6  # paper §4.1 default
+    max_clock_hz: float = 250e6  # "IP configured for highest frequency"
+
+    def __post_init__(self) -> None:
+        if min(self.bram_18k, self.dsp48e, self.ff, self.lut) <= 0:
+            raise ModelError(f"device {self.name} has non-positive resources")
+        if not 0 < self.default_clock_hz <= self.max_clock_hz:
+            raise ModelError(f"device {self.name} clock envelope is inconsistent")
+
+    def fits(self, bram_18k: int, dsp48e: int, ff: int, lut: int) -> bool:
+        """Whether a design's totals fit this part."""
+        return (
+            bram_18k <= self.bram_18k
+            and dsp48e <= self.dsp48e
+            and ff <= self.ff
+            and lut <= self.lut
+        )
+
+
+#: Zynq-7000 XC7Z045 on the ZC706 board (Table 6 'total' column).
+ZC706 = FPGADevice(
+    name="ZC706 (XC7Z045)",
+    bram_18k=1090,
+    dsp48e=900,
+    ff=437_200,
+    lut=218_600,
+)

@@ -1,0 +1,87 @@
+"""GhostSZ's predictor-unit load imbalance (paper §2.2, item 3).
+
+GhostSZ instantiates three prediction units — previous-value, linear and
+quadratic curve fitting — and every point runs all three before a bestfit
+mux.  Their workloads differ 1:2:4 (quadratic does twice the linear
+fit's computation), so when the units are clocked as one synchronous
+pipeline the lighter units idle: "the FPGA units assigned for the linear
+curve-fitting would stay idle much of time".
+
+:func:`simulate_units` runs the three units cycle by cycle on a shared
+point stream and reports per-unit busy fractions and the resulting
+effective initiation interval — the quantity the GhostSZ throughput model
+uses (``GHOSTSZ_PII``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..sz.curvefit import CURVEFIT_WORKLOADS
+
+__all__ = ["UnitStats", "ImbalanceResult", "simulate_units"]
+
+
+@dataclass(frozen=True)
+class UnitStats:
+    name: str
+    work_per_point: int
+    busy_cycles: int
+    total_cycles: int
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+@dataclass(frozen=True)
+class ImbalanceResult:
+    units: tuple[UnitStats, ...]
+    total_cycles: int
+    n_points: int
+
+    @property
+    def effective_pii(self) -> float:
+        """Cycles between consecutive point issues, set by the slowest unit."""
+        return self.total_cycles / self.n_points if self.n_points else 0.0
+
+    @property
+    def wasted_unit_cycles(self) -> int:
+        """Idle unit-cycles across the three units — the resource waste."""
+        return sum(u.total_cycles - u.busy_cycles for u in self.units)
+
+
+def simulate_units(
+    n_points: int,
+    *,
+    workloads: dict[int, int] | None = None,
+    issue_width: int = 1,
+) -> ImbalanceResult:
+    """Synchronous-join simulation of the three curve-fitting units.
+
+    Each point occupies unit ``k`` for ``workloads[k]`` cycles; the
+    bestfit join cannot release a point until *all* units finish, so the
+    next point issues ``max(workloads)`` cycles later (with ``issue_width``
+    sub-units per predictor, that many cycles fewer).
+    """
+    if n_points < 1:
+        raise ModelError("n_points must be >= 1")
+    if issue_width < 1:
+        raise ModelError("issue_width must be >= 1")
+    workloads = dict(workloads or CURVEFIT_WORKLOADS)
+    names = {0: "order-0 (previous value)", 1: "order-1 (linear)",
+             2: "order-2 (quadratic)"}
+    slowest = max(workloads.values())
+    step = -(-slowest // issue_width)  # ceil
+    total = step * n_points
+    units = tuple(
+        UnitStats(
+            name=names.get(k, f"unit-{k}"),
+            work_per_point=w,
+            busy_cycles=min(-(-w // issue_width), step) * n_points,
+            total_cycles=total,
+        )
+        for k, w in sorted(workloads.items())
+    )
+    return ImbalanceResult(units=units, total_cycles=total, n_points=n_points)

@@ -1,0 +1,81 @@
+"""Multi-lane scaling under PCIe and BRAM limits (Figure 8).
+
+FPGA throughput scales linearly with lane count until either the PCIe
+link saturates (gen2 x4 ~= 2 GB/s on the ZC706) or the board runs out of
+BRAM — each lane needs its own gzip instance at 303 BRAM_18K (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from .device import FPGADevice, ZC706
+from .pcie import PCIeLink, PCIE_GEN2_X4
+from .resources import GZIP_IP_BRAM
+
+__all__ = ["LaneScaling", "scale_lanes", "max_lanes_by_bram"]
+
+
+@dataclass(frozen=True)
+class LaneScaling:
+    """Throughput of an n-lane deployment and what limited it."""
+
+    design: str
+    lanes: int
+    per_lane_mb_s: float
+    mb_per_s: float
+    limited_by: str  # "lanes" | "pcie" | "bram"
+
+
+def max_lanes_by_bram(
+    per_lane_bram: int,
+    device: FPGADevice = ZC706,
+    *,
+    gzip_bram: int = GZIP_IP_BRAM,
+    infra_bram: int = 40,
+) -> int:
+    """How many (PQD + gzip) lane pairs fit the device's BRAM."""
+    budget = device.bram_18k - infra_bram
+    per_lane = per_lane_bram + gzip_bram
+    if per_lane <= 0:
+        raise ModelError("per-lane BRAM must be positive")
+    return max(budget // per_lane, 0)
+
+
+def scale_lanes(
+    design: str,
+    per_lane_mb_s: float,
+    lanes: int,
+    *,
+    pcie: PCIeLink = PCIE_GEN2_X4,
+    device: FPGADevice = ZC706,
+    per_lane_bram: int = 3,
+    gzip_bram: int = GZIP_IP_BRAM,
+) -> LaneScaling:
+    """Aggregate throughput of ``lanes`` parallel compression lanes."""
+    if lanes < 1:
+        raise ModelError("lanes must be >= 1")
+    if per_lane_mb_s <= 0:
+        raise ModelError("per-lane throughput must be positive")
+    bram_cap = max_lanes_by_bram(
+        per_lane_bram, device, gzip_bram=gzip_bram
+    )
+    effective_lanes = min(lanes, bram_cap) if bram_cap else 0
+    if effective_lanes == 0:
+        raise ModelError(f"not even one lane fits {device.name}'s BRAM")
+    linear = per_lane_mb_s * effective_lanes
+    capped = min(linear, pcie.mb_per_s)
+    if capped < linear:
+        limit = "pcie"
+    elif effective_lanes < lanes:
+        limit = "bram"
+    else:
+        limit = "lanes"
+    return LaneScaling(
+        design=design,
+        lanes=lanes,
+        per_lane_mb_s=per_lane_mb_s,
+        mb_per_s=capped,
+        limited_by=limit,
+    )

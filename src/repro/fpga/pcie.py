@@ -1,0 +1,57 @@
+"""PCIe link throughput caps (the reference lines of Figure 8).
+
+The ZC706 exposes 4x PCIe gen2 (5 GT/s, 8b/10b encoding -> 4 Gb/s usable
+per lane, "peak perf for ZC706"); the gen3 x4 line (8 GT/s, 128b/130b) is
+plotted as the roofline a newer part would move to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+
+__all__ = ["PCIeLink", "PCIE_GEN2_X4", "PCIE_GEN3_X4"]
+
+_GEN_PARAMS = {
+    # gen: (GT/s per lane, encoding efficiency)
+    1: (2.5, 8 / 10),
+    2: (5.0, 8 / 10),
+    3: (8.0, 128 / 130),
+    4: (16.0, 128 / 130),
+}
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    gen: int
+    lanes: int
+
+    def __post_init__(self) -> None:
+        if self.gen not in _GEN_PARAMS:
+            raise ModelError(f"unknown PCIe generation {self.gen}")
+        if self.lanes not in (1, 2, 4, 8, 16):
+            raise ModelError(f"invalid PCIe lane count {self.lanes}")
+
+    @property
+    def gbit_per_lane(self) -> float:
+        gt, eff = _GEN_PARAMS[self.gen]
+        return gt * eff
+
+    @property
+    def bytes_per_s(self) -> float:
+        """Usable unidirectional payload bandwidth in bytes/s."""
+        return self.gbit_per_lane * self.lanes * 1e9 / 8
+
+    @property
+    def mb_per_s(self) -> float:
+        return self.bytes_per_s / 1e6
+
+    def label(self) -> str:
+        return f"PCIe gen{self.gen} x{self.lanes}"
+
+
+#: The ZC706's own link ("peak perf for ZC706", Figure 8).
+PCIE_GEN2_X4 = PCIeLink(gen=2, lanes=4)
+#: The roofline reference line of Figure 8.
+PCIE_GEN3_X4 = PCIeLink(gen=3, lanes=4)

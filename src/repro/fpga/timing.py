@@ -1,0 +1,222 @@
+"""Cycle/throughput models behind Table 5 and Figure 8.
+
+All three models share the paper's conventions: throughput is *input*
+megabytes (1e6 bytes) of float32 points per second, measured from data
+arrival to compressed output, excluding file IO.
+
+**waveSZ** — the wavefront column pipeline.  Column ``t+1``'s first point
+depends on column ``t``'s first result, so the column switch time is
+``max(len_t, Δ)`` where ``len_t`` is the column's interior point count
+(pII = 1 issue) and Δ the chained PQD latency.  Body columns have
+``len = Λ = d0-1``: when Λ >= Δ the pipeline is stall-free (Figure 6's
+ideal mapping); when Λ < Δ every column stalls ``Δ - Λ`` cycles — that is
+why Hurricane (Λ = 99 < Δ) runs ~16 % slower than CESM/NYX in Table 5.
+Calibration (DESIGN.md §3): Δ = 118 cycles (the stage-sum of
+:func:`repro.core.pipeline.wavesz_pqd_stages` plus line-buffer turnaround),
+clock = 250 MHz (max-frequency IP configuration).
+
+**GhostSZ** — rowwise pipeline whose issue rate is bound by the most
+loaded of the three curve-fitting units: the quadratic fit does 4
+elementary FP operations per point against a single issue slot
+(§2.2's load imbalance), giving an effective initiation interval of 4 at
+the 156.25 MHz default clock, plus a recurrence bound when too few rows
+are interleaved.
+
+**SZ-1.4 CPU** — per-point cycle cost on the 2.4 GHz Xeon Gold 6148
+decomposed into load/store, prediction, quantization, Huffman and gzip
+components; OpenMP scales sublinearly with efficiency
+``1/(1 + α(n-1))`` calibrated to the paper's 59 % at 32 cores.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from ..types import ThroughputReport
+
+__all__ = [
+    "DELTA_PQD",
+    "WAVESZ_CLOCK_HZ",
+    "GHOSTSZ_CLOCK_HZ",
+    "interior_column_lengths",
+    "wavesz_cycles",
+    "wavesz_throughput",
+    "ghostsz_throughput",
+    "cpu_sz14_throughput",
+    "openmp_efficiency",
+]
+
+#: Calibrated chained PQD latency (cycles): logic stages (~93 at 250 MHz)
+#: plus in-place-decompression line-buffer turnaround.  See DESIGN.md §3.
+DELTA_PQD = 118
+
+#: waveSZ lane clock: the "highest frequency" FP IP configuration.
+WAVESZ_CLOCK_HZ = 250e6
+
+#: GhostSZ clock: the paper's default fabric clock.
+GHOSTSZ_CLOCK_HZ = 156.25e6
+
+#: GhostSZ effective initiation interval: the quadratic curve-fit unit
+#: issues 4 elementary FP ops per point through one slot (load imbalance).
+GHOSTSZ_PII = 4
+
+#: GhostSZ prediction-recurrence latency (cycles): fmul + 2 fadd chain.
+GHOSTSZ_DELTA_CF = 30
+
+#: CPU model: cycles per point by pipeline component (Xeon Gold 6148).
+CPU_CYCLES = {
+    "load_store": 10.0,
+    "predict_2d": 16.0,  # 3-op stencil, short ILP chain
+    "predict_3d": 12.0,  # 7-op stencil but a deeper ILP tree amortizes
+    "quantize": 18.0,  # divide + round + bound check
+    "huffman": 22.0,  # table lookup + bit packing
+    "gzip": 12.0,  # best_speed, amortized over the Huffman bytes
+    "loop": 8.0,
+}
+CPU_CLOCK_HZ = 2.4e9
+OPENMP_ALPHA = (1 / 0.59 - 1) / 31  # 59 % parallel efficiency at 32 cores
+
+_F32 = 4  # bytes per point (all SDRB fields are float32)
+
+
+def _view_2d(shape: tuple[int, ...]) -> tuple[int, int]:
+    """The artifact's 2D interpretation used by waveSZ and GhostSZ."""
+    if len(shape) == 2:
+        d0, d1 = shape
+    elif len(shape) == 3:
+        d0, d1 = shape[0], shape[1] * shape[2]
+    else:
+        raise ModelError(f"FPGA models take 2D/3D shapes, got {shape}")
+    if d0 < 2 or d1 < 2:
+        raise ModelError(f"degenerate shape {shape}")
+    return d0, d1
+
+
+def interior_column_lengths(d0: int, d1: int) -> np.ndarray:
+    """Interior (PQD) point count of every wavefront column, vectorized."""
+    t = np.arange(d0 + d1 - 1, dtype=np.int64)
+    full = np.minimum.reduce([t, np.full_like(t, d0 - 1), np.full_like(t, d1 - 1),
+                              d0 + d1 - 2 - t]) + 1
+    border = (t <= d1 - 1).astype(np.int64) + ((t > 0) & (t <= d0 - 1)).astype(
+        np.int64
+    )
+    border[0] = 1
+    return np.maximum(full - border, 0)
+
+
+def wavesz_cycles(shape: tuple[int, ...], *, delta: int = DELTA_PQD) -> int:
+    """Total pipeline cycles for one field: ``sum(max(len_t, Δ)) + Δ`` drain."""
+    d0, d1 = _view_2d(shape)
+    lengths = interior_column_lengths(d0, d1)
+    active = lengths[lengths > 0]
+    return int(np.maximum(active, delta).sum()) + delta
+
+
+def wavesz_throughput(
+    shape: tuple[int, ...],
+    *,
+    dataset: str = "",
+    lanes: int = 1,
+    delta: int = DELTA_PQD,
+    clock_hz: float = WAVESZ_CLOCK_HZ,
+) -> ThroughputReport:
+    """Modelled waveSZ compression throughput (Table 5 single-lane rows)."""
+    if lanes < 1:
+        raise ModelError("lanes must be >= 1")
+    cycles = wavesz_cycles(shape, delta=delta)
+    n_points = int(np.prod(shape))
+    seconds = cycles / clock_hz
+    mb = n_points * _F32 * lanes / (seconds * 1e6)
+    return ThroughputReport(
+        design="waveSZ",
+        dataset=dataset,
+        lanes=lanes,
+        cycles=float(cycles),
+        frequency_hz=clock_hz,
+        n_points=n_points,
+        bytes_per_point=_F32,
+        mb_per_s=mb,
+    )
+
+
+def ghostsz_throughput(
+    shape: tuple[int, ...],
+    *,
+    dataset: str = "",
+    lanes: int = 1,
+    pii: int = GHOSTSZ_PII,
+    delta_cf: int = GHOSTSZ_DELTA_CF,
+    clock_hz: float = GHOSTSZ_CLOCK_HZ,
+) -> ThroughputReport:
+    """Modelled GhostSZ throughput: issue-bound by the quadratic CF unit.
+
+    With ``d0`` rows interleaved, the prediction recurrence (distance one
+    point *within* a row, latency ``delta_cf``) bounds the interval between
+    same-row issues; the achieved per-point interval is
+    ``max(pii, ceil(delta_cf / d0))``.
+    """
+    if lanes < 1:
+        raise ModelError("lanes must be >= 1")
+    d0, d1 = _view_2d(shape)
+    eff_pii = max(pii, math.ceil(delta_cf / d0))
+    n_points = int(np.prod(shape))
+    cycles = n_points * eff_pii + delta_cf  # fill
+    seconds = cycles / clock_hz
+    mb = n_points * _F32 * lanes / (seconds * 1e6)
+    return ThroughputReport(
+        design="GhostSZ",
+        dataset=dataset,
+        lanes=lanes,
+        cycles=float(cycles),
+        frequency_hz=clock_hz,
+        n_points=n_points,
+        bytes_per_point=_F32,
+        mb_per_s=mb,
+    )
+
+
+def openmp_efficiency(n_cores: int, alpha: float = OPENMP_ALPHA) -> float:
+    """SZ's OpenMP parallel efficiency: sublinear due to context switching."""
+    if n_cores < 1:
+        raise ModelError("n_cores must be >= 1")
+    return 1.0 / (1.0 + alpha * (n_cores - 1))
+
+
+def cpu_sz14_throughput(
+    shape: tuple[int, ...],
+    *,
+    dataset: str = "",
+    n_cores: int = 1,
+    clock_hz: float = CPU_CLOCK_HZ,
+) -> ThroughputReport:
+    """Modelled SZ-1.4 CPU throughput (Table 5 / Figure 8 baselines)."""
+    ndim = len(shape)
+    if ndim not in (2, 3):
+        raise ModelError(f"CPU model takes 2D/3D shapes, got {shape}")
+    c = CPU_CYCLES
+    per_point = (
+        c["load_store"]
+        + (c["predict_2d"] if ndim == 2 else c["predict_3d"])
+        + c["quantize"]
+        + c["huffman"]
+        + c["gzip"]
+        + c["loop"]
+    )
+    n_points = int(np.prod(shape))
+    single = clock_hz / per_point  # points/s on one core
+    rate = single * n_cores * openmp_efficiency(n_cores)
+    cycles = n_points / rate * clock_hz
+    return ThroughputReport(
+        design="SZ-1.4 (CPU)" if n_cores == 1 else f"SZ-1.4 (omp x{n_cores})",
+        dataset=dataset,
+        lanes=n_cores,
+        cycles=float(cycles),
+        frequency_hz=clock_hz,
+        n_points=n_points,
+        bytes_per_point=_F32,
+        mb_per_s=rate * _F32 / 1e6,
+    )

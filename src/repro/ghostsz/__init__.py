@@ -1,0 +1,18 @@
+"""GhostSZ — the prior FPGA design (Xiong et al., FCCM'19), reimplemented.
+
+GhostSZ combines SZ-1.0's Order-{0,1,2} 1D curve fitting with SZ-1.4's
+linear-scaling quantization, and removes the feedback dependency by
+
+* decorrelating the field into independent rows (each row has its own
+  pivot — Figure 4), and
+* predicting from the *predicted* values of previous points instead of
+  their decompressed values (Algorithm 1, GhostSZ write-back line).
+
+Both choices trade compression ratio for pipelineability; this package
+reproduces them faithfully so Tables 1/5/7/8 and Figures 1/9 can compare.
+"""
+
+from .predictor import ghost_row_loop, ghost_predict_open
+from .ghostsz import GhostSZCompressor
+
+__all__ = ["GhostSZCompressor", "ghost_row_loop", "ghost_predict_open"]

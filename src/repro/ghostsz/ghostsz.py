@@ -1,0 +1,150 @@
+"""GhostSZ end-to-end compressor front-end.
+
+Wire format mirrors the FPGA design: each point emits a 16-bit word whose
+top 2 bits select the bestfit curve (Order-{0,1,2}, or unpredictable) and
+whose low 14 bits hold the linear-scaling quantization code — hence only
+16,384 usable bins versus SZ-1.4's 65,536 (paper §4.1).  The word stream
+goes straight to the gzip stage (the Xilinx gzip IP in hardware); there is
+no customized Huffman pass.  3D fields are interpreted rowwise as
+``d0 x (d1*d2)``, exactly as the artifact invokes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ErrorBoundMode, QuantizerConfig, resolve_error_bound
+from ..errors import ContainerError, ShapeError
+from ..io.container import Container
+from ..lossless import GzipStage, LosslessMode
+from ..streams import bound_from_header, bound_to_header, build_stats, values_to_bytes
+from ..types import CompressedField
+from .predictor import ghost_row_decode, ghost_row_loop
+
+__all__ = ["GhostSZCompressor"]
+
+_TYPE_SHIFT = 14
+
+
+def _as_rows(data: np.ndarray) -> np.ndarray:
+    """Rowwise-decorrelated 2D view (Figure 4a): 3D becomes d0 x (d1*d2)."""
+    if data.ndim == 1:
+        return data.reshape(1, -1)
+    if data.ndim == 2:
+        return data
+    if data.ndim == 3:
+        return data.reshape(data.shape[0], -1)
+    raise ShapeError(f"GhostSZ supports 1-3 dimensions, got {data.ndim}")
+
+
+@dataclass(frozen=True)
+class GhostSZCompressor:
+    """The prior FPGA baseline: CF prediction, 14-bit bins, gzip-only."""
+
+    quant: QuantizerConfig = field(
+        default_factory=lambda: QuantizerConfig(bits=16, reserved_bits=2)
+    )
+    lossless: GzipStage = field(
+        default_factory=lambda: GzipStage(mode=LosslessMode.BEST_SPEED)
+    )
+
+    name = "GhostSZ"
+
+    def compress(
+        self,
+        data: np.ndarray,
+        eb: float = 1e-3,
+        mode: ErrorBoundMode | str = ErrorBoundMode.VR_REL,
+    ) -> CompressedField:
+        data = np.ascontiguousarray(data)
+        bound = resolve_error_bound(data, eb, mode)
+        p = bound.absolute
+        rows = _as_rows(data)
+        res = ghost_row_loop(rows, p, self.quant)
+
+        words = (
+            (res.types.astype(np.int64) << _TYPE_SHIFT) | res.codes
+        ).reshape(-1)
+        raw = words.astype("<u2").tobytes()
+        gz = self.lossless.compress(raw)
+        use_gz = len(gz) < len(raw)
+
+        container = Container(
+            header={
+                "variant": self.name,
+                "shape": list(data.shape),
+                "dtype": str(data.dtype),
+                "bound": bound_to_header(bound),
+                "quant_bits": self.quant.bits,
+                "reserved_bits": self.quant.reserved_bits,
+                "n_codes": int(words.size),
+                "n_verbatim": int(res.verbatim_values.size),
+                "codes_gzipped": use_gz,
+            }
+        )
+        container.add("ghost_words", gz if use_gz else raw)
+        verbatim_stream = values_to_bytes(res.verbatim_values)
+        container.add("verbatim", verbatim_stream)
+
+        stats = build_stats(
+            data=data,
+            encoded_code_bytes=len(gz) if use_gz else len(raw),
+            outlier_bytes=len(verbatim_stream),
+            border_bytes=0,
+            n_unpredictable=res.n_unpredictable,
+            n_border=int(rows.shape[0]),  # row pivots are inside n_unpredictable
+        )
+        return CompressedField(
+            variant=self.name,
+            shape=tuple(data.shape),
+            dtype=str(data.dtype),
+            bound=bound,
+            quant=self.quant,
+            payload=container.to_bytes(),
+            stats=stats,
+            meta={"rows": rows.shape[0], "row_length": rows.shape[1]},
+        )
+
+    def decompress(self, compressed: CompressedField | bytes) -> np.ndarray:
+        payload = (
+            compressed.payload
+            if isinstance(compressed, CompressedField)
+            else compressed
+        )
+        container = Container.from_bytes(payload)
+        h = container.header
+        if h.get("variant") != self.name:
+            raise ContainerError(
+                f"payload was produced by {h.get('variant')!r}, not {self.name}"
+            )
+        shape = tuple(h["shape"])
+        dtype = np.dtype(h["dtype"])
+        bound = bound_from_header(h["bound"])
+        quant = QuantizerConfig(
+            bits=int(h["quant_bits"]), reserved_bits=int(h["reserved_bits"])
+        )
+        raw = container.get("ghost_words")
+        if h["codes_gzipped"]:
+            raw = self.lossless.decompress(raw)
+        words = np.frombuffer(raw, dtype="<u2", count=int(h["n_codes"])).astype(
+            np.int64
+        )
+        rows_shape = _as_rows(np.empty(shape, dtype=np.uint8)).shape
+        types = (words >> _TYPE_SHIFT).astype(np.uint8).reshape(rows_shape)
+        codes = (words & ((1 << _TYPE_SHIFT) - 1)).reshape(rows_shape)
+        verbatim = np.frombuffer(
+            container.get("verbatim"),
+            dtype=np.dtype(dtype).newbyteorder("<"),
+            count=int(h["n_verbatim"]),
+        ).astype(dtype)
+        dec = ghost_row_decode(
+            types,
+            codes,
+            verbatim,
+            precision=bound.absolute,
+            quant=quant,
+            dtype=dtype,
+        )
+        return dec.reshape(shape)

@@ -1,0 +1,14 @@
+"""Binary IO: SDRB-style raw field files and the compressed container."""
+
+from .archive import Archive, ArchiveEntry
+from .container import Container, ContainerSection
+from .sdrb import read_raw_field, write_raw_field
+
+__all__ = [
+    "Archive",
+    "ArchiveEntry",
+    "Container",
+    "ContainerSection",
+    "read_raw_field",
+    "write_raw_field",
+]

@@ -1,0 +1,123 @@
+"""Snapshot archives: many compressed fields in one file.
+
+A simulation snapshot is a set of named fields (Table 4: 79 CESM fields,
+20 ISABEL fields, ...).  The archive wraps one compressed payload per
+field with a manifest, so a whole snapshot ships as a single artifact and
+individual fields extract without touching the rest — the unit of storage
+the artifact's per-field ``*.sz`` files imply, made explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Protocol
+
+import numpy as np
+
+from ..errors import ContainerError
+from .container import Container
+
+__all__ = ["Archive", "ArchiveEntry"]
+
+
+class _Compressor(Protocol):
+    name: str
+
+    def compress(self, data: np.ndarray, eb: float, mode: Any) -> Any: ...
+
+    def decompress(self, compressed: Any) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    """Manifest row for one field."""
+
+    name: str
+    variant: str
+    shape: tuple[int, ...]
+    ratio: float
+    compressed_bytes: int
+
+
+class Archive:
+    """Build / read a multi-field compressed snapshot."""
+
+    _MANIFEST_KEY = "fields"
+
+    def __init__(self) -> None:
+        self._container = Container(header={self._MANIFEST_KEY: []})
+
+    def add_field(self, name: str, compressed: Any) -> None:
+        """Add one compressed field (a CompressedField)."""
+        if any(e["name"] == name for e in self._container.header[self._MANIFEST_KEY]):
+            raise ContainerError(f"archive already holds field {name!r}")
+        self._container.add(f"field:{name}", compressed.payload)
+        self._container.header[self._MANIFEST_KEY].append(
+            {
+                "name": name,
+                "variant": compressed.variant,
+                "shape": list(compressed.shape),
+                "ratio": compressed.stats.ratio,
+                "compressed_bytes": compressed.stats.compressed_bytes,
+            }
+        )
+
+    def to_bytes(self) -> bytes:
+        return self._container.to_bytes()
+
+    # -- reading -----------------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Archive":
+        arch = cls.__new__(cls)
+        arch._container = Container.from_bytes(blob)
+        if cls._MANIFEST_KEY not in arch._container.header:
+            raise ContainerError("not a snapshot archive (no manifest)")
+        return arch
+
+    @property
+    def entries(self) -> list[ArchiveEntry]:
+        return [
+            ArchiveEntry(
+                name=e["name"],
+                variant=e["variant"],
+                shape=tuple(e["shape"]),
+                ratio=float(e["ratio"]),
+                compressed_bytes=int(e["compressed_bytes"]),
+            )
+            for e in self._container.header[self._MANIFEST_KEY]
+        ]
+
+    @property
+    def field_names(self) -> list[str]:
+        return [e.name for e in self.entries]
+
+    def payload(self, name: str) -> bytes:
+        """Raw compressed payload of one field (random access)."""
+        return self._container.get(f"field:{name}")
+
+    def extract(self, name: str, compressor: _Compressor) -> np.ndarray:
+        """Decompress one field without touching the others."""
+        entry = next((e for e in self.entries if e.name == name), None)
+        if entry is None:
+            raise ContainerError(f"archive has no field {name!r}")
+        if entry.variant != compressor.name:
+            raise ContainerError(
+                f"field {name!r} was compressed with {entry.variant!r}, "
+                f"not {compressor.name!r}"
+            )
+        return compressor.decompress(self.payload(name))
+
+    @classmethod
+    def build(
+        cls,
+        fields: Mapping[str, np.ndarray],
+        compressor: _Compressor,
+        eb: float = 1e-3,
+        mode: str = "vr_rel",
+    ) -> "Archive":
+        """Compress every field of a snapshot with one compressor."""
+        arch = cls()
+        for name, data in fields.items():
+            arch.add_field(name, compressor.compress(data, eb, mode))
+        return arch

@@ -1,0 +1,112 @@
+"""Compressed-stream container.
+
+A compressed field is a set of named byte sections (quant codes, border
+stream, outlier stream, Huffman table, ...) plus a small typed header
+(variant name, shape, dtype, error bound).  The format is deliberately
+simple — length-prefixed sections — because its job is bookkeeping, not
+entropy: all actual compression happens before bytes reach the container.
+
+Layout (little-endian):
+
+```
+magic  "WSZC"            4 bytes
+version u16              container format version (1)
+header_json_len u32      UTF-8 JSON header
+header_json
+n_sections u16
+per section: name_len u8, name, payload_len u64, payload
+```
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import ContainerError
+
+__all__ = ["Container", "ContainerSection"]
+
+_MAGIC = b"WSZC"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ContainerSection:
+    name: str
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not self.name or len(self.name) > 255:
+            raise ContainerError(f"bad section name {self.name!r}")
+
+
+@dataclass
+class Container:
+    """An ordered collection of named sections plus a JSON-typed header."""
+
+    header: dict
+    sections: list[ContainerSection] = field(default_factory=list)
+
+    def add(self, name: str, payload: bytes) -> None:
+        if any(s.name == name for s in self.sections):
+            raise ContainerError(f"duplicate section {name!r}")
+        self.sections.append(ContainerSection(name, payload))
+
+    def get(self, name: str) -> bytes:
+        for s in self.sections:
+            if s.name == name:
+                return s.payload
+        raise ContainerError(f"missing section {name!r}")
+
+    def has(self, name: str) -> bool:
+        return any(s.name == name for s in self.sections)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total size of section payloads (excludes header/framing)."""
+        return sum(len(s.payload) for s in self.sections)
+
+    def to_bytes(self) -> bytes:
+        header_json = json.dumps(self.header, sort_keys=True).encode()
+        out = bytearray(_MAGIC)
+        out += struct.pack("<HI", _VERSION, len(header_json))
+        out += header_json
+        out += struct.pack("<H", len(self.sections))
+        for s in self.sections:
+            name_b = s.name.encode()
+            out += struct.pack("<B", len(name_b))
+            out += name_b
+            out += struct.pack("<Q", len(s.payload))
+            out += s.payload
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Container":
+        if blob[:4] != _MAGIC:
+            raise ContainerError("bad container magic")
+        version, hlen = struct.unpack_from("<HI", blob, 4)
+        if version != _VERSION:
+            raise ContainerError(f"unsupported container version {version}")
+        pos = 10
+        try:
+            header = json.loads(blob[pos : pos + hlen].decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ContainerError("corrupt container header") from exc
+        pos += hlen
+        (n_sections,) = struct.unpack_from("<H", blob, pos)
+        pos += 2
+        sections: list[ContainerSection] = []
+        for _ in range(n_sections):
+            (nlen,) = struct.unpack_from("<B", blob, pos)
+            pos += 1
+            name = blob[pos : pos + nlen].decode()
+            pos += nlen
+            (plen,) = struct.unpack_from("<Q", blob, pos)
+            pos += 8
+            if pos + plen > len(blob):
+                raise ContainerError(f"truncated section {name!r}")
+            sections.append(ContainerSection(name, bytes(blob[pos : pos + plen])))
+            pos += plen
+        return cls(header=header, sections=sections)

@@ -1,0 +1,36 @@
+"""SDRB-style raw binary field IO.
+
+The Scientific Data Reduction Benchmarks distribute fields as headerless
+little-endian float32 dumps (``.dat`` / ``.f32``); dimensions travel out of
+band, exactly as in the artifact's command lines (``-2 3600 1800`` etc.).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["read_raw_field", "write_raw_field"]
+
+
+def write_raw_field(path: str | Path, data: np.ndarray) -> None:
+    """Dump a field as headerless little-endian binary, C order."""
+    arr = np.ascontiguousarray(data)
+    arr.astype(arr.dtype.newbyteorder("<")).tofile(str(path))
+
+
+def read_raw_field(
+    path: str | Path, shape: tuple[int, ...], dtype: np.dtype = np.float32
+) -> np.ndarray:
+    """Read a headerless binary field of known shape/dtype."""
+    dtype = np.dtype(dtype).newbyteorder("<")
+    arr = np.fromfile(str(path), dtype=dtype)
+    expected = int(np.prod(shape))
+    if arr.size != expected:
+        raise ShapeError(
+            f"{path}: file holds {arr.size} values, shape {shape} needs {expected}"
+        )
+    return arr.reshape(shape).astype(dtype.newbyteorder("="))

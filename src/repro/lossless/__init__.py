@@ -1,0 +1,28 @@
+"""From-scratch DEFLATE-style lossless codec — the "gzip" stage.
+
+Both GhostSZ and waveSZ finish with the Xilinx FPGA gzip IP (paper §4.1);
+SZ-1.4 finishes with gzip in ``best_speed`` mode.  This package provides the
+equivalent substrate, built from scratch:
+
+* :mod:`repro.lossless.lz77` — hash-chain LZ77 matcher with zlib-like
+  ``best_speed`` / ``best_compression`` effort levels,
+* :mod:`repro.lossless.deflate` — a DEFLATE-style container combining the
+  LZ77 token stream with canonical Huffman coding of literal/length and
+  distance alphabets,
+* :mod:`repro.lossless.gzipstage` — the pipeline-stage wrapper used by the
+  compressors, with an optional stdlib-``zlib`` cross-check backend.
+"""
+
+from .deflate import deflate, inflate
+from .gzipstage import GzipStage, LosslessBackend, LosslessMode
+from .lz77 import LZ77Encoder, TokenStream
+
+__all__ = [
+    "deflate",
+    "inflate",
+    "GzipStage",
+    "LosslessBackend",
+    "LosslessMode",
+    "LZ77Encoder",
+    "TokenStream",
+]

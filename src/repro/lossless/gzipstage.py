@@ -1,0 +1,75 @@
+"""The lossless pipeline stage applied after quantization/encoding.
+
+SZ-1.4 runs gzip in ``best_speed`` mode; the artifact evaluates both
+``gzip --fast`` and ``gzip --best`` on the quantization-code archives.
+:class:`GzipStage` wraps our from-scratch DEFLATE substrate behind those two
+modes and optionally the stdlib ``zlib`` backend so tests can cross-check
+ratios against a reference DEFLATE implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+
+from ..errors import LosslessError
+from .deflate import deflate, inflate
+from .lz77 import LZ77Encoder
+
+__all__ = ["LosslessMode", "LosslessBackend", "GzipStage"]
+
+
+class LosslessMode(enum.Enum):
+    """gzip effort level (paper §4.1: SZ-1.4 uses best_speed)."""
+
+    BEST_SPEED = "best_speed"
+    BEST_COMPRESSION = "best_compression"
+
+
+class LosslessBackend(enum.Enum):
+    """Which DEFLATE implementation performs the stage.
+
+    ``OURS`` is the from-scratch substrate (default); ``ZLIB`` is the
+    stdlib reference used for cross-checks and for large inputs where a C
+    matcher is worth it.
+    """
+
+    OURS = "ours"
+    ZLIB = "zlib"
+
+
+_ZLIB_LEVEL = {LosslessMode.BEST_SPEED: 1, LosslessMode.BEST_COMPRESSION: 9}
+_ZLIB_MAGIC = b"ZLB1"
+
+
+@dataclass(frozen=True)
+class GzipStage:
+    """Configurable lossless stage: ``compress``/``decompress`` byte blobs."""
+
+    mode: LosslessMode = LosslessMode.BEST_SPEED
+    backend: LosslessBackend = LosslessBackend.OURS
+
+    def _encoder(self) -> LZ77Encoder:
+        if self.mode is LosslessMode.BEST_SPEED:
+            return LZ77Encoder.best_speed()
+        return LZ77Encoder.best_compression()
+
+    def compress(self, data: bytes) -> bytes:
+        if self.backend is LosslessBackend.ZLIB:
+            return _ZLIB_MAGIC + zlib.compress(data, _ZLIB_LEVEL[self.mode])
+        return deflate(data, self._encoder())
+
+    def decompress(self, blob: bytes) -> bytes:
+        if blob[:4] == _ZLIB_MAGIC:
+            return zlib.decompress(blob[4:])
+        return inflate(blob)
+
+    def ratio(self, data: bytes) -> float:
+        """Convenience: size ratio achieved on ``data`` (>= small epsilon)."""
+        if not data:
+            return 1.0
+        compressed = self.compress(data)
+        if not compressed:
+            raise LosslessError("compressor produced empty output")
+        return len(data) / len(compressed)

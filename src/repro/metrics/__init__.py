@@ -1,0 +1,20 @@
+"""Evaluation metrics: PSNR/RMSE, compression ratio accounting, histograms."""
+
+from .error import max_abs_error, psnr, rmse, verify_error_bound
+from .histogram import error_histogram, prediction_error_series
+from .rate_distortion import RDPoint, bd_rate_like, rd_sweep
+from .ratio import border_adjusted_ratio, ratio
+
+__all__ = [
+    "max_abs_error",
+    "psnr",
+    "rmse",
+    "verify_error_bound",
+    "error_histogram",
+    "prediction_error_series",
+    "ratio",
+    "border_adjusted_ratio",
+    "RDPoint",
+    "rd_sweep",
+    "bd_rate_like",
+]

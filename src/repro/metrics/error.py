@@ -1,0 +1,66 @@
+"""Distortion metrics (paper §4.1, "Performance Metrics").
+
+PSNR is defined exactly as in the paper:
+``PSNR = 20 * log10((d_max - d_min) / RMSE)`` with RMSE the root mean
+squared pointwise error.  Larger PSNR = lower distortion.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ErrorBoundViolation
+
+__all__ = ["rmse", "psnr", "max_abs_error", "verify_error_bound"]
+
+
+def _diff(original: np.ndarray, decompressed: np.ndarray) -> np.ndarray:
+    if original.shape != decompressed.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {decompressed.shape}"
+        )
+    return original.astype(np.float64) - decompressed.astype(np.float64)
+
+
+def rmse(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """Root mean squared pointwise error."""
+    d = _diff(original, decompressed)
+    return float(np.sqrt(np.mean(d * d)))
+
+
+def max_abs_error(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """L-infinity error — the quantity the error bound constrains."""
+    return float(np.max(np.abs(_diff(original, decompressed))))
+
+
+def psnr(original: np.ndarray, decompressed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (paper definition).
+
+    Returns ``inf`` for an exact reconstruction.
+    """
+    r = rmse(original, decompressed)
+    vrange = float(np.max(original) - np.min(original))
+    if r == 0:
+        return math.inf
+    if vrange == 0:
+        return math.inf if r == 0 else -math.inf
+    return 20.0 * math.log10(vrange / r)
+
+
+def verify_error_bound(
+    original: np.ndarray,
+    decompressed: np.ndarray,
+    bound: float,
+    *,
+    raise_on_fail: bool = True,
+) -> bool:
+    """Check the hard guarantee ``|d - d•| <= bound`` on every point."""
+    worst = max_abs_error(original, decompressed)
+    ok = worst <= bound
+    if not ok and raise_on_fail:
+        raise ErrorBoundViolation(
+            f"max error {worst:.3e} exceeds bound {bound:.3e}"
+        )
+    return ok

@@ -1,0 +1,65 @@
+"""Error-distribution views used by Figures 1 and 9.
+
+:func:`prediction_error_series` produces the three Figure 1 curves —
+LP-SZ-1.4 (open-loop 2D Lorenzo), CF-SZ-1.0 (closed-loop bestfit curve
+fitting over decompressed values) and CF-GhostSZ (the predicted-value
+recurrence) — on any 2D field.  :func:`error_histogram` bins compression
+errors for Figure 9's left panel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ghostsz.predictor import ghost_predict_open
+from ..sz.curvefit import bestfit_predict
+from ..sz.lorenzo import lorenzo_predict
+
+__all__ = ["error_histogram", "prediction_error_series"]
+
+
+def error_histogram(
+    errors: np.ndarray,
+    *,
+    bins: int = 101,
+    value_range: tuple[float, float] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of signed errors; NaNs ignored. Returns (centres, counts)."""
+    e = np.asarray(errors, dtype=np.float64).reshape(-1)
+    e = e[np.isfinite(e)]
+    if value_range is None:
+        m = float(np.abs(e).max()) if e.size else 1.0
+        value_range = (-m, m)
+    counts, edges = np.histogram(e, bins=bins, range=value_range)
+    centres = 0.5 * (edges[:-1] + edges[1:])
+    return centres, counts
+
+
+def prediction_error_series(field2d: np.ndarray) -> dict[str, np.ndarray]:
+    """Signed prediction errors of the three Figure 1 predictors.
+
+    * ``LP-SZ-1.4``  — 2D Lorenzo over the true neighbours (open loop),
+    * ``CF-SZ-1.0``  — bestfit Order-{0,1,2} along the linearized field,
+    * ``CF-GhostSZ`` — the predicted-value recurrence along each row.
+
+    All series are raw (unquantized) prediction errors with NaN where a
+    predictor has no basis, so histograms are directly comparable.
+    """
+    data = np.asarray(field2d, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"Figure 1 analysis expects a 2D field, got {data.ndim}D")
+
+    lp = data - lorenzo_predict(data)
+
+    seq = data.reshape(-1)
+    cf_pred, _ = bestfit_predict(seq)
+    cf = seq - cf_pred
+
+    ghost_rows = [ghost_predict_open(row) for row in data]
+    ghost = np.concatenate(ghost_rows)
+
+    return {
+        "LP-SZ-1.4": lp.reshape(-1),
+        "CF-SZ-1.0": cf,
+        "CF-GhostSZ": ghost,
+    }

@@ -1,0 +1,40 @@
+"""Compression-ratio accounting (artifact appendix A.4.2).
+
+Two conventions appear in the artifact:
+
+* the *maximal possible* ratio, ``original / lossy_archive``, ignoring
+  border points, and
+* the conservative ratio with border points charged at full float width:
+  ``original / (lossy_archive + n_border * sizeof(float32))`` — the
+  convention Table 7 uses for waveSZ ("border points are counted as
+  unpredictable data").
+
+Our compressors already fold border bytes into their stats, so
+:func:`ratio` is the Table 7 number; :func:`border_adjusted_ratio` lets
+benches derive one convention from the other.
+"""
+
+from __future__ import annotations
+
+from ..types import CompressionStats
+
+__all__ = ["ratio", "border_adjusted_ratio"]
+
+
+def ratio(stats: CompressionStats) -> float:
+    """The Table 7 convention (borders included in the compressed size)."""
+    return stats.ratio
+
+
+def border_adjusted_ratio(stats: CompressionStats, *, count_borders: bool) -> float:
+    """Ratio with or without charging border points.
+
+    ``count_borders=True`` reproduces :func:`ratio`; ``False`` gives the
+    artifact's "maximal possible compression ratio".
+    """
+    compressed = stats.compressed_bytes
+    if not count_borders:
+        compressed -= stats.border_bytes
+    if compressed <= 0:
+        raise ValueError("compressed size would be non-positive")
+    return stats.original_bytes / compressed

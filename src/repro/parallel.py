@@ -1,0 +1,162 @@
+"""Tiled (block-parallel) compression — the OpenMP / multi-lane decomposition.
+
+SZ's OpenMP mode and a multi-lane FPGA deployment both decompose a field
+into independent bands along the slowest axis: each band compresses with
+no cross-band feedback, so bands map 1:1 onto threads or PQD lanes
+(Figure 8's parallelism axis).  The price is the prediction context lost
+at band seams — measured by ``bench_ablation_tiling``.
+
+Because bands are self-contained payloads, the tiled container also gives
+*random access*: :func:`decompress_tile` reconstructs one band without
+touching the rest, the access pattern post-analysis tools want on huge
+snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+import numpy as np
+
+from .errors import ContainerError, ShapeError
+from .io.container import Container
+from .types import CompressedField, CompressionStats
+
+__all__ = ["TiledResult", "tile_compress", "tile_decompress", "decompress_tile"]
+
+
+class _Compressor(Protocol):
+    name: str
+
+    def compress(self, data: np.ndarray, eb: float, mode: Any) -> CompressedField: ...
+
+    def decompress(self, compressed: Any) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class TiledResult:
+    """A tiled compression result: per-band payloads plus aggregates."""
+
+    payload: bytes
+    n_tiles: int
+    stats: CompressionStats
+    tile_ratios: tuple[float, ...]
+
+    @property
+    def ratio(self) -> float:
+        return self.stats.ratio
+
+
+def _band_slices(n0: int, n_tiles: int) -> list[slice]:
+    if n_tiles < 1:
+        raise ShapeError(f"n_tiles must be >= 1, got {n_tiles}")
+    if n_tiles * 2 > n0:
+        raise ShapeError(
+            f"{n_tiles} tiles over a first dimension of {n0} leaves bands "
+            "thinner than 2 points"
+        )
+    edges = np.linspace(0, n0, n_tiles + 1, dtype=int)
+    return [slice(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:])]
+
+
+def tile_compress(
+    compressor: _Compressor,
+    data: np.ndarray,
+    eb: float = 1e-3,
+    mode: str = "vr_rel",
+    *,
+    n_tiles: int = 4,
+) -> TiledResult:
+    """Compress ``data`` as ``n_tiles`` independent bands along axis 0.
+
+    The error bound is resolved *globally* first (VR-REL against the full
+    field's range, as SZ's OpenMP mode does) and then applied per band as
+    an absolute bound, so the guarantee is identical to the monolithic
+    compressor's.
+    """
+    data = np.ascontiguousarray(data)
+    if data.ndim < 2:
+        raise ShapeError("tiling needs at least 2 dimensions")
+    from .config import resolve_error_bound
+
+    bound = resolve_error_bound(data, eb, mode)
+    slices = _band_slices(data.shape[0], n_tiles)
+
+    container = Container(
+        header={
+            "variant": f"tiled[{compressor.name}]",
+            "inner_variant": compressor.name,
+            "shape": list(data.shape),
+            "dtype": str(data.dtype),
+            "n_tiles": n_tiles,
+            "band_starts": [s.start for s in slices],
+            "eb_abs": bound.absolute,
+        }
+    )
+
+    total_compressed = 0
+    total_unpred = 0
+    total_border = 0
+    ratios = []
+    for t, sl in enumerate(slices):
+        band = np.ascontiguousarray(data[sl])
+        cf = compressor.compress(band, bound.absolute, "abs")
+        container.add(f"tile{t}", cf.payload)
+        total_compressed += cf.stats.compressed_bytes
+        total_unpred += cf.stats.n_unpredictable
+        total_border += cf.stats.n_border
+        ratios.append(cf.stats.ratio)
+
+    stats = CompressionStats(
+        original_bytes=int(data.size * data.dtype.itemsize),
+        compressed_bytes=total_compressed,
+        encoded_code_bytes=total_compressed,
+        outlier_bytes=0,
+        border_bytes=0,
+        n_points=int(data.size),
+        n_unpredictable=total_unpred,
+        n_border=total_border,
+    )
+    return TiledResult(
+        payload=container.to_bytes(),
+        n_tiles=n_tiles,
+        stats=stats,
+        tile_ratios=tuple(ratios),
+    )
+
+
+def _parse(payload: bytes, compressor: _Compressor) -> Container:
+    container = Container.from_bytes(payload)
+    h = container.header
+    if h.get("inner_variant") != compressor.name:
+        raise ContainerError(
+            f"tiled payload holds {h.get('inner_variant')!r} bands, "
+            f"decompressor is {compressor.name}"
+        )
+    return container
+
+
+def decompress_tile(
+    compressor: _Compressor, payload: bytes, index: int
+) -> np.ndarray:
+    """Random access: reconstruct band ``index`` only."""
+    container = _parse(payload, compressor)
+    n = int(container.header["n_tiles"])
+    if not 0 <= index < n:
+        raise ContainerError(f"tile index {index} out of range [0, {n})")
+    return compressor.decompress(container.get(f"tile{index}"))
+
+
+def tile_decompress(compressor: _Compressor, payload: bytes) -> np.ndarray:
+    """Reconstruct the full field from a tiled payload."""
+    container = _parse(payload, compressor)
+    h = container.header
+    shape = tuple(h["shape"])
+    dtype = np.dtype(h["dtype"])
+    out = np.empty(shape, dtype=dtype)
+    starts = list(h["band_starts"]) + [shape[0]]
+    for t in range(int(h["n_tiles"])):
+        band = compressor.decompress(container.get(f"tile{t}"))
+        out[starts[t] : starts[t + 1]] = band
+    return out

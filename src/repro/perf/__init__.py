@@ -1,0 +1,25 @@
+"""Performance reporting: modelled hardware throughput vs measured wall clock.
+
+The modelled numbers (what Tables 5 and Figure 8 reproduce) live in
+:mod:`repro.fpga.timing`; this package re-exports them and adds honest
+wall-clock measurement of the *Python* implementations so the two are
+never conflated — the repro band for this paper is "functional simulation
+only, not throughput-faithful", and benches label which is which.
+"""
+
+from ..fpga.timing import (
+    cpu_sz14_throughput,
+    ghostsz_throughput,
+    openmp_efficiency,
+    wavesz_throughput,
+)
+from .measure import MeasuredThroughput, measure_compressor
+
+__all__ = [
+    "cpu_sz14_throughput",
+    "ghostsz_throughput",
+    "openmp_efficiency",
+    "wavesz_throughput",
+    "MeasuredThroughput",
+    "measure_compressor",
+]

@@ -1,0 +1,72 @@
+"""Wall-clock measurement of the Python implementations.
+
+Used by benches to report the simulator's own speed alongside the
+modelled hardware numbers (clearly labelled — see package docstring).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+import numpy as np
+
+__all__ = ["MeasuredThroughput", "measure_compressor"]
+
+
+class _Compressor(Protocol):
+    name: str
+
+    def compress(self, data: np.ndarray, eb: float, mode: Any) -> Any: ...
+
+    def decompress(self, compressed: Any) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class MeasuredThroughput:
+    """Wall-clock compress/decompress rates of a Python implementation."""
+
+    variant: str
+    n_points: int
+    compress_s: float
+    decompress_s: float
+
+    @property
+    def compress_mb_s(self) -> float:
+        return self.n_points * 4 / (self.compress_s * 1e6)
+
+    @property
+    def decompress_mb_s(self) -> float:
+        return self.n_points * 4 / (self.decompress_s * 1e6)
+
+
+def measure_compressor(
+    compressor: _Compressor,
+    data: np.ndarray,
+    eb: float = 1e-3,
+    mode: str = "vr_rel",
+    *,
+    repeats: int = 1,
+) -> tuple[MeasuredThroughput, Any]:
+    """Time ``repeats`` compress+decompress passes; returns (timing, last cf)."""
+    best_c = float("inf")
+    best_d = float("inf")
+    cf = None
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        cf = compressor.compress(data, eb, mode)
+        t1 = time.perf_counter()
+        compressor.decompress(cf)
+        t2 = time.perf_counter()
+        best_c = min(best_c, t1 - t0)
+        best_d = min(best_d, t2 - t1)
+    return (
+        MeasuredThroughput(
+            variant=compressor.name,
+            n_points=int(data.size),
+            compress_s=best_c,
+            decompress_s=best_d,
+        ),
+        cf,
+    )

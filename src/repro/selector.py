@@ -1,0 +1,107 @@
+"""Online SZ/ZFP selection (paper ref [53], Tao et al., TPDS'19).
+
+"Neither SZ nor ZFP can always lead to the best compression quality over
+the other across multiple fields" — so the selector estimates, per field,
+which codec wins under the user's bound and runs that one.  Estimation
+compresses a strided sample of the field with every candidate (cheap,
+bounded work) and picks the best sample ratio; the full field is then
+compressed once with the winner.
+
+Works with any set of this library's compressors; decompression
+dispatches on the container's variant header, so a selected archive needs
+no side channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, Sequence
+
+import numpy as np
+
+from .errors import ConfigError, ContainerError
+from .io.container import Container
+from .types import CompressedField
+
+__all__ = ["SelectionResult", "OnlineSelector"]
+
+
+class _Compressor(Protocol):
+    name: str
+
+    def compress(self, data: np.ndarray, eb: float, mode: Any) -> CompressedField: ...
+
+    def decompress(self, compressed: Any) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of one selected compression."""
+
+    chosen: str
+    compressed: CompressedField
+    estimates: dict[str, float]  # candidate -> sample ratio
+
+
+class OnlineSelector:
+    """Pick the bestfit compressor per field, à la ref [53]."""
+
+    def __init__(self, compressors: Sequence[_Compressor]) -> None:
+        if not compressors:
+            raise ConfigError("selector needs at least one compressor")
+        names = [c.name for c in compressors]
+        if len(set(names)) != len(names):
+            raise ConfigError("compressor names must be unique")
+        self._compressors = list(compressors)
+
+    def _sample(self, data: np.ndarray, step: int) -> np.ndarray:
+        """A strided sample preserving local structure (contiguous tiles
+        along the last axis, strided along the first)."""
+        if step <= 1 or data.shape[0] < 2 * step * 2:
+            return data
+        return np.ascontiguousarray(data[:: step])
+
+    def select(
+        self,
+        data: np.ndarray,
+        eb: float = 1e-3,
+        mode: str = "vr_rel",
+        *,
+        sample_step: int = 4,
+    ) -> SelectionResult:
+        """Estimate on a sample, compress the full field with the winner.
+
+        The sample keeps full resolution along the fast axes (prediction
+        and transform behaviour are local) and strides the slow axis to
+        cut the work by ``sample_step``.
+        """
+        data = np.ascontiguousarray(data)
+        sample = self._sample(data, sample_step)
+        estimates: dict[str, float] = {}
+        for comp in self._compressors:
+            try:
+                cf = comp.compress(sample, eb, mode)
+                estimates[comp.name] = cf.stats.ratio
+            except Exception:
+                estimates[comp.name] = 0.0  # candidate unusable on this field
+        best = max(estimates, key=estimates.get)
+        if estimates[best] <= 0:
+            raise ConfigError("no candidate could compress this field")
+        winner = next(c for c in self._compressors if c.name == best)
+        return SelectionResult(
+            chosen=best,
+            compressed=winner.compress(data, eb, mode),
+            estimates=estimates,
+        )
+
+    def decompress(self, payload: CompressedField | bytes) -> np.ndarray:
+        """Dispatch on the container's variant header."""
+        blob = payload.payload if isinstance(payload, CompressedField) else payload
+        variant = Container.from_bytes(blob).header.get("variant")
+        for comp in self._compressors:
+            if comp.name == variant:
+                return comp.decompress(blob)
+        raise ContainerError(
+            f"payload variant {variant!r} is not among this selector's "
+            f"candidates {[c.name for c in self._compressors]}"
+        )

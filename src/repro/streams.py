@@ -1,0 +1,133 @@
+"""Shared serialization helpers used by the compressor front-ends.
+
+SZ-1.4, GhostSZ and waveSZ all shuttle the same kinds of byte streams into
+the container — quantization codes (raw 16-bit or Huffman-coded),
+truncated/verbatim value streams — differing only in which combination the
+variant uses (paper Table 2).  Centralizing the encodings here keeps the
+variants byte-compatible where the paper says they are.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import ErrorBound, ErrorBoundMode
+from .encoding.huffman import HuffmanCodec, HuffmanTable
+from .errors import ContainerError
+from .io.container import Container
+from .types import CompressionStats
+
+__all__ = [
+    "encode_codes_huffman",
+    "decode_codes_huffman",
+    "encode_codes_raw",
+    "decode_codes_raw",
+    "values_to_bytes",
+    "values_from_bytes",
+    "bound_to_header",
+    "bound_from_header",
+    "build_stats",
+]
+
+
+def encode_codes_huffman(container: Container, codes_flat: np.ndarray) -> int:
+    """Add the customized-Huffman sections for a code stream.
+
+    Returns the payload size in bytes (table + bitstream) for accounting.
+    """
+    table = HuffmanTable.from_symbols(codes_flat)
+    codec = HuffmanCodec(table)
+    payload, nbits = codec.encode(codes_flat)
+    container.add("huffman_table", table.to_bytes())
+    container.add("huffman_codes", payload)
+    container.header["n_codes"] = int(codes_flat.size)
+    container.header["huffman_bits"] = int(nbits)
+    return len(payload) + len(table.to_bytes())
+
+
+def decode_codes_huffman(container: Container) -> np.ndarray:
+    table, _ = HuffmanTable.from_bytes(container.get("huffman_table"))
+    n = int(container.header["n_codes"])
+    return HuffmanCodec(table).decode(container.get("huffman_codes"), n)
+
+
+def encode_codes_raw(container: Container, codes_flat: np.ndarray, bits: int) -> int:
+    """Add a raw fixed-width little-endian code stream (the FPGA format).
+
+    Both GhostSZ and waveSZ emit 16-bit codes straight into the FPGA gzip
+    IP; raw packing is that wire format.
+    """
+    if bits <= 16:
+        payload = codes_flat.astype("<u2").tobytes()
+    elif bits <= 32:
+        payload = codes_flat.astype("<u4").tobytes()
+    else:
+        raise ContainerError(f"raw code width {bits} unsupported")
+    container.add("raw_codes", payload)
+    container.header["n_codes"] = int(codes_flat.size)
+    container.header["raw_code_bits"] = 16 if bits <= 16 else 32
+    return len(payload)
+
+
+def decode_codes_raw(container: Container) -> np.ndarray:
+    n = int(container.header["n_codes"])
+    width = int(container.header["raw_code_bits"])
+    dt = "<u2" if width == 16 else "<u4"
+    return np.frombuffer(container.get("raw_codes"), dtype=dt, count=n).astype(
+        np.int64
+    )
+
+
+def values_to_bytes(values: np.ndarray) -> bytes:
+    """Verbatim little-endian float stream (waveSZ border/outlier path)."""
+    return np.ascontiguousarray(values).astype(values.dtype.newbyteorder("<")).tobytes()
+
+
+def values_from_bytes(payload: bytes, n: int, dtype: np.dtype) -> np.ndarray:
+    dt = np.dtype(dtype).newbyteorder("<")
+    return np.frombuffer(payload, dtype=dt, count=n).astype(np.dtype(dtype))
+
+
+def bound_to_header(bound: ErrorBound) -> dict:
+    return {
+        "mode": bound.mode.value,
+        "value": bound.value,
+        "absolute": bound.absolute,
+        "base2": bound.base2,
+        "exponent": bound.exponent,
+    }
+
+
+def bound_from_header(h: dict) -> ErrorBound:
+    return ErrorBound(
+        mode=ErrorBoundMode(h["mode"]),
+        value=float(h["value"]),
+        absolute=float(h["absolute"]),
+        base2=bool(h["base2"]),
+        exponent=None if h["exponent"] is None else int(h["exponent"]),
+    )
+
+
+def build_stats(
+    *,
+    data: np.ndarray,
+    encoded_code_bytes: int,
+    outlier_bytes: int,
+    border_bytes: int,
+    n_unpredictable: int,
+    n_border: int,
+    extra_bytes: int = 0,
+) -> CompressionStats:
+    """Size accounting matching the artifact's ratio formula."""
+    original = int(data.size * data.dtype.itemsize)
+    compressed = encoded_code_bytes + outlier_bytes + border_bytes + extra_bytes
+    return CompressionStats(
+        original_bytes=original,
+        compressed_bytes=compressed,
+        encoded_code_bytes=encoded_code_bytes,
+        outlier_bytes=outlier_bytes,
+        border_bytes=border_bytes,
+        n_points=int(data.size),
+        n_unpredictable=n_unpredictable,
+        n_border=n_border,
+    )

@@ -1,0 +1,42 @@
+"""SZ software baselines: SZ-1.4 (Lorenzo) and SZ-1.0 (1D curve fitting).
+
+This package implements the prediction-based SZ compression model the paper
+builds on (§2.1): data prediction over *decompressed* neighbour values,
+linear-scaling quantization (Algorithm 1), customized Huffman encoding and a
+gzip lossless stage.
+
+* :mod:`repro.sz.lorenzo` — 1-layer Lorenzo predictors (1D/2D/3D).
+* :mod:`repro.sz.quantizer` — Algorithm 1, scalar reference + vectorized.
+* :mod:`repro.sz.unpredictable` — truncation-based binary analysis used by
+  SZ for unpredictable points.
+* :mod:`repro.sz.wavefront_index` — per-wavefront flat-index precompute
+  (the dependency-free sets of §3.1, reused by every engine).
+* :mod:`repro.sz.pqd` — the prediction→quantization→decompression engine
+  with decompressed-value feedback.
+* :mod:`repro.sz.sz14` / :mod:`repro.sz.sz10` — end-to-end compressors.
+* :mod:`repro.sz.curvefit` — Order-{0,1,2} 1D curve fitting (SZ-1.0).
+"""
+
+from .lorenzo import lorenzo_predict, neighbor_offsets
+from .pqd import PQDResult, pqd_compress, pqd_decompress
+from .quantizer import quantize_scalar, quantize_vector, reconstruct
+from .sz10 import SZ10Compressor
+from .sz14 import SZ14Compressor
+from .sz20 import SZ20Compressor
+from .unpredictable import decode_truncated, encode_truncated
+
+__all__ = [
+    "lorenzo_predict",
+    "neighbor_offsets",
+    "PQDResult",
+    "pqd_compress",
+    "pqd_decompress",
+    "quantize_scalar",
+    "quantize_vector",
+    "reconstruct",
+    "SZ10Compressor",
+    "SZ14Compressor",
+    "SZ20Compressor",
+    "encode_truncated",
+    "decode_truncated",
+]

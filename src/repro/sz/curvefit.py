@@ -1,0 +1,68 @@
+"""Order-{0,1,2} 1D curve-fitting predictors (SZ-1.0, §2.2).
+
+SZ-1.0 linearizes the multidimensional field and predicts each value along
+the 1D sequence with three fits over *decompressed* neighbour values:
+
+* order 0 (previous-value):  ``P = v[i-1]``
+* order 1 (linear):          ``P = 2 v[i-1] - v[i-2]``
+* order 2 (quadratic):       ``P = 3 v[i-1] - 3 v[i-2] + v[i-3]``
+
+The bestfit (smallest |error|) is chosen per point.  Because the fits look
+along one dimension only, prediction accuracy on 2D/3D data is much lower
+than the Lorenzo predictor's — that is Figure 1 and the root cause of
+GhostSZ's low compression ratios (Table 1).
+
+Open-loop forms (:func:`curvefit_predict`, :func:`bestfit_predict`) are
+vectorized and feed the Figure 1 analysis; the closed-loop compressor
+lives in :mod:`repro.sz.sz10`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["curvefit_predict", "bestfit_predict", "CURVEFIT_WORKLOADS"]
+
+#: Relative computational workload of each fit (adds+muls); the quadratic
+#: fit costs twice the linear fit — the load-imbalance GhostSZ suffers from
+#: on its three FPGA prediction units (§2.2 item 3).
+CURVEFIT_WORKLOADS = {0: 1, 1: 2, 2: 4}
+
+
+def curvefit_predict(seq: np.ndarray, order: int) -> np.ndarray:
+    """Open-loop order-``order`` prediction of a 1D sequence.
+
+    Entries without enough history are NaN.  Input is treated as the
+    neighbour basis directly (original values), which isolates predictor
+    quality from quantization feedback for the Figure 1 study.
+    """
+    seq = np.asarray(seq, dtype=np.float64).reshape(-1)
+    pred = np.full(seq.shape, np.nan)
+    if order == 0:
+        pred[1:] = seq[:-1]
+    elif order == 1:
+        pred[2:] = 2.0 * seq[1:-1] - seq[:-2]
+    elif order == 2:
+        pred[3:] = 3.0 * seq[2:-1] - 3.0 * seq[1:-2] + seq[:-3]
+    else:
+        raise ConfigError(f"curve-fitting order must be 0, 1 or 2, got {order}")
+    return pred
+
+
+def bestfit_predict(seq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Open-loop bestfit among the three orders.
+
+    Returns ``(pred, order)`` where ``order[i]`` is the fit with the
+    smallest absolute error at ``i`` (NaN predictions never win).  This is
+    the idealized CF quality bound — the closed-loop engines can only do
+    worse.
+    """
+    seq = np.asarray(seq, dtype=np.float64).reshape(-1)
+    preds = np.stack([curvefit_predict(seq, k) for k in range(3)])
+    err = np.abs(preds - seq)
+    err = np.where(np.isnan(err), np.inf, err)
+    order = err.argmin(axis=0)
+    pred = preds[order, np.arange(seq.size)]
+    return pred, order

@@ -1,0 +1,105 @@
+"""Pointwise-relative-bound preprocessing (SZ-2.0's logarithmic transform).
+
+Table 2 lists the logarithmic transform as SZ-2.0's preprocessing step
+(paper ref [31]): to bound the *relative* error of every point, compress
+``log2|d|`` under an absolute bound ``eb2 = log2(1 + eb)``.  Then
+
+    |log2 d - log2 d'| <= eb2  =>  d / (1+eb) <= d' <= d * (1+eb),
+
+a strict pointwise-relative guarantee.  Signs are carried in a bitmap and
+exact zeros in a second bitmap (zeros reconstruct exactly — the log of 0
+is not representable and a relative bound on 0 means 0).
+
+The forward transform emits the log field in the *input dtype* so the
+regular PQD machinery runs unchanged; the small float32 rounding of the
+log values is absorbed by a safety margin on the quantizer bound
+(float32 log2 magnitudes stay below 2^7, so the rounding error is below
+2^-17 — negligible against any practical ``eb2``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, DTypeError
+
+__all__ = ["LogTransform", "forward_log2", "inverse_log2", "pw_rel_abs_bound"]
+
+#: Safety margin subtracted from the log-domain bound to absorb dtype
+#: rounding of the transformed values.
+_LOG_MARGIN = 2.0**-16
+
+
+def pw_rel_abs_bound(eb: float) -> float:
+    """The log2-domain absolute bound enforcing relative bound ``eb``."""
+    if not (0 < eb < 1):
+        raise ConfigError(f"pointwise-relative bound must be in (0, 1), got {eb}")
+    eb2 = math.log2(1.0 + eb) - _LOG_MARGIN
+    if eb2 <= 0:
+        raise ConfigError(f"pointwise-relative bound {eb} too tight for float32")
+    return eb2
+
+
+@dataclass(frozen=True)
+class LogTransform:
+    """The side information of one forward transform."""
+
+    log_values: np.ndarray  # log2|d| where d != 0; arbitrary filler at zeros
+    negative: np.ndarray  # bool mask
+    zero: np.ndarray  # bool mask
+
+    def masks_to_bytes(self) -> tuple[bytes, bytes]:
+        return (
+            np.packbits(self.negative.reshape(-1)).tobytes(),
+            np.packbits(self.zero.reshape(-1)).tobytes(),
+        )
+
+    @staticmethod
+    def masks_from_bytes(
+        neg: bytes, zero: bytes, shape: tuple[int, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = int(np.prod(shape))
+        negative = np.unpackbits(
+            np.frombuffer(neg, dtype=np.uint8), count=n
+        ).astype(bool).reshape(shape)
+        zeros = np.unpackbits(
+            np.frombuffer(zero, dtype=np.uint8), count=n
+        ).astype(bool).reshape(shape)
+        return negative, zeros
+
+
+def forward_log2(data: np.ndarray) -> LogTransform:
+    """``d -> log2|d|`` with sign/zero side channels.
+
+    Zero positions carry the *minimum* finite log value as filler so they
+    remain smooth neighbours for the predictor instead of poisoning it.
+    """
+    data = np.asarray(data)
+    if data.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise DTypeError(f"log transform supports float32/float64, got {data.dtype}")
+    if not np.isfinite(data).all():
+        raise DTypeError("log transform requires finite data")
+    zero = data == 0
+    negative = data < 0
+    mag = np.abs(data.astype(np.float64))
+    safe = np.where(zero, 1.0, mag)
+    logs = np.log2(safe)
+    if (~zero).any():
+        filler = float(logs[~zero].min())
+    else:
+        filler = 0.0
+    logs = np.where(zero, filler, logs).astype(data.dtype)
+    return LogTransform(log_values=logs, negative=negative, zero=zero)
+
+
+def inverse_log2(
+    log_values: np.ndarray, negative: np.ndarray, zero: np.ndarray
+) -> np.ndarray:
+    """Invert the transform: ``d' = ±2**v``, exact zeros restored."""
+    mag = np.exp2(log_values.astype(np.float64))
+    out = np.where(negative, -mag, mag)
+    out = np.where(zero, 0.0, out)
+    return out.astype(log_values.dtype)

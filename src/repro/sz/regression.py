@@ -1,0 +1,95 @@
+"""Blockwise linear-regression predictor (the SZ-2.0 model, paper ref [32]).
+
+SZ-2.0 splits the field into small blocks (6x6 / 6x6x6) and, per block,
+chooses between the Lorenzo predictor and a least-squares hyperplane
+``v ~ b0 + b1*i + b2*j (+ b3*k)``.  Regression blocks need no neighbour
+feedback at all — the decompressor rebuilds the plane from the stored
+coefficients — which is why SZ-2.0 wins at low precision on smooth data
+but only ties SZ-1.4 at the high-precision bounds waveSZ targets (§2.1's
+rationale for building on 1.4).
+
+Coefficients are *quantized before use* so compressor and decompressor
+evaluate bit-identical planes: slope steps scale with 1/(block-1) so the
+worst-case plane perturbation stays a fraction of the error bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["PlaneFit", "fit_plane", "coeff_steps", "quantize_coeffs",
+           "dequantize_coeffs", "eval_plane"]
+
+
+@dataclass(frozen=True)
+class PlaneFit:
+    """Least-squares hyperplane coefficients (b0 at the block origin)."""
+
+    coeffs: np.ndarray  # float64, length ndim+1
+
+
+def _axis_grids(shape: tuple[int, ...]) -> list[np.ndarray]:
+    return list(np.meshgrid(*[np.arange(n, dtype=np.float64) for n in shape],
+                            indexing="ij"))
+
+
+def fit_plane(block: np.ndarray) -> PlaneFit:
+    """Closed-form least squares of ``v ~ b0 + sum_k b_k * x_k``.
+
+    Uses centred coordinates so each slope decouples:
+    ``b_k = cov(v, x_k) / var(x_k)``.
+    """
+    if block.ndim not in (1, 2, 3):
+        raise ShapeError(f"plane fit supports 1-3D blocks, got {block.ndim}D")
+    v = block.astype(np.float64)
+    grids = _axis_grids(block.shape)
+    vmean = v.mean()
+    coeffs = [0.0] * (block.ndim + 1)
+    for k, g in enumerate(grids):
+        gc = g - g.mean()
+        denom = float((gc * gc).sum())
+        coeffs[k + 1] = float((v * gc).sum() / denom) if denom > 0 else 0.0
+    # Re-express the intercept at the block origin (i = j = k = 0).
+    b0 = vmean - sum(
+        coeffs[k + 1] * float(g.mean()) for k, g in enumerate(grids)
+    )
+    coeffs[0] = b0
+    return PlaneFit(coeffs=np.array(coeffs))
+
+
+def coeff_steps(precision: float, shape: tuple[int, ...]) -> np.ndarray:
+    """Quantization step per coefficient.
+
+    The intercept moves the plane uniformly (step p/4); each slope is
+    amplified by up to ``n-1`` across the block (step p / (4 * (n-1))),
+    so the total plane perturbation stays below ~p/2 * (ndim+1)/2.
+    """
+    steps = [precision / 4.0]
+    for n in shape:
+        steps.append(precision / (4.0 * max(n - 1, 1)))
+    return np.array(steps)
+
+
+def quantize_coeffs(fit: PlaneFit, precision: float,
+                    shape: tuple[int, ...]) -> np.ndarray:
+    """Integer codes ``round(b / step)`` (int64)."""
+    steps = coeff_steps(precision, shape)
+    return np.round(fit.coeffs / steps).astype(np.int64)
+
+
+def dequantize_coeffs(codes: np.ndarray, precision: float,
+                      shape: tuple[int, ...]) -> np.ndarray:
+    return codes.astype(np.float64) * coeff_steps(precision, shape)
+
+
+def eval_plane(coeffs: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Evaluate the (dequantized) hyperplane over a block."""
+    grids = _axis_grids(shape)
+    out = np.full(shape, float(coeffs[0]))
+    for k, g in enumerate(grids):
+        out += float(coeffs[k + 1]) * g
+    return out

@@ -1,0 +1,190 @@
+"""SZ-1.0: bestfit curve-fitting compressor (the deprecated model, §2.2).
+
+Each point of the linearized field is predicted by the three curve fits
+over *decompressed* values; if the best prediction lands within the error
+bound, only a 2-bit fit type is stored and the prediction itself becomes
+the decompressed value.  Otherwise the point is unpredictable and stored
+through truncation-based binary analysis.  No linear-scaling quantization
+exists in this model — that is what SZ-1.4 added.
+
+The closed loop along the 1D sequence is inherently sequential (each
+prediction needs the previous decompressed values), so the engine is a
+scalar loop; it is only used on the small Figure 1 / Table 1 workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ErrorBoundMode, resolve_error_bound
+from ..errors import ContainerError
+from ..io.container import Container
+from ..lossless import GzipStage, LosslessMode
+from ..streams import bound_from_header, bound_to_header, build_stats
+from ..encoding.huffman import HuffmanCodec, HuffmanTable
+from ..types import CompressedField
+from .unpredictable import decode_truncated, encode_truncated, truncate_roundtrip
+
+__all__ = ["SZ10Compressor", "sz10_predict_loop"]
+
+_UNPRED = 0  # fit-type symbols: 0 unpredictable, 1..3 = order 0..2
+
+
+def sz10_predict_loop(
+    seq: np.ndarray, precision: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Closed-loop bestfit pass over a linearized sequence.
+
+    Returns ``(fit_types, decompressed, pred_errors)``; ``pred_errors`` is
+    the signed bestfit prediction error per point (NaN where no fit was
+    attempted), the quantity plotted in Figure 1 for CF-SZ-1.0.
+    """
+    x = np.asarray(seq, dtype=np.float64).reshape(-1)
+    n = x.size
+    # Predictions are stored (and fed back) rounded to the field dtype so
+    # the decompressor's recurrence reproduces them bit-exactly.
+    cast = np.asarray(seq).dtype.type
+    types = np.zeros(n, dtype=np.uint8)
+    dec = np.empty(n, dtype=np.float64)
+    errs = np.full(n, np.nan)
+    stored = truncate_roundtrip(seq.reshape(-1), precision).astype(np.float64)
+    for i in range(n):
+        d = x[i]
+        best_err = np.inf
+        best_type = _UNPRED
+        best_pred = 0.0
+        if i >= 1:
+            p0 = dec[i - 1]
+            e0 = abs(d - p0)
+            if e0 < best_err:
+                best_err, best_type, best_pred = e0, 1, p0
+        if i >= 2:
+            p1 = 2.0 * dec[i - 1] - dec[i - 2]
+            e1 = abs(d - p1)
+            if e1 < best_err:
+                best_err, best_type, best_pred = e1, 2, p1
+        if i >= 3:
+            p2 = 3.0 * dec[i - 1] - 3.0 * dec[i - 2] + dec[i - 3]
+            e2 = abs(d - p2)
+            if e2 < best_err:
+                best_err, best_type, best_pred = e2, 3, p2
+        if best_type != _UNPRED:
+            errs[i] = d - best_pred
+            stored_pred = float(cast(best_pred))
+            if abs(d - stored_pred) <= precision:
+                types[i] = best_type
+                dec[i] = stored_pred
+                continue
+        types[i] = _UNPRED
+        dec[i] = stored[i]
+    return types, dec, errs
+
+
+@dataclass(frozen=True)
+class SZ10Compressor:
+    """End-to-end SZ-1.0: 2-bit fit types + truncated unpredictables."""
+
+    lossless: GzipStage = field(
+        default_factory=lambda: GzipStage(mode=LosslessMode.BEST_SPEED)
+    )
+
+    name = "SZ-1.0"
+
+    def compress(
+        self,
+        data: np.ndarray,
+        eb: float = 1e-3,
+        mode: ErrorBoundMode | str = ErrorBoundMode.VR_REL,
+    ) -> CompressedField:
+        data = np.ascontiguousarray(data)
+        bound = resolve_error_bound(data, eb, mode)
+        p = bound.absolute
+        types, dec, _ = sz10_predict_loop(data, p)
+
+        container = Container(
+            header={
+                "variant": self.name,
+                "shape": list(data.shape),
+                "dtype": str(data.dtype),
+                "bound": bound_to_header(bound),
+                "n_unpred": int((types == _UNPRED).sum()),
+            }
+        )
+        table = HuffmanTable.from_symbols(types.astype(np.int64))
+        codec = HuffmanCodec(table)
+        payload, _ = codec.encode(types.astype(np.int64))
+        gz = self.lossless.compress(payload)
+        type_stream = gz if len(gz) < len(payload) else payload
+        container.header["types_gzipped"] = len(gz) < len(payload)
+        container.add("huffman_table", table.to_bytes())
+        container.add("fit_types", type_stream)
+        container.header["n_codes"] = int(types.size)
+
+        unpred_vals = data.reshape(-1)[types == _UNPRED]
+        unpred_stream = encode_truncated(unpred_vals, p)
+        container.add("unpredictable", unpred_stream)
+
+        stats = build_stats(
+            data=data,
+            encoded_code_bytes=len(type_stream) + len(table.to_bytes()),
+            outlier_bytes=len(unpred_stream),
+            border_bytes=0,
+            n_unpredictable=int((types == _UNPRED).sum()),
+            n_border=0,
+        )
+        return CompressedField(
+            variant=self.name,
+            shape=tuple(data.shape),
+            dtype=str(data.dtype),
+            bound=bound,
+            quant=None,  # no linear-scaling quantizer in the 1.0 model
+            payload=container.to_bytes(),
+            stats=stats,
+        )
+
+    def decompress(self, compressed: CompressedField | bytes) -> np.ndarray:
+        payload = (
+            compressed.payload
+            if isinstance(compressed, CompressedField)
+            else compressed
+        )
+        container = Container.from_bytes(payload)
+        h = container.header
+        if h.get("variant") != self.name:
+            raise ContainerError(
+                f"payload was produced by {h.get('variant')!r}, not {self.name}"
+            )
+        shape = tuple(h["shape"])
+        dtype = np.dtype(h["dtype"])
+        bound = bound_from_header(h["bound"])
+        p = bound.absolute
+        n = int(h["n_codes"])
+
+        table, _ = HuffmanTable.from_bytes(container.get("huffman_table"))
+        stream = container.get("fit_types")
+        if h["types_gzipped"]:
+            stream = self.lossless.decompress(stream)
+        types = HuffmanCodec(table).decode(stream, n).astype(np.uint8)
+
+        n_unpred = int(h["n_unpred"])
+        unpred = decode_truncated(
+            container.get("unpredictable"), n_unpred, p, dtype
+        ).astype(np.float64)
+
+        cast = dtype.type
+        dec = np.empty(n, dtype=np.float64)
+        u = 0
+        for i in range(n):
+            t = types[i]
+            if t == _UNPRED:
+                dec[i] = unpred[u]
+                u += 1
+            elif t == 1:
+                dec[i] = cast(dec[i - 1])
+            elif t == 2:
+                dec[i] = cast(2.0 * dec[i - 1] - dec[i - 2])
+            else:
+                dec[i] = cast(3.0 * dec[i - 1] - 3.0 * dec[i - 2] + dec[i - 3])
+        return dec.reshape(shape).astype(dtype)

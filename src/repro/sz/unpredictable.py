@@ -1,0 +1,161 @@
+"""Truncation-based binary analysis for unpredictable points (SZ-1.0 §).
+
+Points whose prediction error exceeds the quantizable range — and, in the
+original SZ model, the border points of the first row/column — are stored
+through a bit-truncated IEEE-754 representation: keep the sign, the full
+exponent, and only as many leading mantissa bits ``t`` as the error bound
+requires.  For a value ``±m * 2**e`` truncated to ``t`` mantissa bits the
+error is below ``2**(e-t)``, so ``t = max(0, e - floor(log2(eb)))`` keeps
+the point within the bound.  The decoder recomputes ``t`` from the stored
+exponent, so no per-point length field is needed.
+
+waveSZ instead passes such points *verbatim* to gzip (paper §3.2) — that
+path is plain ``tobytes`` and lives in the compressor front-ends; this
+module is the SZ-1.4 behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DTypeError
+from ..encoding.bitio import BitReader, pack_codes
+
+__all__ = ["encode_truncated", "decode_truncated", "truncate_roundtrip", "FloatLayout"]
+
+
+@dataclass(frozen=True)
+class FloatLayout:
+    """IEEE-754 bit layout parameters for a storage dtype."""
+
+    uint_dtype: np.dtype
+    exp_bits: int
+    mant_bits: int
+    bias: int
+
+    @property
+    def exp_mask(self) -> int:
+        return (1 << self.exp_bits) - 1
+
+
+_LAYOUTS = {
+    np.dtype(np.float32): FloatLayout(np.dtype(np.uint32), 8, 23, 127),
+    np.dtype(np.float64): FloatLayout(np.dtype(np.uint64), 11, 52, 1023),
+}
+
+
+def _layout(dtype: np.dtype) -> FloatLayout:
+    try:
+        return _LAYOUTS[np.dtype(dtype)]
+    except KeyError:
+        raise DTypeError(f"truncation analysis supports float32/float64, got {dtype}")
+
+
+def _required_bits(exp_unbiased: np.ndarray, eb: float, mant_bits: int) -> np.ndarray:
+    eb_exp = math.floor(math.log2(eb))
+    t = exp_unbiased - eb_exp
+    return np.clip(t, 0, mant_bits).astype(np.int64)
+
+
+def truncate_roundtrip(values: np.ndarray, eb: float) -> np.ndarray:
+    """The reconstruction :func:`decode_truncated` would produce, vectorized.
+
+    The PQD feedback loop needs the *stored* value of each unpredictable
+    point without paying for a bitstream round-trip; this computes it
+    directly by masking the dropped mantissa bits.  Equality with the real
+    encode/decode pair is property-tested.
+    """
+    values = np.asarray(values)
+    lay = _layout(values.dtype)
+    if values.size == 0:
+        return values.copy()
+    if not np.isfinite(values).all():
+        raise DTypeError("cannot truncate non-finite values")
+    bits = values.view(lay.uint_dtype).astype(np.uint64)
+    expf = (bits >> np.uint64(lay.mant_bits)) & np.uint64(lay.exp_mask)
+    exp_unbiased = expf.astype(np.int64) - lay.bias
+    t = _required_bits(exp_unbiased, eb, lay.mant_bits)
+    # Subnormals reconstruct as signed zero (exponent field survives as 0,
+    # mantissa fully dropped).
+    t[expf == 0] = 0
+    # Dropping the low `mant_bits - t` bits reproduces the decode exactly:
+    # for subnormals (t == 0) this zeroes the whole mantissa, leaving a
+    # signed zero just like the decoder.
+    drop = np.uint64(lay.mant_bits) - t.astype(np.uint64)
+    kept = (bits >> drop) << drop
+    if lay.uint_dtype == np.dtype(np.uint32):
+        return kept.astype(np.uint32).view(np.float32)
+    return kept.view(np.float64)
+
+
+def encode_truncated(values: np.ndarray, eb: float) -> bytes:
+    """Encode ``values`` with per-point mantissa truncation bounded by ``eb``."""
+    values = np.asarray(values)
+    lay = _layout(values.dtype)
+    if values.size == 0:
+        return b""
+    if not np.isfinite(values).all():
+        raise DTypeError("cannot truncate non-finite values")
+    bits = values.view(lay.uint_dtype).astype(np.uint64)
+    sign = bits >> np.uint64(lay.exp_bits + lay.mant_bits)
+    expf = (bits >> np.uint64(lay.mant_bits)) & np.uint64(lay.exp_mask)
+    mant = bits & np.uint64((1 << lay.mant_bits) - 1)
+    # Subnormals (expf == 0) have magnitude < 2**(1-bias); storing them as
+    # signed zero incurs error below any practical eb, and the exponent
+    # field 0 signals the decoder to reconstruct zero. Required bits for
+    # normals come from the unbiased exponent.
+    exp_unbiased = expf.astype(np.int64) - lay.bias
+    t = _required_bits(exp_unbiased, eb, lay.mant_bits)
+    t[expf == 0] = 0
+    kept_mant = mant >> (np.uint64(lay.mant_bits) - t.astype(np.uint64))
+    # Packed field: sign | exponent | t mantissa bits (length 1+exp_bits+t).
+    packed = (
+        (sign << (np.uint64(lay.exp_bits) + t.astype(np.uint64)))
+        | (expf << t.astype(np.uint64))
+        | kept_mant
+    )
+    lengths = 1 + lay.exp_bits + t
+    payload, _ = pack_codes(packed, lengths)
+    return payload
+
+
+def decode_truncated(
+    payload: bytes, n_values: int, eb: float, dtype: np.dtype
+) -> np.ndarray:
+    """Inverse of :func:`encode_truncated`; returns truncated reconstructions."""
+    lay = _layout(dtype)
+    out_bits = np.zeros(n_values, dtype=np.uint64)
+    if n_values == 0:
+        return out_bits.view(lay.uint_dtype).astype(dtype)
+    reader = BitReader(payload)
+    eb_exp = math.floor(math.log2(eb))
+    exp_bits = lay.exp_bits
+    mant_bits = lay.mant_bits
+    bias = lay.bias
+    for i in range(n_values):
+        head = reader.read(1 + exp_bits)
+        sign = head >> exp_bits
+        expf = head & lay.exp_mask
+        if expf == 0:
+            t = 0
+            kept = 0
+        else:
+            t = min(max(expf - bias - eb_exp, 0), mant_bits)
+            kept = reader.read(t) if t else 0
+            # Re-align the kept mantissa bits to the top of the field.
+            kept <<= mant_bits - t
+        if expf == 0:
+            out_bits[i] = np.uint64(sign) << np.uint64(exp_bits + mant_bits)
+        else:
+            out_bits[i] = (
+                (np.uint64(sign) << np.uint64(exp_bits + mant_bits))
+                | (np.uint64(expf) << np.uint64(mant_bits))
+                | np.uint64(kept)
+            )
+    uint_view = out_bits.astype(np.uint64)
+    if lay.uint_dtype == np.dtype(np.uint32):
+        return uint_view.astype(np.uint32).view(np.float32)
+    return uint_view.view(np.float64)

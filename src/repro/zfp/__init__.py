@@ -1,0 +1,27 @@
+"""A ZFP-like transform-based error-bounded compressor.
+
+The paper's related work (§5.1) repeatedly positions SZ against ZFP: "SZ
+(prediction-based model) and ZFP (transform-based model) are two leading
+lossy compressors", and ref [53] builds an online selector between them.
+To make those comparisons runnable, this package implements the
+transform-based model from scratch, following ZFP's architecture:
+
+* 4^d blocks with block-floating-point alignment to a common exponent,
+* the orthogonal-ish lifting transform applied along each axis,
+* negabinary coefficient coding with embedded bit-plane group testing,
+* fixed-accuracy mode: planes are emitted until the remaining weight is
+  below the absolute tolerance.
+
+It is an architectural reimplementation, not a bit-compatible codec.
+"""
+
+from .codec import ZFPCompressor
+from .transform import fwd_lift, inv_lift, fwd_transform, inv_transform
+
+__all__ = [
+    "ZFPCompressor",
+    "fwd_lift",
+    "inv_lift",
+    "fwd_transform",
+    "inv_transform",
+]

@@ -1,0 +1,48 @@
+"""Shared fixtures: small deterministic fields that exercise every regime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.fields import gaussian_random_field
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def smooth2d() -> np.ndarray:
+    """A smooth 2D float32 field, unit-ish range, 48x80."""
+    g = gaussian_random_field((48, 80), beta=4.0, seed=1)
+    return (g / np.abs(g).max()).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def saturated2d() -> np.ndarray:
+    """Cloud-fraction-like field with exact 0/1 plateaus."""
+    g = gaussian_random_field((48, 80), beta=4.0, seed=2)
+    return np.clip(0.5 + 0.8 * g, 0.0, 1.0).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def rough2d(rng) -> np.ndarray:
+    """A noisy 2D field (hard to predict; exercises outliers)."""
+    r = np.random.default_rng(3)
+    return r.standard_normal((40, 60)).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def smooth3d() -> np.ndarray:
+    """A smooth 3D float32 field, 16x24x20."""
+    g = gaussian_random_field((16, 24, 20), beta=3.5, seed=4)
+    return (g / np.abs(g).max()).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def ramp1d() -> np.ndarray:
+    """A 1D field with a linear ramp plus wiggle."""
+    x = np.linspace(0.0, 1.0, 500)
+    return (x + 0.01 * np.sin(40 * x)).astype(np.float32)

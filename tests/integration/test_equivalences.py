@@ -1,0 +1,67 @@
+"""Integration: cross-implementation equivalences (DESIGN.md §5).
+
+These tie the independent implementations together: the Listing-1 scalar
+oracle, the vectorized wavefront engine, the event-driven pipeline
+simulator, the closed-form timing model and the base-2 quantizer must all
+agree where the paper says they describe the same machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import QuantizerConfig
+from repro.core.kernel import wavefront_pqd
+from repro.core.layout import LoopPartition
+from repro.fpga.hls import simulate_columns
+from repro.fpga.timing import DELTA_PQD, interior_column_lengths, wavesz_cycles
+from repro.sz.pqd import pqd_compress
+
+Q = QuantizerConfig()
+
+
+class TestKernelEngineEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_oracle_vs_engine_random_fields(self, seed):
+        rng = np.random.default_rng(seed)
+        d0 = int(rng.integers(3, 16))
+        d1 = int(rng.integers(d0, 32))
+        data = np.cumsum(rng.normal(size=(d0, d1)), axis=1).astype(np.float32)
+        span = float(np.abs(data).max()) or 1.0
+        p = span * 1e-3
+        oracle = wavefront_pqd(data, p, Q)
+        engine = pqd_compress(data, p, Q, border="verbatim")
+        assert (oracle.codes_raster() == engine.codes).all()
+        assert (oracle.decompressed == engine.decompressed).all()
+
+
+class TestTimingModelVsSimulator:
+    @pytest.mark.parametrize("d0,d1", [(8, 30), (20, 20), (5, 100)])
+    def test_closed_form_vs_event_driven(self, d0, d1):
+        """The Σ max(len, Δ) closed form tracks the event-driven simulator
+        within one pipeline drain."""
+        delta = 12
+        lengths = interior_column_lengths(d0, d1)
+        lengths = lengths[lengths > 0].tolist()
+        sim = simulate_columns(lengths, delta=delta)
+        closed = wavesz_cycles((d0, d1), delta=delta)
+        assert abs(sim.total_cycles - closed) <= 2 * delta
+
+    def test_body_zero_stall_iff_lambda_ge_delta(self):
+        deep = LoopPartition(30, 60)  # Λ = 29 >= Δ = 20
+        lengths = [deep.interior_column_length(t) for t in range(deep.n_cols)]
+        sim = simulate_columns([l for l in lengths if l], delta=20)
+        body_only = simulate_columns([29] * 20, delta=20)
+        assert body_only.stall_cycles == 0
+        shallow = simulate_columns([9] * 20, delta=20)
+        assert shallow.stall_cycles > 0
+
+
+class TestHurricaneMechanism:
+    def test_small_lambda_throughput_penalty_matches_table5(self):
+        """Hurricane's Λ=99 < Δ=118 must cost ~Δ/Λ in throughput — the
+        modelled mechanism behind its Table 5 slowdown."""
+        from repro.fpga.timing import wavesz_throughput
+
+        hurricane = wavesz_throughput((100, 500, 500)).mb_per_s
+        cesm = wavesz_throughput((1800, 3600)).mb_per_s
+        assert hurricane / cesm == pytest.approx(99 / DELTA_PQD, rel=0.03)

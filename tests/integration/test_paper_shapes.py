@@ -1,0 +1,106 @@
+"""Integration: the qualitative result shapes the paper reports.
+
+These tests assert *orderings and factors*, not absolute numbers: who wins,
+in which direction, and roughly by how much — on small scaled fields so the
+suite stays fast.  Absolute table values live in the benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GhostSZCompressor,
+    SZ14Compressor,
+    WaveSZCompressor,
+    load_field,
+    psnr,
+)
+from repro.metrics import prediction_error_series
+
+
+@pytest.fixture(scope="module")
+def cldlow():
+    return load_field("CESM-ATM", "CLDLOW")
+
+
+@pytest.fixture(scope="module")
+def results(cldlow):
+    out = {}
+    for comp in (
+        GhostSZCompressor(),
+        WaveSZCompressor(),
+        WaveSZCompressor(use_huffman=True),
+        SZ14Compressor(),
+    ):
+        key = comp.name + ("+H*" if getattr(comp, "use_huffman", False) else "")
+        cf = comp.compress(cldlow, 1e-3, "vr_rel")
+        out[key] = (cf, comp.decompress(cf))
+    return out
+
+
+class TestTable1And7Shapes:
+    def test_sz14_beats_ghostsz_clearly(self, results):
+        """Table 1: SZ-1.4's Lorenzo >> GhostSZ's curve fitting on 2D."""
+        assert (
+            results["SZ-1.4"][0].stats.ratio
+            > 1.5 * results["GhostSZ"][0].stats.ratio
+        )
+
+    def test_wavesz_between_ghost_and_sz(self, results):
+        """Table 7 ordering on CESM: Ghost < waveSZ-G* < waveSZ-H*G* <= SZ."""
+        g = results["GhostSZ"][0].stats.ratio
+        wg = results["waveSZ"][0].stats.ratio
+        wh = results["waveSZ+H*"][0].stats.ratio
+        sz = results["SZ-1.4"][0].stats.ratio
+        assert g < wg < wh <= sz * 1.05
+
+    def test_huffman_recovers_most_of_sz_ratio(self, results):
+        """Table 7: with H* before gzip, waveSZ approaches SZ-1.4."""
+        wh = results["waveSZ+H*"][0].stats.ratio
+        sz = results["SZ-1.4"][0].stats.ratio
+        assert wh > 0.6 * sz
+
+
+class TestTable8Shape:
+    def test_all_psnr_in_sane_band(self, cldlow, results):
+        for key, (cf, out) in results.items():
+            p = psnr(cldlow, out)
+            assert 60 < p < 80, (key, p)
+
+    def test_ghost_psnr_not_below_wavesz(self, cldlow, results):
+        """Table 8: GhostSZ's PSNR is slightly *higher* (concentrated
+        errors in the saturated regions, Figure 9)."""
+        pg = psnr(cldlow, results["GhostSZ"][1])
+        pw = psnr(cldlow, results["waveSZ"][1])
+        assert pg >= pw - 0.3
+
+    def test_wavesz_similar_to_sz14(self, cldlow, results):
+        """Table 8: 'waveSZ has similar PSNRs compared with SZ-1.4'."""
+        pw = psnr(cldlow, results["waveSZ"][1])
+        ps = psnr(cldlow, results["SZ-1.4"][1])
+        assert abs(pw - ps) < 4.0
+
+
+class TestFigure1Shape:
+    def test_predictor_quality_ordering(self, cldlow):
+        """Figure 1: Lorenzo most accurate; CF-GhostSZ by far the worst."""
+        series = prediction_error_series(cldlow.astype(np.float64))
+        share = {
+            k: float((np.abs(v[np.isfinite(v)]) < 0.01).mean())
+            for k, v in series.items()
+        }
+        assert share["LP-SZ-1.4"] > share["CF-GhostSZ"]
+        assert share["CF-SZ-1.0"] > share["CF-GhostSZ"]
+        stds = {k: float(np.nanstd(v[np.isfinite(v)])) for k, v in series.items()}
+        assert stds["CF-GhostSZ"] > 2 * stds["LP-SZ-1.4"]
+
+
+class TestFigure9Shape:
+    def test_ghost_errors_more_concentrated_at_zero(self, cldlow, results):
+        """Figure 9 left panel: GhostSZ's compression-error histogram has a
+        taller spike at zero (exact hits in saturated regions)."""
+        eg = results["GhostSZ"][1].astype(np.float64) - cldlow
+        ew = results["waveSZ"][1].astype(np.float64) - cldlow
+        exact_g = float((eg == 0).mean())
+        exact_w = float((ew == 0).mean())
+        assert exact_g > exact_w

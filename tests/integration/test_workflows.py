@@ -1,0 +1,76 @@
+"""Integration: multi-step user workflows across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    OnlineSelector,
+    SZ14Compressor,
+    WaveSZCompressor,
+    ZFPCompressor,
+    load_field,
+)
+from repro.cli import main
+from repro.io import Archive, read_raw_field
+from repro.parallel import tile_compress, tile_decompress
+
+
+class TestSnapshotWorkflow:
+    def test_archive_whole_dataset_and_extract(self):
+        """Compress a snapshot, ship one blob, extract one field."""
+        comp = WaveSZCompressor(use_huffman=True)
+        fields = {
+            f: load_field("CESM-ATM", f)[:60, :120]
+            for f in ("CLDLOW", "TS", "PSL")
+        }
+        arch = Archive.build(fields, comp, 1e-3, "vr_rel")
+        blob = arch.to_bytes()
+        assert len(blob) < sum(f.nbytes for f in fields.values())
+
+        back = Archive.from_bytes(blob)
+        ts = back.extract("TS", comp)
+        vr = float(fields["TS"].max() - fields["TS"].min())
+        assert np.abs(ts.astype(np.float64) - fields["TS"]).max() <= 1e-3 * vr
+
+    def test_selector_feeds_archive(self):
+        """Per-field bestfit selection, archived together."""
+        selector = OnlineSelector([SZ14Compressor(), ZFPCompressor()])
+        arch = Archive()
+        fields = {
+            "TS": load_field("CESM-ATM", "TS")[:48, :96],
+            "FLNS": load_field("CESM-ATM", "FLNS")[:48, :96],
+        }
+        for name, data in fields.items():
+            res = selector.select(data, 1e-3, "vr_rel")
+            arch.add_field(name, res.compressed)
+        back = Archive.from_bytes(arch.to_bytes())
+        for name, data in fields.items():
+            out = selector.decompress(back.payload(name))
+            vr = float(data.max() - data.min())
+            assert np.abs(out.astype(np.float64) - data).max() <= 1e-3 * vr
+
+    def test_tiled_then_archived(self):
+        """Bands for lanes, archive for shipping — composed."""
+        comp = SZ14Compressor()
+        x = load_field("NYX", "velocity_x")[:32]
+        tiled = tile_compress(comp, x, 1e-3, n_tiles=4)
+        out = tile_decompress(comp, tiled.payload)
+        vr = float(x.max() - x.min())
+        assert np.abs(out.astype(np.float64) - x).max() <= 1e-3 * vr
+
+
+class TestCLIWorkflow:
+    def test_generate_compress_decompress_chain(self, tmp_path):
+        """The full artifact-style command chain through the CLI."""
+        raw = tmp_path / "f.f32"
+        wsz = tmp_path / "f.wsz"
+        restored = tmp_path / "g.f32"
+        assert main(["generate", "CESM-ATM", "PSL", "-o", str(raw)]) == 0
+        assert main(["compress", str(raw), "--dims", "180", "360",
+                     "--variant", "sz20", "--eb", "1e-3",
+                     "-o", str(wsz), "--verify"]) == 0
+        assert main(["decompress", str(wsz), "-o", str(restored)]) == 0
+        a = read_raw_field(raw, (180, 360), np.float32)
+        b = read_raw_field(restored, (180, 360), np.float32)
+        vr = float(a.max() - a.min())
+        assert np.abs(b.astype(np.float64) - a).max() <= 1e-3 * vr

@@ -1,0 +1,54 @@
+"""Property tests: bit IO is a faithful MSB-first codec."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.bitio import BitReader, BitWriter, pack_codes
+
+fields = st.lists(
+    st.integers(min_value=1, max_value=57).flatmap(
+        lambda n: st.tuples(st.integers(min_value=0, max_value=(1 << n) - 1),
+                            st.just(n))
+    ),
+    max_size=200,
+)
+
+
+@given(fields)
+@settings(max_examples=100, deadline=None)
+def test_writer_reader_roundtrip(pairs):
+    w = BitWriter()
+    for v, n in pairs:
+        w.write(v, n)
+    r = BitReader(w.getvalue())
+    for v, n in pairs:
+        assert r.read(n) == v
+
+
+@given(fields)
+@settings(max_examples=100, deadline=None)
+def test_pack_codes_equals_scalar_writer(pairs):
+    w = BitWriter()
+    for v, n in pairs:
+        w.write(v, n)
+    if pairs:
+        codes = np.array([v for v, _ in pairs], dtype=np.uint64)
+        lens = np.array([n for _, n in pairs], dtype=np.int64)
+        payload, nbits = pack_codes(codes, lens)
+        assert payload == w.getvalue()
+        assert nbits == sum(n for _, n in pairs)
+
+
+@given(st.binary(max_size=200), st.integers(min_value=0, max_value=57))
+@settings(max_examples=100, deadline=None)
+def test_peek_then_read_consistent(data, n):
+    r = BitReader(data)
+    avail = r.bits_remaining
+    peeked = r.peek(n)
+    if n <= avail:
+        assert r.read(n) == peeked
+    else:
+        # Peek zero-pads; the padded tail must be zeros.
+        pad = n - avail
+        assert peeked & ((1 << pad) - 1) == 0

@@ -1,0 +1,98 @@
+"""Property tests: end-to-end error-bound guarantees for every compressor.
+
+These are the headline invariants of the SZ model: for arbitrary finite
+fields and arbitrary bounds, compress->decompress must respect
+``|d - d•| <= eb`` pointwise and be bit-exactly reproducible.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import WaveSZCompressor
+from repro.ghostsz import GhostSZCompressor
+from repro.sz import SZ10Compressor, SZ14Compressor
+
+
+def _field(seed: int, d0: int, d1: int, scale: float, smooth: bool) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(d0, d1)) * scale
+    if smooth:
+        x = np.cumsum(np.cumsum(x, axis=0), axis=1) / (d0 * d1) ** 0.5
+    return x.astype(np.float32)
+
+
+field_params = st.tuples(
+    st.integers(min_value=0, max_value=2**31),  # seed
+    st.integers(min_value=2, max_value=24),  # d0
+    st.integers(min_value=24, max_value=48),  # d1 (>= d0 for waveSZ)
+    st.sampled_from([1e-3, 1.0, 1e4]),  # magnitude scale
+    st.booleans(),  # smooth or rough
+)
+bounds = st.sampled_from([1e-1, 1e-2, 1e-3, 1e-4])
+
+
+@given(field_params, bounds)
+@settings(max_examples=25, deadline=None)
+def test_sz14_bound_and_roundtrip(params, eb):
+    x = _field(*params)
+    c = SZ14Compressor()
+    cf = c.compress(x, eb, "vr_rel")
+    out = c.decompress(cf)
+    assert np.abs(out.astype(np.float64) - x).max() <= cf.bound.absolute
+    # Determinism: same input -> same payload.
+    assert c.compress(x, eb, "vr_rel").payload == cf.payload
+
+
+@given(field_params, bounds)
+@settings(max_examples=25, deadline=None)
+def test_wavesz_bound_and_tightening(params, eb):
+    x = _field(*params)
+    c = WaveSZCompressor(use_huffman=True)
+    cf = c.compress(x, eb, "vr_rel")
+    out = c.decompress(cf)
+    vr = float(x.max() - x.min()) or 1.0
+    assert cf.bound.absolute <= eb * vr  # base-2: never looser
+    assert np.abs(out.astype(np.float64) - x).max() <= cf.bound.absolute
+
+
+@given(field_params, bounds)
+@settings(max_examples=25, deadline=None)
+def test_ghostsz_bound(params, eb):
+    x = _field(*params)
+    c = GhostSZCompressor()
+    cf = c.compress(x, eb, "vr_rel")
+    out = c.decompress(cf)
+    assert np.abs(out.astype(np.float64) - x).max() <= cf.bound.absolute
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=4, max_value=300),
+    bounds,
+)
+@settings(max_examples=20, deadline=None)
+def test_sz10_bound_1d(seed, n, eb):
+    rng = np.random.default_rng(seed)
+    x = np.cumsum(rng.normal(size=n)).astype(np.float32)
+    c = SZ10Compressor()
+    cf = c.compress(x, eb, "vr_rel")
+    out = c.decompress(cf)
+    assert np.abs(out.astype(np.float64) - x).max() <= cf.bound.absolute
+
+
+@given(field_params)
+@settings(max_examples=15, deadline=None)
+def test_wavesz_sz14_same_codes_same_config(params):
+    """Order independence (DESIGN.md §5): wavefront scheduling changes the
+    processing order only — codes match SZ-1.4's raster PQD bit-for-bit
+    when quantizer config, bound, and border policy agree."""
+    from repro.config import QuantizerConfig
+    from repro.sz.pqd import pqd_compress
+
+    x = _field(*params)
+    p = 2.0**-8
+    engine = pqd_compress(x, p, QuantizerConfig(), border="verbatim")
+    c = WaveSZCompressor(use_huffman=True)
+    out = c.decompress(c.compress(x, p, "abs"))
+    assert (out == engine.decompressed).all()

@@ -1,0 +1,47 @@
+"""Property tests: the DEFLATE substrate is lossless on arbitrary bytes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lossless import GzipStage, LosslessMode, deflate, inflate
+from repro.lossless.lz77 import LZ77Encoder
+
+
+@given(st.binary(max_size=4000))
+@settings(max_examples=60, deadline=None)
+def test_inflate_deflate_identity(data):
+    assert inflate(deflate(data)) == data
+
+
+@given(st.binary(max_size=2000))
+@settings(max_examples=40, deadline=None)
+def test_fast_encoder_identity(data):
+    assert inflate(deflate(data, LZ77Encoder.best_speed())) == data
+
+
+@given(
+    st.binary(min_size=1, max_size=50),
+    st.integers(min_value=2, max_value=50),
+)
+@settings(max_examples=40, deadline=None)
+def test_repetitive_data_compresses(chunk, reps):
+    data = chunk * reps
+    blob = deflate(data)
+    assert inflate(blob) == data
+    if len(data) > 400:
+        assert len(blob) < len(data)
+
+
+@given(st.binary(max_size=1500))
+@settings(max_examples=30, deadline=None)
+def test_lz77_parse_reconstruct_identity(data):
+    ts = LZ77Encoder().parse(data)
+    assert ts.reconstruct() == data
+
+
+@given(st.binary(max_size=1500))
+@settings(max_examples=30, deadline=None)
+def test_gzip_stage_identity_both_modes(data):
+    for mode in LosslessMode:
+        st_ = GzipStage(mode=mode)
+        assert st_.decompress(st_.compress(data)) == data

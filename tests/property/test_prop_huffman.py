@@ -1,0 +1,52 @@
+"""Property tests: Huffman codec correctness and optimality bounds."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.encoding import HuffmanCodec, HuffmanTable, entropy_bits, symbol_histogram
+
+symbol_arrays = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=1, max_value=2000),
+    elements=st.integers(min_value=0, max_value=500),
+)
+
+
+@given(symbol_arrays)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip(symbols):
+    codec = HuffmanCodec(HuffmanTable.from_symbols(symbols))
+    payload, nbits = codec.encode(symbols)
+    assert (codec.decode(payload, symbols.size) == symbols).all()
+    assert len(payload) == (nbits + 7) // 8
+
+
+@given(symbol_arrays)
+@settings(max_examples=60, deadline=None)
+def test_prefix_free_and_complete(symbols):
+    table = HuffmanTable.from_symbols(symbols)
+    assert table.is_prefix_free_and_complete()
+
+
+@given(symbol_arrays)
+@settings(max_examples=60, deadline=None)
+def test_entropy_bound(symbols):
+    """Expected code length in [H, H+1) — Huffman's optimality window."""
+    vals, cnts = symbol_histogram(symbols)
+    if vals.size < 2:
+        return
+    codec = HuffmanCodec(HuffmanTable.from_frequencies(vals, cnts))
+    avg = codec.encoded_size_bits(symbols) / symbols.size
+    H = entropy_bits(cnts)
+    assert H - 1e-9 <= avg < H + 1.0
+
+
+@given(symbol_arrays)
+@settings(max_examples=40, deadline=None)
+def test_table_serialization_roundtrip(symbols):
+    t = HuffmanTable.from_symbols(symbols)
+    t2, _ = HuffmanTable.from_bytes(t.to_bytes())
+    assert (t2.symbols == t.symbols).all()
+    assert (t2.lengths == t.lengths).all()

@@ -1,0 +1,73 @@
+"""Property tests: Algorithm 1 invariants over arbitrary inputs."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.config import QuantizerConfig
+from repro.sz.quantizer import quantize_scalar, quantize_vector
+
+finite = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+precisions = st.floats(min_value=1e-9, max_value=1e3)
+quants = st.sampled_from(
+    [QuantizerConfig(bits=b) for b in (4, 8, 12, 16)]
+)
+
+
+@given(finite, finite, precisions, quants)
+@settings(max_examples=300, deadline=None)
+def test_scalar_bound_or_unpredictable(d, pred, p, q):
+    code, d_re = quantize_scalar(d, pred, p, q)
+    if code != 0:
+        assert 0 < code < q.capacity
+        assert abs(d_re - d) <= p
+    else:
+        assert d_re == d
+
+
+@given(finite, finite, precisions, quants)
+@settings(max_examples=300, deadline=None)
+def test_scalar_round_to_nearest_equivalence(d, pred, p, q):
+    """code - r == round(diff / 2p) whenever quantizable."""
+    code, _ = quantize_scalar(d, pred, p, q)
+    if code == 0:
+        return
+    diff = d - pred
+    k = code - q.radius
+    assert abs(k - diff / (2 * p)) <= 0.5 + 1e-6
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=1, max_value=400),
+    precisions,
+    quants,
+)
+@settings(max_examples=100, deadline=None)
+def test_vector_matches_scalar(seed, n, p, q):
+    rng = np.random.default_rng(seed)
+    pred = rng.normal(size=n) * 10
+    d = pred + rng.normal(size=n) * 10 * p
+    codes, d_out = quantize_vector(d, pred, p, q, np.float64)
+    for i in range(n):
+        c, dr = quantize_scalar(float(d[i]), float(pred[i]), p, q)
+        assert codes[i] == c
+        if c:
+            assert d_out[i] == dr
+
+
+@given(st.integers(min_value=0, max_value=2**31), precisions)
+@settings(max_examples=100, deadline=None)
+def test_vector_float32_bound_after_rounding(seed, p):
+    """The guarantee must hold on the float32 values actually stored."""
+    assume(p > 1e-7)
+    rng = np.random.default_rng(seed)
+    q = QuantizerConfig()
+    pred = (rng.normal(size=200) * 100).astype(np.float64)
+    d = pred + rng.normal(size=200) * 5 * p
+    codes, d_out = quantize_vector(d, pred, p, q, np.float32)
+    ok = codes != 0
+    assert (np.abs(d_out[ok].astype(np.float64) - d[ok]) <= p).all()
+    assert (d_out[~ok].astype(np.float64) == d[~ok].astype(np.float32)).all()

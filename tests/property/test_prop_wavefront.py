@@ -1,0 +1,70 @@
+"""Property tests: the wavefront transform and index machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wavefront import build_layout, from_wavefront, to_wavefront
+from repro.sz.wavefront_index import (
+    border_indices,
+    interior_wavefronts,
+    manhattan_grid,
+)
+
+shapes_2d = st.tuples(
+    st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=30)
+)
+shapes_3d = st.tuples(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=2, max_value=10),
+)
+
+
+@given(shapes_2d, st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=100, deadline=None)
+def test_transform_is_bijection(shape, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape).astype(np.float32)
+    stream, layout = to_wavefront(data)
+    assert (from_wavefront(stream, layout) == data).all()
+
+
+@given(shapes_2d)
+@settings(max_examples=100, deadline=None)
+def test_columns_partition_by_distance(shape):
+    layout = build_layout(shape)
+    md = manhattan_grid(shape).reshape(-1)
+    seen = np.zeros(md.size, dtype=bool)
+    for t in range(layout.n_cols):
+        col = layout.column(t)
+        assert (md[col] == t).all()
+        assert not seen[col].any()
+        seen[col] = True
+    assert seen.all()
+
+
+@given(shapes_3d)
+@settings(max_examples=60, deadline=None)
+def test_3d_wavefronts_respect_dependencies(shape):
+    from repro.sz.lorenzo import neighbor_offsets
+
+    offsets, _ = neighbor_offsets(shape)
+    done = np.zeros(int(np.prod(shape)), dtype=bool)
+    done[border_indices(shape)] = True
+    for group in interior_wavefronts(shape):
+        for off in offsets:
+            assert done[group - off].all()
+        done[group] = True
+    assert done.all()
+
+
+@given(shapes_3d)
+@settings(max_examples=60, deadline=None)
+def test_interior_plus_border_is_everything(shape):
+    interior = np.concatenate(interior_wavefronts(shape)) if any(
+        n > 1 for n in shape
+    ) else np.empty(0, np.int64)
+    border = border_indices(shape)
+    combined = np.concatenate([interior, border])
+    assert np.unique(combined).size == int(np.prod(shape))

@@ -1,0 +1,56 @@
+"""Property tests: the ZFP-like codec's fixed-accuracy guarantee."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.zfp import ZFPCompressor
+
+codec = ZFPCompressor()
+
+
+def _field(seed: int, d0: int, d1: int, scale: float, smooth: bool) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(d0, d1)) * scale
+    if smooth:
+        x = np.cumsum(x, axis=1) / d1**0.5
+    return x.astype(np.float32)
+
+
+params = st.tuples(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=2, max_value=25),
+    st.integers(min_value=2, max_value=25),
+    st.sampled_from([1e-4, 1.0, 1e5]),
+    st.booleans(),
+)
+bounds = st.sampled_from([1e-1, 1e-2, 1e-3, 1e-4])
+
+
+@given(params, bounds)
+@settings(max_examples=40, deadline=None)
+def test_bound_and_determinism(p, eb):
+    x = _field(*p)
+    cf = codec.compress(x, eb, "vr_rel")
+    out = codec.decompress(cf)
+    assert np.abs(out.astype(np.float64) - x).max() <= cf.bound.absolute
+    assert codec.compress(x, eb, "vr_rel").payload == cf.payload
+
+
+@given(st.integers(min_value=0, max_value=2**31), bounds)
+@settings(max_examples=20, deadline=None)
+def test_bound_3d(seed, eb):
+    rng = np.random.default_rng(seed)
+    x = np.cumsum(rng.normal(size=(9, 10, 11)), axis=2).astype(np.float32)
+    cf = codec.compress(x, eb, "vr_rel")
+    out = codec.decompress(cf)
+    assert np.abs(out.astype(np.float64) - x).max() <= cf.bound.absolute
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_idempotent(seed):
+    x = _field(seed, 12, 16, 1.0, True)
+    once = codec.decompress(codec.compress(x, 1e-3, "abs"))
+    twice = codec.decompress(codec.compress(once, 1e-3, "abs"))
+    assert (once == twice).all()

@@ -1,0 +1,75 @@
+"""Unit tests for the multi-field snapshot archive."""
+
+import numpy as np
+import pytest
+
+from repro import SZ14Compressor, WaveSZCompressor, load_field
+from repro.errors import ContainerError
+from repro.io import Archive
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return {
+        "CLDLOW": load_field("CESM-ATM", "CLDLOW")[:48, :96],
+        "TS": load_field("CESM-ATM", "TS")[:48, :96],
+    }
+
+
+class TestArchive:
+    def test_build_and_extract(self, snapshot):
+        comp = SZ14Compressor()
+        arch = Archive.build(snapshot, comp, 1e-3, "vr_rel")
+        back = Archive.from_bytes(arch.to_bytes())
+        assert back.field_names == ["CLDLOW", "TS"]
+        for name, data in snapshot.items():
+            out = back.extract(name, comp)
+            vr = float(data.max() - data.min())
+            assert np.abs(out.astype(np.float64) - data).max() <= 1e-3 * vr
+
+    def test_manifest_metadata(self, snapshot):
+        comp = SZ14Compressor()
+        arch = Archive.build(snapshot, comp)
+        for entry in arch.entries:
+            assert entry.variant == "SZ-1.4"
+            assert entry.shape == (48, 96)
+            assert entry.ratio > 1
+            assert entry.compressed_bytes > 0
+
+    def test_random_access_payload(self, snapshot):
+        comp = SZ14Compressor()
+        arch = Archive.build(snapshot, comp)
+        blob = arch.payload("TS")
+        out = comp.decompress(blob)
+        assert out.shape == (48, 96)
+
+    def test_duplicate_name_rejected(self, snapshot):
+        comp = SZ14Compressor()
+        arch = Archive()
+        cf = comp.compress(snapshot["TS"], 1e-3, "vr_rel")
+        arch.add_field("TS", cf)
+        with pytest.raises(ContainerError):
+            arch.add_field("TS", cf)
+
+    def test_missing_field_rejected(self, snapshot):
+        arch = Archive.build(snapshot, SZ14Compressor())
+        with pytest.raises(ContainerError):
+            arch.extract("nope", SZ14Compressor())
+
+    def test_variant_mismatch_rejected(self, snapshot):
+        arch = Archive.build(snapshot, SZ14Compressor())
+        with pytest.raises(ContainerError):
+            arch.extract("TS", WaveSZCompressor())
+
+    def test_not_an_archive_rejected(self, snapshot):
+        cf = SZ14Compressor().compress(snapshot["TS"], 1e-3)
+        with pytest.raises(ContainerError):
+            Archive.from_bytes(cf.payload)
+
+    def test_mixed_variants(self, snapshot):
+        arch = Archive()
+        arch.add_field("a", SZ14Compressor().compress(snapshot["TS"], 1e-3))
+        arch.add_field("b", WaveSZCompressor().compress(snapshot["CLDLOW"], 1e-3))
+        back = Archive.from_bytes(arch.to_bytes())
+        assert back.extract("a", SZ14Compressor()).shape == (48, 96)
+        assert back.extract("b", WaveSZCompressor()).shape == (48, 96)

@@ -1,0 +1,96 @@
+"""Unit tests for base-2 operation (Table 3, §3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.config import QuantizerConfig
+from repro.core.base2 import (
+    TABLE3_BASES,
+    binary_representation,
+    pow2_tighten,
+    quantize_base2_vector,
+)
+from repro.errors import ConfigError
+from repro.sz.quantizer import quantize_vector
+
+Q = QuantizerConfig()
+
+
+class TestTable3:
+    # The rows of paper Table 3, verbatim.
+    EXPECTED = {
+        1e-1: ("1.1001100110011", -4),
+        1e-2: ("1.0100011110101", -7),
+        1e-3: ("1.0000011000100", -10),
+        1e-4: ("1.1010001101101", -14),
+        1e-5: ("1.0100111110001", -17),
+        1e-6: ("1.0000110001101", -20),
+        1e-7: ("1.1010110101111", -24),
+    }
+
+    @pytest.mark.parametrize("base", TABLE3_BASES)
+    def test_binary_representation_matches_paper(self, base):
+        mant, exp = binary_representation(base)
+        exp_mant, exp_exp = self.EXPECTED[base]
+        assert mant == exp_mant
+        assert exp == exp_exp
+
+    def test_power_of_two_has_clean_mantissa(self):
+        mant, exp = binary_representation(0.25)
+        assert mant == "1." + "0" * 13
+        assert exp == -2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            binary_representation(0.0)
+
+
+class TestPow2Tighten:
+    def test_table3_exponents(self):
+        """1e-3 -> 2^-10 (the paper's worked example)."""
+        t, k = pow2_tighten(1e-3)
+        assert k == -10 and t == 2.0**-10
+
+    @pytest.mark.parametrize("eb", [1e-1, 0.7, 3.3, 1e-6, 5e-4])
+    def test_tightened_bound_never_looser(self, eb):
+        t, k = pow2_tighten(eb)
+        assert t <= eb < 2 * t
+        assert t == 2.0**k
+
+    def test_exact_powers_unchanged(self):
+        for k in (-20, -3, 0, 4):
+            t, kk = pow2_tighten(2.0**k)
+            assert kk == k and t == 2.0**k
+
+    def test_rejects_bad(self):
+        for bad in (0.0, -1.0, float("inf")):
+            with pytest.raises(ConfigError):
+                pow2_tighten(bad)
+
+
+class TestExponentOnlyQuantization:
+    def test_bitwise_equal_to_generic_quantizer(self):
+        """The exponent-only path is exactly Algorithm 1 at p = 2^k."""
+        rng = np.random.default_rng(0)
+        for k in (-10, -6, -14):
+            p = 2.0**k
+            pred = rng.normal(size=3000)
+            d = pred + rng.normal(size=3000) * 8 * p
+            c1, o1 = quantize_vector(d, pred, p, Q, np.float32)
+            c2, o2 = quantize_base2_vector(d, pred, k, Q, np.float32)
+            assert (c1 == c2).all()
+            assert (o1 == o2).all()
+
+    def test_bound_held(self):
+        rng = np.random.default_rng(1)
+        k = -10
+        pred = rng.normal(size=2000)
+        d = pred + rng.normal(size=2000) * 5 * 2.0**k
+        codes, out = quantize_base2_vector(d, pred, k, Q, np.float32)
+        ok = codes != 0
+        assert (np.abs(out[ok].astype(np.float64) - d[ok]) <= 2.0**k).all()
+
+    def test_no_division_needed(self):
+        """ldexp scaling equals division by a power of two exactly."""
+        x = np.array([3.7, -0.002, 1e5])
+        assert (np.ldexp(x, 10) == x / 2.0**-10).all()

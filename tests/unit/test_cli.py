@@ -1,0 +1,112 @@
+"""Unit tests for the wavesz command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import read_raw_field, write_raw_field
+
+
+@pytest.fixture()
+def raw_field(tmp_path, smooth2d):
+    path = tmp_path / "field.f32"
+    write_raw_field(path, smooth2d)
+    return path, smooth2d
+
+
+class TestCompressDecompress:
+    @pytest.mark.parametrize("variant", ["wavesz", "wavesz-g", "sz14", "sz20",
+                                         "ghostsz"])
+    def test_roundtrip(self, tmp_path, raw_field, variant, capsys):
+        path, data = raw_field
+        wsz = tmp_path / "out.wsz"
+        restored = tmp_path / "restored.f32"
+        d0, d1 = data.shape
+        assert main(["compress", str(path), "--dims", str(d0), str(d1),
+                     "--variant", variant, "--eb", "1e-3",
+                     "-o", str(wsz), "--verify"]) == 0
+        assert main(["decompress", str(wsz), "-o", str(restored)]) == 0
+        out = read_raw_field(restored, data.shape, np.float32)
+        vr = float(data.max() - data.min())
+        assert np.abs(out.astype(np.float64) - data).max() <= 1e-3 * vr
+        captured = capsys.readouterr()
+        assert "ratio" in captured.out
+        assert "verified" in captured.out
+
+    def test_abs_mode(self, tmp_path, raw_field):
+        path, data = raw_field
+        wsz = tmp_path / "o.wsz"
+        assert main(["compress", str(path), "--dims", "48", "80",
+                     "--mode", "abs", "--eb", "0.002",
+                     "-o", str(wsz), "--verify"]) == 0
+
+    def test_missing_input(self, tmp_path):
+        assert main(["compress", str(tmp_path / "nope.f32"),
+                     "--dims", "4", "4", "-o", str(tmp_path / "x.wsz")]) == 1
+
+    def test_wrong_dims(self, tmp_path, raw_field):
+        path, _ = raw_field
+        assert main(["compress", str(path), "--dims", "7", "7",
+                     "-o", str(tmp_path / "x.wsz")]) == 1
+
+
+class TestOtherCommands:
+    def test_info(self, tmp_path, raw_field, capsys):
+        path, _ = raw_field
+        wsz = tmp_path / "o.wsz"
+        main(["compress", str(path), "--dims", "48", "80", "-o", str(wsz)])
+        assert main(["info", str(wsz)]) == 0
+        out = capsys.readouterr().out
+        assert '"variant"' in out and "section" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("CESM-ATM", "Hurricane", "NYX"):
+            assert name in out
+
+    def test_generate(self, tmp_path, capsys):
+        out_path = tmp_path / "g.f32"
+        assert main(["generate", "NYX", "velocity_x", "-o", str(out_path)]) == 0
+        assert out_path.stat().st_size == 64 * 64 * 64 * 4
+
+    def test_generate_unknown_field(self, tmp_path):
+        assert main(["generate", "NYX", "bogus",
+                     "-o", str(tmp_path / "g.f32")]) == 1
+
+    def test_parser_rejects_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compress", "x", "--dims", "2", "2", "--variant", "zfp",
+                 "-o", "y"]
+            )
+
+
+class TestArchiveCommands:
+    def test_archive_extract_roundtrip(self, tmp_path, capsys):
+        ar = tmp_path / "nyx.wszar"
+        assert main(["archive", "NYX", "--variant", "sz14",
+                     "-o", str(ar)]) == 0
+        out = capsys.readouterr().out
+        assert "velocity_x" in out and "ratio" in out
+        raw = tmp_path / "v.f32"
+        assert main(["extract", str(ar), "velocity_x", "-o", str(raw)]) == 0
+        assert raw.stat().st_size == 64 * 64 * 64 * 4
+
+    def test_extract_unknown_field(self, tmp_path):
+        ar = tmp_path / "nyx.wszar"
+        main(["archive", "NYX", "--variant", "sz14", "-o", str(ar)])
+        assert main(["extract", str(ar), "bogus",
+                     "-o", str(tmp_path / "x.f32")]) == 1
+
+
+class TestReportCommand:
+    def test_report_prints_hls_summary(self, capsys):
+        assert main(["report", "--dims", "100", "250000"]) == 0
+        out = capsys.readouterr().out
+        assert "synthesis report" in out
+        assert "BodyV" in out
+
+    def test_report_base10(self, capsys):
+        assert main(["report", "--dims", "64", "128", "--base10"]) == 0
+        assert "fdiv" in capsys.readouterr().out

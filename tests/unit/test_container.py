@@ -1,0 +1,92 @@
+"""Unit tests for the compressed container and SDRB raw IO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ContainerError, ShapeError
+from repro.io import Container, read_raw_field, write_raw_field
+
+
+class TestContainer:
+    def test_roundtrip(self):
+        c = Container(header={"variant": "x", "shape": [2, 3]})
+        c.add("alpha", b"123")
+        c.add("beta", b"")
+        c.add("gamma", bytes(range(256)))
+        c2 = Container.from_bytes(c.to_bytes())
+        assert c2.header == c.header
+        assert c2.get("alpha") == b"123"
+        assert c2.get("beta") == b""
+        assert c2.get("gamma") == bytes(range(256))
+
+    def test_duplicate_section_rejected(self):
+        c = Container(header={})
+        c.add("a", b"x")
+        with pytest.raises(ContainerError):
+            c.add("a", b"y")
+
+    def test_missing_section(self):
+        c = Container(header={})
+        with pytest.raises(ContainerError):
+            c.get("nope")
+        assert not c.has("nope")
+
+    def test_payload_bytes(self):
+        c = Container(header={})
+        c.add("a", b"12345")
+        c.add("b", b"67")
+        assert c.payload_bytes == 7
+
+    def test_bad_magic(self):
+        with pytest.raises(ContainerError):
+            Container.from_bytes(b"XXXX" + b"\x00" * 16)
+
+    def test_truncated_section(self):
+        c = Container(header={})
+        c.add("a", b"0123456789")
+        blob = c.to_bytes()
+        with pytest.raises(ContainerError):
+            Container.from_bytes(blob[:-4])
+
+    def test_corrupt_header_json(self):
+        c = Container(header={"k": 1})
+        blob = bytearray(c.to_bytes())
+        blob[10] = 0xFF  # clobber JSON
+        with pytest.raises(ContainerError):
+            Container.from_bytes(bytes(blob))
+
+    def test_bad_section_name(self):
+        with pytest.raises(ContainerError):
+            Container(header={}).add("", b"")
+
+    def test_unsupported_version(self):
+        c = Container(header={})
+        blob = bytearray(c.to_bytes())
+        blob[4] = 99
+        with pytest.raises(ContainerError):
+            Container.from_bytes(bytes(blob))
+
+
+class TestSDRBIO:
+    def test_roundtrip_2d(self, tmp_path, smooth2d):
+        path = tmp_path / "f.dat"
+        write_raw_field(path, smooth2d)
+        back = read_raw_field(path, smooth2d.shape, np.float32)
+        assert (back == smooth2d).all()
+
+    def test_headerless_size(self, tmp_path, smooth2d):
+        path = tmp_path / "f.f32"
+        write_raw_field(path, smooth2d)
+        assert path.stat().st_size == smooth2d.size * 4
+
+    def test_shape_mismatch_detected(self, tmp_path, smooth2d):
+        path = tmp_path / "f.dat"
+        write_raw_field(path, smooth2d)
+        with pytest.raises(ShapeError):
+            read_raw_field(path, (3, 3), np.float32)
+
+    def test_float64(self, tmp_path):
+        x = np.linspace(0, 1, 20).reshape(4, 5)
+        path = tmp_path / "f64.dat"
+        write_raw_field(path, x)
+        assert (read_raw_field(path, (4, 5), np.float64) == x).all()

@@ -1,0 +1,72 @@
+"""Unit tests for the Order-{0,1,2} curve-fitting predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sz.curvefit import CURVEFIT_WORKLOADS, bestfit_predict, curvefit_predict
+
+
+class TestCurvefitPredict:
+    def test_order0_previous_value(self):
+        seq = np.array([1.0, 5.0, 2.0])
+        p = curvefit_predict(seq, 0)
+        assert np.isnan(p[0])
+        assert p[1] == 1.0 and p[2] == 5.0
+
+    def test_order1_exact_on_linear(self):
+        seq = 3.0 + 2.0 * np.arange(50)
+        p = curvefit_predict(seq, 1)
+        assert np.abs((p - seq)[2:]).max() < 1e-12
+
+    def test_order2_exact_on_quadratic(self):
+        x = np.arange(50, dtype=float)
+        seq = 1.0 - 0.5 * x + 0.25 * x * x
+        p = curvefit_predict(seq, 2)
+        assert np.abs((p - seq)[3:]).max() < 1e-9
+
+    def test_order1_not_exact_on_quadratic(self):
+        x = np.arange(50, dtype=float)
+        seq = x * x
+        p = curvefit_predict(seq, 1)
+        assert np.abs((p - seq)[3:]).min() > 0.5
+
+    def test_warmup_region_nan(self):
+        seq = np.arange(10, dtype=float)
+        for order in (0, 1, 2):
+            p = curvefit_predict(seq, order)
+            assert np.isnan(p[: order + 1]).all()
+            assert not np.isnan(p[order + 1 :]).any()
+
+    def test_invalid_order(self):
+        with pytest.raises(ConfigError):
+            curvefit_predict(np.arange(5.0), 3)
+
+
+class TestBestfit:
+    def test_picks_minimum_error_fit(self):
+        x = np.arange(100, dtype=float)
+        quad = 0.1 * x * x
+        pred, order = bestfit_predict(quad)
+        # after warm-up, quadratic fit dominates
+        assert (order[5:] == 2).mean() > 0.9
+
+    def test_bestfit_error_leq_each_order(self):
+        rng = np.random.default_rng(0)
+        seq = np.cumsum(rng.normal(size=300))
+        pred, _ = bestfit_predict(seq)
+        best_err = np.abs(pred - seq)
+        for k in range(3):
+            ek = np.abs(curvefit_predict(seq, k) - seq)
+            ok = ~np.isnan(ek) & ~np.isnan(best_err)
+            assert (best_err[ok] <= ek[ok] + 1e-12).all()
+
+    def test_constant_sequence_prefers_order0_exact(self):
+        seq = np.full(50, 2.5)
+        pred, order = bestfit_predict(seq)
+        assert np.abs((pred - seq)[1:]).max() == 0
+
+    def test_workload_table_matches_paper_imbalance(self):
+        """§2.2: quadratic fitting costs 2x the linear fitting."""
+        assert CURVEFIT_WORKLOADS[2] == 2 * CURVEFIT_WORKLOADS[1]
+        assert CURVEFIT_WORKLOADS[1] == 2 * CURVEFIT_WORKLOADS[0]

@@ -1,0 +1,119 @@
+"""Unit tests for the synthetic SDRB dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import DATASETS, gaussian_random_field, list_datasets, load_field
+from repro.data.fields import depth_invariant_web, radial_wavenumber
+from repro.errors import ConfigError, DatasetError
+
+
+class TestGRF:
+    def test_deterministic(self):
+        a = gaussian_random_field((32, 32), beta=3.0, seed=7)
+        b = gaussian_random_field((32, 32), beta=3.0, seed=7)
+        assert (a == b).all()
+
+    def test_seed_changes_field(self):
+        a = gaussian_random_field((32, 32), beta=3.0, seed=7)
+        b = gaussian_random_field((32, 32), beta=3.0, seed=8)
+        assert not np.allclose(a, b)
+
+    def test_normalized(self):
+        g = gaussian_random_field((64, 64), beta=3.0, seed=1)
+        assert abs(g.mean()) < 1e-10
+        assert g.std() == pytest.approx(1.0)
+
+    def test_steeper_beta_is_smoother(self):
+        def roughness(beta):
+            g = gaussian_random_field((128, 128), beta=beta, seed=2)
+            return np.abs(np.diff(g, axis=1)).mean()
+
+        assert roughness(4.0) < roughness(2.0) < roughness(0.5)
+
+    def test_3d_supported(self):
+        g = gaussian_random_field((16, 16, 16), beta=3.0, seed=3)
+        assert g.shape == (16, 16, 16)
+
+    def test_radial_wavenumber(self):
+        k = radial_wavenumber((8, 8))
+        assert k[0, 0] == 0
+        assert k[0, 1] == pytest.approx(1.0)
+        assert k[4, 0] == pytest.approx(4.0)  # Nyquist
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ConfigError):
+            gaussian_random_field((8, 8), beta=-1)
+
+
+class TestDepthInvariantWeb:
+    def test_nearly_constant_along_depth(self):
+        web = depth_invariant_web((10, 32, 32), seed=1)
+        # plane-to-plane variation is tiny compared with in-plane variation
+        along_z = np.abs(np.diff(web, axis=0)).mean()
+        in_plane = np.abs(np.diff(web, axis=2)).mean()
+        assert along_z < in_plane / 10
+
+    def test_lorenzo_cancels_it_but_rows_do_not(self):
+        """The structural reason GhostSZ loses ratio (Figure 1)."""
+        from repro.sz.lorenzo import lorenzo_predict
+
+        web = depth_invariant_web((10, 32, 32), seed=2)
+        view = web.reshape(10, -1)  # the 2D interpretation
+        lorenzo_resid = (view - lorenzo_predict(view))[1:, 1:]
+        row_resid = np.diff(view, axis=1)  # order-0 CF residual
+        assert np.abs(lorenzo_resid).std() < np.abs(row_resid).std() / 3
+
+
+class TestRegistry:
+    def test_lists_paper_datasets(self):
+        assert set(list_datasets()) == {"CESM-ATM", "Hurricane", "NYX"}
+
+    def test_table4_metadata(self):
+        assert DATASETS["CESM-ATM"].paper_dims == (1800, 3600)
+        assert DATASETS["CESM-ATM"].paper_fields == 79
+        assert DATASETS["Hurricane"].paper_dims == (100, 500, 500)
+        assert DATASETS["NYX"].paper_dims == (512, 512, 512)
+        assert DATASETS["NYX"].paper_fields == 6
+
+    @pytest.mark.parametrize("ds", ["CESM-ATM", "Hurricane", "NYX"])
+    def test_all_fields_generate_float32_finite(self, ds):
+        spec = DATASETS[ds]
+        for fname in spec.field_names:
+            x = load_field(ds, fname)
+            assert x.dtype == np.float32
+            assert x.shape == spec.repro_dims
+            assert np.isfinite(x).all()
+            assert x.max() > x.min()  # non-degenerate
+
+    def test_cldlow_saturates(self):
+        x = load_field("CESM-ATM", "CLDLOW")
+        sat = ((x == 0) | (x == 1)).mean()
+        assert 0.3 < sat < 0.9
+
+    def test_cloudf48_mostly_zero(self):
+        x = load_field("Hurricane", "CLOUDf48")
+        assert (x == 0).mean() > 0.5
+        assert (x >= 0).all()
+
+    def test_dark_matter_has_exact_zero_voids(self):
+        x = load_field("NYX", "dark_matter_density")
+        assert (x == 0).mean() > 0.05
+        assert (x >= 0).all()
+
+    def test_scale_factor(self):
+        x = load_field("CESM-ATM", "TS", scale=2)
+        assert x.shape == (360, 720)
+
+    def test_seed_offset_changes_snapshot(self):
+        a = load_field("NYX", "velocity_x")
+        b = load_field("NYX", "velocity_x", seed_offset=1)
+        assert not np.array_equal(a, b)
+
+    def test_unknown_dataset_and_field(self):
+        with pytest.raises(DatasetError):
+            load_field("EXA", "x")
+        with pytest.raises(DatasetError):
+            load_field("NYX", "nope")
+        with pytest.raises(DatasetError):
+            load_field("NYX", "velocity_x", scale=0)

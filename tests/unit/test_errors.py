@@ -1,0 +1,33 @@
+"""Unit tests for the exception hierarchy contract."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in errors.__dict__:
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_config_error_is_value_error(self):
+        """API boundaries promise ValueError compatibility for bad config."""
+        assert issubclass(errors.ConfigError, ValueError)
+        assert issubclass(errors.ShapeError, ValueError)
+
+    def test_dtype_error_is_type_error(self):
+        assert issubclass(errors.DTypeError, TypeError)
+
+    def test_encoding_sub_hierarchy(self):
+        assert issubclass(errors.BitstreamError, errors.EncodingError)
+        assert issubclass(errors.HuffmanError, errors.EncodingError)
+
+    def test_catching_at_the_top_works(self, smooth2d):
+        """One except clause covers any library failure (README contract)."""
+        with pytest.raises(repro.ReproError):
+            repro.SZ14Compressor().compress(smooth2d, -1.0, "abs")
+        with pytest.raises(repro.ReproError):
+            repro.WaveSZCompressor().decompress(b"garbage-payload-bytes")

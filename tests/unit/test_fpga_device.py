@@ -1,0 +1,32 @@
+"""Unit tests for the FPGA device envelope."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.fpga.device import ZC706, FPGADevice
+
+
+class TestZC706:
+    def test_table6_totals(self):
+        """The denominators of Table 6's utilization column."""
+        assert ZC706.bram_18k == 1090
+        assert ZC706.dsp48e == 900
+        assert ZC706.ff == 437_200
+        assert ZC706.lut == 218_600
+
+    def test_default_clock_is_156_25(self):
+        assert ZC706.default_clock_hz == pytest.approx(156.25e6)
+
+    def test_fits(self):
+        assert ZC706.fits(100, 100, 1000, 1000)
+        assert not ZC706.fits(2000, 0, 0, 0)
+        assert not ZC706.fits(0, 0, 10**7, 0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            FPGADevice("bad", bram_18k=0, dsp48e=1, ff=1, lut=1)
+        with pytest.raises(ModelError):
+            FPGADevice(
+                "bad", bram_18k=1, dsp48e=1, ff=1, lut=1,
+                default_clock_hz=300e6, max_clock_hz=250e6,
+            )

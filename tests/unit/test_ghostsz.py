@@ -1,0 +1,78 @@
+"""Unit tests for the GhostSZ end-to-end compressor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ContainerError, ShapeError
+from repro.ghostsz import GhostSZCompressor
+
+
+class TestRoundtrip:
+    def test_2d(self, smooth2d):
+        c = GhostSZCompressor()
+        cf = c.compress(smooth2d, 1e-3, "vr_rel")
+        out = c.decompress(cf)
+        assert out.shape == smooth2d.shape and out.dtype == smooth2d.dtype
+        assert np.abs(out.astype(np.float64) - smooth2d).max() <= cf.bound.absolute
+
+    def test_3d_rowwise_interpretation(self, smooth3d):
+        c = GhostSZCompressor()
+        cf = c.compress(smooth3d, 1e-3, "vr_rel")
+        out = c.decompress(cf)
+        assert out.shape == smooth3d.shape
+        assert np.abs(out.astype(np.float64) - smooth3d).max() <= cf.bound.absolute
+        assert cf.meta["rows"] == smooth3d.shape[0]
+        assert cf.meta["row_length"] == smooth3d.shape[1] * smooth3d.shape[2]
+
+    def test_1d(self, ramp1d):
+        c = GhostSZCompressor()
+        cf = c.compress(ramp1d, 1e-3, "abs")
+        out = c.decompress(cf)
+        assert np.abs(out.astype(np.float64) - ramp1d).max() <= 1e-3
+
+    def test_saturated_field(self, saturated2d):
+        c = GhostSZCompressor()
+        cf = c.compress(saturated2d, 1e-3, "vr_rel")
+        out = c.decompress(cf)
+        assert np.abs(out.astype(np.float64) - saturated2d).max() <= cf.bound.absolute
+
+
+class TestFormat:
+    def test_14_bit_bins(self):
+        """2 bits of every 16-bit word encode the bestfit (paper §4.1)."""
+        c = GhostSZCompressor()
+        assert c.quant.capacity == 16384
+        assert c.quant.radius == 8192
+
+    def test_words_pack_type_and_code(self, smooth2d):
+        from repro.io.container import Container
+
+        c = GhostSZCompressor()
+        cf = c.compress(smooth2d, 1e-3)
+        h = Container.from_bytes(cf.payload).header
+        assert h["variant"] == "GhostSZ"
+        assert h["n_codes"] == smooth2d.size
+
+    def test_lower_ratio_than_sz14(self, smooth2d):
+        """Table 1's headline: GhostSZ's 1D curve fitting loses to SZ-1.4's
+        Lorenzo on 2D data."""
+        from repro.sz import SZ14Compressor
+
+        rg = GhostSZCompressor().compress(smooth2d, 1e-3).stats.ratio
+        rs = SZ14Compressor().compress(smooth2d, 1e-3).stats.ratio
+        assert rs > 1.3 * rg
+
+    def test_wrong_variant_rejected(self, smooth2d):
+        from repro.sz import SZ14Compressor
+
+        cf = SZ14Compressor().compress(smooth2d, 1e-3)
+        with pytest.raises(ContainerError):
+            GhostSZCompressor().decompress(cf)
+
+    def test_rejects_4d(self):
+        with pytest.raises(ShapeError):
+            GhostSZCompressor().compress(np.zeros((2, 2, 2, 2), dtype=np.float32))
+
+    def test_stats_row_pivots_counted(self, smooth2d):
+        cf = GhostSZCompressor().compress(smooth2d, 1e-3)
+        assert cf.stats.n_unpredictable >= smooth2d.shape[0]

@@ -1,0 +1,50 @@
+"""Unit tests for the gzip pipeline stage wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.lossless import GzipStage, LosslessBackend, LosslessMode
+
+
+@pytest.fixture(scope="module")
+def payload():
+    r = np.random.default_rng(0)
+    codes = (32768 + r.geometric(0.5, 30000) * r.choice([-1, 1], 30000)).astype("<u2")
+    return codes.tobytes()
+
+
+class TestGzipStage:
+    @pytest.mark.parametrize("mode", list(LosslessMode))
+    @pytest.mark.parametrize("backend", list(LosslessBackend))
+    def test_roundtrip_all_configs(self, payload, mode, backend):
+        st = GzipStage(mode=mode, backend=backend)
+        assert st.decompress(st.compress(payload)) == payload
+
+    def test_ours_and_zlib_within_factor(self, payload):
+        ours = GzipStage(backend=LosslessBackend.OURS)
+        zl = GzipStage(backend=LosslessBackend.ZLIB)
+        r_ours = ours.ratio(payload)
+        r_zlib = zl.ratio(payload)
+        # Our from-scratch DEFLATE must be gzip-class: within 35 % of zlib.
+        assert r_ours > 0.65 * r_zlib
+
+    def test_best_compression_not_worse_on_structured(self):
+        data = b"0123456789abcdef" * 2000
+        fast = GzipStage(mode=LosslessMode.BEST_SPEED)
+        best = GzipStage(mode=LosslessMode.BEST_COMPRESSION)
+        assert best.ratio(data) >= fast.ratio(data) * 0.99
+
+    def test_decompress_detects_backend_by_magic(self, payload):
+        z = GzipStage(backend=LosslessBackend.ZLIB).compress(payload)
+        o = GzipStage(backend=LosslessBackend.OURS).compress(payload)
+        # Either stage object can decompress either blob.
+        any_stage = GzipStage()
+        assert any_stage.decompress(z) == payload
+        assert any_stage.decompress(o) == payload
+
+    def test_ratio_of_empty_is_one(self):
+        assert GzipStage().ratio(b"") == 1.0
+
+    def test_empty_roundtrip(self):
+        st = GzipStage()
+        assert st.decompress(st.compress(b"")) == b""

@@ -1,0 +1,55 @@
+"""Unit tests for the synthesis-report generator."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.fpga.report import kernel_loop_nests, synthesis_report
+from repro.fpga.timing import DELTA_PQD, wavesz_cycles
+
+
+class TestLoopNests:
+    def test_six_loops_of_listing1(self):
+        nests = kernel_loop_nests(16, 64)
+        assert [n.label for n in nests] == [
+            "HeadH", "HeadV", "BodyH", "BodyV", "TailH", "TailV",
+        ]
+
+    def test_body_meets_pii_1(self):
+        nests = {n.label: n for n in kernel_loop_nests(100, 250000)}
+        assert nests["BodyV"].achieved_pii == 1
+
+    def test_head_relaxed_when_shallow(self):
+        nests = {n.label: n for n in kernel_loop_nests(16, 64)}
+        assert nests["HeadV"].achieved_pii > 1  # §3.3's relaxation
+
+
+class TestReport:
+    def test_contains_key_sections(self):
+        r = synthesis_report(100, 250000)
+        for token in (
+            "wave<float,99>", "PQD datapath stages", "loop hierarchy",
+            "utilization estimates", "BRAM_18K", "DSP48E",
+            "body loop is stall-free",
+        ):
+            assert token in r, token
+
+    def test_reports_calibrated_delta(self):
+        r = synthesis_report(512, 262144)
+        assert str(DELTA_PQD) in r
+
+    def test_latency_matches_timing_model(self):
+        r = synthesis_report(100, 250000)
+        assert str(wavesz_cycles((100, 250000))) in r
+
+    def test_base10_variant_shows_divider(self):
+        r = synthesis_report(64, 128, base2=False)
+        assert "fdiv" in r
+        assert "base-2: no" in r
+
+    def test_base2_variant_has_no_divider(self):
+        r = synthesis_report(64, 128, base2=True)
+        assert "fdiv" not in r
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            synthesis_report(10, 5)

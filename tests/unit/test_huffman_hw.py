@@ -1,0 +1,71 @@
+"""Unit tests for the on-chip Huffman encoder model (future-work study)."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.huffman import HuffmanCodec, HuffmanTable
+from repro.errors import ModelError
+from repro.fpga.huffman_hw import (
+    HuffmanHWModel,
+    hstar_lane_budget,
+    huffman_hw_resources,
+    simulate_huffman_encode,
+)
+from repro.fpga.timing import wavesz_throughput
+
+
+class TestModelGeometry:
+    def test_bram_scales_with_symbol_width(self):
+        b16 = HuffmanHWModel(symbol_bits=16).total_bram
+        b12 = HuffmanHWModel(symbol_bits=12).total_bram
+        assert b16 > 10 * b12
+
+    def test_16bit_bram_order_of_gzip(self):
+        """The headline: an H* instance costs BRAM comparable to the gzip
+        IP itself — why the paper deferred it."""
+        model = HuffmanHWModel()
+        assert 150 < model.total_bram < 350
+
+    def test_encode_cycles_two_passes(self):
+        model = HuffmanHWModel()
+        assert model.encode_cycles(1000, 0) == 2000
+        assert model.encode_cycles(0, 10) == 240
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            HuffmanHWModel(symbol_bits=40)
+        with pytest.raises(ModelError):
+            HuffmanHWModel().encode_cycles(-1, 0)
+
+
+class TestFunctionalEquivalence:
+    def test_payload_matches_software_codec(self):
+        rng = np.random.default_rng(0)
+        syms = rng.geometric(0.4, 20000) + 32760
+        payload_hw, report = simulate_huffman_encode(syms)
+        codec = HuffmanCodec(HuffmanTable.from_symbols(syms))
+        payload_sw, _ = codec.encode(syms)
+        assert payload_hw == payload_sw
+        assert report.cycles >= 2 * syms.size
+
+    def test_hw_stage_keeps_up_with_pqd(self):
+        """~0.5 symbols/cycle is still faster than the PQD lane's output on
+        the paper-scale datasets, so H* adds latency, not a rate limit."""
+        model = HuffmanHWModel()
+        n = 100 * 500 * 500
+        huff = model.throughput(n, 4000)
+        pqd = wavesz_throughput((100, 500, 500))
+        assert huff.mb_per_s > 0.5 * pqd.mb_per_s
+
+
+class TestLaneBudget:
+    def test_hstar_costs_lanes(self):
+        budget = hstar_lane_budget()
+        assert budget["lanes_hstar"] < budget["lanes_gstar"]
+        assert budget["lanes_gstar"] == 3  # the ZC706 G* deployment
+        assert budget["lanes_hstar"] >= 1  # but H* still fits at all
+
+    def test_resource_report(self):
+        r = huffman_hw_resources()
+        assert r.dsp48e == 0
+        assert r.bram_18k == HuffmanHWModel().total_bram

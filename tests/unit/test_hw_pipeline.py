@@ -1,0 +1,60 @@
+"""Unit tests for the PQD hardware stage inventory."""
+
+from repro.core.pipeline import (
+    OP_LATENCY,
+    ghostsz_pqd_stages,
+    pqd_latency,
+    wavesz_pqd_stages,
+)
+from repro.fpga.timing import DELTA_PQD
+
+
+class TestWaveSZStages:
+    def test_base2_removes_divider_and_check(self):
+        base2 = wavesz_pqd_stages(base2=True)
+        base10 = wavesz_pqd_stages(base2=False)
+        names2 = {s.name for s in base2}
+        names10 = {s.name for s in base10}
+        assert "quantize_base2" in names2
+        assert "overbound_check" not in names2  # §3.3: check eliminated
+        assert "quantize_base10" in names10
+        assert "overbound_check" in names10
+
+    def test_base2_shorter_than_base10(self):
+        assert pqd_latency(wavesz_pqd_stages(True)) < pqd_latency(
+            wavesz_pqd_stages(False)
+        )
+
+    def test_no_fdiv_in_base2_path(self):
+        ops = [op for s in wavesz_pqd_stages(True) for op in s.ops]
+        assert "fdiv" not in ops
+        assert "fmul" not in ops  # exponent-only arithmetic
+
+    def test_logic_latency_below_calibrated_delta(self):
+        """The calibrated Δ (= logic + line-buffer turnaround) upper-bounds
+        the pure stage-sum."""
+        assert pqd_latency(wavesz_pqd_stages(True)) < DELTA_PQD
+
+
+class TestGhostSZStages:
+    def test_uses_divider(self):
+        ops = [op for s in ghostsz_pqd_stages() for op in s.ops]
+        assert "fdiv" in ops
+        assert "fmul" in ops
+
+    def test_longer_chain_than_wavesz(self):
+        assert pqd_latency(ghostsz_pqd_stages()) > pqd_latency(
+            wavesz_pqd_stages(True)
+        )
+
+    def test_overbound_check_present(self):
+        assert any(s.name == "overbound_check" for s in ghostsz_pqd_stages())
+
+
+class TestLatencyTable:
+    def test_divider_is_most_expensive_fp_op(self):
+        assert OP_LATENCY["fdiv"] > OP_LATENCY["fadd"] > OP_LATENCY["exp_unit"]
+
+    def test_stage_latency_sums_ops(self):
+        s = wavesz_pqd_stages(True)[0]
+        assert s.latency == sum(OP_LATENCY[o] for o in s.ops)

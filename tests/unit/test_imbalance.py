@@ -1,0 +1,51 @@
+"""Unit tests for the GhostSZ load-imbalance simulator."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.fpga.imbalance import simulate_units
+from repro.fpga.timing import GHOSTSZ_PII
+
+
+class TestImbalance:
+    def test_quadratic_unit_sets_the_pace(self):
+        res = simulate_units(1000)
+        assert res.effective_pii == 4.0  # the 1:2:4 workload split
+
+    def test_matches_throughput_model_constant(self):
+        """The Table 5 GhostSZ model's pII comes from this mechanism."""
+        res = simulate_units(100)
+        assert res.effective_pii == GHOSTSZ_PII
+
+    def test_light_units_idle(self):
+        """§2.2: the previous-value and linear units stay idle much of the
+        time — quantified as 75 % and 50 % idle respectively."""
+        res = simulate_units(1000)
+        util = {u.name: u.utilization for u in res.units}
+        assert util["order-0 (previous value)"] == pytest.approx(0.25)
+        assert util["order-1 (linear)"] == pytest.approx(0.5)
+        assert util["order-2 (quadratic)"] == pytest.approx(1.0)
+
+    def test_wasted_cycles_accounting(self):
+        res = simulate_units(100)
+        # per point: order-0 idles 3, order-1 idles 2, order-2 idles 0.
+        assert res.wasted_unit_cycles == 100 * (3 + 2)
+
+    def test_wider_issue_reduces_pii(self):
+        """Duplicating sub-units (spending more area) closes the gap —
+        the resource-vs-rate trade GhostSZ declined."""
+        narrow = simulate_units(100, issue_width=1)
+        wide = simulate_units(100, issue_width=4)
+        assert wide.effective_pii < narrow.effective_pii
+        assert wide.effective_pii == 1.0
+
+    def test_balanced_workloads_full_utilization(self):
+        res = simulate_units(50, workloads={0: 2, 1: 2, 2: 2})
+        assert all(u.utilization == 1.0 for u in res.units)
+        assert res.effective_pii == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            simulate_units(0)
+        with pytest.raises(ModelError):
+            simulate_units(10, issue_width=0)

@@ -1,0 +1,103 @@
+"""Unit tests for the Listing-1 wavefront kernel (oracle) and its
+equivalence with the vectorized engine — the paper's core claim that the
+wavefront schedule changes *order*, not *results*."""
+
+import numpy as np
+import pytest
+
+from repro.config import QuantizerConfig
+from repro.core.kernel import listing1_indices, wavefront_order_codes, wavefront_pqd
+from repro.core.wavefront import build_layout
+from repro.errors import ShapeError
+from repro.sz.pqd import pqd_compress
+
+Q = QuantizerConfig()
+
+
+class TestListing1Indices:
+    def test_every_interior_point_issued_once(self):
+        d0, d1 = 6, 9
+        gis = [gi for *_ , gi in listing1_indices(d0, d1)]
+        assert len(gis) == (d0 - 1) * (d1 - 1)
+        assert len(set(gis)) == len(gis)
+
+    def test_neighbours_are_correct_grid_points(self):
+        d0, d1 = 5, 8
+        layout = build_layout((d0, d1))
+        pos_to_ij = {}
+        for t in range(layout.n_cols):
+            for f in layout.column(t):
+                s = int(np.where(layout.flat_order == f)[0][0])
+                pos_to_ij[s] = divmod(int(f), d1)
+        for _, nw, n_, w_, gi in listing1_indices(d0, d1):
+            i, j = pos_to_ij[gi]
+            assert pos_to_ij[n_] == (i - 1, j)
+            assert pos_to_ij[w_] == (i, j - 1)
+            assert pos_to_ij[nw] == (i - 1, j - 1)
+
+    def test_columns_issued_in_order(self):
+        cols = [t for t, *_ in listing1_indices(4, 7)]
+        assert cols == sorted(cols)
+
+    def test_dependencies_precede_issue(self):
+        """NW/N/W positions are always issued (or border) before gi."""
+        d0, d1 = 6, 9
+        layout = build_layout((d0, d1))
+        border_positions = set()
+        inv = {}
+        for t in range(layout.n_cols):
+            for f in layout.column(t):
+                pass
+        # border positions: stream positions of first row/col points
+        for s, f in enumerate(layout.flat_order):
+            i, j = divmod(int(f), d1)
+            inv[s] = (i, j)
+            if i == 0 or j == 0:
+                border_positions.add(s)
+        done = set(border_positions)
+        for _, nw, n_, w_, gi in listing1_indices(d0, d1):
+            assert {nw, n_, w_} <= done
+            done.add(gi)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ShapeError):
+            list(listing1_indices(1, 5))
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("shape", [(8, 12), (12, 12), (5, 20)])
+    def test_codes_identical_to_vectorized_engine(self, shape):
+        rng = np.random.default_rng(42)
+        data = np.cumsum(rng.normal(size=shape), axis=1).astype(np.float32)
+        data /= max(np.abs(data).max(), 1)
+        p = 2.0**-10
+        oracle = wavefront_pqd(data, p, Q)
+        engine = pqd_compress(data, p, Q, border="verbatim")
+        assert (oracle.codes_raster() == engine.codes).all()
+        assert (oracle.decompressed == engine.decompressed).all()
+
+    def test_base2_oracle_matches_too(self):
+        rng = np.random.default_rng(43)
+        data = np.cumsum(rng.normal(size=(10, 14)), axis=0).astype(np.float32)
+        data /= max(np.abs(data).max(), 1)
+        oracle = wavefront_pqd(data, 2.0**-9, Q, base2_exponent=-9)
+        engine = pqd_compress(data, 2.0**-9, Q, border="verbatim")
+        assert (oracle.codes_raster() == engine.codes).all()
+
+    def test_issue_order_is_wavefront_order(self):
+        rng = np.random.default_rng(44)
+        data = rng.normal(size=(6, 8)).astype(np.float32)
+        oracle = wavefront_pqd(data, 1e-2, Q)
+        assert (np.diff(oracle.issue_order) > 0).all()
+
+
+class TestWavefrontOrderCodes:
+    def test_permutation_matches_layout(self, smooth2d):
+        res = pqd_compress(smooth2d, 1e-3, Q, border="verbatim")
+        stream = wavefront_order_codes(res.codes)
+        layout = build_layout(smooth2d.shape)
+        assert (stream == res.codes.reshape(-1)[layout.flat_order]).all()
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            wavefront_order_codes(np.zeros(5, dtype=np.int64))

@@ -1,0 +1,87 @@
+"""Unit tests for the head/body/tail partition and Figure 6 timing algebra."""
+
+import pytest
+
+from repro.core.layout import LoopPartition, end_cycle, start_cycle
+from repro.errors import ModelError
+
+
+class TestPartition:
+    def test_spans_match_figure6(self):
+        p = LoopPartition(6, 10)
+        spans = p.spans()
+        assert spans["head"] == p.lam == 5
+        assert spans["tail"] == 5
+        assert spans["head"] + spans["body"] + spans["tail"] == p.n_cols
+
+    def test_lambda_is_d0_minus_1(self):
+        """Listing 1: assert(PIPELINE_DEPTH == d0 - 1)."""
+        assert LoopPartition(100, 250000).lam == 99
+        assert LoopPartition(1800, 3600).lam == 1799
+
+    def test_body_columns_full_length(self):
+        p = LoopPartition(6, 10)
+        for t in p.body_columns:
+            assert p.column_length(t) == 6
+
+    def test_head_columns_grow(self):
+        p = LoopPartition(6, 10)
+        lengths = [p.column_length(t) for t in p.head_columns]
+        assert lengths == list(range(1, 6))
+
+    def test_tail_columns_shrink(self):
+        p = LoopPartition(6, 10)
+        lengths = [p.column_length(t) for t in p.tail_columns]
+        assert lengths == list(range(5, 0, -1))
+
+    def test_interior_lengths_sum(self):
+        p = LoopPartition(6, 10)
+        total = sum(p.interior_column_length(t) for t in range(p.n_cols))
+        assert total == p.interior_points() == 5 * 9
+
+    def test_group_of(self):
+        p = LoopPartition(6, 10)
+        assert p.group_of(0) == "head"
+        assert p.group_of(5) == "body"
+        assert p.group_of(9) == "body"
+        assert p.group_of(10) == "tail"
+
+    def test_requires_d1_ge_d0(self):
+        with pytest.raises(ModelError):
+            LoopPartition(10, 6)
+
+    def test_requires_min_dims(self):
+        with pytest.raises(ModelError):
+            LoopPartition(1, 10)
+
+    def test_column_out_of_range(self):
+        with pytest.raises(ModelError):
+            LoopPartition(4, 6).column_length(99)
+
+
+class TestTimingFormulas:
+    def test_start_formula(self):
+        """Figure 6: starting time of (r, c) is c*Λ + r."""
+        lam = 7
+        assert start_cycle(0, 0, lam) == 0
+        assert start_cycle(3, 2, lam) == 17
+        assert start_cycle(lam - 1, 5, lam) == 5 * lam + lam - 1
+
+    def test_end_formula(self):
+        """Figure 6: ending time of (r, c) is (c+1)*Λ + r - 1."""
+        lam = 7
+        assert end_cycle(3, 2, lam) == 3 * lam + 2
+
+    def test_next_column_starts_one_after_end(self):
+        """'The starting time of (r, c+1) is one cycle after the ending
+        time of (r, c)' — the zero-stall property of the body loop."""
+        lam = 9
+        for r in range(lam):
+            for c in range(5):
+                assert start_cycle(r, c + 1, lam) == end_cycle(r, c, lam) + 1
+
+    def test_duration_is_lambda(self):
+        """Each PQD occupies exactly Δ = Λ cycles in the ideal mapping."""
+        lam = 11
+        for r in range(lam):
+            assert end_cycle(r, 3, lam) - start_cycle(r, 3, lam) + 1 == lam

@@ -1,0 +1,103 @@
+"""Unit tests for the Lorenzo predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sz.lorenzo import lorenzo_predict, neighbor_offsets
+
+
+class TestNeighborOffsets:
+    def test_2d_stencil(self):
+        offsets, signs = neighbor_offsets((5, 7))
+        assert list(offsets) == [1, 7, 8]  # W, N, NW
+        assert list(signs) == [1.0, 1.0, -1.0]
+
+    def test_3d_stencil_signs_follow_manhattan_parity(self):
+        offsets, signs = neighbor_offsets((3, 4, 5))
+        # L1=1 neighbours positive, L1=2 negative, L1=3 positive (Fig. 2).
+        stencil = dict(zip(offsets.tolist(), signs.tolist()))
+        assert stencil == {1: 1.0, 5: 1.0, 20: 1.0,
+                           6: -1.0, 21: -1.0, 25: -1.0, 26: 1.0}
+
+    def test_1d(self):
+        offsets, signs = neighbor_offsets((9,))
+        assert list(offsets) == [1] and list(signs) == [1.0]
+
+    def test_rejects_4d(self):
+        with pytest.raises(ShapeError):
+            neighbor_offsets((2, 2, 2, 2))
+
+
+class TestLorenzoPredict:
+    def test_exact_on_planes_2d(self):
+        """The 1-layer 2D Lorenzo predictor reproduces any plane exactly."""
+        i, j = np.mgrid[0:20, 0:30]
+        data = 3.0 + 2.0 * i - 1.5 * j
+        pred = lorenzo_predict(data)
+        err = (data - pred)[1:, 1:]
+        assert np.abs(err).max() < 1e-9
+
+    def test_residual_is_mixed_second_difference(self):
+        """On a bilinear surface the residual equals the ij coefficient."""
+        i, j = np.mgrid[0:20, 0:30]
+        data = 3.0 + 2.0 * i - 1.5 * j + 0.25 * i * j
+        pred = lorenzo_predict(data)
+        err = (data - pred)[1:, 1:]
+        assert np.allclose(err, 0.25)
+
+    def test_exact_on_trilinear_3d(self):
+        i, j, k = np.mgrid[0:8, 0:9, 0:10]
+        data = (1.0 + i) * (2.0 + j) * (0.5 + k)
+        pred = lorenzo_predict(data)
+        err = (data - pred)[1:, 1:, 1:]
+        # Residual of the 3D stencil is the third mixed difference of ijk:
+        # for a product form it is constant 1*1*1.
+        assert np.allclose(err, 1.0)
+
+    def test_1d_is_previous_value(self):
+        data = np.array([5.0, 7.0, 2.0])
+        pred = lorenzo_predict(data)
+        assert np.isnan(pred[0])
+        assert pred[1] == 5.0 and pred[2] == 7.0
+
+    def test_borders_are_nan(self):
+        data = np.ones((4, 5))
+        pred = lorenzo_predict(data)
+        assert np.isnan(pred[0, :]).all()
+        assert np.isnan(pred[:, 0]).all()
+        assert not np.isnan(pred[1:, 1:]).any()
+
+    def test_matches_explicit_formula_2d(self):
+        rng = np.random.default_rng(0)
+        d = rng.normal(size=(6, 7))
+        pred = lorenzo_predict(d)
+        for x in range(1, 6):
+            for y in range(1, 7):
+                expected = d[x - 1, y] + d[x, y - 1] - d[x - 1, y - 1]
+                assert pred[x, y] == pytest.approx(expected)
+
+    def test_matches_explicit_formula_3d(self):
+        rng = np.random.default_rng(1)
+        d = rng.normal(size=(4, 5, 6))
+        pred = lorenzo_predict(d)
+        x, y, z = 2, 3, 4
+        expected = (
+            d[x - 1, y, z] + d[x, y - 1, z] + d[x, y, z - 1]
+            - d[x - 1, y - 1, z] - d[x - 1, y, z - 1] - d[x, y - 1, z - 1]
+            + d[x - 1, y - 1, z - 1]
+        )
+        assert pred[x, y, z] == pytest.approx(expected)
+
+    def test_smoother_field_smaller_residual(self, smooth2d, rough2d):
+        """Lorenzo exploits smoothness: residuals shrink with correlation."""
+        def resid(d):
+            p = lorenzo_predict(d.astype(np.float64))
+            e = (d - p)[1:, 1:]
+            return np.std(e) / (d.max() - d.min())
+
+        assert resid(smooth2d) < resid(rough2d) / 5
+
+    def test_rejects_4d(self):
+        with pytest.raises(ShapeError):
+            lorenzo_predict(np.zeros((2, 2, 2, 2)))

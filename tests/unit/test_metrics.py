@@ -1,0 +1,125 @@
+"""Unit tests for PSNR/RMSE, ratio accounting and error histograms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ErrorBoundViolation
+from repro.metrics import (
+    border_adjusted_ratio,
+    error_histogram,
+    max_abs_error,
+    prediction_error_series,
+    psnr,
+    ratio,
+    rmse,
+    verify_error_bound,
+)
+from repro.types import CompressionStats
+
+
+class TestErrorMetrics:
+    def test_rmse_known_value(self):
+        a = np.array([0.0, 0.0, 0.0, 0.0])
+        b = np.array([1.0, -1.0, 1.0, -1.0])
+        assert rmse(a, b) == pytest.approx(1.0)
+
+    def test_psnr_paper_definition(self):
+        """PSNR = 20 log10(range / RMSE) — §4.1."""
+        orig = np.array([0.0, 1.0] * 100)
+        dec = orig + 1e-3
+        expected = 20 * math.log10(1.0 / 1e-3)
+        assert psnr(orig, dec) == pytest.approx(expected)
+
+    def test_psnr_infinite_for_exact(self):
+        x = np.arange(10.0)
+        assert psnr(x, x.copy()) == math.inf
+
+    def test_uniform_quant_error_baseline(self):
+        """Uniform error in [-p, p] on a unit-range field gives the
+        ~64.8 dB floor seen throughout Table 8."""
+        rng = np.random.default_rng(0)
+        orig = rng.uniform(0, 1, 200000)
+        dec = orig + rng.uniform(-1e-3, 1e-3, orig.size)
+        base = 20 * math.log10(math.sqrt(3.0) / 1e-3)
+        assert psnr(orig, dec) == pytest.approx(base, abs=0.3)
+
+    def test_max_abs_error(self):
+        a = np.zeros(5)
+        b = np.array([0.0, -0.5, 0.2, 0.0, 0.1])
+        assert max_abs_error(a, b) == 0.5
+
+    def test_verify_error_bound(self):
+        a = np.zeros(4)
+        b = np.full(4, 1e-4)
+        assert verify_error_bound(a, b, 1e-3)
+        with pytest.raises(ErrorBoundViolation):
+            verify_error_bound(a, b, 1e-5)
+        assert not verify_error_bound(a, b, 1e-5, raise_on_fail=False)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(4))
+
+
+def _stats(compressed=100, border=20, outlier=10):
+    return CompressionStats(
+        original_bytes=4000,
+        compressed_bytes=compressed,
+        encoded_code_bytes=compressed - border - outlier,
+        outlier_bytes=outlier,
+        border_bytes=border,
+        n_points=1000,
+        n_unpredictable=5,
+        n_border=5,
+    )
+
+
+class TestRatioAccounting:
+    def test_ratio(self):
+        assert ratio(_stats()) == pytest.approx(40.0)
+
+    def test_border_adjusted(self):
+        s = _stats()
+        assert border_adjusted_ratio(s, count_borders=True) == ratio(s)
+        assert border_adjusted_ratio(s, count_borders=False) == pytest.approx(50.0)
+
+    def test_bit_rate(self):
+        assert _stats().bit_rate == pytest.approx(0.8)
+
+    def test_unpredictable_fraction(self):
+        assert _stats().unpredictable_fraction == pytest.approx(0.005)
+
+
+class TestHistograms:
+    def test_error_histogram_symmetric_bins(self):
+        e = np.array([-1.0, 1.0, 0.0, 0.5, np.nan])
+        centres, counts = error_histogram(e, bins=5)
+        assert counts.sum() == 4  # NaN ignored
+        assert centres[0] == pytest.approx(-centres[-1])
+
+    def test_error_histogram_explicit_range(self):
+        e = np.linspace(-2, 2, 100)
+        centres, counts = error_histogram(e, bins=4, value_range=(-1, 1))
+        assert counts.sum() in (50, 51)  # only |e| <= 1 (edge binning)
+
+    def test_prediction_error_series_figure1_ordering(self, saturated2d):
+        """Figure 1: LP-SZ-1.4 errors are the most concentrated and
+        CF-GhostSZ the widest."""
+        series = prediction_error_series(saturated2d.astype(np.float64))
+        stds = {
+            k: np.nanstd(v[np.isfinite(v)]) for k, v in series.items()
+        }
+        assert stds["LP-SZ-1.4"] < stds["CF-SZ-1.0"] * 2.5
+        assert stds["CF-GhostSZ"] > stds["LP-SZ-1.4"]
+
+    def test_prediction_error_series_keys(self, smooth2d):
+        series = prediction_error_series(smooth2d)
+        assert set(series) == {"LP-SZ-1.4", "CF-SZ-1.0", "CF-GhostSZ"}
+        for v in series.values():
+            assert v.size == smooth2d.size
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            prediction_error_series(np.zeros(5))

@@ -1,0 +1,127 @@
+"""Unit tests for the multi-layer Lorenzo option (SZ-1.4 feature)."""
+
+import numpy as np
+import pytest
+
+from repro.config import QuantizerConfig
+from repro.errors import ShapeError
+from repro.sz import SZ14Compressor
+from repro.sz.lorenzo import lorenzo_predict, neighbor_offsets
+from repro.sz.pqd import pqd_compress, pqd_decompress
+from repro.sz.wavefront_index import interior_wavefronts
+
+Q = QuantizerConfig()
+
+
+class TestLayer2Stencil:
+    def test_offsets_count_2d(self):
+        offsets, signs = neighbor_offsets((10, 10), layers=2)
+        assert offsets.size == 8  # 3x3 box minus the point itself
+
+    def test_offsets_count_3d(self):
+        offsets, signs = neighbor_offsets((10, 10, 10), layers=2)
+        assert offsets.size == 26
+
+    def test_coefficients_sum_to_one(self):
+        """Any Lorenzo stencil reproduces constants: coefficients sum to 1."""
+        for layers in (1, 2, 3):
+            _, signs = neighbor_offsets((20, 20), layers=layers)
+            assert signs.sum() == pytest.approx(1.0)
+
+    def test_binomial_coefficients_2d(self):
+        offsets, signs = neighbor_offsets((10, 10), layers=2)
+        stencil = dict(zip(offsets.tolist(), signs.tolist()))
+        # (di,dj)=(1,1): -C(2,1)C(2,1) = -4;  (2,2): -C(2,2)C(2,2)... sign
+        # (-1)^(4+1) = -1 -> -1;  (1,0): +2;  (2,0): -1.
+        assert stencil[10 + 1] == -4.0  # (1,1)
+        assert stencil[10] == 2.0  # (1,0)
+        assert stencil[20] == -1.0  # (2,0)
+        assert stencil[22] == -1.0  # (2,2)
+
+    def test_noise_amplification_grows_with_layers(self):
+        """Why layer 1 usually wins: deeper stencils amplify the quantization
+        noise of the neighbours they read."""
+        _, s1 = neighbor_offsets((20, 20), layers=1)
+        _, s2 = neighbor_offsets((20, 20), layers=2)
+        assert np.abs(s2).sum() > 3 * np.abs(s1).sum()
+
+    def test_open_loop_exact_on_quadratics(self):
+        i, j = np.mgrid[0:20, 0:25]
+        quad = 0.5 * i * i - 0.2 * j * j + 0.3 * i * j + i - 2 * j + 5
+        pred = lorenzo_predict(quad, layers=2)
+        err = (quad - pred)[2:, 2:]
+        assert np.abs(err).max() < 1e-8
+
+    def test_layer1_not_exact_on_quadratics(self):
+        i, j = np.mgrid[0:20, 0:25]
+        quad = 0.3 * i * j
+        pred = lorenzo_predict(quad, layers=1)
+        assert np.abs((quad - pred)[1:, 1:]).max() > 0.2
+
+    def test_open_loop_border_is_nan(self):
+        pred = lorenzo_predict(np.ones((8, 8)), layers=2)
+        assert np.isnan(pred[:2, :]).all()
+        assert np.isnan(pred[:, :2]).all()
+        assert not np.isnan(pred[2:, 2:]).any()
+
+    def test_rejects_bad_layers(self):
+        with pytest.raises(ShapeError):
+            neighbor_offsets((5, 5), layers=0)
+        with pytest.raises(ShapeError):
+            lorenzo_predict(np.ones((8, 8)), layers=4)
+        with pytest.raises(ShapeError):
+            lorenzo_predict(np.ones((2, 8)), layers=2)  # too small
+
+
+class TestWavefrontMargin:
+    @pytest.mark.parametrize("shape", [(8, 10), (5, 6, 7)])
+    def test_margin2_covers_interior_once(self, shape):
+        groups = interior_wavefronts(shape, 2)
+        all_idx = np.concatenate(groups)
+        expected = int(np.prod([n - 2 for n in shape]))
+        assert all_idx.size == expected
+        assert np.unique(all_idx).size == all_idx.size
+
+    def test_margin2_dependencies_resolved(self):
+        shape = (8, 10)
+        offsets, _ = neighbor_offsets(shape, layers=2)
+        done = np.zeros(80, dtype=bool)
+        grid = np.indices(shape)
+        done[np.flatnonzero((grid < 2).any(axis=0).reshape(-1))] = True
+        for group in interior_wavefronts(shape, 2):
+            for off in offsets:
+                assert done[group - off].all()
+            done[group] = True
+        assert done.all()
+
+
+class TestEngineLayer2:
+    @pytest.mark.parametrize("layers", [1, 2, 3])
+    def test_roundtrip_2d(self, smooth2d, layers):
+        res = pqd_compress(smooth2d, 1e-3, Q, border="padded", layers=layers)
+        rec = pqd_decompress(
+            res.codes, res.border_values, res.outlier_values,
+            precision=1e-3, quant=Q, dtype=np.float32,
+            border="padded", layers=layers,
+        )
+        assert (rec == res.decompressed).all()
+        assert np.abs(rec.astype(np.float64) - smooth2d).max() <= 1e-3
+
+    def test_roundtrip_3d(self, smooth3d):
+        res = pqd_compress(smooth3d, 1e-3, Q, border="padded", layers=2)
+        rec = pqd_decompress(
+            res.codes, res.border_values, res.outlier_values,
+            precision=1e-3, quant=Q, dtype=np.float32,
+            border="padded", layers=2,
+        )
+        assert (rec == res.decompressed).all()
+
+    def test_layers_require_padded(self, smooth2d):
+        with pytest.raises(ShapeError):
+            pqd_compress(smooth2d, 1e-3, Q, border="verbatim", layers=2)
+
+    def test_sz14_layers_end_to_end(self, smooth2d):
+        c = SZ14Compressor(layers=2)
+        cf = c.compress(smooth2d, 1e-3, "vr_rel")
+        out = c.decompress(cf)
+        assert np.abs(out.astype(np.float64) - smooth2d).max() <= cf.bound.absolute

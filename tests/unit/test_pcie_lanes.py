@@ -1,0 +1,64 @@
+"""Unit tests for PCIe link caps and multi-lane scaling (Figure 8)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.fpga.device import FPGADevice, ZC706
+from repro.fpga.lanes import max_lanes_by_bram, scale_lanes
+from repro.fpga.pcie import PCIE_GEN2_X4, PCIE_GEN3_X4, PCIeLink
+
+
+class TestPCIe:
+    def test_gen2_x4_is_2GBps(self):
+        """The 'peak perf for ZC706' line of Figure 8."""
+        assert PCIE_GEN2_X4.mb_per_s == pytest.approx(2000.0)
+
+    def test_gen3_x4_is_3_94GBps(self):
+        assert PCIE_GEN3_X4.mb_per_s == pytest.approx(3938.46, rel=1e-3)
+
+    def test_encoding_overheads(self):
+        # 8b/10b costs 20 %, 128b/130b costs ~1.5 %.
+        assert PCIeLink(2, 1).gbit_per_lane == pytest.approx(4.0)
+        assert PCIeLink(3, 1).gbit_per_lane == pytest.approx(8 * 128 / 130)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            PCIeLink(9, 4)
+        with pytest.raises(ModelError):
+            PCIeLink(2, 3)
+
+
+class TestLaneScaling:
+    def test_linear_until_pcie(self):
+        s1 = scale_lanes("waveSZ", 838.0, 1)
+        s2 = scale_lanes("waveSZ", 838.0, 2)
+        assert s2.mb_per_s == pytest.approx(2 * s1.mb_per_s)
+        assert s1.limited_by == "lanes"
+
+    def test_pcie_cap_reached(self):
+        s = scale_lanes("waveSZ", 995.0, 3)
+        assert s.mb_per_s == pytest.approx(PCIE_GEN2_X4.mb_per_s)
+        assert s.limited_by == "pcie"
+
+    def test_gen3_raises_the_roof(self):
+        g2 = scale_lanes("waveSZ", 995.0, 4, pcie=PCIE_GEN2_X4)
+        g3 = scale_lanes("waveSZ", 995.0, 4, pcie=PCIE_GEN3_X4)
+        assert g3.mb_per_s > g2.mb_per_s
+
+    def test_bram_limits_lane_count(self):
+        """gzip's 303 BRAM per lane bounds ZC706 deployments at 3 lanes."""
+        assert max_lanes_by_bram(3) == 3
+        tiny = FPGADevice("tiny", bram_18k=340, dsp48e=10, ff=10**5, lut=10**5)
+        assert max_lanes_by_bram(3, tiny) == 0
+
+    def test_bram_limit_reported(self):
+        big_link = PCIeLink(4, 16)  # remove the PCIe cap
+        s = scale_lanes("waveSZ", 100.0, 32, pcie=big_link)
+        assert s.limited_by == "bram"
+        assert s.mb_per_s == pytest.approx(300.0)  # 3 lanes worth
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            scale_lanes("x", 100.0, 0)
+        with pytest.raises(ModelError):
+            scale_lanes("x", -1.0, 1)

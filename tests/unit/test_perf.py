@@ -1,0 +1,26 @@
+"""Unit tests for the wall-clock measurement utilities."""
+
+import numpy as np
+
+from repro.perf import MeasuredThroughput, measure_compressor
+from repro.sz import SZ14Compressor
+
+
+class TestMeasure:
+    def test_measure_returns_positive_rates(self, smooth2d):
+        timing, cf = measure_compressor(SZ14Compressor(), smooth2d, 1e-3)
+        assert timing.variant == "SZ-1.4"
+        assert timing.n_points == smooth2d.size
+        assert timing.compress_s > 0 and timing.decompress_s > 0
+        assert timing.compress_mb_s > 0
+        assert cf is not None
+
+    def test_repeats_take_minimum(self, smooth2d):
+        t1, _ = measure_compressor(SZ14Compressor(), smooth2d, 1e-3, repeats=2)
+        assert t1.compress_s > 0
+
+    def test_rates_derived_consistently(self):
+        m = MeasuredThroughput("x", n_points=1_000_000, compress_s=1.0,
+                               decompress_s=2.0)
+        assert m.compress_mb_s == 4.0
+        assert m.decompress_mb_s == 2.0

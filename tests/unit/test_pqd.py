@@ -1,0 +1,136 @@
+"""Unit tests for the closed-loop PQD engine."""
+
+import numpy as np
+import pytest
+
+from repro.config import QuantizerConfig
+from repro.errors import DTypeError, ShapeError
+from repro.sz.pqd import pqd_compress, pqd_decompress
+from repro.sz.unpredictable import truncate_roundtrip
+
+Q = QuantizerConfig()
+P = 1e-3
+
+
+def _decompress_of(res, border, p=P, dtype=np.float32):
+    if border == "truncate":
+        bvals = truncate_roundtrip(res.border_values, p)
+        ovals = truncate_roundtrip(res.outlier_values, p)
+    else:
+        bvals, ovals = res.border_values, res.outlier_values
+    return pqd_decompress(
+        res.codes, bvals, ovals, precision=p, quant=Q, dtype=dtype, border=border
+    )
+
+
+class TestCompressDecompress:
+    @pytest.mark.parametrize("border", ["truncate", "verbatim", "padded"])
+    def test_2d_roundtrip_bitexact(self, smooth2d, border):
+        res = pqd_compress(smooth2d, P, Q, border=border)
+        rec = _decompress_of(res, border)
+        assert (rec == res.decompressed).all()
+
+    @pytest.mark.parametrize("border", ["truncate", "verbatim", "padded"])
+    def test_2d_error_bound(self, smooth2d, border):
+        res = pqd_compress(smooth2d, P, Q, border=border)
+        assert np.abs(res.decompressed.astype(np.float64) - smooth2d).max() <= P
+
+    @pytest.mark.parametrize("border", ["verbatim", "padded"])
+    def test_3d_roundtrip(self, smooth3d, border):
+        res = pqd_compress(smooth3d, P, Q, border=border)
+        rec = _decompress_of(res, border)
+        assert (rec == res.decompressed).all()
+        assert np.abs(rec.astype(np.float64) - smooth3d).max() <= P
+
+    def test_1d_roundtrip(self, ramp1d):
+        res = pqd_compress(ramp1d, P, Q, border="verbatim")
+        rec = _decompress_of(res, "verbatim")
+        assert (rec == res.decompressed).all()
+
+    def test_rough_field_produces_outliers(self, rough2d):
+        tiny = 1e-9  # bound far below the noise level -> overflow cases
+        q8 = QuantizerConfig(bits=8)
+        res = pqd_compress(rough2d, tiny, q8, border="verbatim")
+        assert res.n_outliers > 0
+        rec = pqd_decompress(
+            res.codes, res.border_values, res.outlier_values,
+            precision=tiny, quant=q8, dtype=np.float32, border="verbatim",
+        )
+        assert np.abs(rec.astype(np.float64) - rough2d).max() <= tiny
+
+    def test_float64_supported(self, smooth2d):
+        d64 = smooth2d.astype(np.float64)
+        res = pqd_compress(d64, P, Q, border="verbatim")
+        assert res.decompressed.dtype == np.float64
+        assert np.abs(res.decompressed - d64).max() <= P
+
+
+class TestBorderSemantics:
+    def test_verbatim_borders_are_exact(self, smooth2d):
+        res = pqd_compress(smooth2d, P, Q, border="verbatim")
+        assert (res.decompressed[0, :] == smooth2d[0, :]).all()
+        assert (res.decompressed[:, 0] == smooth2d[:, 0]).all()
+
+    def test_truncate_borders_within_bound_but_lossy(self, smooth2d):
+        res = pqd_compress(smooth2d, P, Q, border="truncate")
+        b = res.decompressed[0, :]
+        assert (np.abs(b.astype(np.float64) - smooth2d[0, :]) <= P).all()
+        assert (b != smooth2d[0, :]).any()  # truncation actually dropped bits
+
+    def test_padded_has_no_border_stream(self, smooth2d):
+        res = pqd_compress(smooth2d, P, Q, border="padded")
+        assert res.border_values.size == 0
+        assert res.n_border == 0
+
+    def test_padded_first_point_is_outlier(self, smooth2d):
+        """Production SZ stores the origin verbatim (see pqd.py comment)."""
+        res = pqd_compress(smooth2d, P, Q, border="padded")
+        assert res.outlier_mask.reshape(-1)[0]
+        assert res.outlier_values[0] == smooth2d[0, 0]
+        assert res.decompressed[0, 0] == smooth2d[0, 0]
+
+    def test_border_mask_consistent(self, smooth3d):
+        res = pqd_compress(smooth3d, P, Q, border="verbatim")
+        grid = np.indices(smooth3d.shape)
+        expected = (grid == 0).any(axis=0)
+        assert (res.border_mask == expected).all()
+        assert res.border_values.size == expected.sum()
+
+
+class TestValidation:
+    def test_rejects_int_data(self):
+        with pytest.raises(DTypeError):
+            pqd_compress(np.zeros((4, 4), dtype=np.int32), P, Q)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            pqd_compress(np.empty((0, 4), dtype=np.float32), P, Q)
+
+    def test_rejects_thin_dims(self):
+        with pytest.raises(ShapeError):
+            pqd_compress(np.zeros((1, 8), dtype=np.float32), P, Q)
+
+    def test_decompress_stream_length_checked(self, smooth2d):
+        res = pqd_compress(smooth2d, P, Q, border="verbatim")
+        with pytest.raises(ShapeError):
+            pqd_decompress(
+                res.codes,
+                res.border_values[:-1],  # short border stream
+                res.outlier_values,
+                precision=P, quant=Q, dtype=np.float32, border="verbatim",
+            )
+
+
+class TestOrderIndependenceOfStats:
+    def test_codes_grid_shape(self, smooth2d):
+        res = pqd_compress(smooth2d, P, Q, border="verbatim")
+        assert res.codes.shape == smooth2d.shape
+        # Borders are never quantized.
+        assert (res.codes[0, :] == 0).all()
+        assert (res.codes[:, 0] == 0).all()
+
+    def test_outlier_values_in_raster_order(self, rough2d):
+        q8 = QuantizerConfig(bits=8)
+        res = pqd_compress(rough2d, 1e-9, q8, border="verbatim")
+        idx = np.flatnonzero(res.outlier_mask.reshape(-1))
+        assert (res.outlier_values == rough2d.reshape(-1)[idx]).all()

@@ -1,0 +1,109 @@
+"""Unit tests for the pointwise-relative logarithmic preprocessing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DTypeError
+from repro.sz import SZ14Compressor
+from repro.sz.preprocess import (
+    LogTransform,
+    forward_log2,
+    inverse_log2,
+    pw_rel_abs_bound,
+)
+
+
+class TestTransform:
+    def test_forward_inverse_identity_without_quantization(self):
+        x = np.array([1.0, -2.5, 0.0, 1e-6, -1e6], dtype=np.float64)
+        t = forward_log2(x)
+        back = inverse_log2(t.log_values, t.negative, t.zero)
+        assert back[2] == 0.0
+        nz = x != 0
+        assert np.allclose(back[nz], x[nz], rtol=1e-12)
+
+    def test_signs_and_zeros_recorded(self):
+        x = np.array([[1.0, -1.0], [0.0, 4.0]], dtype=np.float32)
+        t = forward_log2(x)
+        assert t.negative.tolist() == [[False, True], [False, False]]
+        assert t.zero.tolist() == [[False, False], [True, False]]
+
+    def test_zero_filler_is_smooth_minimum(self):
+        x = np.array([4.0, 0.0, 0.25], dtype=np.float32)
+        t = forward_log2(x)
+        assert t.log_values[1] == t.log_values[2] == -2.0  # log2(0.25)
+
+    def test_mask_serialization_roundtrip(self):
+        x = np.array([[1.0, -1.0, 0.0]] * 3, dtype=np.float32)
+        t = forward_log2(x)
+        neg, zero = t.masks_to_bytes()
+        n2, z2 = LogTransform.masks_from_bytes(neg, zero, x.shape)
+        assert (n2 == t.negative).all()
+        assert (z2 == t.zero).all()
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(DTypeError):
+            forward_log2(np.array([1.0, np.inf], dtype=np.float32))
+
+    def test_rejects_int(self):
+        with pytest.raises(DTypeError):
+            forward_log2(np.array([1, 2]))
+
+
+class TestBoundMath:
+    def test_bound_below_log2_1p(self):
+        for eb in (1e-1, 1e-2, 1e-3, 1e-4):
+            b = pw_rel_abs_bound(eb)
+            assert 0 < b < math.log2(1 + eb)
+
+    def test_rejects_out_of_range(self):
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ConfigError):
+                pw_rel_abs_bound(bad)
+
+
+class TestSZ14PwRel:
+    @pytest.fixture(scope="class")
+    def signed_field(self):
+        rng = np.random.default_rng(11)
+        x = (np.cumsum(rng.normal(size=(40, 60)), axis=1) * 10).astype(np.float32)
+        x[np.abs(x) < 0.4] = 0.0
+        return x
+
+    @pytest.mark.parametrize("eb", [1e-1, 1e-2, 1e-3])
+    def test_relative_bound_strict(self, signed_field, eb):
+        c = SZ14Compressor()
+        cf = c.compress(signed_field, eb, "pw_rel")
+        out = c.decompress(cf)
+        nz = signed_field != 0
+        rel = np.abs(out[nz].astype(np.float64) / signed_field[nz] - 1.0)
+        assert rel.max() <= eb
+
+    def test_zeros_exact_and_signs_preserved(self, signed_field):
+        c = SZ14Compressor()
+        out = c.decompress(c.compress(signed_field, 1e-2, "pw_rel"))
+        assert (out[signed_field == 0] == 0).all()
+        nz = signed_field != 0
+        assert (np.sign(out[nz]) == np.sign(signed_field[nz])).all()
+
+    def test_looser_bound_higher_ratio(self, signed_field):
+        c = SZ14Compressor()
+        loose = c.compress(signed_field, 1e-1, "pw_rel").stats.ratio
+        tight = c.compress(signed_field, 1e-3, "pw_rel").stats.ratio
+        assert loose > tight
+
+    def test_wide_dynamic_range_advantage(self):
+        """PW_REL's point: on data spanning decades, a relative bound
+        preserves small values that a VR-REL bound would flatten."""
+        rng = np.random.default_rng(12)
+        base = np.exp(rng.normal(size=(40, 60)) * 3).astype(np.float32)
+        c = SZ14Compressor()
+        out_pw = c.decompress(c.compress(base, 1e-2, "pw_rel"))
+        out_vr = c.decompress(c.compress(base, 1e-2, "vr_rel"))
+        small = base < np.percentile(base, 10)
+        rel_pw = np.abs(out_pw[small] / base[small] - 1).max()
+        rel_vr = np.abs(out_vr[small] / base[small] - 1).max()
+        assert rel_pw <= 1e-2
+        assert rel_vr > rel_pw  # VR-REL ruins the small values

@@ -1,0 +1,136 @@
+"""Unit tests for the Algorithm 1 linear-scaling quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.config import QuantizerConfig
+from repro.errors import ConfigError
+from repro.sz.quantizer import quantize_scalar, quantize_vector, reconstruct
+
+Q16 = QuantizerConfig()
+Q8 = QuantizerConfig(bits=8)
+
+
+class TestScalarAlgorithm1:
+    @pytest.mark.parametrize(
+        "diff_in_p,expected_offset",
+        [
+            (0.0, 0),  # exact prediction -> code r
+            (0.5, 0),  # within p -> code r (error = diff)
+            (1.5, 1),  # rounds to one bin up
+            (2.5, 1),
+            (3.5, 2),
+            (-0.5, 0),
+            (-1.5, -1),
+            (-2.5, -1),
+            (-3.5, -2),
+        ],
+    )
+    def test_rounding_matches_nearest_even_bin(self, diff_in_p, expected_offset):
+        p = 0.01
+        pred = 1.0
+        d = pred + diff_in_p * p
+        code, d_re = quantize_scalar(d, pred, p, Q16)
+        assert code == Q16.radius + expected_offset
+        assert abs(d_re - d) <= p
+
+    def test_equivalence_with_round_to_nearest(self):
+        """code - r must equal round(diff / 2p) with ties toward zero."""
+        rng = np.random.default_rng(0)
+        p = 0.003
+        for _ in range(500):
+            pred = rng.normal()
+            diff = rng.normal() * 10 * p
+            d = pred + diff
+            code, _ = quantize_scalar(d, pred, p, Q16)
+            if code == 0:
+                continue
+            k = code - Q16.radius
+            expected = diff / (2 * p)
+            assert abs(k - expected) <= 0.5 + 1e-9
+
+    def test_bound_always_held_when_quantizable(self):
+        rng = np.random.default_rng(1)
+        p = 1e-3
+        for _ in range(1000):
+            pred = rng.normal()
+            d = pred + rng.normal() * 5 * p
+            code, d_re = quantize_scalar(d, pred, p, Q16)
+            if code:
+                assert abs(d_re - d) <= p
+
+    def test_overflow_returns_zero(self):
+        p = 1e-3
+        d = 0.0
+        pred = d + p * Q8.capacity * 2  # way out of range
+        code, d_re = quantize_scalar(d, pred, p, Q8)
+        assert code == 0
+        assert d_re == d  # original value passes through
+
+    def test_nonpositive_precision_rejected(self):
+        with pytest.raises(ConfigError):
+            quantize_scalar(1.0, 0.0, 0.0, Q16)
+
+    def test_code_zero_reserved(self):
+        """No quantizable point may produce code 0 (it means unpredictable)."""
+        p = 1e-2
+        rng = np.random.default_rng(2)
+        for _ in range(2000):
+            pred = rng.normal()
+            d = pred + rng.normal() * p * 100
+            code, _ = quantize_scalar(d, pred, p, Q8)
+            assert 0 <= code < Q8.capacity
+
+
+class TestVectorized:
+    def test_matches_scalar_oracle(self):
+        rng = np.random.default_rng(3)
+        p = 2.5e-3
+        pred = rng.normal(size=4000)
+        d = pred + rng.normal(size=4000) * 20 * p
+        codes, d_out = quantize_vector(d, pred, p, Q16, np.float64)
+        for i in range(0, 4000, 37):  # spot-check against the oracle
+            c, dr = quantize_scalar(float(d[i]), float(pred[i]), p, Q16)
+            assert codes[i] == c
+            assert d_out[i] == pytest.approx(dr, abs=0)
+
+    def test_float32_rounding_respected(self):
+        """The bound check runs on the float32-rounded reconstruction."""
+        rng = np.random.default_rng(4)
+        p = 1e-3
+        pred = rng.normal(size=5000).astype(np.float64) * 1000
+        d = pred + rng.normal(size=5000) * 3 * p
+        codes, d_out = quantize_vector(d, pred, p, Q16, np.float32)
+        ok = codes != 0
+        assert (np.abs(d_out[ok].astype(np.float64) - d[ok]) <= p).all()
+
+    def test_unpredictable_passthrough(self):
+        p = 1e-6
+        pred = np.zeros(4)
+        d = np.array([0.0, 1.0, -1.0, 5e-7])
+        codes, d_out = quantize_vector(d, pred, p, Q8, np.float64)
+        assert codes[1] == 0 and codes[2] == 0
+        assert d_out[1] == 1.0 and d_out[2] == -1.0
+        assert codes[0] != 0 and codes[3] != 0
+
+    def test_reconstruct_inverts_codes(self):
+        rng = np.random.default_rng(5)
+        p = 1e-3
+        pred = rng.normal(size=1000)
+        d = pred + rng.normal(size=1000) * 4 * p
+        codes, d_out = quantize_vector(d, pred, p, Q16, np.float64)
+        rec = reconstruct(codes, pred, p, Q16, np.float64)
+        ok = codes != 0
+        assert (rec[ok] == d_out[ok]).all()
+        assert np.isnan(rec[~ok]).all()
+
+    def test_capacity_boundary(self):
+        """Largest representable code is capacity-1; one more overflows."""
+        p = 1.0
+        pred = np.zeros(2)
+        r = Q8.radius
+        near = (Q8.capacity - 2) * p  # diff/p just inside
+        over = (Q8.capacity + 2) * p
+        codes, _ = quantize_vector(np.array([near, over]), pred, p, Q8, np.float64)
+        assert codes[0] != 0
+        assert codes[1] == 0

@@ -1,0 +1,65 @@
+"""Unit tests for the rate-distortion sweep utilities."""
+
+import numpy as np
+import pytest
+
+from repro import SZ14Compressor, WaveSZCompressor
+from repro.errors import ConfigError
+from repro.metrics import RDPoint, bd_rate_like, rd_sweep
+
+
+@pytest.fixture(scope="module")
+def curve_field(smooth2d):
+    return smooth2d
+
+
+class TestRDSweep:
+    def test_monotone_tradeoff(self, curve_field):
+        pts = rd_sweep(SZ14Compressor(), curve_field, [1e-1, 1e-2, 1e-3, 1e-4])
+        rates = [p.bit_rate for p in pts]
+        psnrs = [p.psnr_db for p in pts]
+        assert all(b > a for a, b in zip(rates, rates[1:]))  # tighter -> more bits
+        assert all(b > a for a, b in zip(psnrs, psnrs[1:]))  # tighter -> better
+
+    def test_psnr_slope_about_20db_per_decade(self, curve_field):
+        """The classic SZ rate-distortion slope (uniform-error regime)."""
+        pts = rd_sweep(SZ14Compressor(), curve_field, [1e-2, 1e-3])
+        assert pts[1].psnr_db - pts[0].psnr_db == pytest.approx(20.0, abs=4.0)
+
+    def test_points_record_inputs(self, curve_field):
+        pts = rd_sweep(SZ14Compressor(), curve_field, [1e-3])
+        assert pts[0].eb == 1e-3
+        assert pts[0].ratio == pytest.approx(32.0 / pts[0].bit_rate)
+
+    def test_empty_bounds_rejected(self, curve_field):
+        with pytest.raises(ConfigError):
+            rd_sweep(SZ14Compressor(), curve_field, [])
+
+
+class TestBDRate:
+    def _mk(self, rates, psnrs):
+        return [RDPoint(eb=0, bit_rate=r, psnr_db=q, ratio=32 / r)
+                for r, q in zip(rates, psnrs)]
+
+    def test_identical_curves_zero(self):
+        a = self._mk([1, 2, 4], [60, 70, 80])
+        assert bd_rate_like(a, a) == pytest.approx(0.0)
+
+    def test_half_rate_candidate_minus_50(self):
+        ref = self._mk([2, 4, 8], [60, 70, 80])
+        cand = self._mk([1, 2, 4], [60, 70, 80])
+        assert bd_rate_like(ref, cand) == pytest.approx(-50.0)
+
+    def test_sign_convention_on_real_codecs(self, curve_field):
+        """waveSZ H*G* vs SZ-1.4: nearby curves, |BD| modest."""
+        bounds = [1e-2, 1e-3, 1e-4]
+        ref = rd_sweep(SZ14Compressor(), curve_field, bounds)
+        cand = rd_sweep(WaveSZCompressor(use_huffman=True), curve_field, bounds)
+        delta = bd_rate_like(ref, cand)
+        assert -60 < delta < 60
+
+    def test_disjoint_curves_rejected(self):
+        a = self._mk([1, 2], [40, 50])
+        b = self._mk([1, 2], [80, 90])
+        with pytest.raises(ConfigError):
+            bd_rate_like(a, b)

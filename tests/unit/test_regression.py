@@ -1,0 +1,84 @@
+"""Unit tests for the SZ-2.0 blockwise regression predictor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sz.regression import (
+    coeff_steps,
+    dequantize_coeffs,
+    eval_plane,
+    fit_plane,
+    quantize_coeffs,
+)
+
+
+class TestFitPlane:
+    def test_exact_on_planes_2d(self):
+        i, j = np.mgrid[0:6, 0:6]
+        block = 2.0 + 0.5 * i - 1.25 * j
+        fit = fit_plane(block)
+        assert fit.coeffs == pytest.approx([2.0, 0.5, -1.25])
+        assert np.allclose(eval_plane(fit.coeffs, block.shape), block)
+
+    def test_exact_on_planes_3d(self):
+        i, j, k = np.mgrid[0:6, 0:6, 0:6]
+        block = 1.0 + 0.1 * i + 0.2 * j - 0.3 * k
+        fit = fit_plane(block)
+        assert fit.coeffs == pytest.approx([1.0, 0.1, 0.2, -0.3])
+
+    def test_least_squares_minimizes(self):
+        rng = np.random.default_rng(0)
+        block = rng.normal(size=(6, 6))
+        fit = fit_plane(block)
+        base_err = ((block - eval_plane(fit.coeffs, block.shape)) ** 2).sum()
+        for _ in range(20):
+            perturbed = fit.coeffs + rng.normal(size=3) * 0.01
+            err = ((block - eval_plane(perturbed, block.shape)) ** 2).sum()
+            assert err >= base_err - 1e-9
+
+    def test_constant_block(self):
+        block = np.full((4, 5), 7.5)
+        fit = fit_plane(block)
+        assert fit.coeffs == pytest.approx([7.5, 0.0, 0.0])
+
+    def test_degenerate_1_wide_axis(self):
+        block = np.array([[1.0, 2.0, 3.0]])
+        fit = fit_plane(block)  # axis 0 has zero variance -> slope 0
+        assert fit.coeffs[1] == 0.0
+        assert fit.coeffs[2] == pytest.approx(1.0)
+
+    def test_rejects_4d(self):
+        with pytest.raises(ShapeError):
+            fit_plane(np.zeros((2, 2, 2, 2)))
+
+
+class TestCoeffQuantization:
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(1)
+        p = 1e-3
+        shape = (6, 6)
+        for _ in range(50):
+            coeffs = rng.normal(size=3) * 10
+            codes = np.round(coeffs / coeff_steps(p, shape)).astype(np.int64)
+            back = dequantize_coeffs(codes, p, shape)
+            # Worst-case plane perturbation over the block stays below p:
+            # |db0| <= p/8 plus each slope amplified by (n-1) <= p/8 each.
+            worst = abs(back[0] - coeffs[0]) + sum(
+                abs(back[k + 1] - coeffs[k + 1]) * (shape[k] - 1)
+                for k in range(2)
+            )
+            assert worst <= p * 0.75
+
+    def test_quantize_uses_rounding(self):
+        p = 1e-2
+        shape = (6, 6)
+        fit = fit_plane(np.full(shape, 1.0))
+        codes = quantize_coeffs(fit, p, shape)
+        assert codes[0] == round(1.0 / (p / 4))
+
+    def test_slope_steps_scale_with_block(self):
+        p = 1e-3
+        small = coeff_steps(p, (6, 6))
+        big = coeff_steps(p, (12, 12))
+        assert big[1] < small[1]  # longer reach -> finer slope step

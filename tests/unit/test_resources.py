@@ -1,0 +1,84 @@
+"""Unit tests for the Table 6 resource model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.fpga.device import ZC706
+from repro.fpga.resources import (
+    GZIP_IP_BRAM,
+    design_resources,
+    ghostsz_resources,
+    wavesz_resources,
+)
+
+# Paper Table 6.
+PAPER_WAVESZ = dict(bram=9, dsp=0, ff=4473, lut=8208)
+PAPER_GHOSTSZ = dict(bram=20, dsp=51, ff=12615, lut=19718)
+
+
+class TestWaveSZResources:
+    def test_zero_dsp(self):
+        """§3.3: base-2 operation removes every DSP from the PQD path."""
+        assert wavesz_resources().dsp48e == 0
+
+    def test_bram_matches_paper(self):
+        assert wavesz_resources().bram_18k == PAPER_WAVESZ["bram"]
+
+    def test_ff_lut_within_5pct(self):
+        r = wavesz_resources()
+        assert abs(r.ff - PAPER_WAVESZ["ff"]) / PAPER_WAVESZ["ff"] < 0.05
+        assert abs(r.lut - PAPER_WAVESZ["lut"]) / PAPER_WAVESZ["lut"] < 0.05
+
+    def test_utilization_small(self):
+        """Table 6: waveSZ uses ~1 % FF / ~3.8 % LUT of the ZC706."""
+        util = wavesz_resources().utilization(ZC706)
+        assert util["FF"] < 1.5
+        assert util["LUT"] < 4.5
+        assert util["DSP48E"] == 0.0
+
+    def test_scales_with_lanes(self):
+        one = wavesz_resources(lanes=1)
+        three = wavesz_resources(lanes=3)
+        assert three.ff > 2.5 * one.ff
+        assert three.bram_18k == 3 * one.bram_18k
+
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(ModelError):
+            wavesz_resources(lanes=0)
+
+
+class TestGhostSZResources:
+    def test_totals_near_paper(self):
+        r = ghostsz_resources()
+        assert r.bram_18k == PAPER_GHOSTSZ["bram"]
+        assert abs(r.dsp48e - PAPER_GHOSTSZ["dsp"]) <= 5
+        assert abs(r.ff - PAPER_GHOSTSZ["ff"]) / PAPER_GHOSTSZ["ff"] < 0.05
+        assert abs(r.lut - PAPER_GHOSTSZ["lut"]) / PAPER_GHOSTSZ["lut"] < 0.05
+
+    def test_ghostsz_heavier_than_wavesz(self):
+        """The headline comparison: one GhostSZ pipeline outweighs three
+        waveSZ PQD lanes in every resource class."""
+        w = wavesz_resources()
+        g = ghostsz_resources()
+        assert g.ff > 2.0 * w.ff
+        assert g.lut > 2.0 * w.lut
+        assert g.dsp48e > w.dsp48e
+        assert g.bram_18k > w.bram_18k
+
+    def test_fits_device(self):
+        g = ghostsz_resources()
+        assert ZC706.fits(g.bram_18k, g.dsp48e, g.ff, g.lut)
+
+
+class TestDesignResources:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ModelError):
+            design_resources("x", {"warp_drive": 1})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ModelError):
+            design_resources("x", {"fadd_logic": -1})
+
+    def test_gzip_bram_constant(self):
+        """§4.2 cites 303 BRAMs for the Xilinx gzip IP."""
+        assert GZIP_IP_BRAM == 303

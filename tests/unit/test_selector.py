@@ -1,0 +1,66 @@
+"""Unit tests for the online SZ/ZFP selector (ref [53])."""
+
+import numpy as np
+import pytest
+
+from repro import SZ14Compressor
+from repro.errors import ConfigError, ContainerError
+from repro.selector import OnlineSelector
+from repro.zfp import ZFPCompressor
+
+
+@pytest.fixture(scope="module")
+def selector():
+    return OnlineSelector([SZ14Compressor(), ZFPCompressor()])
+
+
+class TestSelection:
+    def test_selects_and_roundtrips(self, selector, smooth2d):
+        res = selector.select(smooth2d, 1e-3, "vr_rel")
+        assert res.chosen in ("SZ-1.4", "ZFP-like")
+        assert set(res.estimates) == {"SZ-1.4", "ZFP-like"}
+        out = selector.decompress(res.compressed)
+        assert np.abs(out.astype(np.float64) - smooth2d).max() <= (
+            res.compressed.bound.absolute
+        )
+
+    def test_picks_the_better_candidate(self, selector, smooth2d):
+        res = selector.select(smooth2d, 1e-3, "vr_rel", sample_step=1)
+        full = {
+            c.name: c.compress(smooth2d, 1e-3, "vr_rel").stats.ratio
+            for c in (SZ14Compressor(), ZFPCompressor())
+        }
+        assert res.chosen == max(full, key=full.get)
+
+    def test_sample_estimates_track_full_ratios(self, selector, smooth2d):
+        res = selector.select(smooth2d, 1e-3, "vr_rel", sample_step=4)
+        full = SZ14Compressor().compress(smooth2d, 1e-3, "vr_rel").stats.ratio
+        est = res.estimates["SZ-1.4"]
+        assert 0.3 * full < est < 3 * full
+
+    def test_selector_never_below_both(self, selector, smooth3d):
+        res = selector.select(smooth3d, 1e-3, "vr_rel")
+        ratios = {
+            c.name: c.compress(smooth3d, 1e-3, "vr_rel").stats.ratio
+            for c in (SZ14Compressor(), ZFPCompressor())
+        }
+        assert res.compressed.stats.ratio >= min(ratios.values()) * 0.99
+
+    def test_decompress_dispatches_on_variant(self, selector, smooth2d):
+        cf = ZFPCompressor().compress(smooth2d, 1e-3)
+        out = selector.decompress(cf.payload)
+        assert out.shape == smooth2d.shape
+
+    def test_decompress_unknown_variant_rejected(self, smooth2d):
+        sel = OnlineSelector([ZFPCompressor()])
+        cf = SZ14Compressor().compress(smooth2d, 1e-3)
+        with pytest.raises(ContainerError):
+            sel.decompress(cf.payload)
+
+    def test_empty_selector_rejected(self):
+        with pytest.raises(ConfigError):
+            OnlineSelector([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError):
+            OnlineSelector([SZ14Compressor(), SZ14Compressor()])

@@ -1,0 +1,71 @@
+"""Unit tests for the shared stream serialization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.config import ErrorBoundMode, resolve_error_bound
+from repro.errors import ContainerError
+from repro.io.container import Container
+from repro.streams import (
+    bound_from_header,
+    bound_to_header,
+    decode_codes_huffman,
+    decode_codes_raw,
+    encode_codes_huffman,
+    encode_codes_raw,
+    values_from_bytes,
+    values_to_bytes,
+)
+
+
+class TestCodeStreams:
+    def test_huffman_roundtrip(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(32700, 32800, 5000)
+        c = Container(header={})
+        nbytes = encode_codes_huffman(c, codes)
+        assert nbytes > 0
+        assert (decode_codes_huffman(c) == codes).all()
+
+    def test_raw16_roundtrip(self):
+        rng = np.random.default_rng(1)
+        codes = rng.integers(0, 1 << 16, 3000)
+        c = Container(header={})
+        n = encode_codes_raw(c, codes, 16)
+        assert n == 6000
+        assert (decode_codes_raw(c) == codes).all()
+
+    def test_raw32_roundtrip(self):
+        codes = np.array([0, 1 << 20, (1 << 32) - 1])
+        c = Container(header={})
+        encode_codes_raw(c, codes, 32)
+        assert (decode_codes_raw(c) == codes).all()
+
+    def test_raw_rejects_wide(self):
+        with pytest.raises(ContainerError):
+            encode_codes_raw(Container(header={}), np.array([1]), 64)
+
+
+class TestValueStreams:
+    def test_float32_roundtrip(self):
+        vals = np.array([1.5, -2.25, 3e-7], dtype=np.float32)
+        blob = values_to_bytes(vals)
+        assert len(blob) == 12
+        assert (values_from_bytes(blob, 3, np.float32) == vals).all()
+
+    def test_float64_roundtrip(self):
+        vals = np.array([1.5, -2.25], dtype=np.float64)
+        assert (values_from_bytes(values_to_bytes(vals), 2, np.float64) == vals).all()
+
+
+class TestBoundHeaders:
+    def test_roundtrip_plain(self):
+        b = resolve_error_bound(np.array([0.0, 1.0]), 1e-3, ErrorBoundMode.VR_REL)
+        b2 = bound_from_header(bound_to_header(b))
+        assert b2 == b
+
+    def test_roundtrip_base2(self):
+        b = resolve_error_bound(np.array([0.0, 1.0]), 1e-3, "vr_rel", base2=True)
+        b2 = bound_from_header(bound_to_header(b))
+        assert b2 == b
+        assert b2.exponent == -10

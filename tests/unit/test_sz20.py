@@ -1,0 +1,97 @@
+"""Unit tests for the SZ-2.0 hybrid compressor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ContainerError, ShapeError
+from repro.sz import SZ14Compressor, SZ20Compressor
+
+
+@pytest.fixture(scope="module")
+def planes2d():
+    i, j = np.mgrid[0:48, 0:72]
+    return (0.5 * i + 0.2 * j + 8 * np.sin(i / 24)).astype(np.float32)
+
+
+class TestRoundtrip:
+    def test_2d(self, smooth2d):
+        c = SZ20Compressor()
+        cf = c.compress(smooth2d, 1e-3, "vr_rel")
+        out = c.decompress(cf)
+        assert out.shape == smooth2d.shape and out.dtype == smooth2d.dtype
+        assert np.abs(out.astype(np.float64) - smooth2d).max() <= cf.bound.absolute
+
+    def test_3d(self, smooth3d):
+        c = SZ20Compressor()
+        cf = c.compress(smooth3d, 1e-3, "vr_rel")
+        out = c.decompress(cf)
+        assert np.abs(out.astype(np.float64) - smooth3d).max() <= cf.bound.absolute
+
+    def test_ragged_blocks(self):
+        """Field dims not divisible by the block size."""
+        rng = np.random.default_rng(0)
+        x = np.cumsum(rng.normal(size=(17, 23)), axis=1).astype(np.float32)
+        c = SZ20Compressor(block_size=6)
+        cf = c.compress(x, 1e-2, "vr_rel")
+        out = c.decompress(cf)
+        assert np.abs(out.astype(np.float64) - x).max() <= cf.bound.absolute
+
+    def test_saturated(self, saturated2d):
+        c = SZ20Compressor()
+        cf = c.compress(saturated2d, 1e-3)
+        out = c.decompress(cf)
+        assert np.abs(out.astype(np.float64) - saturated2d).max() <= cf.bound.absolute
+
+    def test_rough_with_outliers(self, rough2d):
+        c = SZ20Compressor()
+        cf = c.compress(rough2d, 1e-7, "abs")
+        out = c.decompress(cf)
+        assert cf.stats.n_unpredictable > 0
+        assert np.abs(out.astype(np.float64) - rough2d).max() <= 1e-7
+
+    def test_decompress_from_bytes(self, smooth2d):
+        c = SZ20Compressor()
+        cf = c.compress(smooth2d, 1e-3)
+        assert (c.decompress(cf.payload) == c.decompress(cf)).all()
+
+
+class TestHybridSelection:
+    def test_planes_select_regression(self, planes2d):
+        cf = SZ20Compressor().compress(planes2d, 1e-4, "vr_rel")
+        assert cf.meta["regression_fraction"] > 0.05
+
+    def test_regression_helps_on_planes(self, planes2d):
+        r20 = SZ20Compressor().compress(planes2d, 1e-3).stats.ratio
+        r14 = SZ14Compressor().compress(planes2d, 1e-3).stats.ratio
+        assert r20 > 0.9 * r14  # at least competitive, typically better
+
+    def test_sz14_competitive_at_low_bounds(self, smooth2d):
+        """§2.1: at low error bounds SZ-2.0 is 'very similar (or slightly
+        worse)' than SZ-1.4 — the rationale for basing waveSZ on 1.4."""
+        r20 = SZ20Compressor().compress(smooth2d, 1e-4).stats.ratio
+        r14 = SZ14Compressor().compress(smooth2d, 1e-4).stats.ratio
+        assert r14 > 0.8 * r20
+
+    def test_block_size_configurable(self, smooth2d):
+        for bs in (4, 8):
+            c = SZ20Compressor(block_size=bs)
+            cf = c.compress(smooth2d, 1e-3)
+            out = c.decompress(cf)
+            assert np.abs(out.astype(np.float64) - smooth2d).max() <= (
+                cf.bound.absolute
+            )
+
+
+class TestValidation:
+    def test_rejects_1d(self, ramp1d):
+        with pytest.raises(ShapeError):
+            SZ20Compressor().compress(ramp1d, 1e-3, "abs")
+
+    def test_rejects_pw_rel(self, smooth2d):
+        with pytest.raises(ShapeError):
+            SZ20Compressor().compress(smooth2d, 1e-3, "pw_rel")
+
+    def test_wrong_variant_rejected(self, smooth2d):
+        cf = SZ14Compressor().compress(smooth2d, 1e-3)
+        with pytest.raises(ContainerError):
+            SZ20Compressor().decompress(cf)

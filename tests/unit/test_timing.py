@@ -1,0 +1,135 @@
+"""Unit tests for the Table 5 / Figure 8 throughput models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.fpga.timing import (
+    DELTA_PQD,
+    cpu_sz14_throughput,
+    ghostsz_throughput,
+    interior_column_lengths,
+    openmp_efficiency,
+    wavesz_cycles,
+    wavesz_throughput,
+)
+
+PAPER_SHAPES = {
+    "CESM-ATM": (1800, 3600),
+    "Hurricane": (100, 500, 500),
+    "NYX": (512, 512, 512),
+}
+PAPER_T5 = {  # (waveSZ, GhostSZ, SZ-1.4) MB/s
+    "CESM-ATM": (995, 185, 114),
+    "Hurricane": (838, 144, 122),
+    "NYX": (986, 156, 125),
+}
+
+
+class TestColumnLengths:
+    @pytest.mark.parametrize("d0,d1", [(5, 8), (2, 2), (100, 2500)])
+    def test_sum_equals_interior_points(self, d0, d1):
+        L = interior_column_lengths(d0, d1)
+        assert int(L.sum()) == (d0 - 1) * (d1 - 1)
+
+    def test_matches_loop_partition(self):
+        from repro.core.layout import LoopPartition
+
+        p = LoopPartition(6, 10)
+        L = interior_column_lengths(6, 10)
+        for t in range(p.n_cols):
+            assert L[t] == p.interior_column_length(t)
+
+
+class TestWaveSZModel:
+    def test_body_dominated_cycles(self):
+        """For Λ >= Δ, cycles ~= interior points (pII = 1, no stalls)."""
+        shape = (1800, 3600)
+        cycles = wavesz_cycles(shape)
+        interior = 1799 * 3599
+        assert interior <= cycles < interior * 1.01
+
+    def test_small_lambda_stalls(self):
+        """Hurricane: Λ = 99 < Δ = 118 -> every body column stalls."""
+        cycles = wavesz_cycles((100, 500, 500))
+        interior = 99 * (250000 - 1)
+        assert cycles > interior * (DELTA_PQD / 99) * 0.99
+
+    @pytest.mark.parametrize("name", list(PAPER_SHAPES))
+    def test_table5_within_5pct(self, name):
+        got = wavesz_throughput(PAPER_SHAPES[name], dataset=name).mb_per_s
+        want = PAPER_T5[name][0]
+        assert abs(got - want) / want < 0.05, (name, got, want)
+
+    def test_hurricane_slower_than_cesm_and_nyx(self):
+        """The Table 5 ordering the Λ-vs-Δ mechanism must reproduce."""
+        t = {n: wavesz_throughput(s).mb_per_s for n, s in PAPER_SHAPES.items()}
+        assert t["Hurricane"] < t["NYX"]
+        assert t["Hurricane"] < t["CESM-ATM"]
+
+    def test_lanes_scale_linearly(self):
+        one = wavesz_throughput((512, 512, 512), lanes=1).mb_per_s
+        three = wavesz_throughput((512, 512, 512), lanes=3).mb_per_s
+        assert three == pytest.approx(3 * one)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            wavesz_throughput((512, 512, 512), lanes=0)
+        with pytest.raises(ModelError):
+            wavesz_cycles((5,))
+
+
+class TestGhostSZModel:
+    @pytest.mark.parametrize("name", list(PAPER_SHAPES))
+    def test_table5_within_20pct(self, name):
+        got = ghostsz_throughput(PAPER_SHAPES[name], dataset=name).mb_per_s
+        want = PAPER_T5[name][1]
+        assert abs(got - want) / want < 0.20, (name, got, want)
+
+    def test_row_starved_recurrence_bound(self):
+        """With very few rows the prediction recurrence throttles issue."""
+        starved = ghostsz_throughput((4, 4, 2500)).mb_per_s
+        healthy = ghostsz_throughput((100, 500, 500)).mb_per_s
+        assert starved < healthy
+
+    def test_wavesz_speedup_near_paper(self):
+        """waveSZ/GhostSZ speedup averages ~5.8x (paper abstract)."""
+        speedups = [
+            wavesz_throughput(s).mb_per_s / ghostsz_throughput(s).mb_per_s
+            for s in PAPER_SHAPES.values()
+        ]
+        avg = float(np.mean(speedups))
+        assert 4.5 < avg < 7.0
+
+
+class TestCPUModel:
+    @pytest.mark.parametrize("name", list(PAPER_SHAPES))
+    def test_table5_within_10pct(self, name):
+        got = cpu_sz14_throughput(PAPER_SHAPES[name], dataset=name).mb_per_s
+        want = PAPER_T5[name][2]
+        assert abs(got - want) / want < 0.10, (name, got, want)
+
+    def test_wavesz_speedup_6_9_to_8_7(self):
+        """Paper abstract: waveSZ improves SZ's throughput 6.9x-8.7x."""
+        for name, shape in PAPER_SHAPES.items():
+            s = (
+                wavesz_throughput(shape).mb_per_s
+                / cpu_sz14_throughput(shape).mb_per_s
+            )
+            assert 6.4 < s < 9.2, (name, s)
+
+    def test_openmp_efficiency_calibration(self):
+        """§4.2: parallel efficiency drops to 59 % at 32 cores."""
+        assert openmp_efficiency(1) == 1.0
+        assert openmp_efficiency(32) == pytest.approx(0.59, abs=0.005)
+
+    def test_openmp_sublinear_but_monotone(self):
+        t = [cpu_sz14_throughput((512, 512, 512), n_cores=n).mb_per_s
+             for n in (1, 2, 4, 8, 16, 32)]
+        assert all(b > a for a, b in zip(t, t[1:]))  # monotone
+        # sublinear: 32 cores give far less than 32x
+        assert t[-1] < 32 * t[0] * 0.7
+
+    def test_rejects_1d(self):
+        with pytest.raises(ModelError):
+            cpu_sz14_throughput((100,))

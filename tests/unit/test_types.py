@@ -1,0 +1,60 @@
+"""Unit tests for the shared result dataclasses."""
+
+import pytest
+
+from repro.config import ErrorBoundMode, QuantizerConfig, resolve_error_bound
+import numpy as np
+
+from repro.types import CompressedField, CompressionStats, ThroughputReport
+
+
+def _stats(**kw):
+    base = dict(
+        original_bytes=4000,
+        compressed_bytes=400,
+        encoded_code_bytes=300,
+        outlier_bytes=60,
+        border_bytes=40,
+        n_points=1000,
+        n_unpredictable=25,
+        n_border=20,
+    )
+    base.update(kw)
+    return CompressionStats(**base)
+
+
+class TestCompressionStats:
+    def test_ratio(self):
+        assert _stats().ratio == pytest.approx(10.0)
+
+    def test_bit_rate(self):
+        assert _stats().bit_rate == pytest.approx(3.2)
+
+    def test_unpredictable_fraction(self):
+        assert _stats().unpredictable_fraction == pytest.approx(0.025)
+
+
+class TestThroughputReport:
+    def _report(self, cycles=1000.0, n_points=500):
+        return ThroughputReport(
+            design="x", dataset="d", lanes=1, cycles=cycles,
+            frequency_hz=1e8, n_points=n_points, bytes_per_point=4,
+            mb_per_s=123.0,
+        )
+
+    def test_points_per_cycle(self):
+        assert self._report().points_per_cycle == pytest.approx(0.5)
+
+    def test_zero_cycles_is_infinite_rate(self):
+        assert self._report(cycles=0.0).points_per_cycle == float("inf")
+
+
+class TestCompressedField:
+    def test_meta_defaults_empty(self):
+        bound = resolve_error_bound(np.array([0.0, 1.0]), 1e-3, "abs")
+        cf = CompressedField(
+            variant="x", shape=(2,), dtype="float32", bound=bound,
+            quant=QuantizerConfig(), payload=b"p", stats=_stats(),
+        )
+        assert cf.meta == {}
+        assert cf.bound.mode is ErrorBoundMode.ABS

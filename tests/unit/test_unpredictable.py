@@ -1,0 +1,83 @@
+"""Unit tests for truncation-based binary analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DTypeError
+from repro.sz.unpredictable import (
+    decode_truncated,
+    encode_truncated,
+    truncate_roundtrip,
+)
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("eb", [1e-1, 1e-3, 1e-6])
+    def test_bound_respected_float32(self, eb):
+        rng = np.random.default_rng(0)
+        vals = (rng.standard_normal(2000) * rng.choice([1e-4, 1.0, 1e3], 2000)).astype(
+            np.float32
+        )
+        payload = encode_truncated(vals, eb)
+        dec = decode_truncated(payload, vals.size, eb, np.float32)
+        assert (np.abs(dec.astype(np.float64) - vals) <= eb).all()
+
+    def test_bound_respected_float64(self):
+        rng = np.random.default_rng(1)
+        vals = rng.standard_normal(500) * 100
+        payload = encode_truncated(vals, 1e-6)
+        dec = decode_truncated(payload, vals.size, 1e-6, np.float64)
+        assert (np.abs(dec - vals) <= 1e-6).all()
+
+    def test_roundtrip_helper_matches_codec(self):
+        rng = np.random.default_rng(2)
+        vals = (rng.standard_normal(1000) * 10).astype(np.float32)
+        for eb in (1e-2, 1e-4):
+            via_codec = decode_truncated(
+                encode_truncated(vals, eb), vals.size, eb, np.float32
+            )
+            direct = truncate_roundtrip(vals, eb)
+            assert (via_codec == direct).all()
+
+    def test_truncation_never_increases_magnitude(self):
+        rng = np.random.default_rng(3)
+        vals = (rng.standard_normal(500) * 7).astype(np.float32)
+        t = truncate_roundtrip(vals, 1e-3)
+        assert (np.abs(t) <= np.abs(vals)).all()
+        assert (np.sign(t) == np.sign(vals)).all() or (t[np.sign(t) != np.sign(vals)] == 0).all()
+
+    def test_zero_and_subnormals(self):
+        vals = np.array([0.0, -0.0, 1e-40, -1e-40], dtype=np.float32)
+        dec = decode_truncated(encode_truncated(vals, 1e-3), 4, 1e-3, np.float32)
+        assert (np.abs(dec.astype(np.float64) - vals) <= 1e-3).all()
+        assert (dec == 0).all()  # subnormals collapse to signed zero
+
+    def test_fewer_bits_for_looser_bound(self):
+        rng = np.random.default_rng(4)
+        vals = rng.standard_normal(3000).astype(np.float32)
+        loose = encode_truncated(vals, 1e-1)
+        tight = encode_truncated(vals, 1e-6)
+        assert len(loose) < len(tight)
+
+    def test_large_magnitudes_keep_full_exponent(self):
+        vals = np.array([3.4e38, -2.9e37], dtype=np.float32)
+        dec = decode_truncated(encode_truncated(vals, 1.0), 2, 1.0, np.float32)
+        # Relative error of truncation at huge magnitude is ~2^-0 of the
+        # bound exponent: must round-trip the exponent faithfully.
+        assert np.sign(dec[0]) > 0 and np.sign(dec[1]) < 0
+        assert np.abs(np.log2(np.abs(dec / vals))).max() < 1e-6
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(DTypeError):
+            encode_truncated(np.array([np.inf], dtype=np.float32), 1e-3)
+        with pytest.raises(DTypeError):
+            truncate_roundtrip(np.array([np.nan], dtype=np.float32), 1e-3)
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(DTypeError):
+            encode_truncated(np.array([1], dtype=np.int32), 1e-3)
+
+    def test_empty(self):
+        assert encode_truncated(np.empty(0, np.float32), 1e-3) == b""
+        out = decode_truncated(b"", 0, 1e-3, np.float32)
+        assert out.size == 0

@@ -1,0 +1,54 @@
+"""Unit tests for the Table 2 variant feature matrix."""
+
+from repro.variants import VARIANTS, Feature, Goal, Platform, feature_matrix
+
+
+class TestVariants:
+    def test_all_five_rows_present(self):
+        assert set(VARIANTS) == {"SZ-0.1-1.0", "SZ-1.4", "SZ-2.0+", "GhostSZ", "waveSZ"}
+
+    def test_platforms(self):
+        assert VARIANTS["SZ-1.4"].platform is Platform.CPU
+        assert VARIANTS["GhostSZ"].platform is Platform.FPGA
+        assert VARIANTS["waveSZ"].platform is Platform.FPGA
+
+    def test_goals(self):
+        """Table 2's colour coding: FPGA designs are performance-oriented,
+        CPU SZ versions data-quality-oriented."""
+        assert VARIANTS["waveSZ"].goal is Goal.PERFORMANCE
+        assert VARIANTS["GhostSZ"].goal is Goal.PERFORMANCE
+        assert VARIANTS["SZ-1.4"].goal is Goal.DATA_QUALITY
+
+    def test_predictor_assignments(self):
+        assert VARIANTS["SZ-1.4"].uses(Feature.LORENZO)
+        assert not VARIANTS["SZ-1.4"].uses(Feature.ORDER012)
+        assert VARIANTS["GhostSZ"].uses(Feature.ORDER012)
+        assert not VARIANTS["GhostSZ"].uses(Feature.LORENZO)
+        assert VARIANTS["waveSZ"].uses(Feature.LORENZO)
+
+    def test_wavesz_signature_features(self):
+        w = VARIANTS["waveSZ"]
+        assert w.uses(Feature.MEMORY_LAYOUT_TRANSFORM)
+        assert w.uses(Feature.BASE2_MAPPING)
+        assert Feature.CUSTOM_HUFFMAN in w.optional  # the ⋆ of Table 2
+
+    def test_writeback_distinction(self):
+        """GhostSZ writes back predictions; SZ/waveSZ write back
+        decompressed values (Algorithm 1 line 9)."""
+        assert VARIANTS["GhostSZ"].uses(Feature.PREDICTION_WRITEBACK)
+        assert not VARIANTS["GhostSZ"].uses(Feature.DECOMPRESSION_WRITEBACK)
+        assert VARIANTS["waveSZ"].uses(Feature.DECOMPRESSION_WRITEBACK)
+
+    def test_lossless_stages(self):
+        assert VARIANTS["SZ-2.0+"].uses(Feature.ZSTD)
+        assert VARIANTS["waveSZ"].uses(Feature.GZIP)
+        assert VARIANTS["SZ-1.4"].uses(Feature.CUSTOM_HUFFMAN)
+
+    def test_feature_matrix_renders_all(self):
+        rows = feature_matrix()
+        assert len(rows) == 5
+        for row in rows:
+            assert "version" in row and "platform" in row
+        wave = next(r for r in rows if r["version"] == "waveSZ")
+        assert wave["customized Huffman"] == "optional"
+        assert wave["base 10->2 mapping"] == "required"
