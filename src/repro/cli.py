@@ -109,6 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar=("D0", "D1"))
     r.add_argument("--base10", action="store_true",
                    help="model the base-10 (divider) datapath instead")
+
+    v = sub.add_parser(
+        "verify",
+        help="check a payload's checksums, decodability and (optionally) "
+        "its error bound against the original field")
+    v.add_argument("input", type=Path)
+    v.add_argument("--original", type=Path,
+                   help="raw binary field to check the error bound against")
+    v.add_argument("--dims", type=int, nargs="+",
+                   help="dimensions of --original, slowest axis first")
+    v.add_argument("--dtype", choices=["float32", "float64"],
+                   default="float32")
     return p
 
 
@@ -211,6 +223,43 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .metrics import verify_error_bound
+    from .streams import bound_from_header
+    from .variants import compressor_for
+
+    blob = args.input.read_bytes()
+    report = Container.scan(blob)
+    for s in report.sections:
+        if not s.ok:
+            print(f"{args.input}: section {s.name!r}: {s.detail}",
+                  file=sys.stderr)
+    for prob in report.problems:
+        print(f"{args.input}: {prob}", file=sys.stderr)
+    if not report.ok:
+        print(f"{args.input}: FAILED integrity check", file=sys.stderr)
+        return 1
+
+    header = Container.from_bytes(blob).header
+    variant = str(header.get("variant", ""))
+    out = compressor_for(variant).decompress(blob)
+    msg = (f"{args.input}: OK (v{report.version}, "
+           f"{report.n_sections} sections, {variant}, shape {out.shape})")
+
+    if args.original is not None:
+        if not args.dims:
+            print("error: --original requires --dims", file=sys.stderr)
+            return 2
+        data = read_raw_field(args.original, tuple(args.dims),
+                              np.dtype(args.dtype))
+        bound = bound_from_header(header.get("bound"))
+        verify_error_bound(data, out, bound.absolute)
+        err = max_abs_error(data, out)
+        msg += f", max error {err:.3e} <= bound {bound.absolute:.3e}"
+    print(msg)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .fpga.report import synthesis_report
 
@@ -228,6 +277,7 @@ _COMMANDS = {
     "archive": _cmd_archive,
     "extract": _cmd_extract,
     "report": _cmd_report,
+    "verify": _cmd_verify,
 }
 
 
@@ -238,7 +288,7 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except FileNotFoundError as exc:
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -22,13 +22,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import ErrorBoundMode, QuantizerConfig, resolve_error_bound
-from ..errors import ContainerError, ShapeError
+from ..errors import ContainerError, ShapeError, decode_guard
 from ..io.container import Container
 from ..lossless import GzipStage, LosslessMode
 from ..streams import (
+    MAX_FIELD_POINTS,
     bound_from_header,
     bound_to_header,
     build_stats,
+    header_dtype,
+    header_int,
+    header_shape,
     values_to_bytes,
 )
 from ..types import CompressedField
@@ -176,21 +180,33 @@ class WaveSZCompressor:
             if isinstance(compressed, CompressedField)
             else compressed
         )
+        with decode_guard(f"{self.name} payload"):
+            return self._decompress(payload)
+
+    def _decompress(self, payload: bytes) -> np.ndarray:
         container = Container.from_bytes(payload)
         h = container.header
         if h.get("variant") != self.name:
             raise ContainerError(
                 f"payload was produced by {h.get('variant')!r}, not {self.name}"
             )
-        shape = tuple(h["shape"])
-        view_shape = tuple(h["view_shape"])
-        dtype = np.dtype(h["dtype"])
+        shape = header_shape(h)
+        view_shape = header_shape(h, "view_shape")
+        dtype = header_dtype(h)
         bound = bound_from_header(h["bound"])
         quant = QuantizerConfig(
-            bits=int(h["quant_bits"]), reserved_bits=int(h["reserved_bits"])
+            bits=header_int(h, "quant_bits", lo=2, hi=32),
+            reserved_bits=header_int(h, "reserved_bits"),
         )
         p = bound.absolute
-        n_codes = int(h["n_codes"])
+        n_codes = header_int(h, "n_codes", hi=MAX_FIELD_POINTS)
+        n_view = 1
+        for s in view_shape:
+            n_view *= s
+        if n_codes != n_view:
+            raise ContainerError(
+                f"header declares {n_codes} codes for view shape {view_shape}"
+            )
 
         stream = container.get("codes")
         if h["codes_gzipped"]:
@@ -216,10 +232,10 @@ class WaveSZCompressor:
         if h.get("outliers_gzipped"):
             outlier_raw = self.lossless.decompress(outlier_raw)
         border_vals = np.frombuffer(
-            border_raw, dtype=lt, count=int(h["n_border"])
+            border_raw, dtype=lt, count=header_int(h, "n_border", hi=MAX_FIELD_POINTS)
         ).astype(dtype)
         outlier_vals = np.frombuffer(
-            outlier_raw, dtype=lt, count=int(h["n_outliers"])
+            outlier_raw, dtype=lt, count=header_int(h, "n_outliers", hi=MAX_FIELD_POINTS)
         ).astype(dtype)
 
         dec = pqd_decompress(

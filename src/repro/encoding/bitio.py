@@ -21,6 +21,7 @@ from ..errors import BitstreamError
 __all__ = ["BitWriter", "BitReader", "pack_codes"]
 
 _MAX_CODE_BITS = 57  # leaves refill headroom in a 64-bit buffer
+_MAX_READ_BITS = 4096  # widest multi-word read any header field can need
 
 
 class BitWriter:
@@ -102,6 +103,10 @@ class BitReader:
             raise BitstreamError(f"negative bit count: {nbits}")
         if nbits == 0:
             return 0
+        if nbits > _MAX_READ_BITS:
+            # A width this large only arises from a corrupt header; fail
+            # loudly instead of recursing toward a RecursionError.
+            raise BitstreamError(f"implausible read of {nbits} bits")
         if nbits > _MAX_CODE_BITS:
             # Split long reads; headers never exceed 57 bits in practice.
             hi = self.read(nbits - 32)
@@ -126,6 +131,8 @@ class BitReader:
 
     def skip(self, nbits: int) -> None:
         """Consume ``nbits`` previously peeked."""
+        if nbits < 0:
+            raise BitstreamError(f"negative bit count: {nbits}")
         self._refill(nbits)
         self._nbuf -= nbits
         self._buf &= (1 << self._nbuf) - 1

@@ -32,6 +32,8 @@ __all__ = ["HuffmanTable", "HuffmanCodec"]
 
 _FAST_BITS = 12
 _MAGIC = b"HUF1"
+_MAX_TABLE_DEPTH = 57  # matches the bit-IO buffer headroom
+_MAX_ENC_ALPHABET = 1 << 26  # dense encode-table slots (plenty for 16-bit codes)
 
 
 def _code_lengths(counts: np.ndarray) -> np.ndarray:
@@ -150,19 +152,40 @@ class HuffmanTable:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> tuple["HuffmanTable", int]:
-        """Parse a serialized table; returns (table, bytes_consumed)."""
+        """Parse a serialized table; returns (table, bytes_consumed).
+
+        Every length and count is bounds-checked against the buffer before
+        it is trusted, so truncated or bit-flipped tables raise
+        :class:`HuffmanError` rather than ``struct.error``/``ValueError``
+        — and can never describe an over-subscribed (ambiguous) code.
+        """
+        if len(data) < 8:
+            raise HuffmanError("truncated Huffman table header")
         if data[:4] != _MAGIC:
             raise HuffmanError("bad Huffman table magic")
         (n,) = struct.unpack_from("<I", data, 4)
         pos = 8
         if n == 0:
             return cls(np.empty(0, np.int64), np.empty(0, np.int64)), pos
+        if len(data) < pos + 1:
+            raise HuffmanError("truncated Huffman table: missing max length")
         (maxlen,) = struct.unpack_from("<B", data, pos)
         pos += 1
+        if not 1 <= maxlen <= _MAX_TABLE_DEPTH:
+            raise HuffmanError(f"implausible Huffman code depth {maxlen}")
+        if len(data) < pos + 4 * maxlen + 4 * n:
+            raise HuffmanError("truncated Huffman table body")
         per_len = np.frombuffer(data, dtype="<u4", count=maxlen, offset=pos)
         pos += 4 * maxlen
         if int(per_len.sum()) != n:
             raise HuffmanError("corrupt Huffman table: count mismatch")
+        # Kraft over-subscription would make canonical codes overlap and
+        # decoding ambiguous; reject it outright.
+        kraft = int(
+            (per_len.astype(object) * [2 ** (maxlen - l) for l in range(1, maxlen + 1)]).sum()
+        )
+        if kraft > 2**maxlen:
+            raise HuffmanError("corrupt Huffman table: over-subscribed code")
         symbols = np.frombuffer(data, dtype="<u4", count=n, offset=pos).astype(
             np.int64
         )
@@ -179,18 +202,31 @@ class HuffmanCodec:
     def __init__(self, table: HuffmanTable) -> None:
         self.table = table
         self._codes = table.assign_codes()
-        n = table.symbols.size
-        # Dense symbol -> (code, length) lookup for vectorized encode.
-        if n:
-            hi = int(table.symbols.max()) + 1
-            self._enc_len = np.zeros(hi, dtype=np.int64)
-            self._enc_code = np.zeros(hi, dtype=np.uint64)
-            self._enc_len[table.symbols] = table.lengths
-            self._enc_code[table.symbols] = self._codes
-        else:
-            self._enc_len = np.zeros(0, dtype=np.int64)
-            self._enc_code = np.zeros(0, dtype=np.uint64)
+        # Dense symbol -> (code, length) encode lookups are built lazily:
+        # a decode-only codec over a corrupt table claiming symbol 2**32-1
+        # must not allocate a multi-gigabyte array it will never use.
+        self._enc_len: np.ndarray | None = None
+        self._enc_code: np.ndarray | None = None
         self._build_decode_tables()
+
+    def _encode_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._enc_len is None:
+            table = self.table
+            n = table.symbols.size
+            if n:
+                hi = int(table.symbols.max()) + 1
+                if hi > _MAX_ENC_ALPHABET:
+                    raise HuffmanError(
+                        f"encode alphabet too large ({hi} dense slots)"
+                    )
+                self._enc_len = np.zeros(hi, dtype=np.int64)
+                self._enc_code = np.zeros(hi, dtype=np.uint64)
+                self._enc_len[table.symbols] = table.lengths
+                self._enc_code[table.symbols] = self._codes
+            else:
+                self._enc_len = np.zeros(0, dtype=np.int64)
+                self._enc_code = np.zeros(0, dtype=np.uint64)
+        return self._enc_len, self._enc_code
 
     def _build_decode_tables(self) -> None:
         t = self.table
@@ -233,21 +269,36 @@ class HuffmanCodec:
         symbols = np.asarray(symbols).reshape(-1)
         if symbols.size == 0:
             return b"", 0
-        if symbols.min() < 0 or symbols.max() >= self._enc_len.size:
+        enc_len, enc_code = self._encode_tables()
+        if symbols.min() < 0 or symbols.max() >= enc_len.size:
             raise HuffmanError("symbol outside table alphabet")
-        lengths = self._enc_len[symbols]
+        lengths = enc_len[symbols]
         if (lengths == 0).any():
             raise HuffmanError("symbol with zero frequency in table")
-        return pack_codes(self._enc_code[symbols], lengths)
+        return pack_codes(enc_code[symbols], lengths)
 
     # -- decode ------------------------------------------------------------
 
     def decode(self, payload: bytes, n_symbols: int) -> np.ndarray:
-        """Decode ``n_symbols`` symbols from an MSB-first payload."""
+        """Decode ``n_symbols`` symbols from an MSB-first payload.
+
+        ``n_symbols`` is validated against the payload size before any
+        allocation: each symbol consumes at least ``lengths[0]`` bits, so a
+        mutated count that the payload cannot possibly satisfy raises
+        instead of decoding padding into unbounded garbage.
+        """
         if n_symbols == 0:
             return np.empty(0, dtype=np.int64)
+        if n_symbols < 0:
+            raise HuffmanError(f"negative symbol count {n_symbols}")
         if self.table.symbols.size == 0:
             raise HuffmanError("cannot decode with an empty table")
+        min_len = int(self.table.lengths[0])
+        if n_symbols * min_len > 8 * len(payload):
+            raise HuffmanError(
+                f"payload too short for {n_symbols} symbols "
+                f"(min {min_len} bits each, {8 * len(payload)} bits available)"
+            )
         out = np.empty(n_symbols, dtype=np.int64)
         if self.table.symbols.size == 1:
             # Degenerate single-symbol stream: 1 bit per symbol by convention.
@@ -292,4 +343,4 @@ class HuffmanCodec:
         symbols = np.asarray(symbols).reshape(-1)
         if symbols.size == 0:
             return 0
-        return int(self._enc_len[symbols].sum())
+        return int(self._encode_tables()[0][symbols].sum())

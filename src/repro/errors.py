@@ -3,9 +3,18 @@
 Every error raised by the library derives from :class:`ReproError`, so callers
 can catch a single type at API boundaries.  Subtypes are split by subsystem so
 tests can assert on the precise failure mode.
+
+:func:`decode_guard` is the boundary enforcement for that promise on the
+*decode* side: any stray ``ValueError``/``struct.error``/``IndexError`` that a
+malformed payload manages to provoke out of NumPy or ``struct`` is converted
+to :class:`ContainerError` so corrupted input can never crash a caller with a
+non-``ReproError`` exception.
 """
 
 from __future__ import annotations
+
+import struct
+from contextlib import contextmanager
 
 
 class ReproError(Exception):
@@ -44,6 +53,15 @@ class ContainerError(ReproError):
     """Compressed container is malformed (bad magic, truncated section)."""
 
 
+class ChecksumError(ContainerError):
+    """A stored checksum does not match the recomputed one (bit rot, tampering)."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault spec cannot be applied to the given payload (bad offset, not a
+    parseable container for a structural fault, or a no-op mutation)."""
+
+
 class ErrorBoundViolation(ReproError):
     """Decompressed data violates the user-set error bound.
 
@@ -58,3 +76,37 @@ class ModelError(ReproError):
 
 class DatasetError(ReproError):
     """Unknown dataset / field name in the synthetic SDRB registry."""
+
+
+#: Non-Repro exception types a malformed payload can provoke out of the
+#: stdlib / NumPy while decoding.  ``MemoryError`` is deliberately absent:
+#: header sanity caps keep allocations bounded, and a genuine OOM should
+#: surface as itself.
+_DECODE_LEAKS = (
+    struct.error,
+    ValueError,
+    TypeError,
+    KeyError,
+    IndexError,
+    OverflowError,
+    UnicodeDecodeError,
+)
+
+
+@contextmanager
+def decode_guard(what: str = "compressed payload"):
+    """Convert stray stdlib/NumPy exceptions into :class:`ContainerError`.
+
+    Wrap every payload-decode entry point with this so the public contract
+    — *malformed input raises a ReproError subtype* — holds even for damage
+    the explicit bounds checks did not anticipate.  ``ReproError`` subtypes
+    pass through untouched.
+    """
+    try:
+        yield
+    except ReproError:
+        raise
+    except _DECODE_LEAKS as exc:
+        raise ContainerError(
+            f"malformed {what}: {type(exc).__name__}: {exc}"
+        ) from exc

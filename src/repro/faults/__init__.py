@@ -1,0 +1,29 @@
+"""Deterministic fault injection for compressed streams.
+
+The integrity layer's promise — *decode of damaged input either raises a*
+``ReproError`` *subtype or returns data flagged as failing verification,
+never a silent wrong answer and never a non-*``ReproError`` *crash* — is
+only worth anything if it is exercised.  This subsystem provides the
+exercise machinery:
+
+* :class:`FaultSpec` / :func:`inject` — a declarative, reproducible
+  description of one fault (bit flip, truncation, section drop/swap/
+  duplicate, header mutation, garbage splice) and its application;
+* :class:`FaultInjector` — a seeded generator of fault sweeps;
+* :func:`corruption_sweep` — the differential harness that runs a
+  compressor's decode path across a sweep and checks the contract.
+"""
+
+from .inject import FaultInjector, FaultKind, FaultSpec, inject
+from .harness import FaultOutcome, SweepRecord, SweepResult, corruption_sweep
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+    "inject",
+    "FaultOutcome",
+    "SweepRecord",
+    "SweepResult",
+    "corruption_sweep",
+]

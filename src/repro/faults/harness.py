@@ -1,0 +1,149 @@
+"""Differential corruption harness.
+
+Runs a compressor's decode path over a sweep of injected faults and
+classifies every outcome against the integrity contract:
+
+* the decode **raises a** ``ReproError`` **subtype** — the damage was
+  detected (``REJECTED``);
+* the decode returns the pristine reconstruction bit-exactly — the fault
+  landed somewhere redundant (``INTACT``);
+* the decode returns *different* data that **fails the error bound**
+  against the original — detectable by verification (``DETECTED``);
+* the decode returns different data that *passes* the bound — a silent
+  wrong answer (``SILENT``, contract violation);
+* the decode raises anything outside the ``ReproError`` hierarchy — a
+  crash leak (``CRASHED``, contract violation).
+
+Unbounded work is covered structurally: every decode loop is bounded by
+validated header counts, so a sweep that terminates is itself evidence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FaultInjectionError, ReproError
+from ..metrics.error import verify_error_bound
+from .inject import FaultInjector, FaultSpec
+
+__all__ = ["FaultOutcome", "SweepRecord", "SweepResult", "corruption_sweep"]
+
+
+class FaultOutcome(enum.Enum):
+    REJECTED = "rejected"  # raised a ReproError subtype
+    INTACT = "intact"  # reconstruction unchanged by the fault
+    DETECTED = "detected"  # wrong data, but fails bound verification
+    SILENT = "silent"  # wrong data that passes verification — violation
+    CRASHED = "crashed"  # non-ReproError escaped — violation
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One fault and what the decode path did with it."""
+
+    spec: FaultSpec
+    outcome: FaultOutcome
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome not in (FaultOutcome.SILENT, FaultOutcome.CRASHED)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Every record of one sweep plus contract bookkeeping."""
+
+    variant: str
+    records: tuple[SweepRecord, ...]
+
+    @property
+    def violations(self) -> tuple[SweepRecord, ...]:
+        return tuple(r for r in self.records if not r.ok)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def count(self, outcome: FaultOutcome) -> int:
+        return sum(1 for r in self.records if r.outcome is outcome)
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{o.value}={self.count(o)}" for o in FaultOutcome if self.count(o)
+        )
+        return f"{self.variant}: {len(self.records)} faults ({parts})"
+
+    def assert_contract(self) -> None:
+        """Raise ``FaultInjectionError`` describing the first violations."""
+        if self.ok:
+            return
+        lines = [
+            f"{r.outcome.value}: {r.spec} — {r.detail}"
+            for r in self.violations[:5]
+        ]
+        raise FaultInjectionError(
+            f"{self.variant}: {len(self.violations)} integrity violation(s) "
+            f"in {len(self.records)} faults:\n" + "\n".join(lines)
+        )
+
+
+def _classify(
+    compressor,
+    damaged: bytes,
+    original: np.ndarray,
+    reference: np.ndarray,
+    bound: float,
+) -> tuple[FaultOutcome, str]:
+    try:
+        out = compressor.decompress(damaged)
+    except ReproError as exc:
+        return FaultOutcome.REJECTED, f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # noqa: BLE001 — the leak IS the finding
+        return FaultOutcome.CRASHED, f"{type(exc).__name__}: {exc}"
+    if (
+        out.shape == reference.shape
+        and out.dtype == reference.dtype
+        and np.array_equal(out, reference)
+    ):
+        return FaultOutcome.INTACT, ""
+    if out.shape != original.shape:
+        return FaultOutcome.DETECTED, f"shape changed to {out.shape}"
+    if not np.all(np.isfinite(out)):
+        return FaultOutcome.DETECTED, "non-finite values in output"
+    if verify_error_bound(original, out, bound, raise_on_fail=False):
+        return FaultOutcome.SILENT, "wrong data within the error bound"
+    return FaultOutcome.DETECTED, "fails error-bound verification"
+
+
+def corruption_sweep(
+    compressor,
+    payload: bytes,
+    original: np.ndarray,
+    bound: float,
+    *,
+    n: int = 200,
+    seed: int = 0,
+) -> SweepResult:
+    """Inject ``n`` seeded faults into ``payload`` and classify each decode.
+
+    ``original`` is the uncompressed field; ``bound`` the absolute error
+    bound it was compressed under.  The pristine payload must decompress
+    and satisfy the bound before the sweep starts (a broken baseline would
+    make every classification meaningless).
+    """
+    reference = compressor.decompress(payload)
+    verify_error_bound(original, reference, bound)
+
+    injector = FaultInjector(seed)
+    records = [
+        SweepRecord(
+            spec,
+            *_classify(compressor, damaged, original, reference, bound),
+        )
+        for spec, damaged in injector.sweep(payload, n)
+    ]
+    return SweepResult(variant=compressor.name, records=tuple(records))

@@ -1,0 +1,246 @@
+"""Seedable, declarative fault injection on container byte streams.
+
+Byte-level faults (``BITFLIP``, ``TRUNCATE``, ``GARBAGE``, ``SPLICE``)
+apply to any byte string.  Structural faults (``DROP_SECTION``,
+``SWAP_SECTIONS``, ``DUPLICATE_SECTION``, ``HEADER_MUTATE``) parse the
+payload as a :class:`~repro.io.container.Container`, mutate it, and
+re-serialize — *with valid checksums* — which is exactly what makes them
+interesting: they model damage (or tampering) that the CRC layer cannot
+see, so they exercise the hardened decode paths behind it.
+
+Every fault is a pure function of ``(payload, spec)``; the same spec on
+the same payload always produces the same damaged bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from ..errors import ContainerError, FaultInjectionError
+from ..io.container import Container
+
+__all__ = ["FaultKind", "FaultSpec", "inject", "FaultInjector"]
+
+
+class FaultKind(enum.Enum):
+    BITFLIP = "bitflip"
+    TRUNCATE = "truncate"
+    GARBAGE = "garbage"  # overwrite a run of bytes with seeded noise
+    SPLICE = "splice"  # insert a run of seeded noise bytes
+    DROP_SECTION = "drop_section"
+    SWAP_SECTIONS = "swap_sections"
+    DUPLICATE_SECTION = "duplicate_section"
+    HEADER_MUTATE = "header_mutate"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One reproducible fault.
+
+    ``offset``/``bit``/``length`` parameterize the byte-level kinds;
+    ``index``/``index2`` pick sections for the structural kinds; ``key``
+    names the header field for ``HEADER_MUTATE``; ``seed`` drives any
+    randomness (noise bytes, mutation magnitude) deterministically.
+    """
+
+    kind: FaultKind
+    offset: int = 0
+    bit: int = 0
+    length: int = 1
+    index: int = 0
+    index2: int = 0
+    key: str = ""
+    seed: int = 0
+
+
+def _parse_container(payload: bytes) -> Container:
+    try:
+        return Container.from_bytes(payload)
+    except ContainerError as exc:
+        raise FaultInjectionError(
+            f"structural fault needs a parseable container: {exc}"
+        ) from exc
+
+
+def _mutated_value(value, rng: random.Random):
+    """A deterministic 'plausibly wrong' replacement for a header value."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        choices = [value + 1, value - 1, value * 2 + 1, value + 1000, 0, -1]
+        return choices[rng.randrange(len(choices))]
+    if isinstance(value, float):
+        choices = [value * 2.0, value / 2.0, value + 1.0, 0.0, -value]
+        return choices[rng.randrange(len(choices))]
+    if isinstance(value, str):
+        return value + "X" if rng.random() < 0.5 else value[:-1]
+    if isinstance(value, list):
+        if not value:
+            return [1]
+        out = list(value)
+        i = rng.randrange(len(out))
+        out[i] = _mutated_value(out[i], rng)
+        return out
+    if isinstance(value, dict):
+        if not value:
+            return {"x": 1}
+        out = dict(value)
+        k = sorted(out)[rng.randrange(len(out))]
+        out[k] = _mutated_value(out[k], rng)
+        return out
+    return 1  # None or anything else: replace with a wrong-typed value
+
+
+def inject(payload: bytes, spec: FaultSpec) -> bytes:
+    """Apply ``spec`` to ``payload``; deterministic, never in place.
+
+    Raises :class:`FaultInjectionError` when the spec cannot apply (offset
+    out of range, structural fault on an unparseable payload, or a
+    mutation that would be a byte-level no-op).
+    """
+    if not payload:
+        raise FaultInjectionError("cannot inject into an empty payload")
+    rng = random.Random(spec.seed)
+
+    if spec.kind is FaultKind.BITFLIP:
+        if not 0 <= spec.offset < len(payload):
+            raise FaultInjectionError(f"offset {spec.offset} out of range")
+        if not 0 <= spec.bit < 8:
+            raise FaultInjectionError(f"bit {spec.bit} out of range")
+        out = bytearray(payload)
+        out[spec.offset] ^= 1 << spec.bit
+        return bytes(out)
+
+    if spec.kind is FaultKind.TRUNCATE:
+        if not 0 <= spec.offset < len(payload):
+            raise FaultInjectionError(f"offset {spec.offset} out of range")
+        return payload[: spec.offset]
+
+    if spec.kind is FaultKind.GARBAGE:
+        if spec.length < 1 or not 0 <= spec.offset < len(payload):
+            raise FaultInjectionError("bad garbage run")
+        end = min(spec.offset + spec.length, len(payload))
+        noise = bytes(rng.randrange(256) for _ in range(end - spec.offset))
+        out = bytearray(payload)
+        if bytes(out[spec.offset : end]) == noise:
+            noise = bytes(b ^ 0xFF for b in noise)
+        out[spec.offset : end] = noise
+        return bytes(out)
+
+    if spec.kind is FaultKind.SPLICE:
+        if spec.length < 1 or not 0 <= spec.offset <= len(payload):
+            raise FaultInjectionError("bad splice run")
+        noise = bytes(rng.randrange(256) for _ in range(spec.length))
+        return payload[: spec.offset] + noise + payload[spec.offset :]
+
+    # -- structural faults: parse, mutate, re-serialize with valid CRCs --
+    container = _parse_container(payload)
+    sections = container.sections
+
+    if spec.kind is FaultKind.DROP_SECTION:
+        if not sections:
+            raise FaultInjectionError("container has no sections to drop")
+        i = spec.index % len(sections)
+        del sections[i]
+        return container.to_bytes()
+
+    if spec.kind is FaultKind.SWAP_SECTIONS:
+        if len(sections) < 2:
+            raise FaultInjectionError("need two sections to swap")
+        i = spec.index % len(sections)
+        j = spec.index2 % len(sections)
+        if i == j:
+            j = (i + 1) % len(sections)
+        a, b = sections[i], sections[j]
+        if a.payload == b.payload:
+            raise FaultInjectionError("swap of identical payloads is a no-op")
+        sections[i] = type(a)(a.name, b.payload)
+        sections[j] = type(b)(b.name, a.payload)
+        return container.to_bytes()
+
+    if spec.kind is FaultKind.DUPLICATE_SECTION:
+        if not sections:
+            raise FaultInjectionError("container has no sections to duplicate")
+        i = spec.index % len(sections)
+        sections.insert(i, sections[i])
+        return container.to_bytes()
+
+    if spec.kind is FaultKind.HEADER_MUTATE:
+        header = container.header
+        if not header:
+            raise FaultInjectionError("container header is empty")
+        keys = sorted(header)
+        key = spec.key if spec.key in header else keys[rng.randrange(len(keys))]
+        header[key] = _mutated_value(header[key], rng)
+        out = container.to_bytes()
+        if out == payload:
+            raise FaultInjectionError(f"mutation of {key!r} was a no-op")
+        return out
+
+    raise FaultInjectionError(f"unknown fault kind {spec.kind!r}")
+
+
+class FaultInjector:
+    """Seeded generator of fault sweeps over a payload.
+
+    The same ``(seed, payload, n)`` always yields the same sequence of
+    ``(spec, damaged_bytes)`` pairs, so a failing fault from CI reproduces
+    locally from its spec alone.
+    """
+
+    #: Relative draw weights; byte-level faults dominate because they model
+    #: storage/transport corruption, structural faults probe past the CRCs.
+    _KINDS = (
+        (FaultKind.BITFLIP, 5),
+        (FaultKind.TRUNCATE, 3),
+        (FaultKind.GARBAGE, 2),
+        (FaultKind.SPLICE, 1),
+        (FaultKind.DROP_SECTION, 1),
+        (FaultKind.SWAP_SECTIONS, 1),
+        (FaultKind.DUPLICATE_SECTION, 1),
+        (FaultKind.HEADER_MUTATE, 2),
+    )
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def _draw(self, rng: random.Random, payload: bytes) -> FaultSpec:
+        kinds = [k for k, w in self._KINDS for _ in range(w)]
+        kind = kinds[rng.randrange(len(kinds))]
+        n = len(payload)
+        return FaultSpec(
+            kind=kind,
+            offset=rng.randrange(n),
+            bit=rng.randrange(8),
+            length=rng.randrange(1, min(64, n) + 1),
+            index=rng.randrange(16),
+            index2=rng.randrange(16),
+            seed=rng.randrange(2**31),
+        )
+
+    def specs(self, payload: bytes, n: int) -> list[FaultSpec]:
+        """Draw ``n`` applicable specs (skipping inapplicable draws)."""
+        rng = random.Random(self.seed)
+        out: list[FaultSpec] = []
+        attempts = 0
+        while len(out) < n:
+            attempts += 1
+            if attempts > 50 * n:
+                raise FaultInjectionError(
+                    "payload accepts too few fault kinds for the sweep"
+                )
+            spec = self._draw(rng, payload)
+            try:
+                damaged = inject(payload, spec)
+            except FaultInjectionError:
+                continue
+            if damaged != payload:
+                out.append(spec)
+        return out
+
+    def sweep(self, payload: bytes, n: int):
+        """Yield ``n`` deterministic ``(spec, damaged_bytes)`` pairs."""
+        for spec in self.specs(payload, n):
+            yield spec, inject(payload, spec)

@@ -16,10 +16,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import ErrorBoundMode, QuantizerConfig, resolve_error_bound
-from ..errors import ContainerError, ShapeError
+from ..errors import ContainerError, ShapeError, decode_guard
 from ..io.container import Container
 from ..lossless import GzipStage, LosslessMode
-from ..streams import bound_from_header, bound_to_header, build_stats, values_to_bytes
+from ..streams import (
+    MAX_FIELD_POINTS,
+    bound_from_header,
+    bound_to_header,
+    build_stats,
+    header_dtype,
+    header_int,
+    header_shape,
+    values_to_bytes,
+)
 from ..types import CompressedField
 from .predictor import ghost_row_decode, ghost_row_loop
 
@@ -113,31 +122,36 @@ class GhostSZCompressor:
             if isinstance(compressed, CompressedField)
             else compressed
         )
+        with decode_guard(f"{self.name} payload"):
+            return self._decompress(payload)
+
+    def _decompress(self, payload: bytes) -> np.ndarray:
         container = Container.from_bytes(payload)
         h = container.header
         if h.get("variant") != self.name:
             raise ContainerError(
                 f"payload was produced by {h.get('variant')!r}, not {self.name}"
             )
-        shape = tuple(h["shape"])
-        dtype = np.dtype(h["dtype"])
+        shape = header_shape(h)
+        dtype = header_dtype(h)
         bound = bound_from_header(h["bound"])
         quant = QuantizerConfig(
-            bits=int(h["quant_bits"]), reserved_bits=int(h["reserved_bits"])
+            bits=header_int(h, "quant_bits", lo=2, hi=32),
+            reserved_bits=header_int(h, "reserved_bits"),
         )
         raw = container.get("ghost_words")
         if h["codes_gzipped"]:
             raw = self.lossless.decompress(raw)
-        words = np.frombuffer(raw, dtype="<u2", count=int(h["n_codes"])).astype(
-            np.int64
-        )
+        words = np.frombuffer(
+            raw, dtype="<u2", count=header_int(h, "n_codes", hi=MAX_FIELD_POINTS)
+        ).astype(np.int64)
         rows_shape = _as_rows(np.empty(shape, dtype=np.uint8)).shape
         types = (words >> _TYPE_SHIFT).astype(np.uint8).reshape(rows_shape)
         codes = (words & ((1 << _TYPE_SHIFT) - 1)).reshape(rows_shape)
         verbatim = np.frombuffer(
             container.get("verbatim"),
             dtype=np.dtype(dtype).newbyteorder("<"),
-            count=int(h["n_verbatim"]),
+            count=header_int(h, "n_verbatim", hi=MAX_FIELD_POINTS),
         ).astype(dtype)
         dec = ghost_row_decode(
             types,

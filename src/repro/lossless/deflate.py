@@ -128,29 +128,51 @@ def _serialize(tokens: TokenStream, original_len: int) -> bytes:
 
 
 def inflate(blob: bytes) -> bytes:
-    """Decompress a WDF1 container back to the original bytes."""
+    """Decompress a WDF1 container back to the original bytes.
+
+    All framing reads are bounds-checked so a truncated or bit-flipped
+    container raises :class:`LosslessError` (or another ``ReproError``
+    subtype from the Huffman/bit-IO layers), never ``struct.error``.
+    """
     if blob[:4] != _MAGIC:
         raise LosslessError("bad WDF1 magic")
-    original_len, n_tokens, n_matches = struct.unpack_from("<QII", blob, 4)
-    pos = 4 + struct.calcsize("<QII")
+    pos = 4
 
-    def take_section() -> tuple[HuffmanTable, bytes]:
+    def unpack(fmt: str, what: str) -> tuple:
         nonlocal pos
-        (tlen,) = struct.unpack_from("<I", blob, pos)
-        pos += 4
-        table, _ = HuffmanTable.from_bytes(blob[pos : pos + tlen])
-        pos += tlen
-        (plen,) = struct.unpack_from("<I", blob, pos)
-        pos += 4
-        payload = blob[pos : pos + plen]
-        pos += plen
-        return table, payload
+        size = struct.calcsize(fmt)
+        if pos + size > len(blob):
+            raise LosslessError(f"truncated WDF1 container: {what}")
+        out = struct.unpack_from(fmt, blob, pos)
+        pos += size
+        return out
 
-    lit_table, lit_payload = take_section()
-    dist_table, dist_payload = take_section()
-    (elen,) = struct.unpack_from("<I", blob, pos)
-    pos += 4
-    extras_payload = blob[pos : pos + elen]
+    def take(n: int, what: str) -> bytes:
+        nonlocal pos
+        if n < 0 or pos + n > len(blob):
+            raise LosslessError(f"truncated WDF1 container: {what}")
+        out = blob[pos : pos + n]
+        pos += n
+        return out
+
+    original_len, n_tokens, n_matches = unpack("<QII", "stream counts")
+    if n_matches > n_tokens:
+        raise LosslessError("corrupt container: more matches than tokens")
+    if original_len > 8 * max(len(blob), 1) * (MAX_MATCH + 1):
+        # Even a stream of all-maximal matches cannot expand this far; the
+        # length field is corrupt, refuse before allocating the output.
+        raise LosslessError(f"implausible original length {original_len}")
+
+    def take_section(what: str) -> tuple[HuffmanTable, bytes]:
+        (tlen,) = unpack("<I", f"{what} table length")
+        table, _ = HuffmanTable.from_bytes(take(tlen, f"{what} table"))
+        (plen,) = unpack("<I", f"{what} payload length")
+        return table, take(plen, f"{what} payload")
+
+    lit_table, lit_payload = take_section("literal/length")
+    dist_table, dist_payload = take_section("distance")
+    (elen,) = unpack("<I", "extra-bits length")
+    extras_payload = take(elen, "extra-bits payload")
 
     if n_tokens == 0:
         if original_len != 0:
@@ -189,6 +211,11 @@ def inflate(blob: bytes) -> bytes:
         values.astype(np.int32),
         dists.astype(np.int32),
     )
+    if stream.expanded_size() != original_len:
+        raise LosslessError(
+            f"corrupt container: tokens expand to {stream.expanded_size()} "
+            f"bytes, expected {original_len}"
+        )
     out = stream.reconstruct()
     if len(out) != original_len:
         raise LosslessError(

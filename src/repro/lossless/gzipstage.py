@@ -62,7 +62,10 @@ class GzipStage:
 
     def decompress(self, blob: bytes) -> bytes:
         if blob[:4] == _ZLIB_MAGIC:
-            return zlib.decompress(blob[4:])
+            try:
+                return zlib.decompress(blob[4:])
+            except zlib.error as exc:
+                raise LosslessError(f"corrupt zlib stream: {exc}") from exc
         return inflate(blob)
 
     def ratio(self, data: bytes) -> float:

@@ -19,8 +19,9 @@ from typing import Any, Protocol
 
 import numpy as np
 
-from .errors import ContainerError, ShapeError
+from .errors import ContainerError, ShapeError, decode_guard
 from .io.container import Container
+from .streams import header_dtype, header_int, header_shape
 from .types import CompressedField, CompressionStats
 
 __all__ = ["TiledResult", "tile_compress", "tile_decompress", "decompress_tile"]
@@ -141,22 +142,24 @@ def decompress_tile(
     compressor: _Compressor, payload: bytes, index: int
 ) -> np.ndarray:
     """Random access: reconstruct band ``index`` only."""
-    container = _parse(payload, compressor)
-    n = int(container.header["n_tiles"])
-    if not 0 <= index < n:
-        raise ContainerError(f"tile index {index} out of range [0, {n})")
-    return compressor.decompress(container.get(f"tile{index}"))
+    with decode_guard("tiled payload"):
+        container = _parse(payload, compressor)
+        n = header_int(container.header, "n_tiles", lo=1)
+        if not 0 <= index < n:
+            raise ContainerError(f"tile index {index} out of range [0, {n})")
+        return compressor.decompress(container.get(f"tile{index}"))
 
 
 def tile_decompress(compressor: _Compressor, payload: bytes) -> np.ndarray:
     """Reconstruct the full field from a tiled payload."""
-    container = _parse(payload, compressor)
-    h = container.header
-    shape = tuple(h["shape"])
-    dtype = np.dtype(h["dtype"])
-    out = np.empty(shape, dtype=dtype)
-    starts = list(h["band_starts"]) + [shape[0]]
-    for t in range(int(h["n_tiles"])):
-        band = compressor.decompress(container.get(f"tile{t}"))
-        out[starts[t] : starts[t + 1]] = band
-    return out
+    with decode_guard("tiled payload"):
+        container = _parse(payload, compressor)
+        h = container.header
+        shape = header_shape(h)
+        dtype = header_dtype(h)
+        out = np.empty(shape, dtype=dtype)
+        starts = list(h["band_starts"]) + [shape[0]]
+        for t in range(header_int(h, "n_tiles", lo=1, hi=len(starts) - 1)):
+            band = compressor.decompress(container.get(f"tile{t}"))
+            out[starts[t] : starts[t + 1]] = band
+        return out

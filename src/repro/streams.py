@@ -27,7 +27,66 @@ __all__ = [
     "bound_to_header",
     "bound_from_header",
     "build_stats",
+    "header_int",
+    "header_shape",
+    "header_dtype",
+    "MAX_FIELD_POINTS",
 ]
+
+#: Upper bound on the number of points a payload header may declare.  The
+#: repro's largest fields are a few hundred million points; anything above
+#: this is a corrupt/mutated header trying to force a giant allocation.
+MAX_FIELD_POINTS = 1 << 28
+
+
+def header_int(h: dict, key: str, *, lo: int | None = 0, hi: int | None = None) -> int:
+    """Read an integer header field with range validation.
+
+    Missing keys, non-integral values and out-of-range values all raise
+    :class:`ContainerError` so corrupt headers cannot leak ``KeyError`` /
+    ``TypeError`` or drive absurd allocations downstream.
+    """
+    if key not in h:
+        raise ContainerError(f"header missing field {key!r}")
+    v = h[key]
+    if isinstance(v, bool) or not isinstance(v, int):
+        raise ContainerError(f"header field {key!r} is not an integer: {v!r}")
+    if lo is not None and v < lo:
+        raise ContainerError(f"header field {key!r} = {v} below minimum {lo}")
+    if hi is not None and v > hi:
+        raise ContainerError(f"header field {key!r} = {v} above maximum {hi}")
+    return v
+
+
+def header_shape(
+    h: dict, key: str = "shape", *, max_points: int = MAX_FIELD_POINTS
+) -> tuple[int, ...]:
+    """Read and sanity-check a shape tuple from a payload header."""
+    if key not in h:
+        raise ContainerError(f"header missing field {key!r}")
+    raw = h[key]
+    if not isinstance(raw, (list, tuple)) or not raw or len(raw) > 4:
+        raise ContainerError(f"header field {key!r} is not a 1-4D shape: {raw!r}")
+    shape = []
+    points = 1
+    for d in raw:
+        if isinstance(d, bool) or not isinstance(d, int) or d <= 0:
+            raise ContainerError(f"bad dimension {d!r} in header {key!r}")
+        points *= d
+        if points > max_points:
+            raise ContainerError(
+                f"header {key!r} declares more than {max_points} points"
+            )
+        shape.append(d)
+    return tuple(shape)
+
+
+def header_dtype(h: dict, key: str = "dtype") -> np.dtype:
+    """Read the field dtype from a payload header (float32/float64 only)."""
+    raw = h.get(key)
+    if raw not in ("float32", "float64"):
+        raise ContainerError(f"header field {key!r} is not a float dtype: {raw!r}")
+    return np.dtype(raw)
 
 
 def encode_codes_huffman(container: Container, codes_flat: np.ndarray) -> int:
@@ -47,7 +106,7 @@ def encode_codes_huffman(container: Container, codes_flat: np.ndarray) -> int:
 
 def decode_codes_huffman(container: Container) -> np.ndarray:
     table, _ = HuffmanTable.from_bytes(container.get("huffman_table"))
-    n = int(container.header["n_codes"])
+    n = header_int(container.header, "n_codes", hi=MAX_FIELD_POINTS)
     return HuffmanCodec(table).decode(container.get("huffman_codes"), n)
 
 
@@ -70,12 +129,18 @@ def encode_codes_raw(container: Container, codes_flat: np.ndarray, bits: int) ->
 
 
 def decode_codes_raw(container: Container) -> np.ndarray:
-    n = int(container.header["n_codes"])
-    width = int(container.header["raw_code_bits"])
+    n = header_int(container.header, "n_codes", hi=MAX_FIELD_POINTS)
+    width = header_int(container.header, "raw_code_bits")
+    if width not in (16, 32):
+        raise ContainerError(f"raw code width {width} unsupported")
     dt = "<u2" if width == 16 else "<u4"
-    return np.frombuffer(container.get("raw_codes"), dtype=dt, count=n).astype(
-        np.int64
-    )
+    payload = container.get("raw_codes")
+    if len(payload) < n * (width // 8):
+        raise ContainerError(
+            f"raw code stream holds {len(payload)} bytes, "
+            f"needs {n * (width // 8)}"
+        )
+    return np.frombuffer(payload, dtype=dt, count=n).astype(np.int64)
 
 
 def values_to_bytes(values: np.ndarray) -> bytes:
@@ -85,6 +150,10 @@ def values_to_bytes(values: np.ndarray) -> bytes:
 
 def values_from_bytes(payload: bytes, n: int, dtype: np.dtype) -> np.ndarray:
     dt = np.dtype(dtype).newbyteorder("<")
+    if n < 0 or len(payload) < n * dt.itemsize:
+        raise ContainerError(
+            f"value stream holds {len(payload)} bytes, needs {n} x {dt.itemsize}"
+        )
     return np.frombuffer(payload, dtype=dt, count=n).astype(np.dtype(dtype))
 
 
@@ -99,13 +168,21 @@ def bound_to_header(bound: ErrorBound) -> dict:
 
 
 def bound_from_header(h: dict) -> ErrorBound:
-    return ErrorBound(
-        mode=ErrorBoundMode(h["mode"]),
-        value=float(h["value"]),
-        absolute=float(h["absolute"]),
-        base2=bool(h["base2"]),
-        exponent=None if h["exponent"] is None else int(h["exponent"]),
-    )
+    try:
+        bound = ErrorBound(
+            mode=ErrorBoundMode(h["mode"]),
+            value=float(h["value"]),
+            absolute=float(h["absolute"]),
+            base2=bool(h["base2"]),
+            exponent=None if h["exponent"] is None else int(h["exponent"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ContainerError(f"corrupt error-bound header: {exc}") from exc
+    if not (bound.absolute > 0.0) or not np.isfinite(bound.absolute):
+        raise ContainerError(
+            f"corrupt error-bound header: absolute bound {bound.absolute!r}"
+        )
+    return bound
 
 
 def build_stats(

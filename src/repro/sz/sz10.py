@@ -19,10 +19,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import ErrorBoundMode, resolve_error_bound
-from ..errors import ContainerError
+from ..errors import ContainerError, decode_guard
 from ..io.container import Container
 from ..lossless import GzipStage, LosslessMode
-from ..streams import bound_from_header, bound_to_header, build_stats
+from ..streams import (
+    MAX_FIELD_POINTS,
+    bound_from_header,
+    bound_to_header,
+    build_stats,
+    header_dtype,
+    header_int,
+    header_shape,
+)
 from ..encoding.huffman import HuffmanCodec, HuffmanTable
 from ..types import CompressedField
 from .unpredictable import decode_truncated, encode_truncated, truncate_roundtrip
@@ -150,17 +158,21 @@ class SZ10Compressor:
             if isinstance(compressed, CompressedField)
             else compressed
         )
+        with decode_guard(f"{self.name} payload"):
+            return self._decompress(payload)
+
+    def _decompress(self, payload: bytes) -> np.ndarray:
         container = Container.from_bytes(payload)
         h = container.header
         if h.get("variant") != self.name:
             raise ContainerError(
                 f"payload was produced by {h.get('variant')!r}, not {self.name}"
             )
-        shape = tuple(h["shape"])
-        dtype = np.dtype(h["dtype"])
+        shape = header_shape(h)
+        dtype = header_dtype(h)
         bound = bound_from_header(h["bound"])
         p = bound.absolute
-        n = int(h["n_codes"])
+        n = header_int(h, "n_codes", hi=MAX_FIELD_POINTS)
 
         table, _ = HuffmanTable.from_bytes(container.get("huffman_table"))
         stream = container.get("fit_types")
@@ -168,7 +180,7 @@ class SZ10Compressor:
             stream = self.lossless.decompress(stream)
         types = HuffmanCodec(table).decode(stream, n).astype(np.uint8)
 
-        n_unpred = int(h["n_unpred"])
+        n_unpred = header_int(h, "n_unpred", hi=MAX_FIELD_POINTS)
         unpred = decode_truncated(
             container.get("unpredictable"), n_unpred, p, dtype
         ).astype(np.float64)

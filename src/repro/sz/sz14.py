@@ -14,15 +14,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import ErrorBoundMode, QuantizerConfig, resolve_error_bound
-from ..errors import ContainerError
+from ..errors import ContainerError, decode_guard
 from ..io.container import Container
 from ..lossless import GzipStage, LosslessMode
 from ..streams import (
+    MAX_FIELD_POINTS,
     bound_from_header,
     bound_to_header,
     build_stats,
     decode_codes_huffman,
     encode_codes_huffman,
+    header_dtype,
+    header_int,
+    header_shape,
 )
 from ..types import CompressedField
 from .pqd import BorderMode, pqd_compress, pqd_decompress
@@ -166,18 +170,24 @@ class SZ14Compressor:
             if isinstance(compressed, CompressedField)
             else compressed
         )
+        with decode_guard(f"{self.name} payload"):
+            return self._decompress(payload)
+
+    def _decompress(self, payload: bytes) -> np.ndarray:
         container = Container.from_bytes(payload)
         h = container.header
         if h.get("variant") != self.name:
             raise ContainerError(
                 f"payload was produced by {h.get('variant')!r}, not {self.name}"
             )
-        shape = tuple(h["shape"])
-        dtype = np.dtype(h["dtype"])
+        shape = header_shape(h)
+        dtype = header_dtype(h)
         bound = bound_from_header(h["bound"])
-        quant = QuantizerConfig(bits=int(h["quant_bits"]),
-                                reserved_bits=int(h["reserved_bits"]))
+        quant = QuantizerConfig(bits=header_int(h, "quant_bits", lo=2, hi=32),
+                                reserved_bits=header_int(h, "reserved_bits"))
         border_mode: BorderMode = h["border"]
+        if border_mode not in ("padded", "truncate", "verbatim"):
+            raise ContainerError(f"unknown border mode {border_mode!r}")
         p = bound.absolute
 
         if h.get("codes_gzipped"):
@@ -187,8 +197,8 @@ class SZ14Compressor:
             container.add("huffman_codes", huff_payload)
         codes = decode_codes_huffman(container).reshape(shape)
 
-        n_border = int(h["n_border"])
-        n_out = int(h["n_outliers"])
+        n_border = header_int(h, "n_border", hi=MAX_FIELD_POINTS)
+        n_out = header_int(h, "n_outliers", hi=MAX_FIELD_POINTS)
         if border_mode == "truncate":
             border_vals = decode_truncated(container.get("border"), n_border, p, dtype)
             outlier_vals = decode_truncated(container.get("outliers"), n_out, p, dtype)

@@ -23,15 +23,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import ErrorBoundMode, QuantizerConfig, resolve_error_bound
-from ..errors import ContainerError, DTypeError, ShapeError
+from ..errors import ContainerError, DTypeError, ShapeError, decode_guard
 from ..io.container import Container
 from ..lossless import GzipStage, LosslessMode
 from ..streams import (
+    MAX_FIELD_POINTS,
     bound_from_header,
     bound_to_header,
     build_stats,
     decode_codes_huffman,
     encode_codes_huffman,
+    header_dtype,
+    header_int,
+    header_shape,
 )
 from ..types import CompressedField
 from .lorenzo import neighbor_offsets
@@ -287,28 +291,41 @@ class SZ20Compressor:
     # ------------------------------------------------------------------
 
     def decompress(self, compressed: CompressedField | bytes) -> np.ndarray:
-        from .regression import dequantize_coeffs, eval_plane
-
         payload = (
             compressed.payload
             if isinstance(compressed, CompressedField)
             else compressed
         )
+        with decode_guard(f"{self.name} payload"):
+            return self._decompress(payload)
+
+    def _decompress(self, payload: bytes) -> np.ndarray:
+        from .regression import dequantize_coeffs, eval_plane
+
         container = Container.from_bytes(payload)
         h = container.header
         if h.get("variant") != self.name:
             raise ContainerError(
                 f"payload was produced by {h.get('variant')!r}, not {self.name}"
             )
-        shape = tuple(h["shape"])
-        dtype = np.dtype(h["dtype"])
+        shape = header_shape(h)
+        dtype = header_dtype(h)
         bound = bound_from_header(h["bound"])
         quant = QuantizerConfig(
-            bits=int(h["quant_bits"]), reserved_bits=int(h["reserved_bits"])
+            bits=header_int(h, "quant_bits", lo=2, hi=32),
+            reserved_bits=header_int(h, "reserved_bits"),
         )
         p = bound.absolute
-        bs = int(h["block_size"])
-        n_blocks = int(h["n_blocks"])
+        bs = header_int(h, "block_size", lo=1, hi=4096)
+        n_blocks = header_int(h, "n_blocks", hi=MAX_FIELD_POINTS)
+        expected_blocks = 1
+        for s in shape:
+            expected_blocks *= -(-s // bs)
+        if n_blocks != expected_blocks:
+            raise ContainerError(
+                f"header declares {n_blocks} blocks, shape implies "
+                f"{expected_blocks}"
+            )
         r = quant.radius
 
         if h.get("codes_gzipped"):
@@ -324,7 +341,7 @@ class SZ20Compressor:
         raw = container.get("coeffs")
         if h["coeffs_gz"]:
             raw = self.lossless.decompress(raw)
-        n_reg = int(h["n_reg_blocks"])
+        n_reg = header_int(h, "n_reg_blocks", hi=n_blocks)
         ndimp1 = len(shape) + 1
         if n_reg:
             deltas = np.frombuffer(raw, dtype="<i8").reshape(n_reg, ndimp1)

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import DTypeError
+from ..errors import BitstreamError, DTypeError
 from ..encoding.bitio import BitReader, pack_codes
 
 __all__ = ["encode_truncated", "decode_truncated", "truncate_roundtrip", "FloatLayout"]
@@ -127,9 +127,16 @@ def decode_truncated(
 ) -> np.ndarray:
     """Inverse of :func:`encode_truncated`; returns truncated reconstructions."""
     lay = _layout(dtype)
-    out_bits = np.zeros(n_values, dtype=np.uint64)
     if n_values == 0:
-        return out_bits.view(lay.uint_dtype).astype(dtype)
+        return np.zeros(0, dtype=np.uint64).view(lay.uint_dtype).astype(dtype)
+    # Each value consumes at least 1 sign bit + the exponent field, so a
+    # count the payload cannot satisfy is corrupt — refuse before the
+    # allocation rather than decoding padding.
+    if n_values < 0 or n_values * (1 + lay.exp_bits) > 8 * len(payload):
+        raise BitstreamError(
+            f"truncation stream too short for {n_values} values"
+        )
+    out_bits = np.zeros(n_values, dtype=np.uint64)
     reader = BitReader(payload)
     eb_exp = math.floor(math.log2(eb))
     exp_bits = lay.exp_bits

@@ -11,7 +11,15 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-__all__ = ["Feature", "Platform", "Goal", "VariantSpec", "VARIANTS", "feature_matrix"]
+__all__ = [
+    "Feature",
+    "Platform",
+    "Goal",
+    "VariantSpec",
+    "VARIANTS",
+    "feature_matrix",
+    "compressor_for",
+]
 
 
 class Platform(enum.Enum):
@@ -131,6 +139,35 @@ VARIANTS: dict[str, VariantSpec] = {
         optional=frozenset({Feature.CUSTOM_HUFFMAN}),
     ),
 }
+
+
+def compressor_for(variant: str):
+    """Instantiate the compressor registered under a payload variant name.
+
+    The name is the ``variant`` field a payload header carries (e.g.
+    ``"SZ-1.4"``, ``"waveSZ"``); this is the resolver archives and the CLI
+    use to pick a decoder for stored streams.  Imports are local so this
+    leaf module stays cycle-free.
+    """
+    from .core import WaveSZCompressor
+    from .ghostsz import GhostSZCompressor
+    from .sz import SZ10Compressor, SZ14Compressor, SZ20Compressor
+    from .zfp import ZFPCompressor
+
+    factories = {
+        "waveSZ": lambda: WaveSZCompressor(use_huffman=True),
+        "SZ-1.4": SZ14Compressor,
+        "SZ-2.0": SZ20Compressor,
+        "SZ-1.0": SZ10Compressor,
+        "GhostSZ": GhostSZCompressor,
+        "ZFP-like": ZFPCompressor,
+    }
+    factory = factories.get(variant)
+    if factory is None:
+        from .errors import ContainerError
+
+        raise ContainerError(f"no compressor registered for variant {variant!r}")
+    return factory()
 
 
 def feature_matrix() -> list[dict[str, object]]:

@@ -27,9 +27,17 @@ import numpy as np
 
 from ..config import ErrorBoundMode, resolve_error_bound
 from ..encoding.bitio import BitReader, BitWriter
-from ..errors import ContainerError, DTypeError, ShapeError
+from ..errors import ContainerError, DTypeError, ShapeError, decode_guard
 from ..io.container import Container
-from ..streams import bound_from_header, bound_to_header, build_stats
+from ..streams import (
+    MAX_FIELD_POINTS,
+    bound_from_header,
+    bound_to_header,
+    build_stats,
+    header_dtype,
+    header_int,
+    header_shape,
+)
 from ..types import CompressedField
 from .transform import fwd_transform, inv_transform, sequency_order
 
@@ -243,18 +251,30 @@ class ZFPCompressor:
             if isinstance(compressed, CompressedField)
             else compressed
         )
+        with decode_guard(f"{self.name} payload"):
+            return self._decompress(payload)
+
+    def _decompress(self, payload: bytes) -> np.ndarray:
         container = Container.from_bytes(payload)
         h = container.header
         if h.get("variant") != self.name:
             raise ContainerError(
                 f"payload was produced by {h.get('variant')!r}, not {self.name}"
             )
-        shape = tuple(h["shape"])
-        dtype = np.dtype(h["dtype"])
+        shape = header_shape(h)
+        dtype = header_dtype(h)
         bound = bound_from_header(h["bound"])
         tol = bound.absolute
         ndim = len(shape)
-        n_blocks = int(h["n_blocks"])
+        n_blocks = header_int(h, "n_blocks", hi=MAX_FIELD_POINTS)
+        expected_blocks = 1
+        for s in shape:
+            expected_blocks *= -(-s // 4)
+        if n_blocks != expected_blocks:
+            raise ContainerError(
+                f"header declares {n_blocks} blocks, shape implies "
+                f"{expected_blocks}"
+            )
         size = 4**ndim
         order = sequency_order(ndim)
         inv_order = np.empty_like(order)

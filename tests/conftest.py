@@ -46,3 +46,11 @@ def ramp1d() -> np.ndarray:
     """A 1D field with a linear ramp plus wiggle."""
     x = np.linspace(0.0, 1.0, 500)
     return (x + 0.01 * np.sin(40 * x)).astype(np.float32)
+
+
+@pytest.fixture
+def fault_injector():
+    """A deterministic fault injector (fixed seed, fresh per test)."""
+    from repro.faults import FaultInjector
+
+    return FaultInjector(seed=0xFA07)

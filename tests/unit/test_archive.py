@@ -73,3 +73,60 @@ class TestArchive:
         back = Archive.from_bytes(arch.to_bytes())
         assert back.extract("a", SZ14Compressor()).shape == (48, 96)
         assert back.extract("b", WaveSZCompressor()).shape == (48, 96)
+
+
+def _damage_field(blob: bytes, name: str) -> bytes:
+    """Flip one bit inside a named field's payload section."""
+    arch = Archive.from_bytes(blob)
+    payload = arch.payload(name)
+    idx = blob.index(payload)
+    out = bytearray(blob)
+    out[idx + len(payload) // 2] ^= 0x20
+    return bytes(out)
+
+
+class TestExtractAll:
+    def test_extract_all_clean(self, snapshot):
+        arch = Archive.build(snapshot, SZ14Compressor(), 1e-3, "vr_rel")
+        result = Archive.from_bytes(arch.to_bytes()).extract_all()
+        assert result.ok
+        assert set(result.fields) == {"CLDLOW", "TS"}
+        for name, data in snapshot.items():
+            vr = float(data.max() - data.min())
+            err = np.abs(result.fields[name].astype(np.float64) - data).max()
+            assert err <= 1e-3 * vr
+
+    def test_extract_all_resolves_mixed_variants(self, snapshot):
+        arch = Archive()
+        arch.add_field("a", SZ14Compressor().compress(snapshot["TS"], 1e-3))
+        arch.add_field("b", WaveSZCompressor().compress(snapshot["CLDLOW"], 1e-3))
+        result = Archive.from_bytes(arch.to_bytes()).extract_all()
+        assert result.ok and set(result.fields) == {"a", "b"}
+
+    def test_damaged_field_strict_raises(self, snapshot):
+        arch = Archive.build(snapshot, SZ14Compressor(), 1e-3, "vr_rel")
+        bad = _damage_field(arch.to_bytes(), "TS")
+        with pytest.raises(ContainerError):
+            Archive.from_bytes(bad)
+        salvaged = Archive.from_bytes(bad, salvage=True)
+        with pytest.raises(ContainerError):
+            salvaged.extract_all(strict=True)
+
+    def test_damaged_field_lenient_recovers_the_rest(self, snapshot):
+        arch = Archive.build(snapshot, SZ14Compressor(), 1e-3, "vr_rel")
+        bad = _damage_field(arch.to_bytes(), "TS")
+        result = Archive.from_bytes(bad, salvage=True).extract_all(strict=False)
+        assert not result.ok
+        assert set(result.fields) == {"CLDLOW"}
+        assert len(result.damage) == 1
+        d = result.damage[0]
+        assert (d.name, d.variant, d.stage) == ("TS", "SZ-1.4", "container")
+        assert "checksum" in d.error
+
+    def test_damaged_extract_still_refused(self, snapshot):
+        arch = Archive.build(snapshot, SZ14Compressor(), 1e-3, "vr_rel")
+        bad = _damage_field(arch.to_bytes(), "TS")
+        salvaged = Archive.from_bytes(bad, salvage=True)
+        with pytest.raises(ContainerError):
+            salvaged.extract("TS", SZ14Compressor())
+        assert salvaged.extract("CLDLOW", SZ14Compressor()).shape == (48, 96)

@@ -100,6 +100,58 @@ class TestArchiveCommands:
                      "-o", str(tmp_path / "x.f32")]) == 1
 
 
+class TestVerifyCommand:
+    @pytest.fixture()
+    def compressed(self, tmp_path, raw_field):
+        path, data = raw_field
+        wsz = tmp_path / "o.wsz"
+        d0, d1 = data.shape
+        assert main(["compress", str(path), "--dims", str(d0), str(d1),
+                     "--eb", "1e-3", "-o", str(wsz)]) == 0
+        return path, wsz, data
+
+    def test_verify_clean_payload(self, compressed, capsys):
+        _, wsz, _ = compressed
+        assert main(["verify", str(wsz)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compress_verify_decompress_roundtrip(self, compressed, tmp_path,
+                                                  capsys):
+        path, wsz, data = compressed
+        d0, d1 = data.shape
+        assert main(["verify", str(wsz), "--original", str(path),
+                     "--dims", str(d0), str(d1)]) == 0
+        out = capsys.readouterr().out
+        assert "max error" in out and "OK" in out
+        restored = tmp_path / "r.f32"
+        assert main(["decompress", str(wsz), "-o", str(restored)]) == 0
+
+    def test_verify_detects_bit_flip(self, compressed, tmp_path, capsys):
+        _, wsz, _ = compressed
+        blob = bytearray(wsz.read_bytes())
+        blob[len(blob) // 2] ^= 0x04
+        bad = tmp_path / "bad.wsz"
+        bad.write_bytes(bytes(blob))
+        assert main(["verify", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err and "checksum" in err
+
+    def test_verify_detects_truncation(self, compressed, tmp_path, capsys):
+        _, wsz, _ = compressed
+        bad = tmp_path / "cut.wsz"
+        bad.write_bytes(wsz.read_bytes()[:-9])
+        assert main(["verify", str(bad)]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_verify_missing_file(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path / "nope.wsz")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_verify_original_requires_dims(self, compressed, capsys):
+        path, wsz, _ = compressed
+        assert main(["verify", str(wsz), "--original", str(path)]) == 2
+
+
 class TestReportCommand:
     def test_report_prints_hls_summary(self, capsys):
         assert main(["report", "--dims", "100", "250000"]) == 0

@@ -1,10 +1,34 @@
 """Unit tests for the compressed container and SDRB raw IO."""
 
+import json
+import struct
+
 import numpy as np
 import pytest
 
-from repro.errors import ContainerError, ShapeError
+from repro.errors import ChecksumError, ContainerError, ReproError, ShapeError
 from repro.io import Container, read_raw_field, write_raw_field
+
+
+def _sample() -> Container:
+    c = Container(header={"variant": "x", "shape": [2, 3], "n": 7})
+    c.add("alpha", b"123")
+    c.add("beta", b"")
+    c.add("gamma", bytes(range(64)))
+    return c
+
+
+def _v1_bytes(header: dict, sections: list[tuple[bytes, bytes]]) -> bytes:
+    """Hand-built v1 stream — frozen wire layout, independent of to_bytes."""
+    hj = json.dumps(header, sort_keys=True).encode()
+    out = bytearray(b"WSZC")
+    out += struct.pack("<HI", 1, len(hj))
+    out += hj
+    out += struct.pack("<H", len(sections))
+    for name, payload in sections:
+        out += struct.pack("<B", len(name)) + name
+        out += struct.pack("<Q", len(payload)) + payload
+    return bytes(out)
 
 
 class TestContainer:
@@ -65,6 +89,168 @@ class TestContainer:
         blob[4] = 99
         with pytest.raises(ContainerError):
             Container.from_bytes(bytes(blob))
+
+
+class TestContainerV2Integrity:
+    def test_writes_v2_by_default(self):
+        blob = _sample().to_bytes()
+        assert blob[4:6] == struct.pack("<H", 2)
+        assert Container.from_bytes(blob).version == 2
+
+    def test_every_single_bit_flip_detected(self):
+        blob = _sample().to_bytes()
+        for pos in range(len(blob)):
+            for bit in range(8):
+                bad = bytearray(blob)
+                bad[pos] ^= 1 << bit
+                with pytest.raises(ContainerError):
+                    Container.from_bytes(bytes(bad))
+
+    def test_every_truncation_detected(self):
+        blob = _sample().to_bytes()
+        for cut in range(len(blob)):
+            with pytest.raises(ContainerError):
+                Container.from_bytes(blob[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        blob = _sample().to_bytes()
+        with pytest.raises(ContainerError):
+            Container.from_bytes(blob + b"\x00")
+        with pytest.raises(ContainerError):
+            Container.from_bytes(blob + blob)
+
+    def test_section_payload_flip_is_checksum_error(self):
+        c = Container(header={})
+        c.add("data", b"\x00" * 64)
+        blob = bytearray(c.to_bytes())
+        # flip a bit well inside the zero-run payload: framing stays intact
+        blob[-40] ^= 0x01
+        with pytest.raises(ChecksumError):
+            Container.from_bytes(bytes(blob))
+
+    def test_non_dict_header_rejected(self):
+        blob = _v1_bytes({}, [])
+        bad = bytearray(blob)
+        hj = json.dumps([1, 2]).encode()
+        bad[6:10] = struct.pack("<I", len(hj))
+        bad[10:12] = hj  # old header was b"{}"
+        with pytest.raises(ContainerError):
+            Container.from_bytes(bytes(bad))
+
+    def test_duplicate_section_in_stream_rejected(self):
+        blob = _v1_bytes({}, [(b"a", b"x"), (b"a", b"y")])
+        with pytest.raises(ContainerError):
+            Container.from_bytes(blob)
+
+    def test_scan_clean(self):
+        report = Container.scan(_sample().to_bytes())
+        assert report.ok
+        assert report.version == 2
+        assert report.n_sections == 3
+        assert all(s.ok for s in report.sections)
+        assert report.problems == ()
+
+    def test_scan_and_salvage_damaged_section(self):
+        c = Container(header={"k": 1})
+        c.add("good", b"A" * 32)
+        c.add("bad", b"B" * 32)
+        c.add("tail", b"C" * 32)
+        blob = bytearray(c.to_bytes())
+        idx = bytes(blob).index(b"B" * 32)
+        blob[idx] ^= 0xFF
+        report = Container.scan(bytes(blob))
+        assert not report.ok
+        verdicts = {s.name: s.ok for s in report.sections}
+        assert verdicts == {"good": True, "bad": False, "tail": True}
+        result = Container.salvage(bytes(blob))
+        assert result.damaged == {"bad"}
+        assert result.container.get("good") == b"A" * 32
+        assert result.container.get("tail") == b"C" * 32
+
+    def test_scan_never_raises_on_garbage(self):
+        for blob in (b"", b"WSZ", b"WSZC", b"\xff" * 40, _sample().to_bytes()[:11]):
+            report = Container.scan(blob)
+            assert not report.ok
+            assert report.problems
+
+
+class TestContainerV1Compat:
+    def test_golden_v1_bytes_parse(self):
+        blob = _v1_bytes({"variant": "x", "n": 3}, [(b"alpha", b"123"), (b"b", b"")])
+        c = Container.from_bytes(blob)
+        assert c.version == 1
+        assert c.header == {"variant": "x", "n": 3}
+        assert c.get("alpha") == b"123"
+        assert c.get("b") == b""
+
+    def test_v1_writer_matches_golden_bytes(self):
+        c = Container(header={"variant": "x", "n": 3})
+        c.add("alpha", b"123")
+        c.add("b", b"")
+        assert c.to_bytes(version=1) == _v1_bytes(
+            {"variant": "x", "n": 3}, [(b"alpha", b"123"), (b"b", b"")]
+        )
+
+    def test_v1_trailing_garbage_still_rejected(self):
+        blob = _v1_bytes({}, [(b"a", b"x")])
+        with pytest.raises(ContainerError):
+            Container.from_bytes(blob + b"junk")
+
+    def test_unwritable_version(self):
+        with pytest.raises(ContainerError):
+            Container(header={}).to_bytes(version=3)
+
+    def test_v1_payload_decompresses_bit_exactly(self, smooth2d):
+        """Streams written before the integrity layer still decode."""
+        from repro import SZ14Compressor
+
+        comp = SZ14Compressor()
+        cf = comp.compress(smooth2d, 1e-3, "vr_rel")
+        v1_blob = Container.from_bytes(cf.payload).to_bytes(version=1)
+        assert v1_blob != cf.payload  # genuinely the old format
+        ref = comp.decompress(cf.payload)
+        out = comp.decompress(v1_blob)
+        assert out.dtype == ref.dtype and out.shape == ref.shape
+        assert (out == ref).all()
+
+
+class TestMalformedOffsets:
+    """Regressions: every truncation/garbage class raises ContainerError,
+    never a raw struct.error / UnicodeDecodeError / IndexError."""
+
+    CASES = {
+        "mid-magic": b"WS",
+        "mid-version": b"WSZC\x02",
+        "mid-header-len": b"WSZC\x02\x00\x10",
+        "huge-header-len": b"WSZC\x02\x00\xff\xff\xff\xff{}",
+        "non-utf8-header": b"WSZC\x02\x00\x02\x00\x00\x00\xff\xfe",
+        "bad-json-header": b"WSZC\x02\x00\x02\x00\x00\x00{[",
+        "mid-section-count": _v1_bytes({}, [])[:-1],
+        "mid-section-name": _v1_bytes({}, [(b"abc", b"")])[:16],
+        "mid-payload-len": _v1_bytes({}, [(b"a", b"xyz")])[:20],
+        "huge-payload-len": _v1_bytes({}, [])[:10]
+        + struct.pack("<H", 1)
+        + b"\x01a"
+        + struct.pack("<Q", 2**60),
+        "non-utf8-name": _v1_bytes({}, [])[:10]
+        + struct.pack("<H", 1)
+        + b"\x02\xff\xfe"
+        + struct.pack("<Q", 0),
+    }
+
+    @pytest.mark.parametrize("label", sorted(CASES))
+    def test_raises_only_container_error(self, label):
+        blob = self.CASES[label]
+        with pytest.raises(ContainerError):
+            Container.from_bytes(blob)
+
+    def test_nothing_but_repro_errors_on_random_prefixes(self):
+        blob = _sample().to_bytes()
+        for cut in range(0, len(blob), 3):
+            try:
+                Container.from_bytes(blob[:cut] + b"\xa5" * 7)
+            except ReproError:
+                pass
 
 
 class TestSDRBIO:

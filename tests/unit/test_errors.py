@@ -25,9 +25,38 @@ class TestHierarchy:
         assert issubclass(errors.BitstreamError, errors.EncodingError)
         assert issubclass(errors.HuffmanError, errors.EncodingError)
 
+    def test_integrity_sub_hierarchy(self):
+        assert issubclass(errors.ChecksumError, errors.ContainerError)
+        assert issubclass(errors.FaultInjectionError, errors.ReproError)
+        assert not issubclass(errors.FaultInjectionError, errors.ContainerError)
+
     def test_catching_at_the_top_works(self, smooth2d):
         """One except clause covers any library failure (README contract)."""
         with pytest.raises(repro.ReproError):
             repro.SZ14Compressor().compress(smooth2d, -1.0, "abs")
         with pytest.raises(repro.ReproError):
             repro.WaveSZCompressor().decompress(b"garbage-payload-bytes")
+
+
+class TestDecodeGuard:
+    def test_translates_stdlib_leaks(self):
+        for exc in (ValueError("v"), KeyError("k"), IndexError("i"),
+                    TypeError("t"), OverflowError("o")):
+            with pytest.raises(errors.ContainerError):
+                with errors.decode_guard("test payload"):
+                    raise exc
+
+    def test_repro_errors_pass_through_unchanged(self):
+        with pytest.raises(errors.HuffmanError):
+            with errors.decode_guard():
+                raise errors.HuffmanError("original")
+
+    def test_memory_error_not_swallowed(self):
+        with pytest.raises(MemoryError):
+            with errors.decode_guard():
+                raise MemoryError()
+
+    def test_message_names_the_payload(self):
+        with pytest.raises(errors.ContainerError, match="SZ-9 payload"):
+            with errors.decode_guard("SZ-9 payload"):
+                raise ValueError("boom")

@@ -1,0 +1,118 @@
+"""Unit tests for the deterministic fault-injection subsystem."""
+
+import pytest
+
+from repro.errors import FaultInjectionError, ReproError
+from repro.faults import FaultInjector, FaultKind, FaultSpec, inject
+from repro.io import Container
+
+
+@pytest.fixture(scope="module")
+def payload() -> bytes:
+    c = Container(header={"variant": "t", "shape": [4], "n": 2})
+    c.add("codes", bytes(range(48)))
+    c.add("outliers", b"\x01\x02\x03\x04")
+    c.add("table", b"\xaa" * 16)
+    return c.to_bytes()
+
+
+class TestByteLevelFaults:
+    def test_bitflip_changes_exactly_one_bit(self, payload):
+        out = inject(payload, FaultSpec(FaultKind.BITFLIP, offset=10, bit=3))
+        assert len(out) == len(payload)
+        diff = [(a ^ b) for a, b in zip(payload, out)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+        assert diff[10] == 1 << 3
+
+    def test_bitflip_out_of_range(self, payload):
+        with pytest.raises(FaultInjectionError):
+            inject(payload, FaultSpec(FaultKind.BITFLIP, offset=len(payload)))
+        with pytest.raises(FaultInjectionError):
+            inject(payload, FaultSpec(FaultKind.BITFLIP, offset=0, bit=8))
+
+    def test_truncate(self, payload):
+        out = inject(payload, FaultSpec(FaultKind.TRUNCATE, offset=7))
+        assert out == payload[:7]
+
+    def test_garbage_preserves_length_and_differs(self, payload):
+        spec = FaultSpec(FaultKind.GARBAGE, offset=5, length=16, seed=9)
+        out = inject(payload, spec)
+        assert len(out) == len(payload)
+        assert out != payload
+        assert out[:5] == payload[:5]
+        assert out[21:] == payload[21:]
+
+    def test_splice_inserts(self, payload):
+        spec = FaultSpec(FaultKind.SPLICE, offset=12, length=5, seed=1)
+        out = inject(payload, spec)
+        assert len(out) == len(payload) + 5
+        assert out[:12] == payload[:12]
+        assert out[17:] == payload[12:]
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            inject(b"", FaultSpec(FaultKind.BITFLIP))
+
+    def test_same_spec_same_bytes(self, payload):
+        spec = FaultSpec(FaultKind.GARBAGE, offset=3, length=20, seed=42)
+        assert inject(payload, spec) == inject(payload, spec)
+
+
+class TestStructuralFaults:
+    """Structural faults re-serialize with valid CRCs: the damaged stream
+    parses cleanly, pushing the fault past the checksum layer."""
+
+    def test_drop_section_reserializes_validly(self, payload):
+        out = inject(payload, FaultSpec(FaultKind.DROP_SECTION, index=0))
+        c = Container.from_bytes(out)  # must NOT raise: checksums are valid
+        assert len(c.sections) == 2
+
+    def test_swap_sections(self, payload):
+        out = inject(
+            payload, FaultSpec(FaultKind.SWAP_SECTIONS, index=0, index2=1)
+        )
+        c = Container.from_bytes(out)
+        assert c.get("codes") == b"\x01\x02\x03\x04"
+        assert c.get("outliers") == bytes(range(48))
+
+    def test_duplicate_section_caught_downstream(self, payload):
+        out = inject(payload, FaultSpec(FaultKind.DUPLICATE_SECTION, index=1))
+        # duplicate names are themselves a framing violation — the parser
+        # must reject the stream, but only ever with a ReproError
+        with pytest.raises(ReproError):
+            Container.from_bytes(out)
+
+    def test_header_mutate_parses_with_wrong_header(self, payload):
+        out = inject(
+            payload, FaultSpec(FaultKind.HEADER_MUTATE, key="n", seed=2)
+        )
+        c = Container.from_bytes(out)
+        assert c.header != Container.from_bytes(payload).header
+
+    def test_structural_fault_needs_parseable_container(self):
+        with pytest.raises(FaultInjectionError):
+            inject(b"not a container", FaultSpec(FaultKind.DROP_SECTION))
+
+
+class TestFaultInjector:
+    def test_sweep_is_deterministic(self, payload):
+        a = list(FaultInjector(5).sweep(payload, 30))
+        b = list(FaultInjector(5).sweep(payload, 30))
+        assert a == b
+
+    def test_different_seeds_differ(self, payload):
+        a = list(FaultInjector(1).sweep(payload, 10))
+        b = list(FaultInjector(2).sweep(payload, 10))
+        assert a != b
+
+    def test_sweep_yields_n_damaged_payloads(self, payload):
+        pairs = list(FaultInjector(0).sweep(payload, 50))
+        assert len(pairs) == 50
+        assert all(damaged != payload for _, damaged in pairs)
+
+    def test_sweep_covers_many_kinds(self, payload):
+        kinds = {s.kind for s, _ in FaultInjector(0).sweep(payload, 120)}
+        assert len(kinds) >= 6
+
+    def test_fixture(self, fault_injector, payload):
+        assert list(fault_injector.sweep(payload, 5))
