@@ -24,33 +24,14 @@ from pathlib import Path
 import numpy as np
 
 from . import __version__
+from .codec.registry import REGISTRY, get_codec
 from .config import ErrorBoundMode
 from .data import DATASETS, load_field
 from .errors import ReproError
-from .ghostsz import GhostSZCompressor
 from .io import Archive, Container, read_raw_field, write_raw_field
 from .metrics import max_abs_error, psnr
-from .core import WaveSZCompressor
-from .sz import SZ10Compressor, SZ14Compressor, SZ20Compressor
 
 __all__ = ["main", "build_parser"]
-
-_VARIANTS = {
-    "wavesz": lambda: WaveSZCompressor(use_huffman=True),
-    "wavesz-g": lambda: WaveSZCompressor(use_huffman=False),
-    "sz14": SZ14Compressor,
-    "sz20": SZ20Compressor,
-    "sz10": SZ10Compressor,
-    "ghostsz": GhostSZCompressor,
-}
-
-_VARIANT_BY_NAME = {
-    "waveSZ": lambda: WaveSZCompressor(use_huffman=True),
-    "SZ-1.4": SZ14Compressor,
-    "SZ-2.0": SZ20Compressor,
-    "SZ-1.0": SZ10Compressor,
-    "GhostSZ": GhostSZCompressor,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,7 +47,8 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("input", type=Path)
     c.add_argument("--dims", type=int, nargs="+", required=True,
                    help="field dimensions, slowest axis first")
-    c.add_argument("--variant", choices=sorted(_VARIANTS), default="wavesz")
+    c.add_argument("--variant", choices=REGISTRY.short_names(),
+                   default="wavesz")
     c.add_argument("--eb", type=float, default=1e-3, help="error bound")
     c.add_argument("--mode", choices=[m.value for m in ErrorBoundMode],
                    default="vr_rel")
@@ -94,7 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
     a = sub.add_parser("archive",
                        help="compress a whole synthetic snapshot")
     a.add_argument("dataset", choices=sorted(DATASETS))
-    a.add_argument("--variant", choices=sorted(_VARIANTS), default="wavesz")
+    a.add_argument("--variant", choices=REGISTRY.short_names(),
+                   default="wavesz")
     a.add_argument("--eb", type=float, default=1e-3)
     a.add_argument("-o", "--output", type=Path, required=True)
 
@@ -127,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_compress(args: argparse.Namespace) -> int:
     dtype = np.dtype(args.dtype)
     data = read_raw_field(args.input, tuple(args.dims), dtype)
-    comp = _VARIANTS[args.variant]()
+    comp = get_codec(args.variant)
     cf = comp.compress(data, args.eb, args.mode)
     args.output.write_bytes(cf.payload)
     s = cf.stats
@@ -152,11 +135,10 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     payload = args.input.read_bytes()
     header = Container.from_bytes(payload).header
     variant = header.get("variant", "")
-    factory = _VARIANT_BY_NAME.get(variant)
-    if factory is None:
+    if variant not in REGISTRY:
         print(f"unknown variant {variant!r} in payload", file=sys.stderr)
         return 2
-    out = factory().decompress(payload)
+    out = get_codec(variant).decompress(payload)
     write_raw_field(args.output, out)
     print(f"{args.input} -> {args.output} "
           f"({variant}, shape {tuple(header['shape'])}, {header['dtype']})")
@@ -193,7 +175,7 @@ def _cmd_archive(args: argparse.Namespace) -> int:
     from .data import DATASETS as _D
 
     spec = _D[args.dataset]
-    comp = _VARIANTS[args.variant]()
+    comp = get_codec(args.variant)
     fields = {f: load_field(args.dataset, f) for f in spec.field_names}
     arch = Archive.build(fields, comp, args.eb, "vr_rel")
     args.output.write_bytes(arch.to_bytes())
@@ -213,11 +195,10 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         print(f"error: archive has no field {args.field!r}; "
               f"available: {arch.field_names}", file=sys.stderr)
         return 1
-    factory = _VARIANT_BY_NAME.get(entry.variant)
-    if factory is None:
+    if entry.variant not in REGISTRY:
         print(f"error: unknown variant {entry.variant!r}", file=sys.stderr)
         return 2
-    out = arch.extract(args.field, factory())
+    out = arch.extract(args.field, get_codec(entry.variant))
     write_raw_field(args.output, out)
     print(f"{args.field} {entry.shape} -> {args.output}")
     return 0
@@ -226,7 +207,6 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .metrics import verify_error_bound
     from .streams import bound_from_header
-    from .variants import compressor_for
 
     blob = args.input.read_bytes()
     report = Container.scan(blob)
@@ -242,7 +222,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     header = Container.from_bytes(blob).header
     variant = str(header.get("variant", ""))
-    out = compressor_for(variant).decompress(blob)
+    out = get_codec(variant).decompress(blob)
     msg = (f"{args.input}: OK (v{report.version}, "
            f"{report.n_sections} sections, {variant}, shape {out.shape})")
 

@@ -1,0 +1,59 @@
+"""Declarative stage-pipeline codec layer.
+
+The paper's Table 2 frames every SZ-family variant as a *selection of
+functionality modules* (preprocessing → prediction → lossy encoding →
+lossless).  This package makes that framing executable:
+
+* :mod:`repro.codec.pipeline` — the :class:`Stage` protocol (paired
+  ``forward``/``inverse`` transforms over a shared
+  :class:`PipelineContext`) and the :class:`StagePipeline` runner every
+  compressor front-end drives.
+* :mod:`repro.codec.stages` — the shared stage implementations extracted
+  from the original hand-rolled compressors: error-bound resolution
+  (incl. base-2 tightening), the PW_REL logarithmic transform with
+  sign/zero side channels, the PQD closed loop, quantizer-code entropy
+  coding (customized Huffman → gzip), unpredictable-value packing
+  (truncation vs. verbatim), and container header/section assembly.
+* :mod:`repro.codec.spec` — :class:`PipelineSpec`, the declarative stage
+  list per variant, validated against the Table 2 feature matrix in
+  :mod:`repro.variants` so spec and implementation cannot drift.
+* :mod:`repro.codec.registry` — the central :class:`CodecRegistry`
+  (decorator-registered) that resolves canonical variant names and
+  aliases to compressor factories and dispatches decode on a payload's
+  ``variant`` header.
+
+Variant modules keep only their genuinely variant-specific stages
+(wavefront layout, GhostSZ prediction write-back, the ZFP transform);
+everything else is assembled from the shared stages above.
+"""
+
+from .pipeline import PipelineCompressor, PipelineContext, Stage, StagePipeline
+from .registry import (
+    REGISTRY,
+    CodecEntry,
+    CodecRegistry,
+    available_codecs,
+    decode_payload,
+    get_codec,
+    peek_variant,
+    register_codec,
+)
+from .spec import PipelineSpec, StageSpec, validate_spec
+
+__all__ = [
+    "Stage",
+    "StagePipeline",
+    "PipelineContext",
+    "PipelineCompressor",
+    "PipelineSpec",
+    "StageSpec",
+    "validate_spec",
+    "CodecRegistry",
+    "CodecEntry",
+    "REGISTRY",
+    "register_codec",
+    "get_codec",
+    "available_codecs",
+    "decode_payload",
+    "peek_variant",
+]

@@ -1,0 +1,444 @@
+"""Shared stage implementations extracted from the hand-rolled compressors.
+
+Each class here used to exist as near-identical inline code in two or more
+of the six ``compress``/``decompress`` pairs; the wire behaviour of every
+stage is bit-identical to the code it replaced (guarded by the golden
+streams under ``tests/data/``).
+
+Artifact keys published on :attr:`PipelineContext.artifacts`:
+
+``pqd``
+    The :class:`~repro.sz.pqd.PQDResult` of the forward PQD loop.
+``border_values`` / ``outlier_values``
+    Decoded value streams (inverse direction), raster order.
+``log_transform``
+    The forward :class:`~repro.sz.preprocess.LogTransform` side channels.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..config import ErrorBoundMode, QuantizerConfig, resolve_error_bound
+from ..errors import ContainerError, ShapeError
+from ..sz.pqd import BorderMode, pqd_compress, pqd_decompress
+from ..sz.preprocess import LogTransform, forward_log2, inverse_log2
+from ..sz.unpredictable import decode_truncated, encode_truncated
+from ..streams import (
+    MAX_FIELD_POINTS,
+    bound_from_header,
+    bound_to_header,
+    decode_codes_huffman,
+    encode_codes_huffman,
+    header_dtype,
+    header_int,
+    header_shape,
+    values_to_bytes,
+)
+
+if TYPE_CHECKING:
+    from ..lossless import GzipStage
+    from .pipeline import PipelineContext
+
+__all__ = [
+    "ResolveBoundStage",
+    "ValidateInputStage",
+    "HeaderStage",
+    "PQDStage",
+    "PwRelForwardStage",
+    "PwRelMasksStage",
+    "HuffmanGzipCodesStage",
+    "TruncatedValuesStage",
+    "VerbatimValuesStage",
+    "gzip_if_smaller",
+]
+
+
+def gzip_if_smaller(lossless: "GzipStage", raw: bytes) -> tuple[bytes, bool]:
+    """The ubiquitous "store gzipped only when that wins" decision."""
+    if not raw:
+        return raw, False
+    gz = lossless.compress(raw)
+    if len(gz) < len(raw):
+        return gz, True
+    return raw, False
+
+
+class ValidateInputStage:
+    """Variant-specific input validation, run before bound resolution.
+
+    The original compressors check dtype/shape *before* resolving the
+    error bound, so e.g. non-finite integer input raises
+    :class:`DTypeError` rather than a bound-resolution
+    :class:`ConfigError`; keeping validation as its own first stage
+    preserves that exception ordering.
+    """
+
+    name = "checks"
+
+    def __init__(self, check: Callable[[np.ndarray], None]) -> None:
+        self._check = check
+
+    def forward(self, ctx: "PipelineContext") -> None:
+        self._check(ctx.data)
+
+    def inverse(self, ctx: "PipelineContext") -> None:
+        pass
+
+
+class ResolveBoundStage:
+    """Error-bound resolution (Table 2 "base 10->2 mapping" when base2).
+
+    Forward resolves the user bound against the data (ABS / VR_REL /
+    PW_REL), optionally tightening to a power of two for waveSZ's
+    exponent-only arithmetic.  Inverse is a no-op: the resolved bound
+    travels in the header and is re-read by the header stage.
+    """
+
+    name = "bound"
+
+    def __init__(
+        self,
+        *,
+        base2: bool = False,
+        quant: QuantizerConfig | None = None,
+        forbid_pw_rel: str | None = None,
+    ) -> None:
+        self.base2 = base2
+        self.quant = quant
+        self.forbid_pw_rel = forbid_pw_rel
+
+    def forward(self, ctx: "PipelineContext") -> None:
+        ctx.bound = resolve_error_bound(ctx.data, ctx.eb, ctx.mode, base2=self.base2)
+        if self.forbid_pw_rel and ctx.bound.mode is ErrorBoundMode.PW_REL:
+            raise ShapeError(self.forbid_pw_rel)
+        ctx.quant = self.quant
+
+    def inverse(self, ctx: "PipelineContext") -> None:
+        pass
+
+
+class HeaderStage:
+    """Container header assembly: the shared core of every variant header.
+
+    Forward writes the common keys (``shape``/``dtype``/``bound`` and the
+    quantizer pair when the variant has one) plus whatever the variant
+    hook adds; inverse validates them and populates the typed context
+    fields every later inverse stage relies on.  Variant header stages
+    subclass this and extend :meth:`write_extra` / :meth:`read_extra`.
+    """
+
+    name = "header"
+
+    def __init__(self, *, with_quant: bool = True) -> None:
+        self.with_quant = with_quant
+
+    def forward(self, ctx: "PipelineContext") -> None:
+        h = ctx.header
+        h["shape"] = list(ctx.data.shape)
+        h["dtype"] = str(ctx.data.dtype)
+        h["bound"] = bound_to_header(ctx.bound)
+        if self.with_quant:
+            h["quant_bits"] = ctx.quant.bits
+            h["reserved_bits"] = ctx.quant.reserved_bits
+        ctx.shape = tuple(ctx.data.shape)
+        ctx.dtype = ctx.data.dtype
+        self.write_extra(ctx)
+
+    def inverse(self, ctx: "PipelineContext") -> None:
+        h = ctx.header
+        ctx.shape = header_shape(h)
+        ctx.dtype = header_dtype(h)
+        ctx.bound = bound_from_header(h["bound"])
+        if self.with_quant:
+            ctx.quant = QuantizerConfig(
+                bits=header_int(h, "quant_bits", lo=2, hi=32),
+                reserved_bits=header_int(h, "reserved_bits"),
+            )
+        self.read_extra(ctx)
+
+    def write_extra(self, ctx: "PipelineContext") -> None:
+        pass
+
+    def read_extra(self, ctx: "PipelineContext") -> None:
+        pass
+
+
+class PQDStage:
+    """The closed Prediction-Quantization-Decompression loop (§2.1/§3.1).
+
+    Covers Table 2's Lorenzo prediction, linear-scaling quantization,
+    decompression write-back and overbound check in one feedback loop.
+    ``border=None`` reads the border policy (and stencil depth) from the
+    header on decode — the SZ-1.4 configuration; a fixed ``border`` pins
+    it — waveSZ's verbatim policy.
+    """
+
+    name = "pqd"
+
+    def __init__(
+        self,
+        *,
+        border: BorderMode | None = None,
+        layers: int = 1,
+        from_header: bool = False,
+    ) -> None:
+        self.border = border
+        self.layers = layers
+        self.from_header = from_header
+
+    def forward(self, ctx: "PipelineContext") -> None:
+        res = pqd_compress(
+            ctx.work,
+            ctx.bound.absolute,
+            ctx.quant,
+            border=self.border if self.border is not None else "padded",
+            layers=self.layers,
+        )
+        ctx.artifacts["pqd"] = res
+        ctx.codes = res.codes
+
+    def inverse(self, ctx: "PipelineContext") -> None:
+        h = ctx.header
+        if self.from_header:
+            border: BorderMode = h["border"]
+            if border not in ("padded", "truncate", "verbatim"):
+                raise ContainerError(f"unknown border mode {border!r}")
+            layers = int(h.get("layers", 1))
+        else:
+            border = self.border
+            layers = self.layers
+        codes = ctx.codes
+        if codes.ndim == 1:
+            codes = codes.reshape(ctx.shape)
+        ctx.out = pqd_decompress(
+            codes,
+            ctx.require("border_values"),
+            ctx.require("outlier_values"),
+            precision=ctx.bound.absolute,
+            quant=ctx.quant,
+            dtype=ctx.dtype,
+            border=border,
+            layers=layers,
+        )
+
+
+class PwRelForwardStage:
+    """SZ-2.0's logarithmic transform for pointwise-relative bounds.
+
+    Forward swaps the working field for ``log2|d|`` and stashes the
+    sign/zero bitmaps; inverse (running after the PQD reconstruction)
+    reads the side-channel sections emitted by :class:`PwRelMasksStage`
+    and maps the reconstruction back out of log space.
+    """
+
+    name = "pw_rel_log"
+
+    def __init__(self, lossless: "GzipStage") -> None:
+        self.lossless = lossless
+
+    def forward(self, ctx: "PipelineContext") -> None:
+        if ctx.bound.mode is ErrorBoundMode.PW_REL:
+            transform = forward_log2(ctx.data)
+            ctx.artifacts["log_transform"] = transform
+            ctx.work = transform.log_values
+
+    def inverse(self, ctx: "PipelineContext") -> None:
+        if ctx.bound.mode is not ErrorBoundMode.PW_REL:
+            return
+        h = ctx.header
+        container = ctx.container
+        neg = container.get("pw_negative")
+        zero = container.get("pw_zero")
+        if h.get("pw_neg_gz"):
+            neg = self.lossless.decompress(neg)
+        if h.get("pw_zero_gz"):
+            zero = self.lossless.decompress(zero)
+        negative, zeros = LogTransform.masks_from_bytes(neg, zero, ctx.shape)
+        ctx.out = inverse_log2(ctx.out, negative, zeros)
+
+
+class PwRelMasksStage:
+    """Emit the PW_REL sign/zero bitmaps as (optionally gzipped) sections.
+
+    Section emission is a separate stage from the transform so the
+    sections land *after* the value streams, preserving the original wire
+    layout; the inverse side is a no-op because
+    :class:`PwRelForwardStage.inverse` consumes the sections directly.
+    """
+
+    name = "pw_rel_masks"
+
+    def __init__(self, lossless: "GzipStage") -> None:
+        self.lossless = lossless
+
+    def forward(self, ctx: "PipelineContext") -> None:
+        transform = ctx.artifacts.get("log_transform")
+        if transform is None:
+            return
+        container = ctx.container
+        neg, zero = transform.masks_to_bytes()
+        neg_gz = self.lossless.compress(neg)
+        zero_gz = self.lossless.compress(zero)
+        container.add("pw_negative", neg_gz if len(neg_gz) < len(neg) else neg)
+        container.add("pw_zero", zero_gz if len(zero_gz) < len(zero) else zero)
+        container.header["pw_neg_gz"] = len(neg_gz) < len(neg)
+        container.header["pw_zero_gz"] = len(zero_gz) < len(zero)
+        ctx.extra_bytes += min(len(neg_gz), len(neg)) + min(len(zero_gz), len(zero))
+
+    def inverse(self, ctx: "PipelineContext") -> None:
+        pass
+
+
+class HuffmanGzipCodesStage:
+    """Customized Huffman + gzip entropy coding of the quant-code stream.
+
+    The SZ lossless tail (Table 2): codes go through the customized
+    Huffman pass, then gzip rides along on the already-dense stream and
+    the smaller representation wins (``codes_gzipped`` header flag,
+    ``huffman_codes`` vs ``huffman_codes_gz`` section).
+    """
+
+    name = "codes_entropy"
+
+    def __init__(self, lossless: "GzipStage", *, meta_bits: bool = True) -> None:
+        self.lossless = lossless
+        self.meta_bits = meta_bits
+
+    def forward(self, ctx: "PipelineContext") -> None:
+        container = ctx.container
+        encode_codes_huffman(container, ctx.codes.reshape(-1))
+        table_bytes = len(container.get("huffman_table"))
+        huff_payload = container.get("huffman_codes")
+        gz = self.lossless.compress(huff_payload)
+        if len(gz) < len(huff_payload):
+            container.sections[:] = [
+                s for s in container.sections if s.name != "huffman_codes"
+            ]
+            container.add("huffman_codes_gz", gz)
+            container.header["codes_gzipped"] = True
+            code_stream_bytes = len(gz)
+        else:
+            container.header["codes_gzipped"] = False
+            code_stream_bytes = len(huff_payload)
+        ctx.encoded_code_bytes = table_bytes + code_stream_bytes
+        if self.meta_bits:
+            ctx.meta["huffman_bits"] = container.header["huffman_bits"]
+
+    def inverse(self, ctx: "PipelineContext") -> None:
+        container = ctx.container
+        if container.header.get("codes_gzipped"):
+            container.add(
+                "huffman_codes",
+                self.lossless.decompress(container.get("huffman_codes_gz")),
+            )
+        ctx.codes = decode_codes_huffman(container)
+
+
+class TruncatedValuesStage:
+    """SZ-1.4 border/outlier packing: truncation analysis or raw floats.
+
+    With the ``truncate`` border policy the streams go through the
+    truncation-based binary analysis of :mod:`repro.sz.unpredictable`;
+    otherwise they are stored as native-endian raw floats.  The policy is
+    pinned on compress and read back from the ``border`` header field on
+    decode.
+    """
+
+    name = "values"
+
+    def __init__(self, border: BorderMode = "padded") -> None:
+        self.border = border
+
+    def forward(self, ctx: "PipelineContext") -> None:
+        res = ctx.require("pqd")
+        container = ctx.container
+        p = ctx.bound.absolute
+        if self.border == "truncate":
+            border_stream = encode_truncated(res.border_values, p)
+            outlier_stream = encode_truncated(res.outlier_values, p)
+        else:
+            border_stream = res.border_values.tobytes()
+            outlier_stream = res.outlier_values.tobytes()
+        container.add("border", border_stream)
+        container.add("outliers", outlier_stream)
+        ctx.border_bytes = len(border_stream)
+        ctx.outlier_bytes = len(outlier_stream)
+        ctx.n_border = res.n_border
+        ctx.n_unpredictable = res.n_outliers
+
+    def inverse(self, ctx: "PipelineContext") -> None:
+        h = ctx.header
+        container = ctx.container
+        border_mode = h.get("border")
+        if border_mode not in ("padded", "truncate", "verbatim"):
+            raise ContainerError(f"unknown border mode {border_mode!r}")
+        p = bound_from_header(h["bound"]).absolute
+        dtype = header_dtype(h)
+        n_border = header_int(h, "n_border", hi=MAX_FIELD_POINTS)
+        n_out = header_int(h, "n_outliers", hi=MAX_FIELD_POINTS)
+        if border_mode == "truncate":
+            border_vals = decode_truncated(container.get("border"), n_border, p, dtype)
+            outlier_vals = decode_truncated(container.get("outliers"), n_out, p, dtype)
+        else:
+            border_vals = np.frombuffer(
+                container.get("border"), dtype=dtype, count=n_border
+            )
+            outlier_vals = np.frombuffer(
+                container.get("outliers"), dtype=dtype, count=n_out
+            )
+        ctx.artifacts["border_values"] = border_vals
+        ctx.artifacts["outlier_values"] = outlier_vals
+
+
+class VerbatimValuesStage:
+    """waveSZ border/outlier packing: verbatim floats through the gzip IP.
+
+    §3.2: unpredictable data goes straight to the lossless stage, so each
+    stream is stored gzipped when that wins (``border_gzipped`` /
+    ``outliers_gzipped`` flags) and still counts as unpredictable data in
+    the ratio — Table 7's conservative accounting.
+    """
+
+    name = "values"
+
+    def __init__(self, lossless: "GzipStage") -> None:
+        self.lossless = lossless
+
+    def _pack(self, ctx: "PipelineContext", name: str, values: np.ndarray) -> tuple[int, bool]:
+        raw = values_to_bytes(values)
+        stored, use_gz = gzip_if_smaller(self.lossless, raw)
+        ctx.container.add(name, stored)
+        return len(stored), use_gz
+
+    def forward(self, ctx: "PipelineContext") -> None:
+        res = ctx.require("pqd")
+        h = ctx.header
+        border_bytes, border_gz = self._pack(ctx, "border", res.border_values)
+        outlier_bytes, outlier_gz = self._pack(ctx, "outliers", res.outlier_values)
+        h["border_gzipped"] = border_gz
+        h["outliers_gzipped"] = outlier_gz
+        ctx.border_bytes = border_bytes
+        ctx.outlier_bytes = outlier_bytes
+        ctx.n_border = res.n_border
+        ctx.n_unpredictable = res.n_outliers + res.n_border
+
+    def inverse(self, ctx: "PipelineContext") -> None:
+        h = ctx.header
+        container = ctx.container
+        dtype = header_dtype(h)
+        lt = np.dtype(dtype).newbyteorder("<")
+        border_raw = container.get("border")
+        if h.get("border_gzipped"):
+            border_raw = self.lossless.decompress(border_raw)
+        outlier_raw = container.get("outliers")
+        if h.get("outliers_gzipped"):
+            outlier_raw = self.lossless.decompress(outlier_raw)
+        ctx.artifacts["border_values"] = np.frombuffer(
+            border_raw, dtype=lt, count=header_int(h, "n_border", hi=MAX_FIELD_POINTS)
+        ).astype(dtype)
+        ctx.artifacts["outlier_values"] = np.frombuffer(
+            outlier_raw, dtype=lt, count=header_int(h, "n_outliers", hi=MAX_FIELD_POINTS)
+        ).astype(dtype)

@@ -13,6 +13,10 @@ lost (§3.1).  The differences from SZ-1.4 are the ones the paper lists:
 * the code stream is emitted in wavefront issue order, and the lossless
   stage is the FPGA gzip (G⋆); optionally the customized Huffman pass runs
   first (H⋆G⋆ — Table 7's demonstration rows).
+
+The shared machinery (bound/PQD/header/verbatim packing) comes from
+:mod:`repro.codec.stages`; this module keeps only the genuinely
+waveSZ-specific stages — the 2D view and the wavefront code ordering.
 """
 
 from __future__ import annotations
@@ -21,26 +25,25 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..config import ErrorBoundMode, QuantizerConfig, resolve_error_bound
-from ..errors import ContainerError, ShapeError, decode_guard
-from ..io.container import Container
-from ..lossless import GzipStage, LosslessMode
-from ..streams import (
-    MAX_FIELD_POINTS,
-    bound_from_header,
-    bound_to_header,
-    build_stats,
-    header_dtype,
-    header_int,
-    header_shape,
-    values_to_bytes,
+from ..codec.pipeline import PipelineCompressor, PipelineContext, Stage
+from ..codec.registry import register_codec
+from ..codec.spec import PipelineSpec, StageSpec
+from ..codec.stages import (
+    HeaderStage,
+    PQDStage,
+    ResolveBoundStage,
+    VerbatimValuesStage,
+    gzip_if_smaller,
 )
-from ..types import CompressedField
+from ..config import QuantizerConfig
 from ..encoding.huffman import HuffmanCodec, HuffmanTable
-from ..sz.pqd import pqd_compress, pqd_decompress
+from ..errors import ContainerError, ShapeError
+from ..lossless import GzipStage, LosslessMode
+from ..streams import MAX_FIELD_POINTS, header_int, header_shape
+from ..variants import Feature
 from .wavefront import build_layout
 
-__all__ = ["WaveSZCompressor"]
+__all__ = ["WaveSZCompressor", "WAVESZ_SPEC"]
 
 
 def _as_2d(data: np.ndarray) -> np.ndarray:
@@ -54,8 +57,158 @@ def _as_2d(data: np.ndarray) -> np.ndarray:
     raise ShapeError(f"waveSZ supports 2D/3D fields, got {data.ndim}D")
 
 
+WAVESZ_SPEC = PipelineSpec(
+    variant="waveSZ",
+    table2="waveSZ",
+    stages=(
+        StageSpec("view2d"),
+        StageSpec("bound", frozenset({Feature.BASE2_MAPPING})),
+        StageSpec(
+            "pqd",
+            frozenset(
+                {
+                    Feature.LORENZO,
+                    Feature.QUANTIZATION,
+                    Feature.DECOMPRESSION_WRITEBACK,
+                    Feature.OVERFLOW_CHECK_HW,
+                }
+            ),
+        ),
+        StageSpec(
+            "wavefront_order", frozenset({Feature.MEMORY_LAYOUT_TRANSFORM})
+        ),
+        StageSpec("header"),
+        StageSpec("codes", frozenset({Feature.CUSTOM_HUFFMAN, Feature.GZIP})),
+        StageSpec("values", frozenset({Feature.GZIP})),
+    ),
+    # hardware-only execution features of the FPGA design
+    unmodeled=frozenset({Feature.EXPLICIT_PIPELINING, Feature.LINE_BUFFER}),
+)
+
+
+class _View2DStage:
+    """2D interpretation + orientation check, undone after reconstruction."""
+
+    name = "view2d"
+
+    def forward(self, ctx: PipelineContext) -> None:
+        view = _as_2d(ctx.data)
+        if view.shape[1] < view.shape[0]:
+            # Iterate along the longer dimension (Λ = shorter dim - 1); the
+            # wavefront transform is symmetric so this is just a transpose.
+            raise ShapeError(
+                f"waveSZ expects d1 >= d0 after 2D interpretation, got {view.shape}; "
+                "transpose the field first"
+            )
+        ctx.work = view
+
+    def inverse(self, ctx: PipelineContext) -> None:
+        ctx.out = ctx.out.reshape(ctx.shape)
+
+
+class _WavefrontOrderStage:
+    """Reorder the code raster into wavefront issue order (§3.1)."""
+
+    name = "wavefront_order"
+
+    def forward(self, ctx: PipelineContext) -> None:
+        layout = build_layout(ctx.work.shape)
+        ctx.codes = ctx.codes.reshape(-1)[layout.flat_order]
+
+    def inverse(self, ctx: PipelineContext) -> None:
+        view_shape = ctx.require("view_shape")
+        layout = build_layout(view_shape)
+        codes = np.empty(ctx.codes.size, dtype=np.int64)
+        codes[layout.flat_order] = ctx.codes
+        ctx.codes = codes.reshape(view_shape)
+
+
+class _WaveHeaderStage(HeaderStage):
+    """waveSZ header: view shape, stream counts, backend configuration."""
+
+    def __init__(self, compressor: "WaveSZCompressor") -> None:
+        super().__init__(with_quant=True)
+        self._c = compressor
+
+    def write_extra(self, ctx: PipelineContext) -> None:
+        res = ctx.require("pqd")
+        h = ctx.header
+        h["view_shape"] = list(ctx.work.shape)
+        h["n_border"] = res.n_border
+        h["n_outliers"] = res.n_outliers
+        h["use_huffman"] = self._c.use_huffman
+        h["n_codes"] = int(ctx.codes.size)
+        ctx.meta["backend"] = "H*G*" if self._c.use_huffman else "G*"
+        ctx.meta["lambda"] = ctx.work.shape[0] - 1
+        ctx.meta["base2_exponent"] = ctx.bound.exponent
+
+    def read_extra(self, ctx: PipelineContext) -> None:
+        ctx.artifacts["view_shape"] = header_shape(ctx.header, "view_shape")
+
+
+class _WaveCodesStage:
+    """Emit the wavefront code stream: optional Huffman pass, then gzip.
+
+    ``use_huffman`` travels in the header, so decode does not depend on
+    the compressor's configuration — a G⋆ instance reads H⋆G⋆ payloads.
+    """
+
+    name = "codes"
+
+    def __init__(self, lossless: GzipStage, use_huffman: bool) -> None:
+        self.lossless = lossless
+        self.use_huffman = use_huffman
+
+    def forward(self, ctx: PipelineContext) -> None:
+        container = ctx.container
+        codes_stream = ctx.codes
+        if self.use_huffman:
+            table = HuffmanTable.from_symbols(codes_stream)
+            pre_gzip, _ = HuffmanCodec(table).encode(codes_stream)
+            container.add("huffman_table", table.to_bytes())
+            table_bytes = len(table.to_bytes())
+        else:
+            pre_gzip = codes_stream.astype("<u2").tobytes()
+            table_bytes = 0
+        stored, use_gz = gzip_if_smaller(self.lossless, pre_gzip)
+        container.header["codes_gzipped"] = use_gz
+        container.add("codes", stored)
+        ctx.encoded_code_bytes = table_bytes + len(stored)
+
+    def inverse(self, ctx: PipelineContext) -> None:
+        container = ctx.container
+        h = ctx.header
+        view_shape = header_shape(h, "view_shape")
+        n_codes = header_int(h, "n_codes", hi=MAX_FIELD_POINTS)
+        n_view = 1
+        for s in view_shape:
+            n_view *= s
+        if n_codes != n_view:
+            raise ContainerError(
+                f"header declares {n_codes} codes for view shape {view_shape}"
+            )
+        stream = container.get("codes")
+        if h["codes_gzipped"]:
+            stream = self.lossless.decompress(stream)
+        if h["use_huffman"]:
+            table, _ = HuffmanTable.from_bytes(container.get("huffman_table"))
+            ctx.codes = HuffmanCodec(table).decode(stream, n_codes)
+        else:
+            ctx.codes = np.frombuffer(stream, dtype="<u2", count=n_codes).astype(
+                np.int64
+            )
+
+
+@register_codec(
+    name="waveSZ",
+    aliases=("wavesz",),
+    profiles={"wavesz-g": lambda: WaveSZCompressor(use_huffman=False)},
+    table2="waveSZ",
+    spec=WAVESZ_SPEC,
+    factory=lambda: WaveSZCompressor(use_huffman=True),
+)
 @dataclass(frozen=True)
-class WaveSZCompressor:
+class WaveSZCompressor(PipelineCompressor):
     """The paper's contribution, software-functional form.
 
     ``use_huffman=False`` is the shipped FPGA configuration (G⋆: raw 16-bit
@@ -71,180 +224,15 @@ class WaveSZCompressor:
     base2: bool = True
 
     name = "waveSZ"
+    spec = WAVESZ_SPEC
 
-    def compress(
-        self,
-        data: np.ndarray,
-        eb: float = 1e-3,
-        mode: ErrorBoundMode | str = ErrorBoundMode.VR_REL,
-    ) -> CompressedField:
-        data = np.ascontiguousarray(data)
-        view = _as_2d(data)
-        if view.shape[1] < view.shape[0]:
-            # Iterate along the longer dimension (Λ = shorter dim - 1); the
-            # wavefront transform is symmetric so this is just a transpose.
-            raise ShapeError(
-                f"waveSZ expects d1 >= d0 after 2D interpretation, got {view.shape}; "
-                "transpose the field first"
-            )
-        bound = resolve_error_bound(data, eb, mode, base2=self.base2)
-        p = bound.absolute
-        res = pqd_compress(view, p, self.quant, border="verbatim")
-
-        layout = build_layout(view.shape)
-        codes_stream = res.codes.reshape(-1)[layout.flat_order]
-
-        container = Container(
-            header={
-                "variant": self.name,
-                "shape": list(data.shape),
-                "dtype": str(data.dtype),
-                "view_shape": list(view.shape),
-                "bound": bound_to_header(bound),
-                "quant_bits": self.quant.bits,
-                "reserved_bits": self.quant.reserved_bits,
-                "n_border": res.n_border,
-                "n_outliers": res.n_outliers,
-                "use_huffman": self.use_huffman,
-                "n_codes": int(codes_stream.size),
-            }
+    def build_stages(self) -> tuple[Stage, ...]:
+        return (
+            _View2DStage(),
+            ResolveBoundStage(base2=self.base2, quant=self.quant),
+            PQDStage(border="verbatim"),
+            _WavefrontOrderStage(),
+            _WaveHeaderStage(self),
+            _WaveCodesStage(self.lossless, self.use_huffman),
+            VerbatimValuesStage(self.lossless),
         )
-
-        if self.use_huffman:
-            table = HuffmanTable.from_symbols(codes_stream)
-            payload, _ = HuffmanCodec(table).encode(codes_stream)
-            container.add("huffman_table", table.to_bytes())
-            pre_gzip = payload
-            table_bytes = len(table.to_bytes())
-        else:
-            pre_gzip = codes_stream.astype("<u2").tobytes()
-            table_bytes = 0
-
-        gz = self.lossless.compress(pre_gzip)
-        use_gz = len(gz) < len(pre_gzip)
-        container.header["codes_gzipped"] = use_gz
-        container.add("codes", gz if use_gz else pre_gzip)
-        encoded_code_bytes = table_bytes + (len(gz) if use_gz else len(pre_gzip))
-
-        # Verbatim float streams also pass through the gzip IP on the FPGA
-        # (§3.2: unpredictable data goes straight to the lossless stage), so
-        # they are stored gzipped when that wins; they still count as
-        # unpredictable data in the ratio (Table 7's conservative
-        # accounting).
-        border_bytes, border_gz = self._pack_verbatim(container, "border",
-                                                      res.border_values)
-        outlier_bytes, outlier_gz = self._pack_verbatim(container, "outliers",
-                                                        res.outlier_values)
-        container.header["border_gzipped"] = border_gz
-        container.header["outliers_gzipped"] = outlier_gz
-
-        stats = build_stats(
-            data=data,
-            encoded_code_bytes=encoded_code_bytes,
-            outlier_bytes=outlier_bytes,
-            border_bytes=border_bytes,
-            n_unpredictable=res.n_outliers + res.n_border,
-            n_border=res.n_border,
-        )
-        return CompressedField(
-            variant=self.name,
-            shape=tuple(data.shape),
-            dtype=str(data.dtype),
-            bound=bound,
-            quant=self.quant,
-            payload=container.to_bytes(),
-            stats=stats,
-            meta={
-                "backend": "H*G*" if self.use_huffman else "G*",
-                "lambda": view.shape[0] - 1,
-                "base2_exponent": bound.exponent,
-            },
-        )
-
-    def _pack_verbatim(
-        self, container: Container, name: str, values: np.ndarray
-    ) -> tuple[int, bool]:
-        """Store a verbatim float stream, gzipped when that is smaller.
-
-        Returns (stored_bytes, gzipped?).
-        """
-        raw = values_to_bytes(values)
-        gz = self.lossless.compress(raw) if raw else raw
-        use_gz = bool(raw) and len(gz) < len(raw)
-        container.add(name, gz if use_gz else raw)
-        return (len(gz) if use_gz else len(raw)), use_gz
-
-    def decompress(self, compressed: "CompressedField | bytes") -> np.ndarray:
-        payload = (
-            compressed.payload
-            if isinstance(compressed, CompressedField)
-            else compressed
-        )
-        with decode_guard(f"{self.name} payload"):
-            return self._decompress(payload)
-
-    def _decompress(self, payload: bytes) -> np.ndarray:
-        container = Container.from_bytes(payload)
-        h = container.header
-        if h.get("variant") != self.name:
-            raise ContainerError(
-                f"payload was produced by {h.get('variant')!r}, not {self.name}"
-            )
-        shape = header_shape(h)
-        view_shape = header_shape(h, "view_shape")
-        dtype = header_dtype(h)
-        bound = bound_from_header(h["bound"])
-        quant = QuantizerConfig(
-            bits=header_int(h, "quant_bits", lo=2, hi=32),
-            reserved_bits=header_int(h, "reserved_bits"),
-        )
-        p = bound.absolute
-        n_codes = header_int(h, "n_codes", hi=MAX_FIELD_POINTS)
-        n_view = 1
-        for s in view_shape:
-            n_view *= s
-        if n_codes != n_view:
-            raise ContainerError(
-                f"header declares {n_codes} codes for view shape {view_shape}"
-            )
-
-        stream = container.get("codes")
-        if h["codes_gzipped"]:
-            stream = self.lossless.decompress(stream)
-        if h["use_huffman"]:
-            table, _ = HuffmanTable.from_bytes(container.get("huffman_table"))
-            codes_stream = HuffmanCodec(table).decode(stream, n_codes)
-        else:
-            codes_stream = np.frombuffer(stream, dtype="<u2", count=n_codes).astype(
-                np.int64
-            )
-
-        layout = build_layout(view_shape)
-        codes = np.empty(n_codes, dtype=np.int64)
-        codes[layout.flat_order] = codes_stream
-        codes = codes.reshape(view_shape)
-
-        lt = np.dtype(dtype).newbyteorder("<")
-        border_raw = container.get("border")
-        if h.get("border_gzipped"):
-            border_raw = self.lossless.decompress(border_raw)
-        outlier_raw = container.get("outliers")
-        if h.get("outliers_gzipped"):
-            outlier_raw = self.lossless.decompress(outlier_raw)
-        border_vals = np.frombuffer(
-            border_raw, dtype=lt, count=header_int(h, "n_border", hi=MAX_FIELD_POINTS)
-        ).astype(dtype)
-        outlier_vals = np.frombuffer(
-            outlier_raw, dtype=lt, count=header_int(h, "n_outliers", hi=MAX_FIELD_POINTS)
-        ).astype(dtype)
-
-        dec = pqd_decompress(
-            codes,
-            border_vals,
-            outlier_vals,
-            precision=p,
-            quant=quant,
-            dtype=dtype,
-            border="verbatim",
-        )
-        return dec.reshape(shape)

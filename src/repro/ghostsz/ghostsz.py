@@ -7,6 +7,10 @@ whose low 14 bits hold the linear-scaling quantization code — hence only
 goes straight to the gzip stage (the Xilinx gzip IP in hardware); there is
 no customized Huffman pass.  3D fields are interpreted rowwise as
 ``d0 x (d1*d2)``, exactly as the artifact invokes it.
+
+The rowwise prediction loop and the packed type/code words are the
+GhostSZ-specific stages; bound resolution and header assembly come from
+:mod:`repro.codec.stages`.
 """
 
 from __future__ import annotations
@@ -15,26 +19,45 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..config import ErrorBoundMode, QuantizerConfig, resolve_error_bound
-from ..errors import ContainerError, ShapeError, decode_guard
-from ..io.container import Container
+from ..codec.pipeline import PipelineCompressor, PipelineContext, Stage
+from ..codec.registry import register_codec
+from ..codec.spec import PipelineSpec, StageSpec
+from ..codec.stages import HeaderStage, ResolveBoundStage, gzip_if_smaller
+from ..config import QuantizerConfig
+from ..errors import ShapeError
 from ..lossless import GzipStage, LosslessMode
-from ..streams import (
-    MAX_FIELD_POINTS,
-    bound_from_header,
-    bound_to_header,
-    build_stats,
-    header_dtype,
-    header_int,
-    header_shape,
-    values_to_bytes,
-)
-from ..types import CompressedField
+from ..streams import MAX_FIELD_POINTS, header_dtype, header_int, values_to_bytes
+from ..variants import Feature
 from .predictor import ghost_row_decode, ghost_row_loop
 
-__all__ = ["GhostSZCompressor"]
+__all__ = ["GhostSZCompressor", "GHOSTSZ_SPEC"]
 
 _TYPE_SHIFT = 14
+
+GHOSTSZ_SPEC = PipelineSpec(
+    variant="GhostSZ",
+    table2="GhostSZ",
+    stages=(
+        StageSpec("bound"),
+        StageSpec("rows"),
+        StageSpec(
+            "ghost_predict",
+            frozenset(
+                {
+                    Feature.ORDER012,
+                    Feature.QUANTIZATION,
+                    Feature.PREDICTION_WRITEBACK,
+                    Feature.OVERFLOW_CHECK_HW,
+                }
+            ),
+        ),
+        StageSpec("header"),
+        StageSpec("ghost_words", frozenset({Feature.GZIP})),
+        StageSpec("verbatim"),
+    ),
+    # hardware-only execution features of the FPGA design
+    unmodeled=frozenset({Feature.EXPLICIT_PIPELINING, Feature.LINE_BUFFER}),
+)
 
 
 def _as_rows(data: np.ndarray) -> np.ndarray:
@@ -48,8 +71,117 @@ def _as_rows(data: np.ndarray) -> np.ndarray:
     raise ShapeError(f"GhostSZ supports 1-3 dimensions, got {data.ndim}")
 
 
+class _RowsViewStage:
+    """Rowwise 2D interpretation, undone after reconstruction."""
+
+    name = "rows"
+
+    def forward(self, ctx: PipelineContext) -> None:
+        rows = _as_rows(ctx.data)
+        ctx.work = rows
+        ctx.meta["rows"] = rows.shape[0]
+        ctx.meta["row_length"] = rows.shape[1]
+
+    def inverse(self, ctx: PipelineContext) -> None:
+        ctx.out = ctx.out.reshape(ctx.shape)
+
+
+class _GhostPredictStage:
+    """Rowwise bestfit prediction with 14-bit codes and 2-bit types."""
+
+    name = "ghost_predict"
+
+    def forward(self, ctx: PipelineContext) -> None:
+        res = ghost_row_loop(ctx.work, ctx.bound.absolute, ctx.quant)
+        ctx.artifacts["ghost"] = res
+        ctx.codes = (
+            (res.types.astype(np.int64) << _TYPE_SHIFT) | res.codes
+        ).reshape(-1)
+
+    def inverse(self, ctx: PipelineContext) -> None:
+        words = ctx.codes
+        rows_shape = _as_rows(np.empty(ctx.shape, dtype=np.uint8)).shape
+        types = (words >> _TYPE_SHIFT).astype(np.uint8).reshape(rows_shape)
+        codes = (words & ((1 << _TYPE_SHIFT) - 1)).reshape(rows_shape)
+        ctx.out = ghost_row_decode(
+            types,
+            codes,
+            ctx.require("verbatim_values"),
+            precision=ctx.bound.absolute,
+            quant=ctx.quant,
+            dtype=ctx.dtype,
+        )
+
+
+class _GhostHeaderStage(HeaderStage):
+    """GhostSZ header: word and verbatim stream counts."""
+
+    def __init__(self) -> None:
+        super().__init__(with_quant=True)
+
+    def write_extra(self, ctx: PipelineContext) -> None:
+        res = ctx.require("ghost")
+        ctx.header["n_codes"] = int(ctx.codes.size)
+        ctx.header["n_verbatim"] = int(res.verbatim_values.size)
+
+
+class _GhostWordsStage:
+    """The packed 16-bit word stream, straight into the gzip IP."""
+
+    name = "ghost_words"
+
+    def __init__(self, lossless: GzipStage) -> None:
+        self.lossless = lossless
+
+    def forward(self, ctx: PipelineContext) -> None:
+        raw = ctx.codes.astype("<u2").tobytes()
+        stored, use_gz = gzip_if_smaller(self.lossless, raw)
+        ctx.header["codes_gzipped"] = use_gz
+        ctx.container.add("ghost_words", stored)
+        ctx.encoded_code_bytes = len(stored)
+
+    def inverse(self, ctx: PipelineContext) -> None:
+        h = ctx.header
+        raw = ctx.container.get("ghost_words")
+        if h["codes_gzipped"]:
+            raw = self.lossless.decompress(raw)
+        ctx.codes = np.frombuffer(
+            raw, dtype="<u2", count=header_int(h, "n_codes", hi=MAX_FIELD_POINTS)
+        ).astype(np.int64)
+
+
+class _GhostVerbatimStage:
+    """Unpredictable originals (incl. row pivots), verbatim little-endian."""
+
+    name = "verbatim"
+
+    def forward(self, ctx: PipelineContext) -> None:
+        res = ctx.require("ghost")
+        verbatim_stream = values_to_bytes(res.verbatim_values)
+        ctx.container.add("verbatim", verbatim_stream)
+        ctx.outlier_bytes = len(verbatim_stream)
+        ctx.n_unpredictable = res.n_unpredictable
+        # row pivots are inside n_unpredictable
+        ctx.n_border = int(ctx.work.shape[0])
+
+    def inverse(self, ctx: PipelineContext) -> None:
+        h = ctx.header
+        dtype = header_dtype(h)
+        ctx.artifacts["verbatim_values"] = np.frombuffer(
+            ctx.container.get("verbatim"),
+            dtype=np.dtype(dtype).newbyteorder("<"),
+            count=header_int(h, "n_verbatim", hi=MAX_FIELD_POINTS),
+        ).astype(dtype)
+
+
+@register_codec(
+    name="GhostSZ",
+    aliases=("ghostsz",),
+    table2="GhostSZ",
+    spec=GHOSTSZ_SPEC,
+)
 @dataclass(frozen=True)
-class GhostSZCompressor:
+class GhostSZCompressor(PipelineCompressor):
     """The prior FPGA baseline: CF prediction, 14-bit bins, gzip-only."""
 
     quant: QuantizerConfig = field(
@@ -60,105 +192,14 @@ class GhostSZCompressor:
     )
 
     name = "GhostSZ"
+    spec = GHOSTSZ_SPEC
 
-    def compress(
-        self,
-        data: np.ndarray,
-        eb: float = 1e-3,
-        mode: ErrorBoundMode | str = ErrorBoundMode.VR_REL,
-    ) -> CompressedField:
-        data = np.ascontiguousarray(data)
-        bound = resolve_error_bound(data, eb, mode)
-        p = bound.absolute
-        rows = _as_rows(data)
-        res = ghost_row_loop(rows, p, self.quant)
-
-        words = (
-            (res.types.astype(np.int64) << _TYPE_SHIFT) | res.codes
-        ).reshape(-1)
-        raw = words.astype("<u2").tobytes()
-        gz = self.lossless.compress(raw)
-        use_gz = len(gz) < len(raw)
-
-        container = Container(
-            header={
-                "variant": self.name,
-                "shape": list(data.shape),
-                "dtype": str(data.dtype),
-                "bound": bound_to_header(bound),
-                "quant_bits": self.quant.bits,
-                "reserved_bits": self.quant.reserved_bits,
-                "n_codes": int(words.size),
-                "n_verbatim": int(res.verbatim_values.size),
-                "codes_gzipped": use_gz,
-            }
+    def build_stages(self) -> tuple[Stage, ...]:
+        return (
+            ResolveBoundStage(quant=self.quant),
+            _RowsViewStage(),
+            _GhostPredictStage(),
+            _GhostHeaderStage(),
+            _GhostWordsStage(self.lossless),
+            _GhostVerbatimStage(),
         )
-        container.add("ghost_words", gz if use_gz else raw)
-        verbatim_stream = values_to_bytes(res.verbatim_values)
-        container.add("verbatim", verbatim_stream)
-
-        stats = build_stats(
-            data=data,
-            encoded_code_bytes=len(gz) if use_gz else len(raw),
-            outlier_bytes=len(verbatim_stream),
-            border_bytes=0,
-            n_unpredictable=res.n_unpredictable,
-            n_border=int(rows.shape[0]),  # row pivots are inside n_unpredictable
-        )
-        return CompressedField(
-            variant=self.name,
-            shape=tuple(data.shape),
-            dtype=str(data.dtype),
-            bound=bound,
-            quant=self.quant,
-            payload=container.to_bytes(),
-            stats=stats,
-            meta={"rows": rows.shape[0], "row_length": rows.shape[1]},
-        )
-
-    def decompress(self, compressed: CompressedField | bytes) -> np.ndarray:
-        payload = (
-            compressed.payload
-            if isinstance(compressed, CompressedField)
-            else compressed
-        )
-        with decode_guard(f"{self.name} payload"):
-            return self._decompress(payload)
-
-    def _decompress(self, payload: bytes) -> np.ndarray:
-        container = Container.from_bytes(payload)
-        h = container.header
-        if h.get("variant") != self.name:
-            raise ContainerError(
-                f"payload was produced by {h.get('variant')!r}, not {self.name}"
-            )
-        shape = header_shape(h)
-        dtype = header_dtype(h)
-        bound = bound_from_header(h["bound"])
-        quant = QuantizerConfig(
-            bits=header_int(h, "quant_bits", lo=2, hi=32),
-            reserved_bits=header_int(h, "reserved_bits"),
-        )
-        raw = container.get("ghost_words")
-        if h["codes_gzipped"]:
-            raw = self.lossless.decompress(raw)
-        words = np.frombuffer(
-            raw, dtype="<u2", count=header_int(h, "n_codes", hi=MAX_FIELD_POINTS)
-        ).astype(np.int64)
-        rows_shape = _as_rows(np.empty(shape, dtype=np.uint8)).shape
-        types = (words >> _TYPE_SHIFT).astype(np.uint8).reshape(rows_shape)
-        codes = (words & ((1 << _TYPE_SHIFT) - 1)).reshape(rows_shape)
-        verbatim = np.frombuffer(
-            container.get("verbatim"),
-            dtype=np.dtype(dtype).newbyteorder("<"),
-            count=header_int(h, "n_verbatim", hi=MAX_FIELD_POINTS),
-        ).astype(dtype)
-        dec = ghost_row_decode(
-            types,
-            codes,
-            verbatim,
-            precision=bound.absolute,
-            quant=quant,
-            dtype=dtype,
-        )
-        return dec.reshape(shape)

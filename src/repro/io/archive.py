@@ -162,14 +162,15 @@ class Archive:
         """Decompress every field, with per-field damage recovery.
 
         ``resolver`` maps a manifest variant name to a compressor instance
-        (default: :func:`repro.variants.compressor_for`).  With
-        ``strict=True`` the first damaged field raises; with
-        ``strict=False`` every intact field is returned in
-        ``ExtractionResult.fields`` and each failure becomes a structured
-        :class:`FieldDamage` row instead of killing the whole snapshot.
+        (default: the central codec registry,
+        :func:`repro.codec.registry.get_codec`).  With ``strict=True`` the
+        first damaged field raises; with ``strict=False`` every intact
+        field is returned in ``ExtractionResult.fields`` and each failure
+        becomes a structured :class:`FieldDamage` row instead of killing
+        the whole snapshot.
         """
         if resolver is None:
-            from ..variants import compressor_for as resolver
+            from ..codec.registry import get_codec as resolver
 
         fields: dict[str, np.ndarray] = {}
         damage: list[FieldDamage] = []

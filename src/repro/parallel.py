@@ -127,39 +127,66 @@ def tile_compress(
     )
 
 
-def _parse(payload: bytes, compressor: _Compressor) -> Container:
+def _parse(
+    payload: bytes, compressor: _Compressor | None
+) -> tuple[Container, _Compressor]:
+    """Open a tiled payload and pick its band decompressor.
+
+    With an explicit ``compressor`` the payload must match it; with
+    ``None`` the band codec is resolved from the ``inner_variant`` header
+    through the central codec registry.
+    """
     container = Container.from_bytes(payload)
     h = container.header
+    if compressor is None:
+        inner = h.get("inner_variant")
+        if not isinstance(inner, str):
+            raise ContainerError(
+                f"tiled payload carries no inner variant name: {inner!r}"
+            )
+        from .codec.registry import get_codec
+
+        return container, get_codec(inner)
     if h.get("inner_variant") != compressor.name:
         raise ContainerError(
             f"tiled payload holds {h.get('inner_variant')!r} bands, "
             f"decompressor is {compressor.name}"
         )
-    return container
+    return container, compressor
 
 
 def decompress_tile(
-    compressor: _Compressor, payload: bytes, index: int
+    compressor: _Compressor | None, payload: bytes, index: int
 ) -> np.ndarray:
-    """Random access: reconstruct band ``index`` only."""
+    """Random access: reconstruct band ``index`` only.
+
+    ``compressor=None`` dispatches on the payload's ``inner_variant``
+    header via the codec registry.
+    """
     with decode_guard("tiled payload"):
-        container = _parse(payload, compressor)
+        container, comp = _parse(payload, compressor)
         n = header_int(container.header, "n_tiles", lo=1)
         if not 0 <= index < n:
             raise ContainerError(f"tile index {index} out of range [0, {n})")
-        return compressor.decompress(container.get(f"tile{index}"))
+        return comp.decompress(container.get(f"tile{index}"))
 
 
-def tile_decompress(compressor: _Compressor, payload: bytes) -> np.ndarray:
-    """Reconstruct the full field from a tiled payload."""
+def tile_decompress(
+    compressor: _Compressor | None, payload: bytes
+) -> np.ndarray:
+    """Reconstruct the full field from a tiled payload.
+
+    ``compressor=None`` dispatches on the payload's ``inner_variant``
+    header via the codec registry.
+    """
     with decode_guard("tiled payload"):
-        container = _parse(payload, compressor)
+        container, comp = _parse(payload, compressor)
         h = container.header
         shape = header_shape(h)
         dtype = header_dtype(h)
         out = np.empty(shape, dtype=dtype)
         starts = list(h["band_starts"]) + [shape[0]]
         for t in range(header_int(h, "n_tiles", lo=1, hi=len(starts) - 1)):
-            band = compressor.decompress(container.get(f"tile{t}"))
+            band = comp.decompress(container.get(f"tile{t}"))
             out[starts[t] : starts[t + 1]] = band
         return out

@@ -7,9 +7,10 @@ compresses a strided sample of the field with every candidate (cheap,
 bounded work) and picks the best sample ratio; the full field is then
 compressed once with the winner.
 
-Works with any set of this library's compressors; decompression
-dispatches on the container's variant header, so a selected archive needs
-no side channel.
+Works with any set of this library's compressors; candidates may also be
+named by any :data:`repro.codec.registry.REGISTRY` alias and are
+instantiated on the fly.  Decompression dispatches on the container's
+variant header, so a selected archive needs no side channel.
 """
 
 from __future__ import annotations
@@ -19,7 +20,8 @@ from typing import Any, Protocol, Sequence
 
 import numpy as np
 
-from .errors import ConfigError, ContainerError
+from .codec.registry import get_codec
+from .errors import ConfigError, ContainerError, DTypeError, ShapeError
 from .io.container import Container
 from .types import CompressedField
 
@@ -41,18 +43,30 @@ class SelectionResult:
     chosen: str
     compressed: CompressedField
     estimates: dict[str, float]  # candidate -> sample ratio
+    #: candidates excluded up front because the field's shape/dtype does
+    #: not fit them (e.g. waveSZ on 1D data) — not scored, not chosen
+    skipped: tuple[str, ...] = ()
 
 
 class OnlineSelector:
     """Pick the bestfit compressor per field, à la ref [53]."""
 
-    def __init__(self, compressors: Sequence[_Compressor]) -> None:
+    def __init__(self, compressors: Sequence[_Compressor | str]) -> None:
+        """Build a selector over compressor instances and/or registry names.
+
+        Strings are resolved through the central codec registry (any
+        canonical name, alias or profile, e.g. ``"sz14"`` or
+        ``"ZFP-like"``); instances are used as-is.
+        """
         if not compressors:
             raise ConfigError("selector needs at least one compressor")
-        names = [c.name for c in compressors]
+        resolved = [
+            get_codec(c) if isinstance(c, str) else c for c in compressors
+        ]
+        names = [c.name for c in resolved]
         if len(set(names)) != len(names):
             raise ConfigError("compressor names must be unique")
-        self._compressors = list(compressors)
+        self._compressors = resolved
 
     def _sample(self, data: np.ndarray, step: int) -> np.ndarray:
         """A strided sample preserving local structure (contiguous tiles
@@ -78,12 +92,20 @@ class OnlineSelector:
         data = np.ascontiguousarray(data)
         sample = self._sample(data, sample_step)
         estimates: dict[str, float] = {}
+        skipped: list[str] = []
         for comp in self._compressors:
             try:
                 cf = comp.compress(sample, eb, mode)
                 estimates[comp.name] = cf.stats.ratio
+            except (ShapeError, DTypeError):
+                # The field's geometry/dtype does not fit this candidate
+                # (e.g. waveSZ on 1D data): exclude it instead of letting
+                # one incompatible codec kill the whole estimate.
+                skipped.append(comp.name)
             except Exception:
                 estimates[comp.name] = 0.0  # candidate unusable on this field
+        if not estimates:
+            raise ConfigError("no candidate could compress this field")
         best = max(estimates, key=estimates.get)
         if estimates[best] <= 0:
             raise ConfigError("no candidate could compress this field")
@@ -92,6 +114,7 @@ class OnlineSelector:
             chosen=best,
             compressed=winner.compress(data, eb, mode),
             estimates=estimates,
+            skipped=tuple(skipped),
         )
 
     def decompress(self, payload: CompressedField | bytes) -> np.ndarray:

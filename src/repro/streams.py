@@ -27,6 +27,7 @@ __all__ = [
     "bound_to_header",
     "bound_from_header",
     "build_stats",
+    "decompress_auto",
     "header_int",
     "header_shape",
     "header_dtype",
@@ -183,6 +184,19 @@ def bound_from_header(h: dict) -> ErrorBound:
             f"corrupt error-bound header: absolute bound {bound.absolute!r}"
         )
     return bound
+
+
+def decompress_auto(payload: bytes) -> np.ndarray:
+    """Decode any single-field payload by its ``variant`` header.
+
+    Dispatches through the central codec registry
+    (:func:`repro.codec.registry.decode_payload`), so callers holding an
+    opaque payload need neither the producing compressor nor its name.
+    Import is local because the codec layer builds on this module.
+    """
+    from .codec.registry import decode_payload
+
+    return decode_payload(payload)
 
 
 def build_stats(

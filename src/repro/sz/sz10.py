@@ -10,6 +10,10 @@ exists in this model — that is what SZ-1.4 added.
 The closed loop along the 1D sequence is inherently sequential (each
 prediction needs the previous decompressed values), so the engine is a
 scalar loop; it is only used on the small Figure 1 / Table 1 workloads.
+
+The bestfit loop and its fit-type/unpredictable streams are the
+SZ-1.0-specific stages; bound resolution and header assembly come from
+:mod:`repro.codec.stages`.
 """
 
 from __future__ import annotations
@@ -18,26 +22,45 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..config import ErrorBoundMode, resolve_error_bound
-from ..errors import ContainerError, decode_guard
-from ..io.container import Container
-from ..lossless import GzipStage, LosslessMode
-from ..streams import (
-    MAX_FIELD_POINTS,
-    bound_from_header,
-    bound_to_header,
-    build_stats,
-    header_dtype,
-    header_int,
-    header_shape,
-)
+from ..codec.pipeline import PipelineCompressor, PipelineContext, Stage
+from ..codec.registry import register_codec
+from ..codec.spec import PipelineSpec, StageSpec
+from ..codec.stages import HeaderStage, ResolveBoundStage, gzip_if_smaller
 from ..encoding.huffman import HuffmanCodec, HuffmanTable
-from ..types import CompressedField
+from ..lossless import GzipStage, LosslessMode
+from ..streams import MAX_FIELD_POINTS, bound_from_header, header_dtype, header_int
+from ..variants import Feature
 from .unpredictable import decode_truncated, encode_truncated, truncate_roundtrip
 
-__all__ = ["SZ10Compressor", "sz10_predict_loop"]
+__all__ = ["SZ10Compressor", "SZ10_SPEC", "sz10_predict_loop"]
 
 _UNPRED = 0  # fit-type symbols: 0 unpredictable, 1..3 = order 0..2
+
+SZ10_SPEC = PipelineSpec(
+    variant="SZ-1.0",
+    table2="SZ-0.1-1.0",
+    stages=(
+        StageSpec("bound"),
+        StageSpec(
+            "curvefit",
+            frozenset(
+                {
+                    Feature.ORDER012,
+                    Feature.OVERBOUND_CHECK_SW,
+                    Feature.DECOMPRESSION_WRITEBACK,
+                }
+            ),
+        ),
+        StageSpec("header"),
+        StageSpec(
+            "type_entropy", frozenset({Feature.CUSTOM_HUFFMAN, Feature.GZIP})
+        ),
+        StageSpec("unpredictable"),
+    ),
+    # the repro Huffman-codes the 2-bit fit types (the original packed
+    # them raw before gzip)
+    extra=frozenset({Feature.CUSTOM_HUFFMAN}),
+)
 
 
 def sz10_predict_loop(
@@ -90,102 +113,20 @@ def sz10_predict_loop(
     return types, dec, errs
 
 
-@dataclass(frozen=True)
-class SZ10Compressor:
-    """End-to-end SZ-1.0: 2-bit fit types + truncated unpredictables."""
+class _CurveFitStage:
+    """The closed-loop bestfit pass and its decode recurrence."""
 
-    lossless: GzipStage = field(
-        default_factory=lambda: GzipStage(mode=LosslessMode.BEST_SPEED)
-    )
+    name = "curvefit"
 
-    name = "SZ-1.0"
+    def forward(self, ctx: PipelineContext) -> None:
+        types, _, _ = sz10_predict_loop(ctx.data, ctx.bound.absolute)
+        ctx.codes = types
 
-    def compress(
-        self,
-        data: np.ndarray,
-        eb: float = 1e-3,
-        mode: ErrorBoundMode | str = ErrorBoundMode.VR_REL,
-    ) -> CompressedField:
-        data = np.ascontiguousarray(data)
-        bound = resolve_error_bound(data, eb, mode)
-        p = bound.absolute
-        types, dec, _ = sz10_predict_loop(data, p)
-
-        container = Container(
-            header={
-                "variant": self.name,
-                "shape": list(data.shape),
-                "dtype": str(data.dtype),
-                "bound": bound_to_header(bound),
-                "n_unpred": int((types == _UNPRED).sum()),
-            }
-        )
-        table = HuffmanTable.from_symbols(types.astype(np.int64))
-        codec = HuffmanCodec(table)
-        payload, _ = codec.encode(types.astype(np.int64))
-        gz = self.lossless.compress(payload)
-        type_stream = gz if len(gz) < len(payload) else payload
-        container.header["types_gzipped"] = len(gz) < len(payload)
-        container.add("huffman_table", table.to_bytes())
-        container.add("fit_types", type_stream)
-        container.header["n_codes"] = int(types.size)
-
-        unpred_vals = data.reshape(-1)[types == _UNPRED]
-        unpred_stream = encode_truncated(unpred_vals, p)
-        container.add("unpredictable", unpred_stream)
-
-        stats = build_stats(
-            data=data,
-            encoded_code_bytes=len(type_stream) + len(table.to_bytes()),
-            outlier_bytes=len(unpred_stream),
-            border_bytes=0,
-            n_unpredictable=int((types == _UNPRED).sum()),
-            n_border=0,
-        )
-        return CompressedField(
-            variant=self.name,
-            shape=tuple(data.shape),
-            dtype=str(data.dtype),
-            bound=bound,
-            quant=None,  # no linear-scaling quantizer in the 1.0 model
-            payload=container.to_bytes(),
-            stats=stats,
-        )
-
-    def decompress(self, compressed: CompressedField | bytes) -> np.ndarray:
-        payload = (
-            compressed.payload
-            if isinstance(compressed, CompressedField)
-            else compressed
-        )
-        with decode_guard(f"{self.name} payload"):
-            return self._decompress(payload)
-
-    def _decompress(self, payload: bytes) -> np.ndarray:
-        container = Container.from_bytes(payload)
-        h = container.header
-        if h.get("variant") != self.name:
-            raise ContainerError(
-                f"payload was produced by {h.get('variant')!r}, not {self.name}"
-            )
-        shape = header_shape(h)
-        dtype = header_dtype(h)
-        bound = bound_from_header(h["bound"])
-        p = bound.absolute
-        n = header_int(h, "n_codes", hi=MAX_FIELD_POINTS)
-
-        table, _ = HuffmanTable.from_bytes(container.get("huffman_table"))
-        stream = container.get("fit_types")
-        if h["types_gzipped"]:
-            stream = self.lossless.decompress(stream)
-        types = HuffmanCodec(table).decode(stream, n).astype(np.uint8)
-
-        n_unpred = header_int(h, "n_unpred", hi=MAX_FIELD_POINTS)
-        unpred = decode_truncated(
-            container.get("unpredictable"), n_unpred, p, dtype
-        ).astype(np.float64)
-
-        cast = dtype.type
+    def inverse(self, ctx: PipelineContext) -> None:
+        types = ctx.codes
+        unpred = ctx.require("unpred_values")
+        cast = ctx.dtype.type
+        n = types.size
         dec = np.empty(n, dtype=np.float64)
         u = 0
         for i in range(n):
@@ -199,4 +140,95 @@ class SZ10Compressor:
                 dec[i] = cast(2.0 * dec[i - 1] - dec[i - 2])
             else:
                 dec[i] = cast(3.0 * dec[i - 1] - 3.0 * dec[i - 2] + dec[i - 3])
-        return dec.reshape(shape).astype(dtype)
+        ctx.out = dec.reshape(ctx.shape).astype(ctx.dtype)
+
+
+class _SZ10HeaderStage(HeaderStage):
+    """SZ-1.0 header: no quantizer, just the unpredictable count."""
+
+    def __init__(self) -> None:
+        super().__init__(with_quant=False)
+
+    def write_extra(self, ctx: PipelineContext) -> None:
+        ctx.header["n_unpred"] = int((ctx.codes == _UNPRED).sum())
+
+
+class _TypeEntropyStage:
+    """Huffman-coded fit types, gzipped when that wins."""
+
+    name = "type_entropy"
+
+    def __init__(self, lossless: GzipStage) -> None:
+        self.lossless = lossless
+
+    def forward(self, ctx: PipelineContext) -> None:
+        container = ctx.container
+        types = ctx.codes
+        table = HuffmanTable.from_symbols(types.astype(np.int64))
+        payload, _ = HuffmanCodec(table).encode(types.astype(np.int64))
+        type_stream, use_gz = gzip_if_smaller(self.lossless, payload)
+        container.header["types_gzipped"] = use_gz
+        container.add("huffman_table", table.to_bytes())
+        container.add("fit_types", type_stream)
+        container.header["n_codes"] = int(types.size)
+        ctx.encoded_code_bytes = len(type_stream) + len(table.to_bytes())
+
+    def inverse(self, ctx: PipelineContext) -> None:
+        container = ctx.container
+        h = ctx.header
+        n = header_int(h, "n_codes", hi=MAX_FIELD_POINTS)
+        table, _ = HuffmanTable.from_bytes(container.get("huffman_table"))
+        stream = container.get("fit_types")
+        if h["types_gzipped"]:
+            stream = self.lossless.decompress(stream)
+        ctx.codes = HuffmanCodec(table).decode(stream, n).astype(np.uint8)
+
+
+class _UnpredictableStage:
+    """Truncation-coded unpredictable originals (§2.2's binary analysis)."""
+
+    name = "unpredictable"
+
+    def forward(self, ctx: PipelineContext) -> None:
+        p = ctx.bound.absolute
+        unpred_vals = ctx.data.reshape(-1)[ctx.codes == _UNPRED]
+        unpred_stream = encode_truncated(unpred_vals, p)
+        ctx.container.add("unpredictable", unpred_stream)
+        ctx.outlier_bytes = len(unpred_stream)
+        ctx.n_unpredictable = int(unpred_vals.size)
+
+    def inverse(self, ctx: PipelineContext) -> None:
+        h = ctx.header
+        p = bound_from_header(h["bound"]).absolute
+        dtype = header_dtype(h)
+        n_unpred = header_int(h, "n_unpred", hi=MAX_FIELD_POINTS)
+        ctx.artifacts["unpred_values"] = decode_truncated(
+            ctx.container.get("unpredictable"), n_unpred, p, dtype
+        ).astype(np.float64)
+
+
+@register_codec(
+    name="SZ-1.0",
+    aliases=("SZ-0.1-1.0", "sz10"),
+    table2="SZ-0.1-1.0",
+    spec=SZ10_SPEC,
+)
+@dataclass(frozen=True)
+class SZ10Compressor(PipelineCompressor):
+    """End-to-end SZ-1.0: 2-bit fit types + truncated unpredictables."""
+
+    lossless: GzipStage = field(
+        default_factory=lambda: GzipStage(mode=LosslessMode.BEST_SPEED)
+    )
+
+    name = "SZ-1.0"
+    spec = SZ10_SPEC
+
+    def build_stages(self) -> tuple[Stage, ...]:
+        return (
+            ResolveBoundStage(),
+            _CurveFitStage(),
+            _SZ10HeaderStage(),
+            _TypeEntropyStage(self.lossless),
+            _UnpredictableStage(),
+        )

@@ -5,39 +5,92 @@ linear-scaling quantization (16-bit bins by default) → customized Huffman
 encoding → gzip in ``best_speed`` mode.  Unpredictable points — quantizer
 overflows and, in the paper's model, the first-row/column border — are
 stored via truncation-based binary analysis.
+
+All stages are the shared :mod:`repro.codec.stages` implementations;
+SZ-1.4 contributes only its header fields and the stage selection.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from ..config import ErrorBoundMode, QuantizerConfig, resolve_error_bound
-from ..errors import ContainerError, decode_guard
-from ..io.container import Container
-from ..lossless import GzipStage, LosslessMode
-from ..streams import (
-    MAX_FIELD_POINTS,
-    bound_from_header,
-    bound_to_header,
-    build_stats,
-    decode_codes_huffman,
-    encode_codes_huffman,
-    header_dtype,
-    header_int,
-    header_shape,
+from ..codec.pipeline import PipelineCompressor, PipelineContext, Stage
+from ..codec.registry import register_codec
+from ..codec.spec import PipelineSpec, StageSpec
+from ..codec.stages import (
+    HeaderStage,
+    HuffmanGzipCodesStage,
+    PQDStage,
+    PwRelForwardStage,
+    PwRelMasksStage,
+    ResolveBoundStage,
+    TruncatedValuesStage,
 )
-from ..types import CompressedField
-from .pqd import BorderMode, pqd_compress, pqd_decompress
-from .preprocess import LogTransform, forward_log2, inverse_log2
-from .unpredictable import decode_truncated, encode_truncated
+from ..config import QuantizerConfig
+from ..lossless import GzipStage, LosslessMode
+from ..variants import Feature
+from .pqd import BorderMode
 
-__all__ = ["SZ14Compressor"]
+__all__ = ["SZ14Compressor", "SZ14_SPEC"]
+
+SZ14_SPEC = PipelineSpec(
+    variant="SZ-1.4",
+    table2="SZ-1.4",
+    stages=(
+        StageSpec("bound"),
+        StageSpec("pw_rel_log", frozenset({Feature.LOG_TRANSFORM})),
+        StageSpec(
+            "pqd",
+            frozenset(
+                {
+                    Feature.LORENZO,
+                    Feature.QUANTIZATION,
+                    Feature.DECOMPRESSION_WRITEBACK,
+                    Feature.OVERBOUND_CHECK_SW,
+                }
+            ),
+        ),
+        StageSpec("header"),
+        StageSpec(
+            "codes_entropy", frozenset({Feature.CUSTOM_HUFFMAN, Feature.GZIP})
+        ),
+        StageSpec("values"),
+        StageSpec("pw_rel_masks"),
+    ),
+    # the repro predicts borders with lower-dimensional Lorenzo
+    # degenerations instead of SZ-1.4's fixed-size blocking
+    unmodeled=frozenset({Feature.BLOCKING}),
+    # PW_REL support via the SZ-2.0 logarithmic transform is carried
+    # beyond the SZ-1.4 Table 2 row
+    extra=frozenset({Feature.LOG_TRANSFORM}),
+)
 
 
+class _SZ14HeaderStage(HeaderStage):
+    """SZ-1.4 header: border policy, stencil depth, stream counts."""
+
+    def __init__(self, compressor: "SZ14Compressor") -> None:
+        super().__init__(with_quant=True)
+        self._c = compressor
+
+    def write_extra(self, ctx: PipelineContext) -> None:
+        res = ctx.require("pqd")
+        ctx.header["border"] = self._c.border
+        ctx.header["layers"] = self._c.layers
+        ctx.header["n_border"] = res.n_border
+        ctx.header["n_outliers"] = res.n_outliers
+        ctx.meta["decompressed_checks"] = True
+        ctx.meta["lossless_mode"] = self._c.lossless.mode.value
+
+
+@register_codec(
+    name="SZ-1.4",
+    aliases=("sz14",),
+    table2="SZ-1.4",
+    spec=SZ14_SPEC,
+)
 @dataclass(frozen=True)
-class SZ14Compressor:
+class SZ14Compressor(PipelineCompressor):
     """The SZ-1.4 software baseline.
 
     Defaults match the paper's evaluation setup (§4.1): 16-bit
@@ -60,172 +113,15 @@ class SZ14Compressor:
     layers: int = 1
 
     name = "SZ-1.4"
+    spec = SZ14_SPEC
 
-    def compress(
-        self,
-        data: np.ndarray,
-        eb: float = 1e-3,
-        mode: ErrorBoundMode | str = ErrorBoundMode.VR_REL,
-    ) -> CompressedField:
-        """Compress a 1-3D float field under the given error bound."""
-        data = np.ascontiguousarray(data)
-        bound = resolve_error_bound(data, eb, mode)
-        p = bound.absolute
-
-        # Pointwise-relative bounds run through the SZ-2.0 logarithmic
-        # transform (Table 2): compress log2|d| under an ABS bound, carry
-        # sign/zero bitmaps as side channels.
-        transform: LogTransform | None = None
-        work_field = data
-        if bound.mode is ErrorBoundMode.PW_REL:
-            transform = forward_log2(data)
-            work_field = transform.log_values
-
-        res = pqd_compress(
-            work_field, p, self.quant, border=self.border, layers=self.layers
+    def build_stages(self) -> tuple[Stage, ...]:
+        return (
+            ResolveBoundStage(quant=self.quant),
+            PwRelForwardStage(self.lossless),
+            PQDStage(border=self.border, layers=self.layers, from_header=True),
+            _SZ14HeaderStage(self),
+            HuffmanGzipCodesStage(self.lossless),
+            TruncatedValuesStage(border=self.border),
+            PwRelMasksStage(self.lossless),
         )
-
-        container = Container(
-            header={
-                "variant": self.name,
-                "shape": list(data.shape),
-                "dtype": str(data.dtype),
-                "bound": bound_to_header(bound),
-                "quant_bits": self.quant.bits,
-                "reserved_bits": self.quant.reserved_bits,
-                "border": self.border,
-                "layers": self.layers,
-                "n_border": res.n_border,
-                "n_outliers": res.n_outliers,
-            }
-        )
-
-        encode_codes_huffman(container, res.codes.reshape(-1))
-        table_bytes = len(container.get("huffman_table"))
-        huff_payload = container.get("huffman_codes")
-        # SZ applies gzip after the customized Huffman encoding; on the
-        # already-dense Huffman stream it mostly rides along (paper §4.2),
-        # so keep whichever representation is smaller.
-        gz = self.lossless.compress(huff_payload)
-        if len(gz) < len(huff_payload):
-            container.sections[:] = [
-                s for s in container.sections if s.name != "huffman_codes"
-            ]
-            container.add("huffman_codes_gz", gz)
-            container.header["codes_gzipped"] = True
-            code_stream_bytes = len(gz)
-        else:
-            container.header["codes_gzipped"] = False
-            code_stream_bytes = len(huff_payload)
-        huff_bytes = table_bytes + code_stream_bytes
-
-        if self.border == "truncate":
-            border_stream = encode_truncated(res.border_values, p)
-            outlier_stream = encode_truncated(res.outlier_values, p)
-        else:
-            border_stream = res.border_values.tobytes()
-            outlier_stream = res.outlier_values.tobytes()
-        container.add("border", border_stream)
-        container.add("outliers", outlier_stream)
-
-        mask_bytes = 0
-        if transform is not None:
-            neg, zero = transform.masks_to_bytes()
-            neg_gz = self.lossless.compress(neg)
-            zero_gz = self.lossless.compress(zero)
-            container.add("pw_negative", neg_gz if len(neg_gz) < len(neg) else neg)
-            container.add("pw_zero", zero_gz if len(zero_gz) < len(zero) else zero)
-            container.header["pw_neg_gz"] = len(neg_gz) < len(neg)
-            container.header["pw_zero_gz"] = len(zero_gz) < len(zero)
-            mask_bytes = min(len(neg_gz), len(neg)) + min(len(zero_gz), len(zero))
-
-        stats = build_stats(
-            data=data,
-            encoded_code_bytes=huff_bytes,
-            outlier_bytes=len(outlier_stream),
-            border_bytes=len(border_stream),
-            n_unpredictable=res.n_outliers,
-            n_border=res.n_border,
-            extra_bytes=mask_bytes,
-        )
-        return CompressedField(
-            variant=self.name,
-            shape=tuple(data.shape),
-            dtype=str(data.dtype),
-            bound=bound,
-            quant=self.quant,
-            payload=container.to_bytes(),
-            stats=stats,
-            meta={
-                "decompressed_checks": True,
-                "lossless_mode": self.lossless.mode.value,
-                "huffman_bits": container.header["huffman_bits"],
-            },
-        )
-
-    def decompress(self, compressed: CompressedField | bytes) -> np.ndarray:
-        """Reconstruct the field from a compressed payload."""
-        payload = (
-            compressed.payload
-            if isinstance(compressed, CompressedField)
-            else compressed
-        )
-        with decode_guard(f"{self.name} payload"):
-            return self._decompress(payload)
-
-    def _decompress(self, payload: bytes) -> np.ndarray:
-        container = Container.from_bytes(payload)
-        h = container.header
-        if h.get("variant") != self.name:
-            raise ContainerError(
-                f"payload was produced by {h.get('variant')!r}, not {self.name}"
-            )
-        shape = header_shape(h)
-        dtype = header_dtype(h)
-        bound = bound_from_header(h["bound"])
-        quant = QuantizerConfig(bits=header_int(h, "quant_bits", lo=2, hi=32),
-                                reserved_bits=header_int(h, "reserved_bits"))
-        border_mode: BorderMode = h["border"]
-        if border_mode not in ("padded", "truncate", "verbatim"):
-            raise ContainerError(f"unknown border mode {border_mode!r}")
-        p = bound.absolute
-
-        if h.get("codes_gzipped"):
-            huff_payload = self.lossless.decompress(
-                container.get("huffman_codes_gz")
-            )
-            container.add("huffman_codes", huff_payload)
-        codes = decode_codes_huffman(container).reshape(shape)
-
-        n_border = header_int(h, "n_border", hi=MAX_FIELD_POINTS)
-        n_out = header_int(h, "n_outliers", hi=MAX_FIELD_POINTS)
-        if border_mode == "truncate":
-            border_vals = decode_truncated(container.get("border"), n_border, p, dtype)
-            outlier_vals = decode_truncated(container.get("outliers"), n_out, p, dtype)
-        else:
-            border_vals = np.frombuffer(
-                container.get("border"), dtype=dtype, count=n_border
-            )
-            outlier_vals = np.frombuffer(
-                container.get("outliers"), dtype=dtype, count=n_out
-            )
-        dec = pqd_decompress(
-            codes,
-            border_vals,
-            outlier_vals,
-            precision=p,
-            quant=quant,
-            dtype=dtype,
-            border=border_mode,
-            layers=int(h.get("layers", 1)),
-        )
-        if bound.mode is ErrorBoundMode.PW_REL:
-            neg = container.get("pw_negative")
-            zero = container.get("pw_zero")
-            if h.get("pw_neg_gz"):
-                neg = self.lossless.decompress(neg)
-            if h.get("pw_zero_gz"):
-                zero = self.lossless.decompress(zero)
-            negative, zeros = LogTransform.masks_from_bytes(neg, zero, shape)
-            dec = inverse_log2(dec, negative, zeros)
-        return dec

@@ -13,6 +13,11 @@ which predictor a block uses.
 at the relatively *low* error bounds scientists ask for, 2.0's regression
 rarely beats Lorenzo — the `bench_sz20_vs_sz14` bench measures exactly
 that crossover on the synthetic datasets.
+
+The blockwise hybrid predictor and its side streams (block-type bitmap,
+delta-coded regression coefficients, outlier values) are the
+SZ-2.0-specific stages here; bound resolution, header assembly and the
+Huffman → gzip code path come from :mod:`repro.codec.stages`.
 """
 
 from __future__ import annotations
@@ -22,29 +27,66 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..config import ErrorBoundMode, QuantizerConfig, resolve_error_bound
-from ..errors import ContainerError, DTypeError, ShapeError, decode_guard
-from ..io.container import Container
-from ..lossless import GzipStage, LosslessMode
-from ..streams import (
-    MAX_FIELD_POINTS,
-    bound_from_header,
-    bound_to_header,
-    build_stats,
-    decode_codes_huffman,
-    encode_codes_huffman,
-    header_dtype,
-    header_int,
-    header_shape,
+from ..codec.pipeline import PipelineCompressor, PipelineContext, Stage
+from ..codec.registry import register_codec
+from ..codec.spec import PipelineSpec, StageSpec
+from ..codec.stages import (
+    HeaderStage,
+    HuffmanGzipCodesStage,
+    ResolveBoundStage,
+    ValidateInputStage,
+    gzip_if_smaller,
 )
-from ..types import CompressedField
+from ..config import QuantizerConfig
+from ..errors import ContainerError, DTypeError, ShapeError
+from ..lossless import GzipStage, LosslessMode
+from ..streams import MAX_FIELD_POINTS, header_dtype, header_int, header_shape
+from ..variants import Feature
 from .lorenzo import neighbor_offsets
 from .quantizer import quantize_vector
 from .wavefront_index import interior_wavefronts
 
-__all__ = ["SZ20Compressor"]
+__all__ = ["SZ20Compressor", "SZ20_SPEC"]
 
 _LORENZO, _REGRESSION = 0, 1
+
+SZ20_SPEC = PipelineSpec(
+    variant="SZ-2.0",
+    table2="SZ-2.0+",
+    stages=(
+        StageSpec("checks"),
+        StageSpec("bound"),
+        StageSpec(
+            "block_hybrid",
+            frozenset(
+                {
+                    Feature.BLOCKING,
+                    Feature.LORENZO,
+                    Feature.LINEAR_REGRESSION,
+                    Feature.QUANTIZATION,
+                    Feature.DECOMPRESSION_WRITEBACK,
+                    Feature.OVERBOUND_CHECK_SW,
+                }
+            ),
+        ),
+        StageSpec("header"),
+        StageSpec(
+            "codes_entropy", frozenset({Feature.CUSTOM_HUFFMAN, Feature.GZIP})
+        ),
+        StageSpec("block_types"),
+        StageSpec("coeffs", frozenset({Feature.GZIP})),
+        StageSpec("outliers"),
+    ),
+    # the repro rejects PW_REL bounds and ships gzip instead of Zstandard
+    unmodeled=frozenset({Feature.LOG_TRANSFORM, Feature.ZSTD}),
+)
+
+
+def _check_input(data: np.ndarray) -> None:
+    if data.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise DTypeError(f"SZ-2.0 supports float32/float64, got {data.dtype}")
+    if data.ndim not in (2, 3):
+        raise ShapeError(f"SZ-2.0 supports 2D/3D fields, got {data.ndim}D")
 
 
 def _block_grid(shape: tuple[int, ...], bs: int):
@@ -68,26 +110,142 @@ def _open_loop_lorenzo_padded(data: np.ndarray) -> np.ndarray:
     return pred[tuple(slice(1, None) for _ in data.shape)]
 
 
-@dataclass(frozen=True)
-class SZ20Compressor:
-    """Blockwise hybrid predictor with 16-bit linear-scaling quantization."""
+def _halo_fill(
+    lwork: np.ndarray, work: np.ndarray, sl: tuple[slice, ...]
+) -> None:
+    """Fill a block's extended-halo faces from the global work array."""
+    for axis, s in enumerate(sl):
+        if s.start == 0:
+            continue  # field border: halo stays zero (padded semantics)
+        src = list(sl)
+        src[axis] = slice(s.start - 1, s.start)
+        dst = [slice(1, None)] * len(sl)
+        dst[axis] = slice(0, 1)
+        # Halo corners/edges also need earlier-block values; widen the
+        # source for already-handled axes.
+        for prev_axis in range(axis):
+            if sl[prev_axis].start > 0:
+                src[prev_axis] = slice(
+                    sl[prev_axis].start - 1, sl[prev_axis].stop
+                )
+                dst[prev_axis] = slice(0, None)
+        lwork[tuple(dst)] = work[tuple(src)]
 
-    quant: QuantizerConfig = field(default_factory=QuantizerConfig)
-    lossless: GzipStage = field(
-        default_factory=lambda: GzipStage(mode=LosslessMode.BEST_SPEED)
+
+def _lorenzo_block(
+    orig: np.ndarray,
+    work: np.ndarray,
+    codes: np.ndarray,
+    sl: tuple[slice, ...],
+    p: float,
+    quant: QuantizerConfig,
+    dtype: np.dtype,
+    *,
+    origin_verbatim: bool,
+) -> np.ndarray:
+    """Closed-loop Lorenzo over one block; halo from decompressed
+    neighbours (zero outside the field).  Returns outlier originals in
+    local raster order."""
+    bshape = tuple(s.stop - s.start for s in sl)
+    ext_shape = tuple(n + 1 for n in bshape)
+    lwork = np.zeros(ext_shape, dtype=np.float64)
+    inner = tuple(slice(1, None) for _ in bshape)
+    _halo_fill(lwork, work, sl)
+    lorig = np.zeros(ext_shape, dtype=np.float64)
+    lorig[inner] = orig[sl]
+
+    lcodes = np.zeros(int(np.prod(ext_shape)), dtype=np.int64)
+    lwork_flat = lwork.reshape(-1)
+    lorig_flat = lorig.reshape(-1)
+    offsets, signs = neighbor_offsets(ext_shape)
+    outliers: list[np.ndarray] = []
+
+    for k, idx in enumerate(interior_wavefronts(ext_shape)):
+        if origin_verbatim and k == 0:
+            # The field origin is stored verbatim (see pqd.py).
+            lwork_flat[idx] = lorig_flat[idx]
+            continue
+        pred = signs[0] * lwork_flat[idx - offsets[0]]
+        for m in range(1, offsets.size):
+            pred += signs[m] * lwork_flat[idx - offsets[m]]
+        d = lorig_flat[idx]
+        wf_codes, d_out = quantize_vector(d, pred, p, quant, dtype)
+        lcodes[idx] = wf_codes
+        lwork_flat[idx] = d_out.astype(np.float64)
+
+    lcodes = lcodes.reshape(ext_shape)[inner]
+    codes[sl] = lcodes
+    work[sl] = lwork[inner]
+    fail_local = lcodes.reshape(-1) == 0
+    if fail_local.any():
+        outliers.append(orig[sl].reshape(-1)[fail_local].astype(dtype))
+    return (
+        np.concatenate(outliers) if outliers else np.empty(0, dtype=dtype)
     )
-    block_size: int = 6
 
-    name = "SZ-2.0"
 
-    # ------------------------------------------------------------------
+def _lorenzo_block_decode(
+    work: np.ndarray,
+    bcodes: np.ndarray,
+    sl: tuple[slice, ...],
+    p: float,
+    quant: QuantizerConfig,
+    dtype: np.dtype,
+    outliers: np.ndarray,
+    out_pos: int,
+) -> int:
+    bshape = bcodes.shape
+    ext_shape = tuple(n + 1 for n in bshape)
+    inner = tuple(slice(1, None) for _ in bshape)
+    lwork = np.zeros(ext_shape, dtype=np.float64)
+    _halo_fill(lwork, work, sl)
 
-    def compress(
-        self,
-        data: np.ndarray,
-        eb: float = 1e-3,
-        mode: ErrorBoundMode | str = ErrorBoundMode.VR_REL,
-    ) -> CompressedField:
+    lcodes = np.zeros(ext_shape, dtype=np.int64)
+    lcodes[inner] = bcodes
+    lcodes_flat = lcodes.reshape(-1)
+    lwork_flat = lwork.reshape(-1)
+    offsets, signs = neighbor_offsets(ext_shape)
+    r = quant.radius
+
+    # Scatter outliers (code 0 interior) before the sweep: they feed
+    # later predictions.  Local raster order matches the encoder.
+    inner_flat = np.zeros(ext_shape, dtype=bool)
+    inner_flat[inner] = True
+    fail_mask = (lcodes_flat == 0) & inner_flat.reshape(-1)
+    fail_idx = np.flatnonzero(fail_mask)
+    n_fail = fail_idx.size
+    if n_fail:
+        lwork_flat[fail_idx] = outliers[
+            out_pos : out_pos + n_fail
+        ].astype(np.float64)
+        out_pos += n_fail
+
+    for idx in interior_wavefronts(ext_shape):
+        c = lcodes_flat[idx]
+        sel = c != 0
+        if not sel.any():
+            continue
+        pred = signs[0] * lwork_flat[idx - offsets[0]]
+        for m in range(1, offsets.size):
+            pred += signs[m] * lwork_flat[idx - offsets[m]]
+        d_re = (pred + 2.0 * (c - r) * p).astype(dtype)
+        tgt = idx[sel]
+        lwork_flat[tgt] = d_re[sel].astype(np.float64)
+
+    work[sl] = lwork[inner]
+    return out_pos
+
+
+class _BlockHybridStage:
+    """Blockwise hybrid Lorenzo/regression prediction + quantization."""
+
+    name = "block_hybrid"
+
+    def __init__(self, quant: QuantizerConfig, block_size: int) -> None:
+        self.quant = quant
+        self.block_size = block_size
+
+    def forward(self, ctx: PipelineContext) -> None:
         from .regression import (
             dequantize_coeffs,
             eval_plane,
@@ -95,15 +253,8 @@ class SZ20Compressor:
             quantize_coeffs,
         )
 
-        data = np.ascontiguousarray(data)
-        if data.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
-            raise DTypeError(f"SZ-2.0 supports float32/float64, got {data.dtype}")
-        if data.ndim not in (2, 3):
-            raise ShapeError(f"SZ-2.0 supports 2D/3D fields, got {data.ndim}D")
-        bound = resolve_error_bound(data, eb, mode)
-        if bound.mode is ErrorBoundMode.PW_REL:
-            raise ShapeError("SZ-2.0 reproduction supports ABS/VR_REL bounds")
-        p = bound.absolute
+        data = ctx.data
+        p = ctx.bound.absolute
         dtype = data.dtype
         bs = self.block_size
 
@@ -139,220 +290,36 @@ class SZ20Compressor:
                 work[sl] = d_out.astype(np.float64).reshape(block.shape)
             else:
                 types.append(_LORENZO)
-                out_vals = self._lorenzo_block(
-                    orig, work, codes, sl, p, dtype,
+                out_vals = _lorenzo_block(
+                    orig, work, codes, sl, p, self.quant, dtype,
                     origin_verbatim=first_block,
                 )
                 if out_vals.size:
                     outliers.append(out_vals)
             first_block = False
 
-        container = Container(
-            header={
-                "variant": self.name,
-                "shape": list(data.shape),
-                "dtype": str(data.dtype),
-                "bound": bound_to_header(bound),
-                "quant_bits": self.quant.bits,
-                "reserved_bits": self.quant.reserved_bits,
-                "block_size": bs,
-                "n_blocks": len(types),
-                "n_reg_blocks": int(sum(types)),
-            }
-        )
-        encode_codes_huffman(container, codes.reshape(-1))
-        table_bytes = len(container.get("huffman_table"))
-        huff_payload = container.get("huffman_codes")
-        gz_codes = self.lossless.compress(huff_payload)
-        if len(gz_codes) < len(huff_payload):
-            container.sections[:] = [
-                s for s in container.sections if s.name != "huffman_codes"
-            ]
-            container.add("huffman_codes_gz", gz_codes)
-            container.header["codes_gzipped"] = True
-            huff_bytes = table_bytes + len(gz_codes)
-        else:
-            container.header["codes_gzipped"] = False
-            huff_bytes = table_bytes + len(huff_payload)
-        types_arr = np.array(types, dtype=np.uint8)
-        container.add("block_types", np.packbits(types_arr).tobytes())
-
-        if coeff_rows:
-            cmat = np.stack(coeff_rows)
-            # Delta-code coefficient streams (adjacent blocks have similar
-            # planes); int64 on the wire since intercept codes scale with
-            # value/eb.
-            deltas = np.diff(cmat, axis=0, prepend=cmat[:1] * 0)
-            raw = deltas.astype("<i8").tobytes()
-        else:
-            raw = b""
-        gz = self.lossless.compress(raw) if raw else raw
-        use_gz = bool(raw) and len(gz) < len(raw)
-        container.add("coeffs", gz if use_gz else raw)
-        container.header["coeffs_gz"] = use_gz
-        coeff_bytes = len(gz) if use_gz else len(raw)
-
-        out_vals = (
-            np.concatenate(outliers) if outliers else np.empty(0, dtype=dtype)
-        )
-        container.add("outliers", out_vals.tobytes())
-        container.header["n_outliers"] = int(out_vals.size)
-
-        stats = build_stats(
-            data=data,
-            encoded_code_bytes=huff_bytes,
-            outlier_bytes=out_vals.size * dtype.itemsize,
-            border_bytes=0,
-            n_unpredictable=int(out_vals.size),
-            n_border=0,
-            extra_bytes=coeff_bytes + len(container.get("block_types")),
-        )
-        return CompressedField(
-            variant=self.name,
-            shape=tuple(data.shape),
-            dtype=str(data.dtype),
-            bound=bound,
-            quant=self.quant,
-            payload=container.to_bytes(),
-            stats=stats,
-            meta={
-                "n_blocks": len(types),
-                "regression_fraction": float(np.mean(types)) if types else 0.0,
-            },
-        )
-
-    def _lorenzo_block(
-        self,
-        orig: np.ndarray,
-        work: np.ndarray,
-        codes: np.ndarray,
-        sl: tuple[slice, ...],
-        p: float,
-        dtype: np.dtype,
-        *,
-        origin_verbatim: bool,
-    ) -> np.ndarray:
-        """Closed-loop Lorenzo over one block; halo from decompressed
-        neighbours (zero outside the field).  Returns outlier originals in
-        local raster order."""
-        bshape = tuple(s.stop - s.start for s in sl)
-        ext_shape = tuple(n + 1 for n in bshape)
-        lwork = np.zeros(ext_shape, dtype=np.float64)
-        inner = tuple(slice(1, None) for _ in bshape)
-        # Fill the halo faces from the global work array.
-        for axis, s in enumerate(sl):
-            if s.start == 0:
-                continue  # field border: halo stays zero (padded semantics)
-            src = list(sl)
-            src[axis] = slice(s.start - 1, s.start)
-            dst = [slice(1, None)] * len(sl)
-            dst[axis] = slice(0, 1)
-            # Halo corners/edges also need earlier-block values; widen the
-            # source for already-handled axes.
-            for prev_axis in range(axis):
-                if sl[prev_axis].start > 0:
-                    src[prev_axis] = slice(
-                        sl[prev_axis].start - 1, sl[prev_axis].stop
-                    )
-                    dst[prev_axis] = slice(0, None)
-            lwork[tuple(dst)] = work[tuple(src)]
-        lorig = np.zeros(ext_shape, dtype=np.float64)
-        lorig[inner] = orig[sl]
-
-        lcodes = np.zeros(int(np.prod(ext_shape)), dtype=np.int64)
-        lwork_flat = lwork.reshape(-1)
-        lorig_flat = lorig.reshape(-1)
-        offsets, signs = neighbor_offsets(ext_shape)
-        outliers: list[np.ndarray] = []
-
-        for k, idx in enumerate(interior_wavefronts(ext_shape)):
-            if origin_verbatim and k == 0:
-                # The field origin is stored verbatim (see pqd.py).
-                lwork_flat[idx] = lorig_flat[idx]
-                continue
-            pred = signs[0] * lwork_flat[idx - offsets[0]]
-            for m in range(1, offsets.size):
-                pred += signs[m] * lwork_flat[idx - offsets[m]]
-            d = lorig_flat[idx]
-            wf_codes, d_out = quantize_vector(d, pred, p, self.quant, dtype)
-            lcodes[idx] = wf_codes
-            lwork_flat[idx] = d_out.astype(np.float64)
-
-        lcodes = lcodes.reshape(ext_shape)[inner]
-        codes[sl] = lcodes
-        work[sl] = lwork[inner]
-        fail_local = lcodes.reshape(-1) == 0
-        if fail_local.any():
-            outliers.append(orig[sl].reshape(-1)[fail_local].astype(dtype))
-        return (
+        ctx.codes = codes
+        ctx.artifacts["block_types"] = types
+        ctx.artifacts["coeff_rows"] = coeff_rows
+        ctx.artifacts["outlier_values"] = (
             np.concatenate(outliers) if outliers else np.empty(0, dtype=dtype)
         )
 
-    # ------------------------------------------------------------------
-
-    def decompress(self, compressed: CompressedField | bytes) -> np.ndarray:
-        payload = (
-            compressed.payload
-            if isinstance(compressed, CompressedField)
-            else compressed
-        )
-        with decode_guard(f"{self.name} payload"):
-            return self._decompress(payload)
-
-    def _decompress(self, payload: bytes) -> np.ndarray:
+    def inverse(self, ctx: PipelineContext) -> None:
         from .regression import dequantize_coeffs, eval_plane
 
-        container = Container.from_bytes(payload)
-        h = container.header
-        if h.get("variant") != self.name:
-            raise ContainerError(
-                f"payload was produced by {h.get('variant')!r}, not {self.name}"
-            )
-        shape = header_shape(h)
-        dtype = header_dtype(h)
-        bound = bound_from_header(h["bound"])
-        quant = QuantizerConfig(
-            bits=header_int(h, "quant_bits", lo=2, hi=32),
-            reserved_bits=header_int(h, "reserved_bits"),
-        )
-        p = bound.absolute
+        h = ctx.header
+        shape = ctx.shape
+        dtype = ctx.dtype
+        quant = ctx.quant
+        p = ctx.bound.absolute
         bs = header_int(h, "block_size", lo=1, hi=4096)
-        n_blocks = header_int(h, "n_blocks", hi=MAX_FIELD_POINTS)
-        expected_blocks = 1
-        for s in shape:
-            expected_blocks *= -(-s // bs)
-        if n_blocks != expected_blocks:
-            raise ContainerError(
-                f"header declares {n_blocks} blocks, shape implies "
-                f"{expected_blocks}"
-            )
         r = quant.radius
 
-        if h.get("codes_gzipped"):
-            container.add(
-                "huffman_codes",
-                self.lossless.decompress(container.get("huffman_codes_gz")),
-            )
-        codes = decode_codes_huffman(container).reshape(shape)
-        types = np.unpackbits(
-            np.frombuffer(container.get("block_types"), dtype=np.uint8),
-            count=n_blocks,
-        )
-        raw = container.get("coeffs")
-        if h["coeffs_gz"]:
-            raw = self.lossless.decompress(raw)
-        n_reg = header_int(h, "n_reg_blocks", hi=n_blocks)
-        ndimp1 = len(shape) + 1
-        if n_reg:
-            deltas = np.frombuffer(raw, dtype="<i8").reshape(n_reg, ndimp1)
-            cmat = np.cumsum(deltas, axis=0, dtype=np.int64)
-        else:
-            cmat = np.empty((0, ndimp1), dtype=np.int64)
-        outliers = np.frombuffer(
-            container.get("outliers"),
-            dtype=dtype,
-            count=int(h["n_outliers"]),
-        )
+        codes = ctx.codes.reshape(shape)
+        types = ctx.require("block_types")
+        cmat = ctx.require("coeff_matrix")
+        outliers = ctx.require("outlier_values")
 
         work = np.zeros(shape, dtype=np.float64)
         reg_i = 0
@@ -375,74 +342,154 @@ class SZ20Compressor:
                     out_pos += n_fail
                 work[sl] = block_out
             else:
-                out_pos = self._lorenzo_block_decode(
+                out_pos = _lorenzo_block_decode(
                     work, bcodes, sl, p, quant, dtype, outliers, out_pos
                 )
-        return work.astype(dtype)
+        ctx.out = work.astype(dtype)
 
-    def _lorenzo_block_decode(
-        self,
-        work: np.ndarray,
-        bcodes: np.ndarray,
-        sl: tuple[slice, ...],
-        p: float,
-        quant: QuantizerConfig,
-        dtype: np.dtype,
-        outliers: np.ndarray,
-        out_pos: int,
-    ) -> int:
-        bshape = bcodes.shape
-        ext_shape = tuple(n + 1 for n in bshape)
-        inner = tuple(slice(1, None) for _ in bshape)
-        lwork = np.zeros(ext_shape, dtype=np.float64)
-        for axis, s in enumerate(sl):
-            if s.start == 0:
-                continue
-            src = list(sl)
-            src[axis] = slice(s.start - 1, s.start)
-            dst = [slice(1, None)] * len(sl)
-            dst[axis] = slice(0, 1)
-            for prev_axis in range(axis):
-                if sl[prev_axis].start > 0:
-                    src[prev_axis] = slice(
-                        sl[prev_axis].start - 1, sl[prev_axis].stop
-                    )
-                    dst[prev_axis] = slice(0, None)
-            lwork[tuple(dst)] = work[tuple(src)]
 
-        lcodes = np.zeros(ext_shape, dtype=np.int64)
-        lcodes[inner] = bcodes
-        lcodes_flat = lcodes.reshape(-1)
-        lwork_flat = lwork.reshape(-1)
-        offsets, signs = neighbor_offsets(ext_shape)
-        r = quant.radius
+class _SZ20HeaderStage(HeaderStage):
+    """SZ-2.0 header: block geometry and per-predictor block counts."""
 
-        # Scatter outliers (code 0 interior) before the sweep: they feed
-        # later predictions.  Local raster order matches the encoder.
-        fail_mask = np.zeros(int(np.prod(ext_shape)), dtype=bool)
-        inner_flat = np.zeros(ext_shape, dtype=bool)
-        inner_flat[inner] = True
-        fail_mask = (lcodes_flat == 0) & inner_flat.reshape(-1)
-        fail_idx = np.flatnonzero(fail_mask)
-        n_fail = fail_idx.size
-        if n_fail:
-            lwork_flat[fail_idx] = outliers[
-                out_pos : out_pos + n_fail
-            ].astype(np.float64)
-            out_pos += n_fail
+    def __init__(self, compressor: "SZ20Compressor") -> None:
+        super().__init__(with_quant=True)
+        self._c = compressor
 
-        for idx in interior_wavefronts(ext_shape):
-            c = lcodes_flat[idx]
-            sel = c != 0
-            if not sel.any():
-                continue
-            pred = signs[0] * lwork_flat[idx - offsets[0]]
-            for m in range(1, offsets.size):
-                pred += signs[m] * lwork_flat[idx - offsets[m]]
-            d_re = (pred + 2.0 * (c - r) * p).astype(dtype)
-            tgt = idx[sel]
-            lwork_flat[tgt] = d_re[sel].astype(np.float64)
+    def write_extra(self, ctx: PipelineContext) -> None:
+        types = ctx.require("block_types")
+        h = ctx.header
+        h["block_size"] = self._c.block_size
+        h["n_blocks"] = len(types)
+        h["n_reg_blocks"] = int(sum(types))
+        ctx.meta["n_blocks"] = len(types)
+        ctx.meta["regression_fraction"] = (
+            float(np.mean(types)) if types else 0.0
+        )
 
-        work[sl] = lwork[inner]
-        return out_pos
-    # ------------------------------------------------------------------
+    def read_extra(self, ctx: PipelineContext) -> None:
+        h = ctx.header
+        bs = header_int(h, "block_size", lo=1, hi=4096)
+        n_blocks = header_int(h, "n_blocks", hi=MAX_FIELD_POINTS)
+        expected_blocks = 1
+        for s in ctx.shape:
+            expected_blocks *= -(-s // bs)
+        if n_blocks != expected_blocks:
+            raise ContainerError(
+                f"header declares {n_blocks} blocks, shape implies "
+                f"{expected_blocks}"
+            )
+
+
+class _BlockTypesStage:
+    """Per-block predictor selection bitmap (packed 1 bit per block)."""
+
+    name = "block_types"
+
+    def forward(self, ctx: PipelineContext) -> None:
+        types_arr = np.array(ctx.require("block_types"), dtype=np.uint8)
+        payload = np.packbits(types_arr).tobytes()
+        ctx.container.add("block_types", payload)
+        ctx.extra_bytes += len(payload)
+
+    def inverse(self, ctx: PipelineContext) -> None:
+        n_blocks = header_int(ctx.header, "n_blocks", hi=MAX_FIELD_POINTS)
+        ctx.artifacts["block_types"] = np.unpackbits(
+            np.frombuffer(ctx.container.get("block_types"), dtype=np.uint8),
+            count=n_blocks,
+        )
+
+
+class _CoeffsStage:
+    """Delta-coded regression-coefficient rows, gzipped when that wins."""
+
+    name = "coeffs"
+
+    def __init__(self, lossless: GzipStage) -> None:
+        self.lossless = lossless
+
+    def forward(self, ctx: PipelineContext) -> None:
+        coeff_rows = ctx.require("coeff_rows")
+        if coeff_rows:
+            cmat = np.stack(coeff_rows)
+            # Delta-code coefficient streams (adjacent blocks have similar
+            # planes); int64 on the wire since intercept codes scale with
+            # value/eb.
+            deltas = np.diff(cmat, axis=0, prepend=cmat[:1] * 0)
+            raw = deltas.astype("<i8").tobytes()
+        else:
+            raw = b""
+        stored, use_gz = gzip_if_smaller(self.lossless, raw)
+        ctx.container.add("coeffs", stored)
+        ctx.header["coeffs_gz"] = use_gz
+        ctx.extra_bytes += len(stored)
+
+    def inverse(self, ctx: PipelineContext) -> None:
+        h = ctx.header
+        raw = ctx.container.get("coeffs")
+        if h["coeffs_gz"]:
+            raw = self.lossless.decompress(raw)
+        n_blocks = header_int(h, "n_blocks", hi=MAX_FIELD_POINTS)
+        n_reg = header_int(h, "n_reg_blocks", hi=n_blocks)
+        ndimp1 = len(header_shape(h)) + 1
+        if n_reg:
+            deltas = np.frombuffer(raw, dtype="<i8").reshape(n_reg, ndimp1)
+            cmat = np.cumsum(deltas, axis=0, dtype=np.int64)
+        else:
+            cmat = np.empty((0, ndimp1), dtype=np.int64)
+        ctx.artifacts["coeff_matrix"] = cmat
+
+
+class _OutliersStage:
+    """Raw quantizer-overflow originals, raster order across blocks."""
+
+    name = "outliers"
+
+    def forward(self, ctx: PipelineContext) -> None:
+        out_vals = ctx.require("outlier_values")
+        ctx.container.add("outliers", out_vals.tobytes())
+        ctx.header["n_outliers"] = int(out_vals.size)
+        ctx.outlier_bytes = int(out_vals.size * out_vals.dtype.itemsize)
+        ctx.n_unpredictable = int(out_vals.size)
+
+    def inverse(self, ctx: PipelineContext) -> None:
+        h = ctx.header
+        ctx.artifacts["outlier_values"] = np.frombuffer(
+            ctx.container.get("outliers"),
+            dtype=header_dtype(h),
+            count=int(h["n_outliers"]),
+        )
+
+
+@register_codec(
+    name="SZ-2.0",
+    aliases=("SZ-2.0+", "sz20"),
+    table2="SZ-2.0+",
+    spec=SZ20_SPEC,
+)
+@dataclass(frozen=True)
+class SZ20Compressor(PipelineCompressor):
+    """Blockwise hybrid predictor with 16-bit linear-scaling quantization."""
+
+    quant: QuantizerConfig = field(default_factory=QuantizerConfig)
+    lossless: GzipStage = field(
+        default_factory=lambda: GzipStage(mode=LosslessMode.BEST_SPEED)
+    )
+    block_size: int = 6
+
+    name = "SZ-2.0"
+    spec = SZ20_SPEC
+
+    def build_stages(self) -> tuple[Stage, ...]:
+        return (
+            ValidateInputStage(_check_input),
+            ResolveBoundStage(
+                quant=self.quant,
+                forbid_pw_rel="SZ-2.0 reproduction supports ABS/VR_REL bounds",
+            ),
+            _BlockHybridStage(self.quant, self.block_size),
+            _SZ20HeaderStage(self),
+            HuffmanGzipCodesStage(self.lossless, meta_bits=False),
+            _BlockTypesStage(),
+            _CoeffsStage(self.lossless),
+            _OutliersStage(),
+        )

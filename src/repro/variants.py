@@ -146,28 +146,15 @@ def compressor_for(variant: str):
 
     The name is the ``variant`` field a payload header carries (e.g.
     ``"SZ-1.4"``, ``"waveSZ"``); this is the resolver archives and the CLI
-    use to pick a decoder for stored streams.  Imports are local so this
-    leaf module stays cycle-free.
+    use to pick a decoder for stored streams.  Thin shim over the central
+    :data:`repro.codec.registry.REGISTRY` kept for existing callers; the
+    registry also resolves aliases (``"SZ-2.0+"``, CLI short names) that
+    this function historically rejected.  Import is local so this leaf
+    module stays cycle-free.
     """
-    from .core import WaveSZCompressor
-    from .ghostsz import GhostSZCompressor
-    from .sz import SZ10Compressor, SZ14Compressor, SZ20Compressor
-    from .zfp import ZFPCompressor
+    from .codec.registry import get_codec
 
-    factories = {
-        "waveSZ": lambda: WaveSZCompressor(use_huffman=True),
-        "SZ-1.4": SZ14Compressor,
-        "SZ-2.0": SZ20Compressor,
-        "SZ-1.0": SZ10Compressor,
-        "GhostSZ": GhostSZCompressor,
-        "ZFP-like": ZFPCompressor,
-    }
-    factory = factories.get(variant)
-    if factory is None:
-        from .errors import ContainerError
-
-        raise ContainerError(f"no compressor registered for variant {variant!r}")
-    return factory()
+    return get_codec(variant)
 
 
 def feature_matrix() -> list[dict[str, object]]:

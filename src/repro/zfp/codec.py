@@ -16,35 +16,35 @@ Encode path per 4^d block (ZFP's architecture):
 The codec is error-bounded like SZ (fixed-accuracy mode), which is what
 the online-selector study (paper ref [53]) needs: both compressors honour
 the same bound, only their models differ.
+
+The whole transform chain is one ZFP-specific stage; input validation,
+bound resolution and header assembly come from :mod:`repro.codec.stages`.
+ZFP is outside the SZ family, so its :class:`PipelineSpec` carries no
+Table 2 row (``table2=None``).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import ErrorBoundMode, resolve_error_bound
+from ..codec.pipeline import PipelineCompressor, PipelineContext, Stage
+from ..codec.registry import register_codec
+from ..codec.spec import PipelineSpec, StageSpec
+from ..codec.stages import HeaderStage, ResolveBoundStage, ValidateInputStage
 from ..encoding.bitio import BitReader, BitWriter
-from ..errors import ContainerError, DTypeError, ShapeError, decode_guard
-from ..io.container import Container
-from ..streams import (
-    MAX_FIELD_POINTS,
-    bound_from_header,
-    bound_to_header,
-    build_stats,
-    header_dtype,
-    header_int,
-    header_shape,
-)
-from ..types import CompressedField
+from ..errors import ContainerError, DTypeError, ShapeError
+from ..streams import MAX_FIELD_POINTS, header_int
 from .transform import fwd_transform, inv_transform, sequency_order
 
-__all__ = ["ZFPCompressor"]
+__all__ = ["ZFPCompressor", "ZFP_SPEC"]
 
 _INTPREC = 48  # bit planes carried per coefficient
 _SCALE_BITS = 40  # block values scaled to ~2^40 before the transform
+
+
 def _guard_bits(ndim: int) -> int:
     """Transform-gain + plane-truncation safety margin.
 
@@ -54,9 +54,23 @@ def _guard_bits(ndim: int) -> int:
     (verified by the property tests with a >2x margin).
     """
     return ndim + 1
+
+
 _EMAX_BITS = 12
 _EMAX_BIAS = 1 << 11
 _NBMASK = np.int64(0xAAAAAAAAAAAA)  # negabinary mask over _INTPREC bits
+
+ZFP_SPEC = PipelineSpec(
+    variant="ZFP-like",
+    table2=None,  # outside the SZ family; no Table 2 row to validate
+    stages=(
+        StageSpec("checks"),
+        StageSpec("bound"),
+        StageSpec("zfp_blocks"),
+        StageSpec("header"),
+        StageSpec("planes"),
+    ),
+)
 
 
 def _negabinary(q: np.ndarray) -> np.ndarray:
@@ -134,7 +148,6 @@ def _encode_block_planes(
                 n += 1
                 break  # n == size
 
-
 def _decode_block_planes(r: BitReader, size: int, kmin: int) -> list[int]:
     u = [0] * size
     n = 0
@@ -162,32 +175,25 @@ def _decode_block_planes(r: BitReader, size: int, kmin: int) -> list[int]:
     return u
 
 
-@dataclass(frozen=True)
-class ZFPCompressor:
-    """Fixed-accuracy transform-based compressor (the SZ comparator)."""
+def _check_input(data: np.ndarray) -> None:
+    if data.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise DTypeError(f"ZFP codec supports float32/float64, got {data.dtype}")
+    if not np.isfinite(data).all():
+        raise DTypeError("ZFP codec requires finite data")
 
-    name = "ZFP-like"
 
-    def compress(
-        self,
-        data: np.ndarray,
-        eb: float = 1e-3,
-        mode: ErrorBoundMode | str = ErrorBoundMode.VR_REL,
-    ) -> CompressedField:
-        data = np.ascontiguousarray(data)
-        if data.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
-            raise DTypeError(f"ZFP codec supports float32/float64, got {data.dtype}")
-        if not np.isfinite(data).all():
-            raise DTypeError("ZFP codec requires finite data")
-        bound = resolve_error_bound(data, eb, mode)
-        if bound.mode is ErrorBoundMode.PW_REL:
-            raise ShapeError("ZFP-like codec supports ABS/VR_REL bounds")
-        tol = bound.absolute
+class _ZFPBlocksStage:
+    """Block float → lifting → negabinary → embedded bit-plane coding."""
+
+    name = "zfp_blocks"
+
+    def forward(self, ctx: PipelineContext) -> None:
+        data = ctx.data
+        tol = ctx.bound.absolute
         ndim = data.ndim
 
-        blocks, padded_shape = _blockify(data.astype(np.float64))
+        blocks, _ = _blockify(data.astype(np.float64))
         n_blocks = blocks.shape[0]
-        size = 4**ndim
         order = sequency_order(ndim)
         log2_tol = math.floor(math.log2(tol))
 
@@ -214,74 +220,22 @@ class ZFPCompressor:
             # Planes below kmin carry error < tol after unscaling.
             kmin = max(0, log2_tol + _SCALE_BITS - e - _guard_bits(ndim))
             _encode_block_planes(w, u_list[b], kmin)
-        payload = w.getvalue()
+        ctx.artifacts["planes_payload"] = w.getvalue()
+        ctx.artifacts["n_blocks"] = n_blocks
 
-        container = Container(
-            header={
-                "variant": self.name,
-                "shape": list(data.shape),
-                "dtype": str(data.dtype),
-                "bound": bound_to_header(bound),
-                "n_blocks": n_blocks,
-            }
-        )
-        container.add("planes", payload)
-        stats = build_stats(
-            data=data,
-            encoded_code_bytes=len(payload),
-            outlier_bytes=0,
-            border_bytes=0,
-            n_unpredictable=0,
-            n_border=0,
-        )
-        return CompressedField(
-            variant=self.name,
-            shape=tuple(data.shape),
-            dtype=str(data.dtype),
-            bound=bound,
-            quant=None,
-            payload=container.to_bytes(),
-            stats=stats,
-            meta={"blocks": n_blocks, "block_size": 4},
-        )
-
-    def decompress(self, compressed: CompressedField | bytes) -> np.ndarray:
-        payload = (
-            compressed.payload
-            if isinstance(compressed, CompressedField)
-            else compressed
-        )
-        with decode_guard(f"{self.name} payload"):
-            return self._decompress(payload)
-
-    def _decompress(self, payload: bytes) -> np.ndarray:
-        container = Container.from_bytes(payload)
-        h = container.header
-        if h.get("variant") != self.name:
-            raise ContainerError(
-                f"payload was produced by {h.get('variant')!r}, not {self.name}"
-            )
-        shape = header_shape(h)
-        dtype = header_dtype(h)
-        bound = bound_from_header(h["bound"])
-        tol = bound.absolute
+    def inverse(self, ctx: PipelineContext) -> None:
+        shape = ctx.shape
+        dtype = ctx.dtype
+        tol = ctx.bound.absolute
         ndim = len(shape)
-        n_blocks = header_int(h, "n_blocks", hi=MAX_FIELD_POINTS)
-        expected_blocks = 1
-        for s in shape:
-            expected_blocks *= -(-s // 4)
-        if n_blocks != expected_blocks:
-            raise ContainerError(
-                f"header declares {n_blocks} blocks, shape implies "
-                f"{expected_blocks}"
-            )
+        n_blocks = header_int(ctx.header, "n_blocks", hi=MAX_FIELD_POINTS)
         size = 4**ndim
         order = sequency_order(ndim)
         inv_order = np.empty_like(order)
         inv_order[order] = np.arange(size)
         log2_tol = math.floor(math.log2(tol))
 
-        r = BitReader(container.get("planes"))
+        r = BitReader(ctx.container.get("planes"))
         u = np.zeros((n_blocks, size), dtype=np.uint64)
         emax = np.zeros(n_blocks, dtype=np.int64)
         nonzero = np.zeros(n_blocks, dtype=bool)
@@ -300,4 +254,66 @@ class ZFPCompressor:
         blocks = q.astype(np.float64) * scale.reshape((-1,) + (1,) * ndim)
         blocks[~nonzero] = 0.0
         padded_shape = tuple(-(-n // 4) * 4 for n in shape)
-        return _unblockify(blocks, padded_shape, shape).astype(dtype)
+        ctx.out = _unblockify(blocks, padded_shape, shape).astype(dtype)
+
+
+class _ZFPHeaderStage(HeaderStage):
+    """ZFP header: block count only (no quantizer in this model)."""
+
+    def __init__(self) -> None:
+        super().__init__(with_quant=False)
+
+    def write_extra(self, ctx: PipelineContext) -> None:
+        n_blocks = ctx.require("n_blocks")
+        ctx.header["n_blocks"] = n_blocks
+        ctx.meta["blocks"] = n_blocks
+        ctx.meta["block_size"] = 4
+
+    def read_extra(self, ctx: PipelineContext) -> None:
+        n_blocks = header_int(ctx.header, "n_blocks", hi=MAX_FIELD_POINTS)
+        expected_blocks = 1
+        for s in ctx.shape:
+            expected_blocks *= -(-s // 4)
+        if n_blocks != expected_blocks:
+            raise ContainerError(
+                f"header declares {n_blocks} blocks, shape implies "
+                f"{expected_blocks}"
+            )
+
+
+class _PlanesStage:
+    """Emit the embedded bit-plane stream as the payload's single section."""
+
+    name = "planes"
+
+    def forward(self, ctx: PipelineContext) -> None:
+        payload = ctx.require("planes_payload")
+        ctx.container.add("planes", payload)
+        ctx.encoded_code_bytes = len(payload)
+
+    def inverse(self, ctx: PipelineContext) -> None:
+        pass
+
+
+@register_codec(
+    name="ZFP-like",
+    aliases=("zfp-like",),
+    spec=ZFP_SPEC,
+)
+@dataclass(frozen=True)
+class ZFPCompressor(PipelineCompressor):
+    """Fixed-accuracy transform-based compressor (the SZ comparator)."""
+
+    name = "ZFP-like"
+    spec = ZFP_SPEC
+
+    def build_stages(self) -> tuple[Stage, ...]:
+        return (
+            ValidateInputStage(_check_input),
+            ResolveBoundStage(
+                forbid_pw_rel="ZFP-like codec supports ABS/VR_REL bounds"
+            ),
+            _ZFPBlocksStage(),
+            _ZFPHeaderStage(),
+            _PlanesStage(),
+        )

@@ -1,0 +1,89 @@
+"""Golden-stream guard: the stage-pipeline refactor must not move a byte.
+
+The fixtures in ``tests/data/`` were captured before the compressors were
+migrated onto the :mod:`repro.codec` stage pipeline.  Two invariants are
+asserted per golden:
+
+* **decode stability** — the post-refactor decoder reproduces the
+  originally decoded field bit-for-bit from the stored payload;
+* **encode stability** — re-compressing the identical input reproduces
+  the stored payload bit-for-bit (no on-wire drift).
+
+Plus a registry-dispatch pass: every golden decodes through
+:func:`repro.codec.registry.decode_payload` with no compressor in hand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.codec.registry import decode_payload, peek_variant
+
+DATA_DIR = Path(__file__).resolve().parents[1] / "data"
+
+_spec = importlib.util.spec_from_file_location(
+    "generate_goldens", DATA_DIR / "generate_goldens.py"
+)
+goldens = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(goldens)
+
+MANIFEST = json.loads((DATA_DIR / "manifest.json").read_text())
+KEYS = sorted(MANIFEST)
+
+
+def _sha(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _payload(key: str) -> bytes:
+    return (DATA_DIR / f"golden_{key}.bin").read_bytes()
+
+
+def test_manifest_covers_every_variant():
+    assert set(MANIFEST) == set(goldens.GOLDEN_PARAMS)
+    variants = {m["variant"] for m in MANIFEST.values()}
+    assert variants == {
+        "SZ-1.0", "SZ-1.4", "SZ-2.0", "GhostSZ", "waveSZ", "ZFP-like",
+    }
+
+
+@pytest.mark.parametrize("key", KEYS)
+def test_stored_payload_matches_manifest(key):
+    entry = MANIFEST[key]
+    blob = _payload(key)
+    assert len(blob) == entry["payload_bytes"]
+    assert _sha(blob) == entry["payload_sha256"]
+
+
+@pytest.mark.parametrize("key", KEYS)
+def test_decode_is_bit_exact(key):
+    entry = MANIFEST[key]
+    out = goldens.make_compressor(key).decompress(_payload(key))
+    assert list(out.shape) == entry["shape"]
+    assert str(out.dtype) == entry["dtype"]
+    assert _sha(np.ascontiguousarray(out).tobytes()) == entry["output_sha256"]
+
+
+@pytest.mark.parametrize("key", KEYS)
+def test_recompression_is_bit_exact(key):
+    entry = MANIFEST[key]
+    eb, mode = goldens.GOLDEN_PARAMS[key]
+    cf = goldens.make_compressor(key).compress(goldens.make_input(key), eb, mode)
+    assert cf.variant == entry["variant"]
+    assert _sha(cf.payload) == entry["payload_sha256"]
+
+
+@pytest.mark.parametrize("key", KEYS)
+def test_registry_dispatch_decodes_golden(key):
+    """decode_payload picks the decoder from the wire header alone."""
+    entry = MANIFEST[key]
+    blob = _payload(key)
+    assert peek_variant(blob) == entry["variant"]
+    out = decode_payload(blob)
+    assert _sha(np.ascontiguousarray(out).tobytes()) == entry["output_sha256"]

@@ -64,3 +64,40 @@ class TestSelection:
     def test_duplicate_names_rejected(self):
         with pytest.raises(ConfigError):
             OnlineSelector([SZ14Compressor(), SZ14Compressor()])
+
+
+class TestRegistryCandidates:
+    def test_candidates_by_registry_name(self, smooth2d):
+        sel = OnlineSelector(["sz14", "zfp-like"])
+        res = sel.select(smooth2d, 1e-3, "vr_rel")
+        assert res.chosen in ("SZ-1.4", "ZFP-like")
+        out = sel.decompress(res.compressed)
+        assert out.shape == smooth2d.shape
+
+    def test_mixed_names_and_instances(self, smooth2d):
+        sel = OnlineSelector([SZ14Compressor(), "zfp-like"])
+        res = sel.select(smooth2d, 1e-3, "vr_rel")
+        assert set(res.estimates) == {"SZ-1.4", "ZFP-like"}
+
+    def test_unknown_candidate_name_rejected(self):
+        with pytest.raises(ContainerError):
+            OnlineSelector(["sz3000"])
+
+
+class TestShapeSkip:
+    def test_incompatible_candidate_skipped_not_scored(self, ramp1d):
+        """waveSZ cannot take 1D data: it is excluded, not scored 0.0."""
+        sel = OnlineSelector(["wavesz", "sz14"])
+        res = sel.select(ramp1d, 1e-3, "vr_rel")
+        assert res.skipped == ("waveSZ",)
+        assert "waveSZ" not in res.estimates
+        assert res.chosen == "SZ-1.4"
+
+    def test_no_skips_on_compatible_field(self, selector, smooth2d):
+        res = selector.select(smooth2d, 1e-3, "vr_rel")
+        assert res.skipped == ()
+
+    def test_all_candidates_incompatible_raises(self, ramp1d):
+        sel = OnlineSelector(["wavesz", "zfp-like"])
+        with pytest.raises(ConfigError, match="no candidate"):
+            sel.select(ramp1d, 1e-3, "vr_rel")
