@@ -1,0 +1,123 @@
+"""Service throughput scaling — jobs/sec vs worker count.
+
+The serving layer's perf claim is cuSZ-style coarse-grained batch
+parallelism: independent fields fan out across a process pool, so
+jobs/sec should rise with the worker count until the physical cores run
+out.  This bench runs the same 32-job mixed-codec batch of synthetic
+CESM fields through the scheduler at 1, 2, 4 and N_cpu workers and
+archives both the human table and ``BENCH_service.json`` (the seed of
+the service perf trajectory; later PRs regress against it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from common import RESULTS_DIR, emit, fmt_row
+
+from repro import load_field
+from repro.service import make_job, run_batch
+
+EB = 1e-3
+CODECS = ("sz14", "wavesz", "zfp-like", "ghostsz")
+N_JOBS = 32
+FIELDS = ("CLDLOW", "CLDHGH", "TS", "PSL")
+
+
+def _jobs():
+    fields = [load_field("CESM-ATM", f) for f in FIELDS]
+    return [
+        make_job(
+            CODECS[i % len(CODECS)],
+            fields[i % len(fields)],
+            eb=EB,
+            mode="vr_rel",
+        )
+        for i in range(N_JOBS)
+    ]
+
+
+def _worker_counts() -> list[int]:
+    n_cpu = os.cpu_count() or 1
+    return sorted({1, 2, 4, n_cpu})
+
+
+def test_service_scaling():
+    jobs = _jobs()
+    input_mb = sum(j.input_bytes for j in jobs) / 1e6
+
+    # Reference: the plain single-threaded library loop (no service).
+    t0 = time.perf_counter()
+    baseline_payloads = []
+    from repro.codec.registry import get_codec
+
+    for j in jobs:
+        baseline_payloads.append(
+            get_codec(j.codec).compress(j.data, j.eb, j.mode).payload
+        )
+    serial_s = time.perf_counter() - t0
+
+    rows = []
+    for n in _worker_counts():
+        t0 = time.perf_counter()
+        results, stats = run_batch(
+            jobs, workers=n, pool_kind="process", queue_size=16
+        )
+        wall_s = time.perf_counter() - t0
+        assert stats.totals["completed"] == N_JOBS
+        assert stats.totals["failed"] == 0
+        # service must not change a single output byte at any scale
+        for r, expect in zip(results, baseline_payloads):
+            assert r.output == expect
+        rows.append({
+            "workers": n,
+            "wall_s": wall_s,
+            "jobs_per_s": N_JOBS / wall_s,
+            "mb_per_s": input_mb / wall_s,
+            "p50_s": stats.latency["overall"].p50_s,
+            "p99_s": stats.latency["overall"].p99_s,
+            "queue_high_water": stats.queue_high_water,
+        })
+
+    n_cpu = os.cpu_count() or 1
+    if n_cpu >= 2:
+        # with real cores available, more workers must mean more jobs/sec
+        # (allow 10 % noise between adjacent points)
+        by_workers = {r["workers"]: r["jobs_per_s"] for r in rows}
+        top = max(w for w in by_workers if w <= n_cpu)
+        assert by_workers[top] > by_workers[1] * 1.1, by_workers
+
+    widths = [8, 9, 10, 9, 9, 9, 7]
+    lines = [
+        f"batch: {N_JOBS} jobs x {len(CODECS)} codecs "
+        f"({input_mb:.1f} MB input), queue 16, {n_cpu} cpu(s)",
+        f"serial library loop (no service): {serial_s:.2f} s "
+        f"({N_JOBS / serial_s:.1f} jobs/s)",
+        fmt_row(["workers", "wall s", "jobs/s", "MB/s", "p50 ms",
+                 "p99 ms", "hiwater"], widths),
+    ]
+    for r in rows:
+        lines.append(fmt_row([
+            r["workers"], round(r["wall_s"], 2), round(r["jobs_per_s"], 1),
+            round(r["mb_per_s"], 1), round(r["p50_s"] * 1e3, 1),
+            round(r["p99_s"] * 1e3, 1), r["queue_high_water"],
+        ], widths))
+    emit("service_scaling", lines)
+
+    (RESULTS_DIR / "BENCH_service.json").write_text(json.dumps({
+        "n_jobs": N_JOBS,
+        "codecs": list(CODECS),
+        "input_mb": input_mb,
+        "n_cpu": n_cpu,
+        "serial_s": serial_s,
+        "serial_jobs_per_s": N_JOBS / serial_s,
+        "scaling": rows,
+    }, indent=2))
+
+
+if __name__ == "__main__":
+    test_service_scaling()

@@ -104,6 +104,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dimensions of --original, slowest axis first")
     v.add_argument("--dtype", choices=["float32", "float64"],
                    default="float32")
+
+    sub.add_parser("codecs", help="list registered codecs and aliases")
+
+    s = sub.add_parser(
+        "serve",
+        help="run the batch-compression service over TCP")
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8123)
+    s.add_argument("--workers", type=int, default=None,
+                   help="worker count (default: CPU count; 0 = inline)")
+    s.add_argument("--pool", choices=["process", "thread"],
+                   default="process")
+    s.add_argument("--queue-size", type=int, default=128,
+                   help="bounded queue capacity (backpressure threshold)")
+    s.add_argument("--max-retries", type=int, default=2)
+
+    b = sub.add_parser(
+        "batch",
+        help="run a manifest of compression jobs through the service "
+        "scheduler and write the payloads")
+    b.add_argument("manifest", type=Path,
+                   help="JSON manifest: {defaults: {...}, jobs: [...]}; "
+                   "each job names either input+dims or dataset+field")
+    b.add_argument("-o", "--outdir", type=Path, required=True)
+    b.add_argument("--workers", type=int, default=None,
+                   help="worker count (default: CPU count; 0 = inline)")
+    b.add_argument("--pool", choices=["process", "thread"],
+                   default="process")
+    b.add_argument("--queue-size", type=int, default=128)
+    b.add_argument("--report", type=Path, default=None,
+                   help="also write per-job results + ServiceStats as JSON")
     return p
 
 
@@ -240,6 +271,119 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_codecs(_: argparse.Namespace) -> int:
+    for entry in REGISTRY.describe():
+        names = ", ".join(entry["aliases"] + entry["profiles"])
+        row = f" (Table 2: {entry['table2']})" if entry["table2"] else ""
+        print(f"{entry['name']}: {names}{row}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service.server import serve
+
+    try:
+        asyncio.run(serve(
+            args.host,
+            args.port,
+            workers=args.workers,
+            pool_kind=args.pool,
+            queue_size=args.queue_size,
+            max_retries=args.max_retries,
+        ))
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _load_batch_manifest(args: argparse.Namespace) -> list:
+    """Parse the manifest into validated CompressionJobs (order kept)."""
+    from .service.jobs import make_job
+
+    spec = json.loads(args.manifest.read_text())
+    defaults = spec.get("defaults", {})
+    jobs = []
+    for i, entry in enumerate(spec.get("jobs", [])):
+        merged = {**defaults, **entry}
+        if "input" in merged:
+            data = read_raw_field(
+                args.manifest.parent / merged["input"],
+                tuple(merged["dims"]),
+                np.dtype(merged.get("dtype", "float32")),
+            )
+            name = Path(merged["input"]).stem
+        elif "dataset" in merged:
+            data = load_field(
+                merged["dataset"], merged["field"],
+                scale=int(merged.get("scale", 1)),
+            )
+            name = f"{merged['dataset']}_{merged['field']}"
+        else:
+            raise ReproError(
+                f"manifest job {i} names neither 'input' nor 'dataset'"
+            )
+        out_name = merged.get("output", f"{name}.wsz")
+        if any(out_name == taken for taken, _ in jobs):
+            stem, dot, suffix = out_name.partition(".")
+            out_name = f"{stem}_{i}{dot}{suffix}"
+        jobs.append((out_name, make_job(
+            merged.get("codec", "wavesz"),
+            data,
+            eb=float(merged.get("eb", 1e-3)),
+            mode=merged.get("mode", "vr_rel"),
+            priority=int(merged.get("priority", 0)),
+            deadline_s=merged.get("deadline_s"),
+        )))
+    if not jobs:
+        raise ReproError("manifest contains no jobs")
+    return jobs
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .service.scheduler import run_batch
+
+    named = _load_batch_manifest(args)
+    results, stats = run_batch(
+        [j for _, j in named],
+        workers=args.workers,
+        pool_kind=args.pool,
+        queue_size=args.queue_size,
+    )
+    args.outdir.mkdir(parents=True, exist_ok=True)
+    failed = 0
+    report = []
+    for (out_name, job), result in zip(named, results):
+        if result is None:
+            failed += 1
+            print(f"  {out_name:<28} FAILED ({job.codec})", file=sys.stderr)
+            report.append({"output": out_name, "codec": job.codec,
+                           "ok": False})
+            continue
+        (args.outdir / out_name).write_bytes(result.output)
+        s = result.stats
+        print(f"  {out_name:<28} {job.codec:<9} "
+              f"ratio {s.ratio:6.2f}x  {result.total_s * 1e3:7.1f} ms "
+              f"({result.attempts} attempt(s))")
+        report.append({
+            "output": out_name, "codec": job.codec, "ok": True,
+            "ratio": s.ratio, "latency_s": result.total_s,
+            "attempts": result.attempts,
+        })
+    t = stats.totals
+    print(f"batch: {t['completed']}/{t['submitted']} jobs ok, "
+          f"{t['retried']} retries, queue high-water "
+          f"{stats.queue_high_water}/{stats.queue_capacity}, "
+          f"{stats.throughput_jobs_per_s:.1f} jobs/s")
+    if args.report is not None:
+        args.report.write_text(json.dumps(
+            {"jobs": report, "stats": stats.to_dict()}, indent=2
+        ))
+        print(f"report -> {args.report}")
+    return 1 if failed else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .fpga.report import synthesis_report
 
@@ -258,6 +402,9 @@ _COMMANDS = {
     "extract": _cmd_extract,
     "report": _cmd_report,
     "verify": _cmd_verify,
+    "codecs": _cmd_codecs,
+    "serve": _cmd_serve,
+    "batch": _cmd_batch,
 }
 
 

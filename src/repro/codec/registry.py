@@ -155,6 +155,24 @@ class CodecRegistry:
             )
         )
 
+    def describe(self) -> list[dict[str, Any]]:
+        """A JSON-serializable listing of every registered variant.
+
+        One dict per canonical entry with its aliases, profile names and
+        Table 2 row — the payload of the service's ``codecs`` op and the
+        ``wavesz codecs`` command.
+        """
+        self._ensure_populated()
+        return [
+            {
+                "name": e.name,
+                "aliases": list(e.aliases),
+                "profiles": sorted(e.profiles),
+                "table2": e.table2,
+            }
+            for e in self._entries.values()
+        ]
+
     def specs(self) -> tuple[PipelineSpec, ...]:
         """The pipeline specs of all registered variants that declare one."""
         self._ensure_populated()

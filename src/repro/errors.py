@@ -62,6 +62,26 @@ class FaultInjectionError(ReproError):
     parseable container for a structural fault, or a no-op mutation)."""
 
 
+class ServiceError(ReproError):
+    """Batch-compression service failure (scheduling, worker pool, protocol)."""
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded job queue rejected a submission (backpressure).
+
+    Raised instead of growing the queue without bound; callers either retry
+    later, submit with ``block=True``, or shed load.
+    """
+
+
+class JobFailedError(ServiceError):
+    """A job exhausted its retries (or hit a permanent fault) and failed."""
+
+
+class DeadlineExpiredError(ServiceError):
+    """A job's deadline passed before a worker could start it."""
+
+
 class ErrorBoundViolation(ReproError):
     """Decompressed data violates the user-set error bound.
 

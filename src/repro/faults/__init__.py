@@ -11,11 +11,14 @@ exercise machinery:
   duplicate, header mutation, garbage splice) and its application;
 * :class:`FaultInjector` — a seeded generator of fault sweeps;
 * :func:`corruption_sweep` — the differential harness that runs a
-  compressor's decode path across a sweep and checks the contract.
+  compressor's decode path across a sweep and checks the contract;
+* :func:`is_transient` — the transient/permanent split of the error
+  taxonomy that drives the batch service's retry policy.
 """
 
 from .inject import FaultInjector, FaultKind, FaultSpec, inject
 from .harness import FaultOutcome, SweepRecord, SweepResult, corruption_sweep
+from .taxonomy import PERMANENT_TYPES, TRANSIENT_TYPES, is_transient
 
 __all__ = [
     "FaultInjector",
@@ -26,4 +29,7 @@ __all__ = [
     "SweepRecord",
     "SweepResult",
     "corruption_sweep",
+    "TRANSIENT_TYPES",
+    "PERMANENT_TYPES",
+    "is_transient",
 ]

@@ -1,0 +1,68 @@
+"""Transient-vs-permanent classification of the error taxonomy.
+
+The fault-injection sweeps (:mod:`repro.faults.harness`) established *what*
+can go wrong when payloads are damaged; the batch service needs to know
+*whether retrying helps*.  This module draws that line once so the
+scheduler, the server and the CLI all agree:
+
+* **transient** — environmental damage that a retry can plausibly clear:
+  a checksum mismatch (bit rot on one read, torn write), an injected
+  fault from the test harness, OS-level I/O errors, timeouts, and a
+  broken worker process (the pool respawns workers between attempts).
+* **permanent** — structural problems retrying cannot fix: invalid
+  configuration, unsupported shapes/dtypes, unknown datasets, and
+  malformed containers whose checksums *do* verify (the bytes really are
+  that way).
+
+``ChecksumError`` is deliberately classified before its base class
+``ContainerError``: a failed CRC means the bytes differ from what was
+written (re-read may succeed), while a well-checksummed-but-unparseable
+container is permanently bad.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+
+from ..errors import (
+    ChecksumError,
+    ConfigError,
+    ContainerError,
+    DatasetError,
+    DTypeError,
+    FaultInjectionError,
+    ShapeError,
+)
+
+__all__ = ["TRANSIENT_TYPES", "PERMANENT_TYPES", "is_transient"]
+
+#: Checked in order; first match wins (so ``ChecksumError`` beats its base
+#: class ``ContainerError`` in :data:`PERMANENT_TYPES`).
+TRANSIENT_TYPES: tuple[type[BaseException], ...] = (
+    ChecksumError,
+    FaultInjectionError,
+    BrokenExecutor,
+    TimeoutError,
+    ConnectionError,
+    OSError,
+)
+
+PERMANENT_TYPES: tuple[type[BaseException], ...] = (
+    ConfigError,
+    ShapeError,
+    DTypeError,
+    DatasetError,
+    ContainerError,
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when retrying the operation that raised ``exc`` can help.
+
+    Unknown exception types are conservatively treated as permanent so a
+    deterministic bug cannot burn the retry budget on every job.
+    """
+    for t in TRANSIENT_TYPES:
+        if isinstance(exc, t):
+            return True
+    return False

@@ -24,7 +24,14 @@ from .io.container import Container
 from .streams import header_dtype, header_int, header_shape
 from .types import CompressedField, CompressionStats
 
-__all__ = ["TiledResult", "tile_compress", "tile_decompress", "decompress_tile"]
+__all__ = [
+    "TiledResult",
+    "tile_compress",
+    "tile_decompress",
+    "decompress_tile",
+    "plan_bands",
+    "assemble_tiles",
+]
 
 
 class _Compressor(Protocol):
@@ -61,48 +68,55 @@ def _band_slices(n0: int, n_tiles: int) -> list[slice]:
     return [slice(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:])]
 
 
-def tile_compress(
-    compressor: _Compressor,
-    data: np.ndarray,
-    eb: float = 1e-3,
-    mode: str = "vr_rel",
-    *,
-    n_tiles: int = 4,
-) -> TiledResult:
-    """Compress ``data`` as ``n_tiles`` independent bands along axis 0.
+def plan_bands(
+    data: np.ndarray, eb: float, mode: str, n_tiles: int
+) -> tuple[Any, list[slice]]:
+    """Resolve the global bound and band slices for a tiled compression.
 
-    The error bound is resolved *globally* first (VR-REL against the full
-    field's range, as SZ's OpenMP mode does) and then applied per band as
-    an absolute bound, so the guarantee is identical to the monolithic
+    Shared by the serial path below and the worker-pool fan-out in
+    :mod:`repro.service.workers`, so both produce identical plans.  The
+    error bound is resolved *globally* (VR-REL against the full field's
+    range, as SZ's OpenMP mode does) and later applied per band as an
+    absolute bound, so the guarantee is identical to the monolithic
     compressor's.
     """
-    data = np.ascontiguousarray(data)
     if data.ndim < 2:
         raise ShapeError("tiling needs at least 2 dimensions")
     from .config import resolve_error_bound
 
     bound = resolve_error_bound(data, eb, mode)
-    slices = _band_slices(data.shape[0], n_tiles)
+    return bound, _band_slices(data.shape[0], n_tiles)
 
+
+def assemble_tiles(
+    inner_variant: str,
+    data: np.ndarray,
+    bound: Any,
+    slices: list[slice],
+    compressed: list[CompressedField],
+) -> TiledResult:
+    """Build the tiled container from per-band results, in band order.
+
+    Deterministic given the inputs: the serial path and the parallel
+    fan-out assemble byte-identical payloads as long as the per-band
+    compressor is deterministic (all of this library's are).
+    """
     container = Container(
         header={
-            "variant": f"tiled[{compressor.name}]",
-            "inner_variant": compressor.name,
+            "variant": f"tiled[{inner_variant}]",
+            "inner_variant": inner_variant,
             "shape": list(data.shape),
             "dtype": str(data.dtype),
-            "n_tiles": n_tiles,
+            "n_tiles": len(slices),
             "band_starts": [s.start for s in slices],
             "eb_abs": bound.absolute,
         }
     )
-
     total_compressed = 0
     total_unpred = 0
     total_border = 0
     ratios = []
-    for t, sl in enumerate(slices):
-        band = np.ascontiguousarray(data[sl])
-        cf = compressor.compress(band, bound.absolute, "abs")
+    for t, cf in enumerate(compressed):
         container.add(f"tile{t}", cf.payload)
         total_compressed += cf.stats.compressed_bytes
         total_unpred += cf.stats.n_unpredictable
@@ -121,10 +135,33 @@ def tile_compress(
     )
     return TiledResult(
         payload=container.to_bytes(),
-        n_tiles=n_tiles,
+        n_tiles=len(slices),
         stats=stats,
         tile_ratios=tuple(ratios),
     )
+
+
+def tile_compress(
+    compressor: _Compressor,
+    data: np.ndarray,
+    eb: float = 1e-3,
+    mode: str = "vr_rel",
+    *,
+    n_tiles: int = 4,
+) -> TiledResult:
+    """Compress ``data`` as ``n_tiles`` independent bands along axis 0.
+
+    This is the serial reference path; :func:`repro.service.workers.
+    tile_compress_parallel` fans the same bands out across a process pool
+    and produces a byte-identical payload.
+    """
+    data = np.ascontiguousarray(data)
+    bound, slices = plan_bands(data, eb, mode, n_tiles)
+    compressed = [
+        compressor.compress(np.ascontiguousarray(data[sl]), bound.absolute, "abs")
+        for sl in slices
+    ]
+    return assemble_tiles(compressor.name, data, bound, slices, compressed)
 
 
 def _parse(
@@ -160,14 +197,23 @@ def decompress_tile(
 ) -> np.ndarray:
     """Random access: reconstruct band ``index`` only.
 
-    ``compressor=None`` dispatches on the payload's ``inner_variant``
-    header via the codec registry.
+    ``index`` follows Python sequence conventions: negative values count
+    from the end (``-1`` is the last band).  Out-of-bounds access raises
+    :class:`ShapeError` naming the valid range.  ``compressor=None``
+    dispatches on the payload's ``inner_variant`` header via the codec
+    registry.
     """
     with decode_guard("tiled payload"):
         container, comp = _parse(payload, compressor)
         n = header_int(container.header, "n_tiles", lo=1)
+        requested = index
+        if index < 0:
+            index += n
         if not 0 <= index < n:
-            raise ContainerError(f"tile index {index} out of range [0, {n})")
+            raise ShapeError(
+                f"tile index {requested} out of range for {n} tiles "
+                f"(valid: {-n}..{n - 1})"
+            )
         return comp.decompress(container.get(f"tile{index}"))
 
 

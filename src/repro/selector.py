@@ -22,7 +22,6 @@ import numpy as np
 
 from .codec.registry import get_codec
 from .errors import ConfigError, ContainerError, DTypeError, ShapeError
-from .io.container import Container
 from .types import CompressedField
 
 __all__ = ["SelectionResult", "OnlineSelector"]
@@ -118,13 +117,27 @@ class OnlineSelector:
         )
 
     def decompress(self, payload: CompressedField | bytes) -> np.ndarray:
-        """Dispatch on the container's variant header."""
+        """Dispatch on the container's variant header.
+
+        Decoding routes through :func:`repro.streams.decompress_auto` — the
+        library's single decode path — after checking the variant is one of
+        this selector's candidates.  Candidate instances that are *not* in
+        the central registry (hand-built compressors) decode through the
+        instance itself.
+        """
+        from .codec.registry import REGISTRY
+        from .streams import decompress_auto
+
         blob = payload.payload if isinstance(payload, CompressedField) else payload
-        variant = Container.from_bytes(blob).header.get("variant")
-        for comp in self._compressors:
-            if comp.name == variant:
-                return comp.decompress(blob)
-        raise ContainerError(
-            f"payload variant {variant!r} is not among this selector's "
-            f"candidates {[c.name for c in self._compressors]}"
+        variant = REGISTRY.peek_variant(blob)
+        match = next(
+            (c for c in self._compressors if c.name == variant), None
         )
+        if match is None:
+            raise ContainerError(
+                f"payload variant {variant!r} is not among this selector's "
+                f"candidates {[c.name for c in self._compressors]}"
+            )
+        if variant in REGISTRY:
+            return decompress_auto(blob)
+        return match.decompress(blob)

@@ -1,0 +1,292 @@
+"""Asyncio batch scheduler: bounded intake, worker dispatch, retries.
+
+The control plane of the service.  Jobs enter through :meth:`BatchScheduler.
+submit` (fail-fast or blocking backpressure against the bounded queue),
+dispatcher coroutines — one per worker slot — pull by priority and run
+each job on the :class:`~repro.service.workers.WorkerPool`, and failures
+retry with exponential backoff *only* when :func:`repro.faults.is_transient`
+says retrying can help.  Every transition lands in the
+:class:`~repro.service.metrics.MetricsRegistry`.
+
+The synchronous convenience :func:`run_batch` wraps the whole lifecycle
+(start → submit all → drain → stop) for CLI batch mode, benches and tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Sequence
+
+from ..errors import (
+    DeadlineExpiredError,
+    JobFailedError,
+    QueueFullError,
+    ServiceError,
+)
+from ..faults import is_transient
+from ..types import CompressedField
+from .jobs import CompressionJob, JobHandle, JobResult, JobState
+from .metrics import MetricsRegistry, ServiceStats
+from .queue import BoundedJobQueue
+from .workers import WorkerPool, run_job
+
+__all__ = ["BatchScheduler", "run_batch"]
+
+
+class BatchScheduler:
+    """Accepts jobs, schedules them over a worker pool, tracks outcomes."""
+
+    def __init__(
+        self,
+        *,
+        pool: WorkerPool | None = None,
+        workers: int | None = None,
+        pool_kind: str = "process",
+        queue_size: int = 128,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.02,
+        backoff_cap_s: float = 1.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.pool = pool if pool is not None else WorkerPool(
+            workers, kind=pool_kind
+        )
+        self.queue = BoundedJobQueue(queue_size)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._dispatchers: list[asyncio.Task] = []
+        self._in_flight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        # Seam for tests and alternative work kinds: the function a worker
+        # runs.  Must stay module-level-picklable for process pools.
+        self._worker_fn: Callable[[CompressionJob], object] = run_job
+
+    # -- intake ----------------------------------------------------------
+
+    async def submit(
+        self, job: CompressionJob, *, block: bool = False
+    ) -> JobHandle:
+        """Submit one job; returns its handle.
+
+        ``block=False`` applies fail-fast backpressure: a full queue
+        raises :class:`QueueFullError` (and counts a rejection).
+        ``block=True`` waits for a slot instead — backpressure as delay.
+        """
+        handle = JobHandle(job)
+        handle._done = asyncio.Event()
+        self.metrics.count(job.metrics_key, "submitted")
+        try:
+            if block:
+                await self.queue.put(handle)
+            else:
+                self.queue.put_nowait(handle)
+        except QueueFullError:
+            handle.finish(JobState.REJECTED)
+            self.metrics.count(job.metrics_key, "rejected")
+            raise
+        handle.state = JobState.QUEUED
+        self._idle.clear()
+        return handle
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn one dispatcher per worker slot on the running loop."""
+        if self._dispatchers:
+            return
+        self._dispatchers = [
+            asyncio.get_running_loop().create_task(
+                self._dispatch_loop(), name=f"repro-dispatch-{i}"
+            )
+            for i in range(self.pool.size)
+        ]
+
+    async def stop(self) -> None:
+        """Drain nothing further: close intake, let dispatchers exit."""
+        self.queue.close()
+        for t in self._dispatchers:
+            try:
+                await t
+            except asyncio.CancelledError:  # pragma: no cover - teardown
+                pass
+        self._dispatchers = []
+        self.pool.shutdown()
+
+    async def drain(self) -> None:
+        """Wait until the queue is empty and no job is in flight."""
+        while self.queue.depth or self._in_flight:
+            self._idle.clear()
+            await self._idle.wait()
+
+    async def __aenter__(self) -> "BatchScheduler":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.drain()
+        await self.stop()
+
+    # -- dispatch --------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                handle = await self.queue.get()
+            except ServiceError:
+                return  # queue closed and drained
+            self._in_flight += 1
+            try:
+                await self._run_one(handle)
+            finally:
+                self._in_flight -= 1
+                if not self._in_flight and not self.queue.depth:
+                    self._idle.set()
+
+    async def _run_one(self, handle: JobHandle) -> None:
+        job = handle.job
+        key = job.metrics_key
+        if handle.expired:
+            handle.finish(
+                JobState.EXPIRED,
+                error=DeadlineExpiredError(
+                    f"job {job.job_id!r} missed its {job.deadline_s:g}s "
+                    "deadline while queued"
+                ),
+            )
+            self.metrics.count(key, "expired")
+            return
+
+        handle.state = JobState.RUNNING
+        handle.started_at = time.monotonic()
+        attempts = self.max_retries + 1
+        for attempt in range(1, attempts + 1):
+            handle.attempts = attempt
+            t0 = time.monotonic()
+            try:
+                output = await self.pool.run(self._worker_fn, job)
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if is_transient(exc) and attempt < attempts:
+                    self.metrics.count(key, "retried")
+                    delay = min(
+                        self.backoff_cap_s,
+                        self.backoff_base_s * (2 ** (attempt - 1)),
+                    )
+                    await asyncio.sleep(delay)
+                    continue
+                handle.finish(
+                    JobState.FAILED,
+                    error=JobFailedError(
+                        f"job {job.job_id!r} ({job.op} {job.codec}) failed "
+                        f"after {attempt} attempt(s): "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+                handle.error.__cause__ = exc
+                self.metrics.count(key, "failed")
+                return
+            now = time.monotonic()
+            result = self._to_result(handle, output, run_s=now - t0)
+            handle.finish(JobState.DONE, result=result)
+            self.metrics.observe_completion(
+                key,
+                latency_s=result.total_s,
+                bytes_in=job.input_bytes,
+                bytes_out=(
+                    len(result.output)
+                    if isinstance(result.output, (bytes, bytearray))
+                    else 0
+                ),
+            )
+            return
+
+    def _to_result(
+        self, handle: JobHandle, output: object, *, run_s: float
+    ) -> JobResult:
+        job = handle.job
+        stats = None
+        if isinstance(output, CompressedField):
+            stats = output.stats
+            payload: object = output.payload
+        else:
+            payload = output
+        now = time.monotonic()
+        started = handle.started_at or now
+        return JobResult(
+            job_id=job.job_id,
+            codec=job.codec,
+            op=job.op,
+            output=payload,
+            stats=stats,
+            attempts=handle.attempts,
+            queued_s=started - handle.submitted_at,
+            run_s=run_s,
+            total_s=now - handle.submitted_at,
+        )
+
+    # -- observation -----------------------------------------------------
+
+    async def wait(self, handle: JobHandle) -> JobResult:
+        """Await a handle's terminal state; raise its error on failure."""
+        assert handle._done is not None, "handle was not submitted"
+        await handle._done.wait()
+        if handle.result is not None:
+            return handle.result
+        assert handle.error is not None
+        raise handle.error
+
+    def stats(self) -> ServiceStats:
+        return self.metrics.snapshot(
+            queue_depth=self.queue.depth,
+            queue_capacity=self.queue.maxsize,
+            queue_high_water=self.queue.high_water,
+            in_flight=self._in_flight,
+            workers=self.pool.size,
+        )
+
+
+def run_batch(
+    jobs: Sequence[CompressionJob],
+    *,
+    workers: int | None = None,
+    pool_kind: str = "process",
+    pool: WorkerPool | None = None,
+    queue_size: int = 128,
+    max_retries: int = 2,
+    block: bool = True,
+    scheduler_kwargs: dict | None = None,
+) -> tuple[list[JobResult | None], ServiceStats]:
+    """Run a batch end-to-end and return (results, final stats).
+
+    Results align with ``jobs`` by position; a failed/expired job yields
+    ``None`` in its slot (its error is recorded on the stats counters).
+    ``block=True`` submits with waiting backpressure so any batch size
+    flows through the bounded queue.
+    """
+
+    async def _main() -> tuple[list[JobResult | None], ServiceStats]:
+        sched = BatchScheduler(
+            pool=pool,
+            workers=workers,
+            pool_kind=pool_kind,
+            queue_size=queue_size,
+            max_retries=max_retries,
+            **(scheduler_kwargs or {}),
+        )
+        results: list[JobResult | None] = [None] * len(jobs)
+        async with sched:
+            handles = []
+            for job in jobs:
+                handles.append(await sched.submit(job, block=block))
+            for i, h in enumerate(handles):
+                try:
+                    results[i] = await sched.wait(h)
+                except ServiceError:
+                    results[i] = None
+            stats = sched.stats()
+        return results, stats
+
+    return asyncio.run(_main())

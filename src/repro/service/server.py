@@ -1,0 +1,351 @@
+"""TCP front end: length-prefixed frames over a long-lived connection.
+
+Wire format (both directions)::
+
+    4 bytes  big-endian uint32   JSON header length
+    N bytes  UTF-8 JSON          the op / response header
+    M bytes  raw body            present iff header["body_len"] == M
+
+Requests carry ``{"op": ...}`` plus op-specific fields; responses carry
+``{"ok": true/false, ...}``.  Ops:
+
+``ping``
+    liveness → ``{"ok": true, "version": ...}``
+``codecs``
+    registry listing (canonical names, aliases, profiles)
+``stats``
+    a :class:`~repro.service.metrics.ServiceStats` snapshot
+``compress``
+    header: codec, eb, mode, shape, dtype, priority?, deadline_s?;
+    body: the raw little-endian field.  Response body: the payload.
+    A full queue answers ``{"ok": false, "error": "queue-full"}`` —
+    the client sees backpressure explicitly and may retry.
+``decompress``
+    body: a compressed payload.  Response: shape/dtype header + raw field.
+
+:class:`ServiceClient` is the blocking counterpart used by the CLI, the
+CI smoke test and anything else that wants the service without asyncio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+import numpy as np
+
+from .. import __version__
+from ..codec.registry import REGISTRY
+from ..errors import QueueFullError, ReproError, ServiceError
+from ..streams import MAX_FIELD_POINTS
+from .jobs import make_job
+from .scheduler import BatchScheduler
+
+__all__ = ["CompressionServer", "ServiceClient", "serve"]
+
+_LEN = struct.Struct(">I")
+#: Largest accepted frame header/body (a full float64 field at the
+#: library's point cap) — anything bigger is a protocol error, not a job.
+_MAX_BODY = MAX_FIELD_POINTS * 8
+_MAX_HEADER = 1 << 20
+
+
+def _pack(header: dict, body: bytes = b"") -> bytes:
+    if body:
+        header = {**header, "body_len": len(body)}
+    j = json.dumps(header).encode()
+    return _LEN.pack(len(j)) + j + body
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> tuple[dict, bytes]:
+    raw = await reader.readexactly(_LEN.size)
+    (hlen,) = _LEN.unpack(raw)
+    if not 0 < hlen <= _MAX_HEADER:
+        raise ServiceError(f"frame header length {hlen} out of range")
+    header = json.loads(await reader.readexactly(hlen))
+    if not isinstance(header, dict):
+        raise ServiceError("frame header is not a JSON object")
+    body = b""
+    body_len = header.get("body_len", 0)
+    if body_len:
+        if not isinstance(body_len, int) or not 0 < body_len <= _MAX_BODY:
+            raise ServiceError(f"frame body length {body_len!r} out of range")
+        body = await reader.readexactly(body_len)
+    return header, body
+
+
+class CompressionServer:
+    """The asyncio TCP server wrapping a :class:`BatchScheduler`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int | None = None,
+        pool_kind: str = "process",
+        queue_size: int = 128,
+        max_retries: int = 2,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.scheduler = BatchScheduler(
+            workers=workers,
+            pool_kind=pool_kind,
+            queue_size=queue_size,
+            max_retries=max_retries,
+        )
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        # resolve the ephemeral port for clients/tests
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- request handling ------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header, body = await _read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                response = await self._dispatch(header, body)
+                writer.write(response)
+                await writer.drain()
+        except Exception:  # noqa: BLE001 - connection-scoped failure
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, header: dict, body: bytes) -> bytes:
+        op = header.get("op")
+        try:
+            if op == "ping":
+                return _pack({"ok": True, "version": __version__})
+            if op == "codecs":
+                return _pack({"ok": True, "codecs": REGISTRY.describe(),
+                              "short_names": list(REGISTRY.short_names())})
+            if op == "stats":
+                return _pack(
+                    {"ok": True, "stats": self.scheduler.stats().to_dict()}
+                )
+            if op == "compress":
+                return await self._op_compress(header, body)
+            if op == "decompress":
+                return await self._op_decompress(body)
+            return _pack({"ok": False, "error": f"unknown op {op!r}"})
+        except QueueFullError as exc:
+            return _pack({
+                "ok": False,
+                "error": "queue-full",
+                "detail": str(exc),
+                "queue_depth": self.scheduler.queue.depth,
+            })
+        except ReproError as exc:
+            return _pack({
+                "ok": False,
+                "error": type(exc).__name__,
+                "detail": str(exc),
+            })
+
+    async def _op_compress(self, header: dict, body: bytes) -> bytes:
+        shape = tuple(header.get("shape", ()))
+        dtype = np.dtype(str(header.get("dtype", "float32")))
+        n = int(np.prod(shape, dtype=np.int64)) if shape else 0
+        if n <= 0 or n > MAX_FIELD_POINTS:
+            raise ServiceError(f"bad field shape {shape!r}")
+        if len(body) != n * dtype.itemsize:
+            raise ServiceError(
+                f"body holds {len(body)} bytes, shape {shape} needs "
+                f"{n * dtype.itemsize}"
+            )
+        data = np.frombuffer(body, dtype=dtype.newbyteorder("<"))
+        data = data.astype(dtype).reshape(shape)
+        job = make_job(
+            str(header.get("codec", "wavesz")),
+            data,
+            eb=float(header.get("eb", 1e-3)),
+            mode=str(header.get("mode", "vr_rel")),
+            priority=int(header.get("priority", 0)),
+            deadline_s=(
+                float(header["deadline_s"])
+                if header.get("deadline_s") is not None else None
+            ),
+        )
+        handle = await self.scheduler.submit(job)  # raises QueueFullError
+        result = await self.scheduler.wait(handle)
+        assert isinstance(result.output, bytes)
+        s = result.stats
+        return _pack(
+            {
+                "ok": True,
+                "job_id": result.job_id,
+                "codec": result.codec,
+                "attempts": result.attempts,
+                "latency_s": result.total_s,
+                "ratio": s.ratio if s is not None else None,
+            },
+            result.output,
+        )
+
+    async def _op_decompress(self, body: bytes) -> bytes:
+        if not body:
+            raise ServiceError("decompress needs a payload body")
+        job = make_job("auto", op="decompress", payload=body)
+        handle = await self.scheduler.submit(job)
+        result = await self.scheduler.wait(handle)
+        out = result.output
+        assert isinstance(out, np.ndarray)
+        return _pack(
+            {
+                "ok": True,
+                "job_id": result.job_id,
+                "shape": list(out.shape),
+                "dtype": str(out.dtype),
+                "latency_s": result.total_s,
+            },
+            np.ascontiguousarray(out).astype(
+                out.dtype.newbyteorder("<")
+            ).tobytes(),
+        )
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 8123,
+    **kwargs: Any,
+) -> None:
+    """Start a server and run until cancelled (the ``wavesz serve`` body)."""
+    server = CompressionServer(host, port, **kwargs)
+    await server.start()
+    print(f"wavesz service listening on {server.host}:{server.port} "
+          f"({server.scheduler.pool.kind} pool, "
+          f"{server.scheduler.pool.size} workers, "
+          f"queue {server.scheduler.queue.maxsize})", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - SIGINT path
+        pass
+    finally:
+        await server.stop()
+
+
+class ServiceClient:
+    """Blocking client for the service protocol (one socket, many ops)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8123,
+        timeout: float = 60.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- framing ---------------------------------------------------------
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        while n:
+            chunk = self._sock.recv(min(n, 1 << 20))
+            if not chunk:
+                raise ServiceError("server closed the connection mid-frame")
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    def _roundtrip(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
+        self._sock.sendall(_pack(header, body))
+        (hlen,) = _LEN.unpack(self._recv_exact(_LEN.size))
+        resp = json.loads(self._recv_exact(hlen))
+        rbody = self._recv_exact(resp.get("body_len", 0))
+        return resp, rbody
+
+    @staticmethod
+    def _check(resp: dict) -> dict:
+        if not resp.get("ok"):
+            if resp.get("error") == "queue-full":
+                raise QueueFullError(resp.get("detail", "queue full"))
+            raise ServiceError(
+                f"{resp.get('error', 'error')}: {resp.get('detail', '')}"
+            )
+        return resp
+
+    # -- ops -------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._check(self._roundtrip({"op": "ping"})[0])
+
+    def codecs(self) -> dict:
+        return self._check(self._roundtrip({"op": "codecs"})[0])
+
+    def stats(self) -> dict:
+        return self._check(self._roundtrip({"op": "stats"})[0])["stats"]
+
+    def compress(
+        self,
+        data: np.ndarray,
+        codec: str = "wavesz",
+        eb: float = 1e-3,
+        mode: str = "vr_rel",
+        *,
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> tuple[bytes, dict]:
+        """Compress one field; returns (payload, response header)."""
+        data = np.ascontiguousarray(data)
+        resp, body = self._roundtrip(
+            {
+                "op": "compress",
+                "codec": codec,
+                "eb": eb,
+                "mode": mode,
+                "shape": list(data.shape),
+                "dtype": str(data.dtype),
+                "priority": priority,
+                "deadline_s": deadline_s,
+            },
+            data.astype(data.dtype.newbyteorder("<")).tobytes(),
+        )
+        self._check(resp)
+        return body, resp
+
+    def decompress(self, payload: bytes) -> np.ndarray:
+        resp, body = self._roundtrip({"op": "decompress"}, payload)
+        resp = self._check(resp)
+        dtype = np.dtype(str(resp["dtype"]))
+        return np.frombuffer(body, dtype=dtype.newbyteorder("<")).astype(
+            dtype
+        ).reshape(resp["shape"])

@@ -1,0 +1,178 @@
+"""Worker pool: where jobs actually execute.
+
+Job functions live at module level so :class:`concurrent.futures.
+ProcessPoolExecutor` can pickle them; a worker process resolves the codec
+through the registry *inside* the child, so only small primitives (codec
+name, bound, mode) and the field bytes cross the process boundary.
+
+Three pool kinds:
+
+``"process"``
+    One OS process per worker — independent fields compress on all cores
+    (the cuSZ-style coarse-grained batch axis).  The default.
+``"thread"``
+    Threads — no fork cost, still overlaps with the event loop; useful
+    for serving small fields and on single-core machines.
+``"inline"``
+    ``max_workers=0``: run synchronously in the caller.  Deterministic
+    and monkeypatch-friendly — the test mode.
+
+All three run the *same* job functions, so results are byte-identical
+across pool kinds and with the direct single-threaded library calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import ServiceError
+from ..parallel import TiledResult, assemble_tiles, plan_bands
+from ..types import CompressedField
+from .jobs import CompressionJob
+
+__all__ = ["run_job", "compress_band", "WorkerPool", "tile_compress_parallel"]
+
+
+def run_job(job: CompressionJob) -> Any:
+    """Execute one job in the current process (any pool kind).
+
+    Returns a :class:`CompressedField` for compress jobs and the restored
+    ``np.ndarray`` for decompress jobs — the exact objects the direct
+    library calls produce, which is what keeps the service bit-exact with
+    the single-threaded path.
+    """
+    from ..codec.registry import get_codec
+    from ..streams import decompress_auto
+
+    if job.op == "compress":
+        assert job.data is not None
+        return get_codec(job.codec).compress(job.data, job.eb, job.mode)
+    assert job.payload is not None
+    return decompress_auto(bytes(job.payload))
+
+
+def compress_band(codec: str, band: np.ndarray, eb_abs: float) -> CompressedField:
+    """Compress one tile band under an absolute bound (fan-out unit)."""
+    from ..codec.registry import get_codec
+
+    return get_codec(codec).compress(band, eb_abs, "abs")
+
+
+class WorkerPool:
+    """A lazily started executor with an async door and an inline mode."""
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        kind: str = "process",
+        executor: Executor | None = None,
+    ) -> None:
+        if executor is not None:
+            self._executor: Executor | None = executor
+            self._owned = False
+            self.size = getattr(executor, "_max_workers", 1)
+            self.kind = "external"
+            return
+        import os
+
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 0:
+            raise ServiceError(f"max_workers must be >= 0, got {max_workers}")
+        if kind not in ("process", "thread"):
+            raise ServiceError(f"unknown pool kind {kind!r}")
+        self.kind = "inline" if max_workers == 0 else kind
+        self.size = max(1, max_workers)
+        self._executor = None
+        self._owned = True
+
+    @property
+    def executor(self) -> Executor | None:
+        """The live executor, starting it on first use (None when inline)."""
+        if self.kind == "inline":
+            return None
+        if self._executor is None:
+            if self.kind == "process":
+                self._executor = ProcessPoolExecutor(max_workers=self.size)
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.size, thread_name_prefix="repro-worker"
+                )
+        return self._executor
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        """Run ``fn(*args)`` on the pool; inline mode completes eagerly."""
+        if self.kind == "inline":
+            f: Future = Future()
+            try:
+                f.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - relayed to caller
+                f.set_exception(exc)
+            return f
+        return self.executor.submit(fn, *args)
+
+    async def run(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Await ``fn(*args)`` on the pool from the event loop."""
+        if self.kind == "inline":
+            # Synchronous by design: unit tests want deterministic ordering.
+            # Yield once so submissions already scheduled can interleave.
+            await asyncio.sleep(0)
+            return fn(*args)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self.executor, fn, *args)
+
+    def shutdown(self) -> None:
+        if self._owned and self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+
+def tile_compress_parallel(
+    codec: str,
+    data: np.ndarray,
+    eb: float = 1e-3,
+    mode: str = "vr_rel",
+    *,
+    n_tiles: int = 4,
+    pool: WorkerPool | None = None,
+) -> TiledResult:
+    """:func:`repro.parallel.tile_compress` with bands fanned across a pool.
+
+    Bands are submitted together and gathered *in band order*, so the
+    assembled container is byte-identical to the serial path regardless
+    of completion order.  ``codec`` is a registry name (resolved inside
+    each worker); ``pool=None`` uses a throwaway process pool.
+    """
+    data = np.ascontiguousarray(data)
+    bound, slices = plan_bands(data, eb, mode, n_tiles)
+    own_pool = pool is None
+    if own_pool:
+        pool = WorkerPool(kind="process")
+    try:
+        futures = [
+            pool.submit(
+                compress_band,
+                codec,
+                np.ascontiguousarray(data[sl]),
+                bound.absolute,
+            )
+            for sl in slices
+        ]
+        compressed = [f.result() for f in futures]
+    finally:
+        if own_pool:
+            pool.shutdown()
+    from ..codec.registry import REGISTRY
+
+    return assemble_tiles(REGISTRY.canonical(codec), data, bound, slices, compressed)

@@ -187,15 +187,22 @@ def bound_from_header(h: dict) -> ErrorBound:
 
 
 def decompress_auto(payload: bytes) -> np.ndarray:
-    """Decode any single-field payload by its ``variant`` header.
+    """Decode any field payload by its ``variant`` header.
 
-    Dispatches through the central codec registry
-    (:func:`repro.codec.registry.decode_payload`), so callers holding an
-    opaque payload need neither the producing compressor nor its name.
-    Import is local because the codec layer builds on this module.
+    This is the single decode path: plain payloads dispatch through the
+    central codec registry (:func:`repro.codec.registry.decode_payload`);
+    tiled containers (``variant = "tiled[...]"``) reassemble through
+    :func:`repro.parallel.tile_decompress`, which itself resolves the band
+    codec from the ``inner_variant`` header.  Callers holding an opaque
+    payload need neither the producing compressor nor its name.  Imports
+    are local because the codec layer builds on this module.
     """
-    from .codec.registry import decode_payload
+    from .codec.registry import REGISTRY, decode_payload
 
+    if REGISTRY.peek_variant(payload).startswith("tiled["):
+        from .parallel import tile_decompress
+
+        return tile_decompress(None, payload)
     return decode_payload(payload)
 
 

@@ -1,0 +1,115 @@
+"""Integration smoke test: the TCP service end to end.
+
+Starts a real server, fires a concurrent batch of jobs across >= 3 codecs
+from client threads, and checks every payload round-trips bit-exactly
+against the single-threaded library path with nonzero metrics counters.
+This is the test the CI service job runs.
+"""
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.codec.registry import get_codec
+from repro.data.fields import gaussian_random_field
+from repro.errors import ServiceError
+from repro.service import CompressionServer, ServiceClient
+
+CODECS = ("sz14", "wavesz", "zfp-like")
+
+
+@pytest.fixture(scope="module")
+def server():
+    loop = asyncio.new_event_loop()
+    srv = CompressionServer(
+        port=0, workers=2, pool_kind="thread", queue_size=64
+    )
+    started = threading.Event()
+
+    def runner():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(srv.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(10), "server failed to start"
+    yield srv
+    asyncio.run_coroutine_threadsafe(srv.stop(), loop).result(10)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(10)
+
+
+@pytest.fixture(scope="module")
+def fields():
+    out = []
+    for seed in range(6):
+        g = gaussian_random_field((32, 48), beta=3.8, seed=400 + seed)
+        out.append((g / np.abs(g).max()).astype(np.float32))
+    return out
+
+
+class TestServerSmoke:
+    def test_ping_and_codecs(self, server):
+        with ServiceClient(port=server.port) as c:
+            assert c.ping()["ok"]
+            listing = c.codecs()
+            names = {e["name"] for e in listing["codecs"]}
+            assert {"SZ-1.4", "waveSZ", "ZFP-like"} <= names
+            assert "wavesz-g" in listing["short_names"]
+
+    def test_concurrent_batch_bit_exact(self, server, fields):
+        """24 jobs from 6 client threads across 3 codecs, all exact."""
+        work = [
+            (CODECS[i % len(CODECS)], fields[i % len(fields)])
+            for i in range(24)
+        ]
+
+        def submit_one(item):
+            codec, field = item
+            with ServiceClient(port=server.port) as c:
+                payload, info = c.compress(field, codec, eb=1e-3)
+            return codec, field, payload, info
+
+        with ThreadPoolExecutor(max_workers=6) as tp:
+            outcomes = list(tp.map(submit_one, work))
+
+        for codec, field, payload, info in outcomes:
+            direct = get_codec(codec).compress(field, 1e-3, "vr_rel")
+            assert payload == direct.payload, codec
+            assert info["ratio"] == pytest.approx(direct.stats.ratio)
+
+    def test_decompress_roundtrip_over_tcp(self, server, fields):
+        field = fields[0]
+        with ServiceClient(port=server.port) as c:
+            payload, _ = c.compress(field, "sz14", eb=1e-3)
+            out = c.decompress(payload)
+        np.testing.assert_array_equal(
+            out, get_codec("sz14").decompress(payload)
+        )
+        vr = float(field.max() - field.min())
+        assert np.abs(out.astype(np.float64) - field).max() <= 1e-3 * vr
+
+    def test_metrics_counters_nonzero(self, server):
+        with ServiceClient(port=server.port) as c:
+            stats = c.stats()
+        for codec in CODECS:
+            assert stats["jobs"][codec]["completed"] > 0, codec
+        assert stats["totals"]["failed"] == 0
+        assert stats["latency"]["overall"]["count"] >= 24
+        assert stats["latency"]["overall"]["p99_s"] > 0
+        assert stats["throughput_jobs_per_s"] > 0
+        assert stats["queue"]["capacity"] == 64
+
+    def test_bad_requests_answered_not_dropped(self, server):
+        with ServiceClient(port=server.port) as c:
+            with pytest.raises(ServiceError, match="unknown op"):
+                c._check(c._roundtrip({"op": "transmogrify"})[0])
+            with pytest.raises(ServiceError, match="ContainerError"):
+                c.decompress(b"this is not a payload")
+            # the connection survives the errors
+            assert c.ping()["ok"]

@@ -162,3 +162,60 @@ class TestReportCommand:
     def test_report_base10(self, capsys):
         assert main(["report", "--dims", "64", "128", "--base10"]) == 0
         assert "fdiv" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    def test_codecs_lists_registry(self, capsys):
+        assert main(["codecs"]) == 0
+        out = capsys.readouterr().out
+        assert "waveSZ" in out and "wavesz-g" in out and "Table 2" in out
+
+    def test_batch_manifest(self, tmp_path, raw_field, capsys):
+        import json
+
+        path, data = raw_field
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({
+            "defaults": {"eb": 1e-3, "mode": "vr_rel"},
+            "jobs": [
+                {"input": path.name, "dims": list(data.shape),
+                 "codec": "sz14"},
+                {"input": path.name, "dims": list(data.shape),
+                 "codec": "zfp-like", "output": "zfp.wsz"},
+            ],
+        }))
+        # manifest-relative inputs: point the manifest at the field's dir
+        manifest = manifest.rename(path.parent / "manifest.json")
+        outdir = tmp_path / "out"
+        report = tmp_path / "report.json"
+        assert main(["batch", str(manifest), "-o", str(outdir),
+                     "--workers", "0", "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 jobs ok" in out
+        from repro.codec.registry import get_codec
+
+        direct = get_codec("sz14").compress(data, 1e-3, "vr_rel")
+        assert (outdir / "field.wsz").read_bytes() == direct.payload
+        rep = json.loads(report.read_text())
+        assert rep["stats"]["totals"]["completed"] == 2
+        assert {j["codec"] for j in rep["jobs"]} == {"sz14", "zfp-like"}
+
+    def test_batch_duplicate_outputs_disambiguated(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({"jobs": [
+            {"dataset": "CESM-ATM", "field": "CLDLOW", "codec": "sz14"},
+            {"dataset": "CESM-ATM", "field": "CLDLOW", "codec": "sz10"},
+        ]}))
+        outdir = tmp_path / "out"
+        assert main(["batch", str(manifest), "-o", str(outdir),
+                     "--workers", "0"]) == 0
+        names = sorted(p.name for p in outdir.iterdir())
+        assert names == ["CESM-ATM_CLDLOW.wsz", "CESM-ATM_CLDLOW_1.wsz"]
+
+    def test_batch_empty_manifest_errors(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        manifest.write_text('{"jobs": []}')
+        assert main(["batch", str(manifest), "-o", str(tmp_path / "o")]) == 1
+        assert "no jobs" in capsys.readouterr().err

@@ -1,0 +1,81 @@
+"""Round-trip matrix for ``streams.decompress_auto`` — the one decode path.
+
+Every name the registry resolves (canonical wire names, aliases like
+``"SZ-2.0+"``, profiles like ``"wavesz-g"``) must produce a payload that
+``decompress_auto`` decodes without being told the codec, and the result
+must be bit-identical to the producing compressor's own ``decompress``.
+Tiled containers dispatch through the same entry point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codec.registry import REGISTRY, get_codec
+from repro.errors import ContainerError, ShapeError
+from repro.parallel import tile_compress
+from repro.streams import decompress_auto
+
+
+@pytest.mark.parametrize("name", REGISTRY.all_names())
+class TestRegistryMatrix:
+    def test_roundtrip_every_registered_name(self, name, smooth2d):
+        comp = get_codec(name)
+        try:
+            cf = comp.compress(smooth2d, 1e-3, "vr_rel")
+        except ShapeError:
+            pytest.skip(f"{name} does not take 2D fields")
+        auto = decompress_auto(cf.payload)
+        own = comp.decompress(cf.payload)
+        np.testing.assert_array_equal(auto, own)
+        assert auto.dtype == smooth2d.dtype
+        vr = float(smooth2d.max() - smooth2d.min())
+        assert np.abs(auto.astype(np.float64) - smooth2d).max() <= 1e-3 * vr
+
+
+class TestProfiles:
+    def test_profile_payload_differs_but_decodes(self, smooth2d):
+        """wavesz-g (no Huffman pass) is its own configuration, yet its
+        payload carries the canonical wire name and auto-decodes."""
+        plain = get_codec("wavesz").compress(smooth2d, 1e-3, "vr_rel")
+        g = get_codec("wavesz-g").compress(smooth2d, 1e-3, "vr_rel")
+        assert plain.payload != g.payload
+        np.testing.assert_array_equal(
+            decompress_auto(g.payload), get_codec("wavesz").decompress(g.payload)
+        )
+
+
+class TestTiledDispatch:
+    def test_tiled_payload_auto_decodes(self, smooth2d):
+        comp = get_codec("sz14")
+        tiled = tile_compress(comp, smooth2d, 1e-3, n_tiles=3)
+        from repro.parallel import tile_decompress
+
+        np.testing.assert_array_equal(
+            decompress_auto(tiled.payload),
+            tile_decompress(comp, tiled.payload),
+        )
+
+    def test_selector_payload_auto_decodes(self, smooth2d):
+        from repro.selector import OnlineSelector
+
+        sel = OnlineSelector(["sz14", "zfp-like"])
+        res = sel.select(smooth2d, 1e-3, "vr_rel")
+        np.testing.assert_array_equal(
+            decompress_auto(res.compressed.payload),
+            sel.decompress(res.compressed),
+        )
+
+
+class TestRejection:
+    def test_garbage_rejected(self):
+        with pytest.raises(ContainerError):
+            decompress_auto(b"not a container at all")
+
+    def test_unknown_variant_rejected(self, smooth2d):
+        from repro.io.container import Container
+
+        cf = get_codec("sz14").compress(smooth2d, 1e-3, "vr_rel")
+        c = Container.from_bytes(cf.payload)
+        c.header["variant"] = "SZ-99"
+        with pytest.raises(ContainerError, match="SZ-99"):
+            decompress_auto(c.to_bytes())

@@ -58,8 +58,20 @@ class TestTiling:
     def test_tile_index_validated(self, smooth2d):
         comp = SZ14Compressor()
         res = tile_compress(comp, smooth2d, 1e-3, n_tiles=2)
-        with pytest.raises(ContainerError):
+        with pytest.raises(ShapeError, match=r"valid: -2\.\.1"):
             decompress_tile(comp, res.payload, 2)
+        with pytest.raises(ShapeError, match="-3"):
+            decompress_tile(comp, res.payload, -3)
+
+    def test_negative_tile_index(self, smooth2d):
+        """Python convention: -1 is the last band, -n the first."""
+        comp = SZ14Compressor()
+        res = tile_compress(comp, smooth2d, 1e-3, n_tiles=3)
+        for neg, pos in ((-1, 2), (-3, 0)):
+            np.testing.assert_array_equal(
+                decompress_tile(comp, res.payload, neg),
+                decompress_tile(comp, res.payload, pos),
+            )
 
     def test_ratio_overhead_is_modest(self, smooth2d):
         """Seam losses exist but stay small for reasonable tile counts."""

@@ -1,0 +1,67 @@
+"""Unit tests for the service metrics registry and snapshots."""
+
+from repro.service.metrics import LatencySummary, MetricsRegistry
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        s = LatencySummary.of([])
+        assert s.count == 0
+        assert s.p99_s == 0.0
+
+    def test_percentiles_ordered(self):
+        s = LatencySummary.of([i / 100 for i in range(100)])
+        assert s.count == 100
+        assert s.p50_s <= s.p90_s <= s.p99_s <= s.max_s == 0.99
+        assert abs(s.p50_s - 0.5) < 0.02
+        assert abs(s.mean_s - 0.495) < 1e-9
+
+    def test_single_sample(self):
+        s = LatencySummary.of([0.25])
+        assert s.p50_s == s.p99_s == s.max_s == 0.25
+
+
+class TestMetricsRegistry:
+    def test_counters_per_codec(self):
+        m = MetricsRegistry()
+        m.count("sz14", "submitted")
+        m.count("sz14", "submitted")
+        m.count("wavesz", "submitted")
+        m.count("sz14", "retried")
+        snap = m.snapshot()
+        assert snap.jobs["sz14"]["submitted"] == 2
+        assert snap.jobs["wavesz"]["submitted"] == 1
+        assert snap.totals["submitted"] == 3
+        assert snap.totals["retried"] == 1
+
+    def test_completion_feeds_latency_and_ratio(self):
+        m = MetricsRegistry()
+        for lat in (0.1, 0.2, 0.3):
+            m.observe_completion(
+                "sz14", latency_s=lat, bytes_in=1000, bytes_out=100
+            )
+        snap = m.snapshot(queue_depth=3, queue_capacity=16, workers=2)
+        assert snap.totals["completed"] == 3
+        assert snap.latency["sz14"].count == 3
+        assert snap.latency["overall"].max_s == 0.3
+        assert snap.ratio == 10.0
+        assert snap.queue_depth == 3
+        assert snap.queue_capacity == 16
+        assert snap.workers == 2
+
+    def test_snapshot_is_frozen_copy(self):
+        m = MetricsRegistry()
+        m.count("sz14", "submitted")
+        snap = m.snapshot()
+        m.count("sz14", "submitted")
+        assert snap.jobs["sz14"]["submitted"] == 1  # not a live view
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        m = MetricsRegistry()
+        m.observe_completion("sz14", latency_s=0.1, bytes_in=10, bytes_out=5)
+        d = json.loads(json.dumps(m.snapshot().to_dict()))
+        assert d["jobs"]["sz14"]["completed"] == 1
+        assert d["latency"]["overall"]["count"] == 1
+        assert d["queue"]["capacity"] == 0

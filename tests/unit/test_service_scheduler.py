@@ -1,0 +1,205 @@
+"""Unit tests for the batch scheduler (inline pool: deterministic)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.codec.registry import get_codec
+from repro.errors import (
+    ChecksumError,
+    DeadlineExpiredError,
+    JobFailedError,
+    QueueFullError,
+    ShapeError,
+)
+from repro.service.jobs import JobState, make_job
+from repro.service.scheduler import BatchScheduler, run_batch
+from repro.service.workers import run_job
+
+
+def _sched(**kw):
+    kw.setdefault("workers", 0)  # inline pool
+    kw.setdefault("backoff_base_s", 0.001)
+    return BatchScheduler(**kw)
+
+
+class TestHappyPath:
+    def test_batch_bit_exact_with_direct_path(self, smooth2d):
+        codecs = ["sz14", "wavesz", "zfp-like", "ghostsz"]
+        jobs = [make_job(c, smooth2d) for c in codecs]
+        results, stats = run_batch(jobs, workers=0)
+        for c, r in zip(codecs, results):
+            direct = get_codec(c).compress(smooth2d, 1e-3, "vr_rel")
+            assert r.output == direct.payload
+            assert r.stats.ratio == direct.stats.ratio
+        assert stats.totals["completed"] == len(codecs)
+        assert stats.totals["failed"] == 0
+        assert stats.latency["overall"].count == len(codecs)
+
+    def test_decompress_job(self, smooth2d):
+        cf = get_codec("sz14").compress(smooth2d, 1e-3, "vr_rel")
+        job = make_job("auto", op="decompress", payload=cf.payload)
+        results, _ = run_batch([job], workers=0)
+        np.testing.assert_array_equal(
+            results[0].output, get_codec("sz14").decompress(cf.payload)
+        )
+
+    def test_handle_timings(self, smooth2d):
+        results, _ = run_batch([make_job("sz14", smooth2d)], workers=0)
+        r = results[0]
+        assert r.attempts == 1
+        assert r.queued_s >= 0
+        assert r.run_s > 0
+        assert r.total_s >= r.run_s
+
+
+class TestRetries:
+    def test_transient_fault_retried_then_succeeds(self, smooth2d):
+        async def main():
+            sched = _sched(max_retries=2)
+            calls = []
+
+            def flaky(job):
+                calls.append(job.job_id)
+                if len(calls) < 3:
+                    raise ChecksumError("simulated torn read")
+                return run_job(job)
+
+            sched._worker_fn = flaky
+            async with sched:
+                h = await sched.submit(make_job("sz14", smooth2d))
+                result = await sched.wait(h)
+            assert len(calls) == 3
+            assert result.attempts == 3
+            assert h.state is JobState.DONE
+            stats = sched.stats()
+            assert stats.jobs["sz14"]["retried"] == 2
+            assert stats.jobs["sz14"]["completed"] == 1
+            assert stats.jobs["sz14"]["failed"] == 0
+
+        asyncio.run(main())
+
+    def test_transient_fault_exhausts_budget(self, smooth2d):
+        async def main():
+            sched = _sched(max_retries=1)
+
+            def always_torn(job):
+                raise ChecksumError("permanent bit rot")
+
+            sched._worker_fn = always_torn
+            async with sched:
+                h = await sched.submit(make_job("sz14", smooth2d))
+                with pytest.raises(JobFailedError, match="2 attempt"):
+                    await sched.wait(h)
+            assert h.state is JobState.FAILED
+            assert isinstance(h.error.__cause__, ChecksumError)
+            stats = sched.stats()
+            assert stats.jobs["sz14"]["retried"] == 1
+            assert stats.jobs["sz14"]["failed"] == 1
+
+        asyncio.run(main())
+
+    def test_permanent_fault_not_retried(self, smooth2d):
+        async def main():
+            sched = _sched(max_retries=5)
+            calls = []
+
+            def shape_bug(job):
+                calls.append(1)
+                raise ShapeError("tiling needs at least 2 dimensions")
+
+            sched._worker_fn = shape_bug
+            async with sched:
+                h = await sched.submit(make_job("sz14", smooth2d))
+                with pytest.raises(JobFailedError, match="1 attempt"):
+                    await sched.wait(h)
+            assert len(calls) == 1  # no retry budget burned
+            assert sched.stats().jobs["sz14"]["retried"] == 0
+
+        asyncio.run(main())
+
+
+class TestBackpressure:
+    def test_queue_full_rejection_counted(self, smooth2d):
+        async def main():
+            sched = _sched(queue_size=2)
+            # no dispatchers started: the queue can only fill
+            await sched.submit(make_job("sz14", smooth2d))
+            await sched.submit(make_job("sz14", smooth2d))
+            with pytest.raises(QueueFullError):
+                await sched.submit(make_job("wavesz", smooth2d))
+            stats = sched.stats()
+            assert stats.jobs["wavesz"]["rejected"] == 1
+            assert stats.queue_depth == 2
+            assert stats.queue_high_water == 2
+            sched.start()
+            await sched.drain()
+            await sched.stop()
+            assert sched.stats().totals["completed"] == 2
+
+        asyncio.run(main())
+
+    def test_rejected_handle_is_terminal(self, smooth2d):
+        async def main():
+            sched = _sched(queue_size=1)
+            await sched.submit(make_job("sz14", smooth2d))
+            try:
+                await sched.submit(make_job("sz14", smooth2d))
+            except QueueFullError:
+                pass
+            sched.start()
+            await sched.drain()
+            await sched.stop()
+
+        asyncio.run(main())
+
+
+class TestDeadline:
+    def test_expired_job_never_runs(self, smooth2d):
+        async def main():
+            sched = _sched()
+            calls = []
+
+            def record(job):
+                calls.append(1)
+                return run_job(job)
+
+            sched._worker_fn = record
+            h = await sched.submit(
+                make_job("sz14", smooth2d, deadline_s=0.01)
+            )
+            await asyncio.sleep(0.05)  # miss the deadline while queued
+            sched.start()
+            with pytest.raises(DeadlineExpiredError, match="deadline"):
+                await sched.wait(h)
+            await sched.drain()
+            await sched.stop()
+            assert calls == []
+            assert h.state is JobState.EXPIRED
+            assert sched.stats().jobs["sz14"]["expired"] == 1
+
+        asyncio.run(main())
+
+
+class TestPriority:
+    def test_high_priority_dispatched_first(self, smooth2d):
+        async def main():
+            sched = _sched()
+            order = []
+
+            def record(job):
+                order.append(job.job_id)
+                return run_job(job)
+
+            sched._worker_fn = record
+            bulk = await sched.submit(make_job("sz14", smooth2d, priority=0))
+            urgent = await sched.submit(
+                make_job("sz14", smooth2d, priority=9)
+            )
+            sched.start()
+            await sched.drain()
+            await sched.stop()
+            assert order == [urgent.job.job_id, bulk.job.job_id]
+
+        asyncio.run(main())
