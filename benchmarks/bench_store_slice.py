@@ -1,0 +1,152 @@
+"""Array-store random access — cold vs warm slice latency, dedup savings.
+
+The store's perf claim is that tile-level random access makes windowed
+reads cheap twice over: a cold slice decodes only the tiles its window
+overlaps (not the whole field), and a warm slice is served from the
+decoded-tile cache without touching a codec at all.  This bench puts a
+multi-field CESM batch into a store, times full reads against narrow
+slices cold and warm, and archives both the human table and
+``BENCH_store.json`` (the seed of the store perf trajectory; later PRs
+regress against it).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from common import RESULTS_DIR, emit, fmt_row
+
+from repro import load_field
+from repro.store import ArrayStore
+
+EB = 1e-3
+CODEC = "sz14"
+N_TILES = 8
+FIELDS = ("CLDLOW", "CLDHGH", "TS", "PSL")
+REPS = 5
+# a narrow band: rows 10..22 of the 180-row CESM grid -> 1 of 8 tiles
+WINDOW = (slice(10, 22),)
+
+
+def _time(fn, reps: int = REPS) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_store_slice_latency():
+    root = Path(tempfile.mkdtemp(prefix="bench-store-"))
+    try:
+        store = ArrayStore(root / "store")
+        fields = {f: load_field("CESM-ATM", f) for f in FIELDS}
+
+        put_t0 = time.perf_counter()
+        reports = {
+            name: store.put(name, data, CODEC, EB, n_tiles=N_TILES)
+            for name, data in fields.items()
+        }
+        put_s = time.perf_counter() - put_t0
+        # a second version of every field at the same bound: byte-identical
+        # tiles, so the content-addressed area absorbs it for free
+        dedup = [
+            store.put(f"{name}.v2", data, CODEC, EB, n_tiles=N_TILES)
+            for name, data in fields.items()
+        ]
+        dedup_saved = sum(r.dedup_bytes for r in dedup)
+        assert all(r.new_objects == 0 for r in dedup)
+
+        rows = []
+        for name, data in fields.items():
+            n_rows = WINDOW[0].stop - WINDOW[0].start
+
+            def cold_full():
+                store.cache.clear()
+                return store.read(name)
+
+            def cold_slice():
+                store.cache.clear()
+                return store.read_slice(name, WINDOW)
+
+            full_s = _time(cold_full)
+            slice_cold_s = _time(cold_slice)
+
+            store.cache.clear()
+            store.read_slice(name, WINDOW)  # warm the window's tiles
+            decode_before = store.decode_calls
+            slice_warm_s = _time(lambda: store.read_slice(name, WINDOW))
+            assert store.decode_calls == decode_before, "warm read decoded"
+
+            touched = len(store.read_slice(name, WINDOW).tile_indices)
+            rows.append({
+                "field": name,
+                "shape": list(data.shape),
+                "tiles_touched": touched,
+                "n_tiles": N_TILES,
+                "window_rows": n_rows,
+                "full_cold_ms": full_s * 1e3,
+                "slice_cold_ms": slice_cold_s * 1e3,
+                "slice_warm_ms": slice_warm_s * 1e3,
+                "cold_speedup": full_s / slice_cold_s,
+                "warm_speedup": full_s / slice_warm_s,
+            })
+
+        stored = sum(r.stored_bytes for r in reports.values())
+        original = sum(r.original_bytes for r in reports.values())
+        widths = [8, 8, 11, 12, 12, 9, 9]
+        lines = [
+            f"store: {len(FIELDS)} CESM fields x {N_TILES} tiles, "
+            f"{CODEC} @ eb {EB:g} ({put_s:.2f} s to put)",
+            f"bytes: {original} raw -> {stored} stored; duplicate puts "
+            f"saved {dedup_saved} B via content addressing",
+            f"window: rows {WINDOW[0].start}..{WINDOW[0].stop} "
+            f"({rows[0]['tiles_touched']}/{N_TILES} tiles)",
+            fmt_row(["field", "full ms", "slice ms", "warm ms",
+                     "cold x", "warm x", "tiles"], widths),
+        ]
+        for r in rows:
+            lines.append(fmt_row([
+                r["field"], round(r["full_cold_ms"], 1),
+                round(r["slice_cold_ms"], 1),
+                round(r["slice_warm_ms"], 2),
+                round(r["cold_speedup"], 1), round(r["warm_speedup"], 1),
+                f"{r['tiles_touched']}/{N_TILES}",
+            ], widths))
+        cache = store.cache.stats()
+        lines.append(
+            f"cache: {cache['hits']} hits / {cache['misses']} misses, "
+            f"{cache['resident_bytes']} B resident, "
+            f"{cache['evictions']} evictions"
+        )
+        emit("store_slice", lines)
+
+        # slicing 2/8 tiles cold must beat a cold full read; warm must
+        # beat cold (generous floors — CI boxes are noisy)
+        for r in rows:
+            assert r["cold_speedup"] > 1.5, r
+            assert r["warm_speedup"] > r["cold_speedup"], r
+
+        (RESULTS_DIR / "BENCH_store.json").write_text(json.dumps({
+            "codec": CODEC,
+            "eb": EB,
+            "n_tiles": N_TILES,
+            "window_rows": [WINDOW[0].start, WINDOW[0].stop],
+            "put_s": put_s,
+            "original_bytes": original,
+            "stored_bytes": stored,
+            "dedup_saved_bytes": dedup_saved,
+            "cache": cache,
+            "fields": rows,
+        }, indent=2))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    test_store_slice_latency()

@@ -30,6 +30,7 @@ from .errors import ReproError
 from .ghostsz import GhostSZCompressor
 from .metrics import max_abs_error, psnr, rmse, verify_error_bound
 from .selector import OnlineSelector
+from .store import ArrayStore
 from .sz import SZ10Compressor, SZ14Compressor, SZ20Compressor
 from .zfp import ZFPCompressor
 from .types import CompressedField, CompressionStats, ResourceReport, ThroughputReport
@@ -48,6 +49,7 @@ __all__ = [
     "SZ20Compressor",
     "ZFPCompressor",
     "OnlineSelector",
+    "ArrayStore",
     "list_datasets",
     "load_field",
     "ReproError",

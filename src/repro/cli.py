@@ -119,6 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--queue-size", type=int, default=128,
                    help="bounded queue capacity (backpressure threshold)")
     s.add_argument("--max-retries", type=int, default=2)
+    s.add_argument("--store", type=Path, default=None,
+                   help="array-store root to expose over the "
+                   "store_put/store_read/store_slice ops")
 
     b = sub.add_parser(
         "batch",
@@ -135,6 +138,48 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--queue-size", type=int, default=128)
     b.add_argument("--report", type=Path, default=None,
                    help="also write per-job results + ServiceStats as JSON")
+
+    st = sub.add_parser(
+        "store",
+        help="persistent compressed array store (tile-level random access)")
+    st.add_argument("--root", type=Path, required=True,
+                    help="store directory (created on first put)")
+    stsub = st.add_subparsers(dest="store_command", required=True)
+
+    sp = stsub.add_parser("put", help="compress a raw field into the store")
+    sp.add_argument("input", type=Path)
+    sp.add_argument("name", help="dataset name ([A-Za-z0-9._-], ≤128 chars)")
+    sp.add_argument("--dims", type=int, nargs="+", required=True,
+                    help="field dimensions, slowest axis first")
+    sp.add_argument("--dtype", choices=["float32", "float64"],
+                    default="float32")
+    sp.add_argument("--variant", choices=REGISTRY.short_names(),
+                    default="wavesz")
+    sp.add_argument("--eb", type=float, default=1e-3)
+    sp.add_argument("--mode", choices=[m.value for m in ErrorBoundMode],
+                    default="vr_rel")
+    sp.add_argument("--tiles", type=int, default=4,
+                    help="tile count (clamped to the field's feasible max)")
+
+    sg = stsub.add_parser("get", help="read a full field back bit-exactly")
+    sg.add_argument("name")
+    sg.add_argument("-o", "--output", type=Path, required=True)
+    sg.add_argument("--no-strict", action="store_true",
+                    help="skip damaged tiles (zero-filled) instead of "
+                    "failing; lost tile indices print to stderr")
+
+    ss = stsub.add_parser(
+        "slice",
+        help="read a sub-window, decoding only the tiles it overlaps")
+    ss.add_argument("name")
+    ss.add_argument("--window", required=True,
+                    help="per-axis start:stop windows, e.g. '8:24,0:90' "
+                    "(empty end = to the edge, omitted axis = full)")
+    ss.add_argument("-o", "--output", type=Path, required=True)
+    ss.add_argument("--no-strict", action="store_true")
+
+    stsub.add_parser("ls", help="list stored datasets")
+    stsub.add_parser("gc", help="remove objects no manifest references")
     return p
 
 
@@ -292,6 +337,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             pool_kind=args.pool,
             queue_size=args.queue_size,
             max_retries=args.max_retries,
+            store_root=None if args.store is None else str(args.store),
         ))
     except KeyboardInterrupt:
         print("shutting down")
@@ -384,6 +430,111 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _parse_window(text: str) -> tuple:
+    """Parse a ``'8:24,0:90'``-style window into per-axis bound pairs."""
+    window = []
+    for axis, token in enumerate(text.split(",")):
+        token = token.strip()
+        if ":" not in token:
+            raise ReproError(
+                f"axis {axis}: window {token!r} is not start:stop"
+            )
+        lo_s, _, hi_s = token.partition(":")
+        try:
+            window.append((
+                int(lo_s) if lo_s.strip() else None,
+                int(hi_s) if hi_s.strip() else None,
+            ))
+        except ValueError as exc:
+            raise ReproError(
+                f"axis {axis}: bad window bounds {token!r}"
+            ) from exc
+    return tuple(window)
+
+
+def _store(args: argparse.Namespace):
+    from .store import ArrayStore
+
+    return ArrayStore(args.root)
+
+
+def _report_damage(result, name: str) -> None:
+    for d in result.damaged:
+        print(f"{name}: tile {d.index} lost ({d.stage}: {d.error})",
+              file=sys.stderr)
+
+
+def _cmd_store_put(args: argparse.Namespace) -> int:
+    data = read_raw_field(args.input, tuple(args.dims), np.dtype(args.dtype))
+    result = _store(args).put(
+        args.name, data, args.variant, args.eb, args.mode, n_tiles=args.tiles
+    )
+    print(f"{args.input} -> {args.root}/{result.name} "
+          f"({result.codec}, {result.n_tiles} tiles, "
+          f"ratio {result.ratio:.2f}x)")
+    print(f"  {result.new_objects} new object(s), {result.stored_bytes} B "
+          f"written; {result.dedup_objects} deduplicated "
+          f"({result.dedup_bytes} B saved)")
+    return 0
+
+
+def _cmd_store_get(args: argparse.Namespace) -> int:
+    result = _store(args).read(args.name, strict=not args.no_strict)
+    _report_damage(result, args.name)
+    write_raw_field(args.output, result.data)
+    print(f"{args.root}/{args.name} -> {args.output} "
+          f"(shape {result.data.shape}, {result.data.dtype})")
+    return 0 if result.ok else 3
+
+
+def _cmd_store_slice(args: argparse.Namespace) -> int:
+    result = _store(args).read_slice(
+        args.name, _parse_window(args.window), strict=not args.no_strict
+    )
+    _report_damage(result, args.name)
+    write_raw_field(args.output, result.data)
+    print(f"{args.root}/{args.name}[{args.window}] -> {args.output} "
+          f"(shape {result.data.shape}, {len(result.tile_indices)} "
+          f"tile(s) touched)")
+    return 0 if result.ok else 3
+
+
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    rows = _store(args).ls()
+    for r in rows:
+        shape = "x".join(str(d) for d in r["shape"])
+        ratio = (
+            r["original_bytes"] / r["compressed_bytes"]
+            if r["compressed_bytes"] else 0.0
+        )
+        print(f"{r['name']:<24} {shape:>12} {r['dtype']:<8} "
+              f"{r['codec']:<9} eb {r['eb']:g} {r['n_tiles']:>3} tiles  "
+              f"{r['compressed_bytes']:>10} B  ratio {ratio:6.2f}x")
+    if not rows:
+        print("(empty store)")
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    result = _store(args).gc()
+    print(f"gc: removed {result.n_removed} object(s), "
+          f"reclaimed {result.reclaimed_bytes} B, kept {result.kept}")
+    return 0
+
+
+_STORE_COMMANDS = {
+    "put": _cmd_store_put,
+    "get": _cmd_store_get,
+    "slice": _cmd_store_slice,
+    "ls": _cmd_store_ls,
+    "gc": _cmd_store_gc,
+}
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    return _STORE_COMMANDS[args.store_command](args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .fpga.report import synthesis_report
 
@@ -405,6 +556,7 @@ _COMMANDS = {
     "codecs": _cmd_codecs,
     "serve": _cmd_serve,
     "batch": _cmd_batch,
+    "store": _cmd_store,
 }
 
 

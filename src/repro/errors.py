@@ -62,6 +62,13 @@ class FaultInjectionError(ReproError):
     parseable container for a structural fault, or a no-op mutation)."""
 
 
+class StoreError(ReproError):
+    """Array-store failure (unknown dataset, bad name, malformed manifest,
+    missing object) that is not a checksum/corruption problem — those keep
+    raising :class:`ChecksumError` / :class:`ContainerError` so store reads
+    and direct payload decodes classify damage identically."""
+
+
 class ServiceError(ReproError):
     """Batch-compression service failure (scheduling, worker pool, protocol)."""
 

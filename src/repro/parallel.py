@@ -22,6 +22,7 @@ import numpy as np
 from .errors import ContainerError, ShapeError, decode_guard
 from .io.container import Container
 from .streams import header_dtype, header_int, header_shape
+from .tiling import TileGrid
 from .types import CompressedField, CompressionStats
 
 __all__ = [
@@ -56,36 +57,30 @@ class TiledResult:
         return self.stats.ratio
 
 
-def _band_slices(n0: int, n_tiles: int) -> list[slice]:
-    if n_tiles < 1:
-        raise ShapeError(f"n_tiles must be >= 1, got {n_tiles}")
-    if n_tiles * 2 > n0:
-        raise ShapeError(
-            f"{n_tiles} tiles over a first dimension of {n0} leaves bands "
-            "thinner than 2 points"
-        )
-    edges = np.linspace(0, n0, n_tiles + 1, dtype=int)
-    return [slice(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:])]
-
-
 def plan_bands(
-    data: np.ndarray, eb: float, mode: str, n_tiles: int
+    data: np.ndarray, eb: float, mode: str, n_tiles: int, *, clamp: bool = False
 ) -> tuple[Any, list[slice]]:
     """Resolve the global bound and band slices for a tiled compression.
 
-    Shared by the serial path below and the worker-pool fan-out in
-    :mod:`repro.service.workers`, so both produce identical plans.  The
-    error bound is resolved *globally* (VR-REL against the full field's
-    range, as SZ's OpenMP mode does) and later applied per band as an
-    absolute bound, so the guarantee is identical to the monolithic
-    compressor's.
+    Shared by the serial path below, the worker-pool fan-out in
+    :mod:`repro.service.workers` and the array store's tile writer, so all
+    three produce identical plans.  The error bound is resolved *globally*
+    (VR-REL against the full field's range, as SZ's OpenMP mode does) and
+    later applied per band as an absolute bound, so the guarantee is
+    identical to the monolithic compressor's.
+
+    Geometry comes from :class:`repro.tiling.TileGrid`: a tile count the
+    split axis cannot hold raises :class:`ShapeError` naming the feasible
+    maximum, or is clamped down to it with ``clamp=True``; a field too
+    small for even one band always raises.
     """
     if data.ndim < 2:
         raise ShapeError("tiling needs at least 2 dimensions")
     from .config import resolve_error_bound
 
     bound = resolve_error_bound(data, eb, mode)
-    return bound, _band_slices(data.shape[0], n_tiles)
+    grid = TileGrid.regular(data.shape, n_tiles, clamp=clamp)
+    return bound, grid.band_slices()
 
 
 def assemble_tiles(
@@ -192,6 +187,19 @@ def _parse(
     return container, compressor
 
 
+def _grid_from_header(h: dict) -> TileGrid:
+    """Rebuild the (untrusted) tile grid from a tiled payload header."""
+    shape = header_shape(h)
+    n = header_int(h, "n_tiles", lo=1, hi=shape[0])
+    starts = h.get("band_starts")
+    if not isinstance(starts, list) or len(starts) != n:
+        raise ContainerError(
+            f"tiled header declares {n} tiles but carries band starts "
+            f"{starts!r}"
+        )
+    return TileGrid.from_starts(shape, starts)
+
+
 def decompress_tile(
     compressor: _Compressor | None, payload: bytes, index: int
 ) -> np.ndarray:
@@ -205,16 +213,8 @@ def decompress_tile(
     """
     with decode_guard("tiled payload"):
         container, comp = _parse(payload, compressor)
-        n = header_int(container.header, "n_tiles", lo=1)
-        requested = index
-        if index < 0:
-            index += n
-        if not 0 <= index < n:
-            raise ShapeError(
-                f"tile index {requested} out of range for {n} tiles "
-                f"(valid: {-n}..{n - 1})"
-            )
-        return comp.decompress(container.get(f"tile{index}"))
+        grid = _grid_from_header(container.header)
+        return comp.decompress(container.get(f"tile{grid.resolve(index)}"))
 
 
 def tile_decompress(
@@ -228,11 +228,8 @@ def tile_decompress(
     with decode_guard("tiled payload"):
         container, comp = _parse(payload, compressor)
         h = container.header
-        shape = header_shape(h)
-        dtype = header_dtype(h)
-        out = np.empty(shape, dtype=dtype)
-        starts = list(h["band_starts"]) + [shape[0]]
-        for t in range(header_int(h, "n_tiles", lo=1, hi=len(starts) - 1)):
-            band = comp.decompress(container.get(f"tile{t}"))
-            out[starts[t] : starts[t + 1]] = band
+        grid = _grid_from_header(h)
+        out = np.empty(grid.shape, dtype=header_dtype(h))
+        for t in range(grid.n_tiles):
+            out[grid.band_slice(t)] = comp.decompress(container.get(f"tile{t}"))
         return out

@@ -30,19 +30,25 @@ _COUNTER_KEYS = (
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Percentiles over the retained latency samples, in seconds."""
+    """Percentiles over the retained latency samples, in seconds.
+
+    An empty sample set yields ``count == 0`` with every statistic
+    ``None`` — not zeros, which read as "instant", and not an exception,
+    so a series (e.g. a store cache gauge set) can register with the
+    registry before its first traffic and still snapshot cleanly.
+    """
 
     count: int
-    mean_s: float
-    p50_s: float
-    p90_s: float
-    p99_s: float
-    max_s: float
+    mean_s: float | None
+    p50_s: float | None
+    p90_s: float | None
+    p99_s: float | None
+    max_s: float | None
 
     @staticmethod
     def of(samples: list[float]) -> "LatencySummary":
         if not samples:
-            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return LatencySummary(0, None, None, None, None, None)
         s = sorted(samples)
 
         def pct(p: float) -> float:
@@ -91,6 +97,7 @@ class ServiceStats:
     bytes_in: int
     bytes_out: int
     ratio: float = field(default=0.0)
+    gauges: Mapping[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-serializable form (the wire format of the ``stats`` op)."""
@@ -110,6 +117,7 @@ class ServiceStats:
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
             "ratio": self.ratio,
+            "gauges": dict(self.gauges),
         }
 
 
@@ -123,6 +131,7 @@ class MetricsRegistry:
         self._latency: dict[str, deque[float]] = {}
         self._bytes_in = 0
         self._bytes_out = 0
+        self._gauges: dict[str, float] = {}
         self._first_completion: float | None = None
         self._last_completion: float | None = None
 
@@ -135,6 +144,22 @@ class MetricsRegistry:
         """Bump one per-codec counter (event ∈ ``_COUNTER_KEYS``)."""
         with self._lock:
             self._codec(codec)[event] += n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (cache residency, queue depth, ...).
+
+        Gauges are last-write-wins and appear in every snapshot from the
+        moment they are first set — a producer (e.g. the store's tile
+        cache) registers its series at construction by setting them to 0.
+        """
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def set_gauges(self, values: Mapping[str, float]) -> None:
+        """Set several gauges under one lock acquisition."""
+        with self._lock:
+            for name, value in values.items():
+                self._gauges[name] = float(value)
 
     def observe_completion(
         self, codec: str, *, latency_s: float,
@@ -196,4 +221,5 @@ class MetricsRegistry:
                 ratio=(
                     self._bytes_in / self._bytes_out if self._bytes_out else 0.0
                 ),
+                gauges=dict(self._gauges),
             )

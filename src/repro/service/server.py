@@ -22,6 +22,14 @@ Requests carry ``{"op": ...}`` plus op-specific fields; responses carry
     the client sees backpressure explicitly and may retry.
 ``decompress``
     body: a compressed payload.  Response: shape/dtype header + raw field.
+``store_put`` / ``store_read`` / ``store_slice``
+    the :class:`~repro.store.ArrayStore` over the wire (requires the
+    server to be started with a store root).  ``store_put`` takes the
+    raw field as body plus name/codec/eb/mode/n_tiles; ``store_read``
+    and ``store_slice`` return the (sub-)field as body, with any
+    damaged-tile indices in the header when ``strict`` is off.  A server
+    without a store answers ``{"ok": false, "error": "store-not-
+    configured"}``.
 
 :class:`ServiceClient` is the blocking counterpart used by the CLI, the
 CI smoke test and anything else that wants the service without asyncio.
@@ -89,6 +97,8 @@ class CompressionServer:
         pool_kind: str = "process",
         queue_size: int = 128,
         max_retries: int = 2,
+        store_root: str | None = None,
+        store_cache_bytes: int | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -98,6 +108,18 @@ class CompressionServer:
             queue_size=queue_size,
             max_retries=max_retries,
         )
+        self.store = None
+        if store_root is not None:
+            from ..store import DEFAULT_CACHE_BYTES, ArrayStore
+
+            self.store = ArrayStore(
+                store_root,
+                cache_bytes=(
+                    DEFAULT_CACHE_BYTES if store_cache_bytes is None
+                    else store_cache_bytes
+                ),
+                metrics=self.scheduler.metrics,
+            )
         self._server: asyncio.AbstractServer | None = None
 
     async def start(self) -> None:
@@ -159,6 +181,18 @@ class CompressionServer:
                 return await self._op_compress(header, body)
             if op == "decompress":
                 return await self._op_decompress(body)
+            if op in ("store_put", "store_read", "store_slice"):
+                if self.store is None:
+                    return _pack({
+                        "ok": False,
+                        "error": "store-not-configured",
+                        "detail": "server was started without a store root",
+                    })
+                if op == "store_put":
+                    return await self._op_store_put(header, body)
+                if op == "store_read":
+                    return await self._op_store_read(header)
+                return await self._op_store_slice(header)
             return _pack({"ok": False, "error": f"unknown op {op!r}"})
         except QueueFullError as exc:
             return _pack({
@@ -174,7 +208,9 @@ class CompressionServer:
                 "detail": str(exc),
             })
 
-    async def _op_compress(self, header: dict, body: bytes) -> bytes:
+    @staticmethod
+    def _parse_field(header: dict, body: bytes) -> np.ndarray:
+        """Decode a raw little-endian field body against its shape header."""
         shape = tuple(header.get("shape", ()))
         dtype = np.dtype(str(header.get("dtype", "float32")))
         n = int(np.prod(shape, dtype=np.int64)) if shape else 0
@@ -186,7 +222,10 @@ class CompressionServer:
                 f"{n * dtype.itemsize}"
             )
         data = np.frombuffer(body, dtype=dtype.newbyteorder("<"))
-        data = data.astype(dtype).reshape(shape)
+        return data.astype(dtype).reshape(shape)
+
+    async def _op_compress(self, header: dict, body: bytes) -> bytes:
+        data = self._parse_field(header, body)
         job = make_job(
             str(header.get("codec", "wavesz")),
             data,
@@ -235,6 +274,77 @@ class CompressionServer:
             ).tobytes(),
         )
 
+    # -- store ops --------------------------------------------------------
+
+    async def _op_store_put(self, header: dict, body: bytes) -> bytes:
+        data = self._parse_field(header, body)
+        assert self.store is not None
+        result = await asyncio.to_thread(
+            self.store.put,
+            str(header.get("name", "")),
+            data,
+            str(header.get("codec", "wavesz")),
+            float(header.get("eb", 1e-3)),
+            str(header.get("mode", "vr_rel")),
+            n_tiles=int(header.get("n_tiles", 4)),
+        )
+        return _pack({
+            "ok": True,
+            "name": result.name,
+            "codec": result.codec,
+            "n_tiles": result.n_tiles,
+            "new_objects": result.new_objects,
+            "dedup_objects": result.dedup_objects,
+            "stored_bytes": result.stored_bytes,
+            "dedup_bytes": result.dedup_bytes,
+            "ratio": result.ratio,
+        })
+
+    @staticmethod
+    def _pack_read(result: Any) -> bytes:
+        out = result.data
+        return _pack(
+            {
+                "ok": True,
+                "shape": list(out.shape),
+                "dtype": str(out.dtype),
+                "tiles": list(result.tile_indices),
+                "damaged": list(result.damaged_tiles),
+            },
+            np.ascontiguousarray(out).astype(
+                out.dtype.newbyteorder("<")
+            ).tobytes(),
+        )
+
+    async def _op_store_read(self, header: dict) -> bytes:
+        assert self.store is not None
+        result = await asyncio.to_thread(
+            self.store.read,
+            str(header.get("name", "")),
+            strict=bool(header.get("strict", True)),
+        )
+        return self._pack_read(result)
+
+    async def _op_store_slice(self, header: dict) -> bytes:
+        assert self.store is not None
+        raw = header.get("slices")
+        if not isinstance(raw, list):
+            raise ServiceError(
+                f"store_slice needs a per-axis slices list, got {raw!r}"
+            )
+        window = tuple(
+            None if s is None else (s[0], s[1])
+            if isinstance(s, list) and len(s) == 2 else s
+            for s in raw
+        )
+        result = await asyncio.to_thread(
+            self.store.read_slice,
+            str(header.get("name", "")),
+            window,
+            strict=bool(header.get("strict", True)),
+        )
+        return self._pack_read(result)
+
 
 async def serve(
     host: str = "127.0.0.1",
@@ -244,10 +354,13 @@ async def serve(
     """Start a server and run until cancelled (the ``wavesz serve`` body)."""
     server = CompressionServer(host, port, **kwargs)
     await server.start()
+    store_note = (
+        f", store at {server.store.root}" if server.store is not None else ""
+    )
     print(f"wavesz service listening on {server.host}:{server.port} "
           f"({server.scheduler.pool.kind} pool, "
           f"{server.scheduler.pool.size} workers, "
-          f"queue {server.scheduler.queue.maxsize})", flush=True)
+          f"queue {server.scheduler.queue.maxsize}{store_note})", flush=True)
     try:
         await server.serve_forever()
     except asyncio.CancelledError:  # pragma: no cover - SIGINT path
@@ -349,3 +462,74 @@ class ServiceClient:
         return np.frombuffer(body, dtype=dtype.newbyteorder("<")).astype(
             dtype
         ).reshape(resp["shape"])
+
+    # -- store ops --------------------------------------------------------
+
+    def store_put(
+        self,
+        name: str,
+        data: np.ndarray,
+        codec: str = "wavesz",
+        eb: float = 1e-3,
+        mode: str = "vr_rel",
+        *,
+        n_tiles: int = 4,
+    ) -> dict:
+        """Persist one field in the server's store; returns the put report."""
+        data = np.ascontiguousarray(data)
+        resp, _ = self._roundtrip(
+            {
+                "op": "store_put",
+                "name": name,
+                "codec": codec,
+                "eb": eb,
+                "mode": mode,
+                "n_tiles": n_tiles,
+                "shape": list(data.shape),
+                "dtype": str(data.dtype),
+            },
+            data.astype(data.dtype.newbyteorder("<")).tobytes(),
+        )
+        return self._check(resp)
+
+    @staticmethod
+    def _unpack_read(resp: dict, body: bytes) -> tuple[np.ndarray, dict]:
+        dtype = np.dtype(str(resp["dtype"]))
+        out = np.frombuffer(body, dtype=dtype.newbyteorder("<")).astype(
+            dtype
+        ).reshape(resp["shape"])
+        return out, resp
+
+    def store_read(
+        self, name: str, *, strict: bool = True
+    ) -> tuple[np.ndarray, dict]:
+        """Read a full stored field; returns (field, response header).
+
+        With ``strict=False`` the header's ``"damaged"`` list names any
+        tile indices that were lost (their rows come back zero-filled).
+        """
+        resp, body = self._roundtrip(
+            {"op": "store_read", "name": name, "strict": strict}
+        )
+        return self._unpack_read(self._check(resp), body)
+
+    def store_slice(
+        self, name: str, slices, *, strict: bool = True
+    ) -> tuple[np.ndarray, dict]:
+        """Read a sub-window of a stored field, decoding only its tiles.
+
+        ``slices`` is a per-axis sequence of ``slice`` objects,
+        ``(start, stop)`` pairs or ``None`` (full axis); trailing axes
+        default to their full extent.
+        """
+        wire = [
+            None if s is None
+            else [s.start, s.stop] if isinstance(s, slice)
+            else [s[0], s[1]]
+            for s in slices
+        ]
+        resp, body = self._roundtrip(
+            {"op": "store_slice", "name": name, "slices": wire,
+             "strict": strict}
+        )
+        return self._unpack_read(self._check(resp), body)

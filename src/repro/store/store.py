@@ -1,0 +1,495 @@
+"""Content-addressed compressed array store with tile-level random access.
+
+The persistence layer between the codec registry and the serving layer:
+fields land on disk *compressed* (CEAZ's parallel-I/O premise) and are
+read back selectively at tile granularity (cuSZ's chunk axis).  On
+``put`` a field is split into the same independent bands the tiled
+compressor uses (:func:`repro.parallel.plan_bands`, clamped to the
+field's feasible tile count), each band is compressed under the globally
+resolved absolute bound, and the resulting container-v2 payloads are
+written once per unique content digest:
+
+```
+root/
+  manifests/<name>.json     dataset name, shape, dtype, codec, bound,
+                            tile grid, per-tile content digests
+  objects/<sha256>          one compressed tile payload (container v2)
+```
+
+Byte-identical tiles — across fields, versions, or datasets — share one
+object, so re-putting a snapshot that changed in two bands stores two
+objects.  ``read`` reassembles the full field bit-exactly;
+``read_slice`` decodes only the tiles overlapping the requested window.
+Both go through a byte-budgeted LRU :class:`~repro.store.cache.TileCache`
+of decoded tiles and report damage structurally: with ``strict=False`` a
+corrupt tile (caught by the container checksums or the content digest)
+is skipped and its index reported instead of failing the whole read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..codec.registry import REGISTRY, get_codec
+from ..errors import ChecksumError, ContainerError, ReproError, StoreError
+from ..io.container import Container
+from ..parallel import plan_bands
+from ..tiling import TileGrid, normalize_slices
+from .cache import DEFAULT_CACHE_BYTES, TileCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.metrics import MetricsRegistry
+
+__all__ = [
+    "ArrayStore",
+    "PutResult",
+    "StoreReadResult",
+    "TileDamage",
+    "GCResult",
+    "MANIFEST_FORMAT",
+]
+
+MANIFEST_FORMAT = 1
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+_DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+@dataclass(frozen=True)
+class PutResult:
+    """Outcome of one ``put``: what was written, what deduplicated away."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    codec: str
+    eb_abs: float
+    tile_digests: tuple[str, ...]
+    new_objects: int
+    dedup_objects: int
+    stored_bytes: int  # bytes newly written to the object area
+    dedup_bytes: int  # bytes that existing objects saved us
+    original_bytes: int
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self.tile_digests)
+
+    @property
+    def ratio(self) -> float:
+        compressed = self.stored_bytes + self.dedup_bytes
+        return self.original_bytes / compressed if compressed else 0.0
+
+
+@dataclass(frozen=True)
+class TileDamage:
+    """Why one tile of a read could not be recovered."""
+
+    index: int
+    digest: str
+    stage: str  # "missing" | "checksum" | "decode"
+    error: str
+
+
+@dataclass(frozen=True)
+class StoreReadResult:
+    """A (possibly partial) read: the data plus structured damage.
+
+    ``data`` always has the full requested shape; rows of damaged tiles
+    are zero-filled.  ``damaged`` lists what was lost — empty on a clean
+    read — and ``tile_indices`` records which tiles the read touched at
+    all (the slice reader's proof that it decoded only overlapping
+    tiles).
+    """
+
+    data: np.ndarray
+    damaged: tuple[TileDamage, ...] = ()
+    tile_indices: tuple[int, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.damaged
+
+    @property
+    def damaged_tiles(self) -> tuple[int, ...]:
+        return tuple(d.index for d in self.damaged)
+
+
+@dataclass(frozen=True)
+class GCResult:
+    """Outcome of a garbage-collection pass over the object area."""
+
+    removed: tuple[str, ...]
+    reclaimed_bytes: int
+    kept: int
+
+    @property
+    def n_removed(self) -> int:
+        return len(self.removed)
+
+
+def _atomic_write(path: Path, blob: bytes) -> None:
+    """Write-then-rename so a crash never leaves a torn file behind."""
+    tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
+    tmp.write_bytes(blob)
+    os.replace(tmp, path)
+
+
+class ArrayStore:
+    """A directory of compressed, tiled, content-addressed arrays."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.root = Path(root)
+        self.cache = TileCache(cache_bytes, metrics=metrics)
+        #: Tiles actually decompressed (cache misses included, hits not) —
+        #: the counter the "slice decodes only overlapping tiles" and
+        #: "warm reads decode nothing" guarantees are asserted against.
+        self.decode_calls = 0
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def _manifest_dir(self) -> Path:
+        return self.root / "manifests"
+
+    @property
+    def _object_dir(self) -> Path:
+        return self.root / "objects"
+
+    def _manifest_path(self, name: str) -> Path:
+        return self._manifest_dir / f"{name}.json"
+
+    def _object_path(self, digest: str) -> Path:
+        return self._object_dir / digest
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise StoreError(
+                f"bad dataset name {name!r}: use 1-128 characters from "
+                "[A-Za-z0-9._-], starting with a letter or digit"
+            )
+        return name
+
+    # -- writing ----------------------------------------------------------
+
+    def put(
+        self,
+        name: str,
+        field: np.ndarray,
+        codec: str = "wavesz",
+        eb: float = 1e-3,
+        mode: str = "vr_rel",
+        *,
+        n_tiles: int = 4,
+    ) -> PutResult:
+        """Compress ``field`` per tile and persist it under ``name``.
+
+        ``codec`` is any registry name (alias/profile included); the
+        manifest records the canonical wire name so reads dispatch the
+        same way payload headers do.  ``n_tiles`` is clamped to the
+        field's feasible band count, so small fields store as one tile
+        instead of failing.  Re-putting an existing name replaces its
+        manifest; superseded objects stay until :meth:`gc`.
+        """
+        self._check_name(name)
+        data = np.ascontiguousarray(field)
+        compressor = get_codec(codec)
+        canonical = REGISTRY.canonical(codec)
+        bound, slices = plan_bands(data, eb, mode, n_tiles, clamp=True)
+
+        self._manifest_dir.mkdir(parents=True, exist_ok=True)
+        self._object_dir.mkdir(parents=True, exist_ok=True)
+
+        digests: list[str] = []
+        tile_bytes: list[int] = []
+        new_objects = 0
+        stored_bytes = 0
+        dedup_bytes = 0
+        for sl in slices:
+            payload = compressor.compress(
+                np.ascontiguousarray(data[sl]), bound.absolute, "abs"
+            ).payload
+            digest = hashlib.sha256(payload).hexdigest()
+            digests.append(digest)
+            tile_bytes.append(len(payload))
+            path = self._object_path(digest)
+            if path.exists():
+                dedup_bytes += len(payload)
+            else:
+                _atomic_write(path, payload)
+                new_objects += 1
+                stored_bytes += len(payload)
+
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "name": name,
+            "shape": [int(d) for d in data.shape],
+            "dtype": str(data.dtype),
+            "codec": canonical,
+            "eb": float(eb),
+            "mode": str(mode),
+            "eb_abs": float(bound.absolute),
+            "band_starts": [int(s.start) for s in slices],
+            "tiles": digests,
+            "tile_bytes": tile_bytes,
+            "original_bytes": int(data.size * data.dtype.itemsize),
+        }
+        _atomic_write(
+            self._manifest_path(name),
+            json.dumps(manifest, indent=2, sort_keys=True).encode(),
+        )
+        return PutResult(
+            name=name,
+            shape=tuple(data.shape),
+            dtype=str(data.dtype),
+            codec=canonical,
+            eb_abs=float(bound.absolute),
+            tile_digests=tuple(digests),
+            new_objects=new_objects,
+            dedup_objects=len(digests) - new_objects,
+            stored_bytes=stored_bytes,
+            dedup_bytes=dedup_bytes,
+            original_bytes=manifest["original_bytes"],
+        )
+
+    # -- manifests ---------------------------------------------------------
+
+    def manifest(self, name: str) -> dict[str, Any]:
+        """Load and validate one dataset manifest."""
+        self._check_name(name)
+        path = self._manifest_path(name)
+        if not path.exists():
+            raise StoreError(
+                f"store at {self.root} has no dataset {name!r}"
+            )
+        try:
+            m = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"manifest for {name!r} is unreadable: {exc}") from exc
+        return self._validate_manifest(name, m)
+
+    @staticmethod
+    def _validate_manifest(name: str, m: Any) -> dict[str, Any]:
+        if not isinstance(m, dict):
+            raise StoreError(f"manifest for {name!r} is not a JSON object")
+        if m.get("format") != MANIFEST_FORMAT:
+            raise StoreError(
+                f"manifest for {name!r} has unsupported format "
+                f"{m.get('format')!r}"
+            )
+        tiles = m.get("tiles")
+        starts = m.get("band_starts")
+        if (
+            not isinstance(tiles, list)
+            or not tiles
+            or not all(isinstance(t, str) and _DIGEST_RE.match(t) for t in tiles)
+        ):
+            raise StoreError(f"manifest for {name!r} has a bad tile list")
+        if not isinstance(starts, list) or len(starts) != len(tiles):
+            raise StoreError(
+                f"manifest for {name!r}: {len(tiles)} tiles but band starts "
+                f"{starts!r}"
+            )
+        for key in ("shape", "dtype", "codec"):
+            if key not in m:
+                raise StoreError(f"manifest for {name!r} misses {key!r}")
+        return m
+
+    def _grid(self, m: dict[str, Any]) -> TileGrid:
+        return TileGrid.from_starts(m["shape"], m["band_starts"])
+
+    def ls(self) -> list[dict[str, Any]]:
+        """One summary row per dataset, sorted by name."""
+        rows = []
+        if self._manifest_dir.is_dir():
+            for path in sorted(self._manifest_dir.glob("*.json")):
+                m = self.manifest(path.stem)
+                rows.append(
+                    {
+                        "name": m["name"],
+                        "shape": tuple(m["shape"]),
+                        "dtype": m["dtype"],
+                        "codec": m["codec"],
+                        "eb": m.get("eb"),
+                        "mode": m.get("mode"),
+                        "n_tiles": len(m["tiles"]),
+                        "original_bytes": m.get("original_bytes", 0),
+                        "compressed_bytes": sum(m.get("tile_bytes", [])),
+                    }
+                )
+        return rows
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(r["name"] for r in self.ls())
+
+    def delete(self, name: str) -> None:
+        """Drop a dataset's manifest (its objects reclaim on :meth:`gc`)."""
+        self._check_name(name)
+        path = self._manifest_path(name)
+        if not path.exists():
+            raise StoreError(f"store at {self.root} has no dataset {name!r}")
+        path.unlink()
+
+    # -- reading ----------------------------------------------------------
+
+    def _decode_tile(
+        self, m: dict[str, Any], grid: TileGrid, index: int
+    ) -> np.ndarray:
+        """Fetch one decoded tile via the cache, verifying everything.
+
+        Raises :class:`StoreError` (object missing), :class:`ChecksumError`
+        (content digest or container checksum mismatch) or
+        :class:`ContainerError` (undecodable payload); the read loop maps
+        these onto :class:`TileDamage` stages.
+        """
+        digest = m["tiles"][index]
+        cached = self.cache.get(digest)
+        if cached is not None:
+            return cached
+        path = self._object_path(digest)
+        if not path.exists():
+            raise StoreError(f"object {digest} is missing from {self.root}")
+        blob = path.read_bytes()
+        if hashlib.sha256(blob).hexdigest() != digest:
+            raise ChecksumError(
+                f"object {digest} content does not match its digest"
+            )
+        # The digest catches any post-write mutation; the container scan
+        # additionally catches payloads that were damaged *before* they
+        # reached the object area (an object imported or written by an
+        # outside tool whose name does match its corrupt content).
+        report = Container.scan(blob)
+        if not report.ok:
+            raise ChecksumError(
+                f"object {digest} failed container integrity: "
+                + "; ".join(report.problems or ("section checksum mismatch",))
+            )
+        tile = get_codec(str(m["codec"])).decompress(blob)
+        self.decode_calls += 1
+        expected = grid.tile_shape(index)
+        if tuple(tile.shape) != expected:
+            raise ContainerError(
+                f"object {digest} decoded to shape {tuple(tile.shape)}, "
+                f"tile {index} needs {expected}"
+            )
+        self.cache.put(digest, tile)
+        return tile
+
+    def read(self, name: str, *, strict: bool = True) -> StoreReadResult:
+        """Reassemble the full field, bit-exact with the serial tiled path.
+
+        ``strict=False`` survives damaged tiles: their rows come back
+        zero-filled and their indices are reported in ``damaged``.
+        """
+        m = self.manifest(name)
+        grid = self._grid(m)
+        return self._assemble(
+            m, grid, tuple(slice(0, d) for d in grid.shape),
+            range(grid.n_tiles), strict=strict,
+        )
+
+    def read_slice(self, name: str, slices, *, strict: bool = True) -> StoreReadResult:
+        """Decode only the tiles overlapping ``slices`` and cut the window.
+
+        ``slices`` is anything :func:`repro.tiling.normalize_slices`
+        accepts: a tuple of ``slice`` objects / ``(start, stop)`` pairs /
+        ``None`` per axis, trailing axes defaulting to full extent.
+        """
+        m = self.manifest(name)
+        grid = self._grid(m)
+        window = normalize_slices(grid.shape, slices)
+        return self._assemble(
+            m, grid, window, grid.overlapping(window[0]), strict=strict
+        )
+
+    def _assemble(
+        self,
+        m: dict[str, Any],
+        grid: TileGrid,
+        window: tuple[slice, ...],
+        tiles,
+        *,
+        strict: bool,
+    ) -> StoreReadResult:
+        out = np.zeros(
+            tuple(s.stop - s.start for s in window), dtype=np.dtype(m["dtype"])
+        )
+        rest = tuple(window[1:])
+        damage: list[TileDamage] = []
+        touched: list[int] = []
+        for t in tiles:
+            touched.append(t)
+            try:
+                tile = self._decode_tile(m, grid, t)
+            except ReproError as exc:
+                if strict:
+                    raise
+                stage = (
+                    "missing" if isinstance(exc, StoreError)
+                    else "checksum" if isinstance(exc, ChecksumError)
+                    else "decode"
+                )
+                damage.append(
+                    TileDamage(
+                        index=t, digest=m["tiles"][t], stage=stage,
+                        error=str(exc),
+                    )
+                )
+                continue
+            t0, t1 = grid.band_range(t)
+            lo = max(t0, window[0].start)
+            hi = min(t1, window[0].stop)
+            out[(slice(lo - window[0].start, hi - window[0].start),)] = tile[
+                (slice(lo - t0, hi - t0),) + rest
+            ]
+        return StoreReadResult(
+            data=out, damaged=tuple(damage), tile_indices=tuple(touched)
+        )
+
+    # -- garbage collection ------------------------------------------------
+
+    def referenced_digests(self) -> frozenset[str]:
+        """Every object digest some manifest currently points at."""
+        refs: set[str] = set()
+        if self._manifest_dir.is_dir():
+            for path in self._manifest_dir.glob("*.json"):
+                refs.update(self.manifest(path.stem)["tiles"])
+        return frozenset(refs)
+
+    def gc(self) -> GCResult:
+        """Remove objects no manifest references (superseded versions,
+        deleted datasets).  Safe to run any time; referenced objects and
+        non-object files are never touched."""
+        refs = self.referenced_digests()
+        removed: list[str] = []
+        reclaimed = 0
+        kept = 0
+        if self._object_dir.is_dir():
+            for path in sorted(self._object_dir.iterdir()):
+                if not _DIGEST_RE.match(path.name):
+                    continue  # temp files / foreign junk are not ours to gc
+                if path.name in refs:
+                    kept += 1
+                    continue
+                reclaimed += path.stat().st_size
+                path.unlink()
+                self.cache.discard(path.name)
+                removed.append(path.name)
+        return GCResult(
+            removed=tuple(removed), reclaimed_bytes=reclaimed, kept=kept
+        )

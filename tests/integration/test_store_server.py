@@ -1,0 +1,124 @@
+"""Integration smoke test: the array store exposed over the TCP service.
+
+Starts a real server with a store root, puts fields through the wire,
+and checks that full reads, windowed reads, dedup accounting, and the
+store-less error answer all behave — including that a windowed read
+really does decode fewer tiles than a full one (via the store's decode
+counter, which the server process shares with the test).
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data.fields import gaussian_random_field
+from repro.errors import ServiceError
+from repro.service import CompressionServer, ServiceClient
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    root = tmp_path_factory.mktemp("store")
+    loop = asyncio.new_event_loop()
+    srv = CompressionServer(
+        port=0, workers=2, pool_kind="thread", queue_size=64,
+        store_root=str(root),
+    )
+    started = threading.Event()
+
+    def runner():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(srv.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(10), "server failed to start"
+    yield srv
+    asyncio.run_coroutine_threadsafe(srv.stop(), loop).result(10)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(10)
+
+
+@pytest.fixture(scope="module")
+def field():
+    g = gaussian_random_field((40, 56), beta=3.8, seed=777)
+    return (g / np.abs(g).max()).astype(np.float32)
+
+
+class TestStoreOverTcp:
+    def test_put_then_read_bit_exact(self, server, field):
+        with ServiceClient(port=server.port) as c:
+            report = c.store_put("wire.ts", field, "sz14", eb=1e-3,
+                                 n_tiles=4)
+            assert report["n_tiles"] == 4
+            assert report["new_objects"] == 4
+            out, resp = c.store_read("wire.ts")
+        np.testing.assert_array_equal(
+            out, server.store.read("wire.ts").data
+        )
+        assert resp["damaged"] == []
+        vr = float(field.max() - field.min())
+        assert np.abs(out.astype(np.float64) - field).max() <= 1e-3 * vr
+
+    def test_second_put_deduplicates(self, server, field):
+        with ServiceClient(port=server.port) as c:
+            report = c.store_put("wire.copy", field, "sz14", eb=1e-3,
+                                 n_tiles=4)
+        assert report["new_objects"] == 0
+        assert report["dedup_objects"] == 4
+
+    def test_slice_matches_and_touches_fewer_tiles(self, server, field):
+        with ServiceClient(port=server.port) as c:
+            full, _ = c.store_read("wire.ts")
+            server.store.cache.clear()
+            before = server.store.decode_calls
+            window, resp = c.store_slice(
+                "wire.ts", [slice(5, 9), (10, 30)]
+            )
+        np.testing.assert_array_equal(window, full[5:9, 10:30])
+        assert resp["tiles"] == [0]
+        assert server.store.decode_calls - before == 1
+
+    def test_unknown_dataset_is_an_answered_error(self, server):
+        with ServiceClient(port=server.port) as c:
+            with pytest.raises(ServiceError, match="no dataset"):
+                c.store_read("never.put")
+            assert c.ping()["ok"]  # connection survives
+
+    def test_bad_slice_payload_rejected(self, server):
+        with ServiceClient(port=server.port) as c:
+            resp, _ = c._roundtrip({
+                "op": "store_slice", "name": "wire.ts", "slices": "0:4",
+            })
+            assert not resp["ok"]
+            assert "list" in resp["error"] or "list" in resp.get("detail", "")
+
+
+class TestStoreNotConfigured:
+    def test_storeless_server_answers_cleanly(self):
+        loop = asyncio.new_event_loop()
+        srv = CompressionServer(port=0, workers=1, pool_kind="thread")
+        started = threading.Event()
+
+        def runner():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(srv.start())
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        assert started.wait(10)
+        try:
+            with ServiceClient(port=srv.port) as c:
+                with pytest.raises(ServiceError,
+                                   match="store-not-configured"):
+                    c.store_read("anything")
+        finally:
+            asyncio.run_coroutine_threadsafe(srv.stop(), loop).result(10)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(10)

@@ -1,0 +1,74 @@
+"""Property tests: store random access agrees with full decode, per codec.
+
+Two invariants, checked for **every** name the registry resolves:
+
+* ``read_slice`` over an arbitrary window equals the same window cut from
+  the full ``read`` — tile-level random access is invisible to the caller;
+* a cache-warm repeat of the same read performs zero codec decodes
+  (asserted through the store's decode counter and cache hit counters),
+  so random access is also *cheap* the second time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codec.registry import REGISTRY
+from repro.errors import ShapeError
+from repro.store import ArrayStore
+
+# A fixed, irregular batch of windows: interior, band-aligned, straddling,
+# single-row, negative-offset, and full-extent.  Deterministic on purpose
+# — hypothesis owns the codec-internal properties; here the surface under
+# test is geometry, and these windows hit every overlap class.
+WINDOWS_2D = [
+    (slice(10, 30), slice(5, 71)),
+    (slice(0, 12), None),
+    (slice(11, 13), slice(0, 80)),
+    (slice(-9, -1), slice(-40, None)),
+    (slice(23, 25),),
+    (None, slice(2, 3)),
+]
+
+
+@pytest.mark.parametrize("name", REGISTRY.all_names())
+class TestEveryCodec:
+    def _put(self, tmp_path, name, smooth2d):
+        store = ArrayStore(tmp_path / "store")
+        try:
+            store.put("f", smooth2d, name, 1e-3, n_tiles=4)
+        except ShapeError:
+            pytest.skip(f"{name} does not take 2D fields")
+        return store
+
+    def test_random_windows_match_full_read(self, tmp_path, name, smooth2d):
+        store = self._put(tmp_path, name, smooth2d)
+        full = store.read("f").data
+        np.testing.assert_array_equal(full.shape, smooth2d.shape)
+        for window in WINDOWS_2D:
+            res = store.read_slice("f", window)
+            np.testing.assert_array_equal(
+                res.data, full[tuple(w if w else slice(None) for w in window)],
+                err_msg=f"{name} window {window}",
+            )
+
+    def test_warm_read_is_decode_free(self, tmp_path, name, smooth2d):
+        store = self._put(tmp_path, name, smooth2d)
+        store.read("f")
+        assert store.decode_calls == 4
+        hits_before = store.cache.hits
+        again = store.read("f")
+        assert store.decode_calls == 4  # nothing re-decoded
+        assert store.cache.hits == hits_before + 4
+        assert again.ok
+
+
+def test_windows_cover_every_overlap_class(smooth2d):
+    """Self-check: the window batch exercises 1, some, and all tiles."""
+    from repro.tiling import TileGrid, normalize_slices
+
+    grid = TileGrid.regular(smooth2d.shape, 4)
+    counts = {
+        len(grid.overlapping(normalize_slices(smooth2d.shape, w)[0]))
+        for w in WINDOWS_2D
+    }
+    assert 1 in counts and 4 in counts and len(counts) >= 3

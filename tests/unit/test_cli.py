@@ -219,3 +219,87 @@ class TestServiceCommands:
         manifest.write_text('{"jobs": []}')
         assert main(["batch", str(manifest), "-o", str(tmp_path / "o")]) == 1
         assert "no jobs" in capsys.readouterr().err
+
+
+class TestStoreCommands:
+    @pytest.fixture()
+    def stored(self, tmp_path, raw_field):
+        path, data = raw_field
+        root = tmp_path / "store"
+        d0, d1 = data.shape
+        assert main(["store", "--root", str(root), "put", str(path), "ts",
+                     "--dims", str(d0), str(d1), "--variant", "sz14",
+                     "--eb", "1e-3", "--tiles", "4"]) == 0
+        return root, data
+
+    def test_put_reports_objects(self, tmp_path, raw_field, capsys):
+        path, data = raw_field
+        root = tmp_path / "s"
+        d0, d1 = data.shape
+        args = ["store", "--root", str(root), "put", str(path), "a",
+                "--dims", str(d0), str(d1), "--variant", "sz14"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "4 new object(s)" in out and "ratio" in out
+        # byte-identical second dataset deduplicates completely
+        args[5] = "b"
+        assert main(args) == 0
+        assert "0 new object(s)" in capsys.readouterr().out
+
+    def test_get_round_trips(self, stored, tmp_path, capsys):
+        root, data = stored
+        out_path = tmp_path / "back.f32"
+        assert main(["store", "--root", str(root), "get", "ts",
+                     "-o", str(out_path)]) == 0
+        out = read_raw_field(out_path, data.shape, np.float32)
+        vr = float(data.max() - data.min())
+        assert np.abs(out.astype(np.float64) - data).max() <= 1e-3 * vr
+
+    def test_slice_window(self, stored, tmp_path, capsys):
+        root, data = stored
+        full = tmp_path / "full.f32"
+        part = tmp_path / "part.f32"
+        assert main(["store", "--root", str(root), "get", "ts",
+                     "-o", str(full)]) == 0
+        assert main(["store", "--root", str(root), "slice", "ts",
+                     "--window", "8:24,0:40", "-o", str(part)]) == 0
+        assert "tile(s) touched" in capsys.readouterr().out
+        whole = read_raw_field(full, data.shape, np.float32)
+        window = read_raw_field(part, (16, 40), np.float32)
+        np.testing.assert_array_equal(window, whole[8:24, 0:40])
+
+    def test_bad_window_is_an_error(self, stored, tmp_path, capsys):
+        root, _ = stored
+        assert main(["store", "--root", str(root), "slice", "ts",
+                     "--window", "banana", "-o", str(tmp_path / "x")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_ls_and_gc(self, stored, capsys):
+        root, _ = stored
+        assert main(["store", "--root", str(root), "ls"]) == 0
+        assert "ts" in capsys.readouterr().out
+        assert main(["store", "--root", str(root), "gc"]) == 0
+        assert "removed 0 object(s)" in capsys.readouterr().out
+
+    def test_damaged_tile_exits_3_without_strict(self, stored, tmp_path,
+                                                 capsys):
+        import json
+
+        root, data = stored
+        manifest = json.loads((root / "manifests" / "ts.json").read_text())
+        victim = root / "objects" / manifest["tiles"][1]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x10
+        victim.write_bytes(bytes(blob))
+        out_path = tmp_path / "back.f32"
+        # strict (default) fails outright
+        assert main(["store", "--root", str(root), "get", "ts",
+                     "-o", str(out_path)]) == 1
+        assert "error:" in capsys.readouterr().err
+        # lenient salvages the rest and signals partial loss via exit 3
+        assert main(["store", "--root", str(root), "get", "ts",
+                     "-o", str(out_path), "--no-strict"]) == 3
+        captured = capsys.readouterr()
+        assert "tile 1 lost" in captured.err
+        out = read_raw_field(out_path, data.shape, np.float32)
+        assert (out[:12] != 0).any()  # intact band survived

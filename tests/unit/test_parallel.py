@@ -100,3 +100,40 @@ class TestTiling:
     def test_rejects_1d(self, ramp1d):
         with pytest.raises(ShapeError):
             tile_compress(SZ14Compressor(), ramp1d, 1e-3, n_tiles=2)
+
+
+class TestPlanBands:
+    def test_too_many_tiles_names_feasible_max(self, smooth2d):
+        from repro.parallel import plan_bands
+
+        n0 = smooth2d.shape[0]
+        with pytest.raises(ShapeError, match=f"at most {n0 // 2} tiles"):
+            plan_bands(smooth2d, 1e-3, "vr_rel", n0)
+
+    def test_clamp_reduces_to_feasible_max(self, smooth2d):
+        from repro.parallel import plan_bands
+
+        n0 = smooth2d.shape[0]
+        _, slices = plan_bands(smooth2d, 1e-3, "vr_rel", n0, clamp=True)
+        assert len(slices) == n0 // 2
+        assert all(s.stop - s.start >= 2 for s in slices)
+        assert slices[0].start == 0 and slices[-1].stop == n0
+
+    def test_field_smaller_than_one_band_raises_even_clamped(self):
+        from repro.parallel import plan_bands
+
+        sliver = np.zeros((1, 8), dtype=np.float32)
+        for clamp in (False, True):
+            with pytest.raises(ShapeError, match="smaller than one"):
+                plan_bands(sliver, 1e-3, "vr_rel", 1, clamp=clamp)
+
+    def test_clamped_plan_round_trips(self):
+        rng = np.random.default_rng(7)
+        small = np.cumsum(
+            rng.normal(size=(5, 12)), axis=1
+        ).astype(np.float32)
+        comp = SZ14Compressor()
+        res = tile_compress(comp, small, 1e-3, n_tiles=2)
+        out = tile_decompress(comp, res.payload)
+        vr = float(small.max() - small.min())
+        assert np.abs(out.astype(np.float64) - small).max() <= 1e-3 * vr

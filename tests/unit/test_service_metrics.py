@@ -4,10 +4,17 @@ from repro.service.metrics import LatencySummary, MetricsRegistry
 
 
 class TestLatencySummary:
-    def test_empty(self):
+    def test_empty_set_is_none_not_zero(self):
+        """No traffic yet → percentiles are None (unknown), never raise.
+
+        This is what lets the store register its cache gauges against a
+        registry and snapshot it before the first read arrives."""
         s = LatencySummary.of([])
         assert s.count == 0
-        assert s.p99_s == 0.0
+        assert s.mean_s is None
+        assert s.p50_s is None and s.p90_s is None and s.p99_s is None
+        assert s.max_s is None
+        assert s.to_dict()["p99_s"] is None
 
     def test_percentiles_ordered(self):
         s = LatencySummary.of([i / 100 for i in range(100)])
@@ -65,3 +72,24 @@ class TestMetricsRegistry:
         assert d["jobs"]["sz14"]["completed"] == 1
         assert d["latency"]["overall"]["count"] == 1
         assert d["queue"]["capacity"] == 0
+
+    def test_empty_registry_snapshot_serializes(self):
+        """A registry with zero traffic must snapshot and JSON-serialize."""
+        import json
+
+        m = MetricsRegistry()
+        m.set_gauge("store.cache.hits", 0)
+        d = json.loads(json.dumps(m.snapshot().to_dict()))
+        assert d["gauges"]["store.cache.hits"] == 0.0
+        assert d["totals"]["completed"] == 0
+
+    def test_gauges_last_write_wins(self):
+        m = MetricsRegistry()
+        m.set_gauge("store.cache.resident_bytes", 100)
+        m.set_gauges({"store.cache.resident_bytes": 250,
+                      "store.cache.evictions": 3})
+        snap = m.snapshot()
+        assert snap.gauges["store.cache.resident_bytes"] == 250.0
+        assert snap.gauges["store.cache.evictions"] == 3.0
+        m.set_gauge("store.cache.evictions", 4)
+        assert snap.gauges["store.cache.evictions"] == 3.0  # frozen copy
