@@ -1,0 +1,254 @@
+"""Hot-path kernel bench — reference vs fast, per stage and end to end.
+
+The kernel layer's contract is "same bytes, less time": every
+``REPRO_KERNELS=fast`` kernel must produce byte-identical streams while
+beating the reference it shadows.  This bench measures both halves on
+the sz14 path (the PQD → Huffman → gzip pipeline every SZ variant
+shares):
+
+* **stage micro-benchmarks** on the real intermediate streams of the 2D
+  smoke field (the Huffman code payload, its gzip input) — Huffman
+  encode/decode, LZ77 parse, DEFLATE inflate, timed under both modes;
+* **end-to-end** compress/decompress of 1D/2D/3D fields with per-stage
+  attribution from ``measure_compressor(stage_timing=True)``.
+
+Results land in ``benchmarks/results/BENCH_kernels.json`` (the perf
+trajectory baseline) and a human table.  ``--smoke`` runs only the 2D
+field with byte-equality checks and **fails if the fast path regresses
+below 1.0x of reference** — the CI perf gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from common import RESULTS_DIR, emit, fmt_row
+
+from repro import load_field
+from repro.codec.registry import get_codec
+from repro.config import QuantizerConfig, resolve_error_bound
+from repro.encoding.huffman import HuffmanCodec, HuffmanTable
+from repro.kernels import forced
+from repro.lossless.deflate import deflate, inflate
+from repro.lossless.lz77 import LZ77Encoder
+from repro.perf import measure_compressor
+from repro.sz.pqd import pqd_compress
+
+EB = 1e-3
+MODE = "vr_rel"
+CODEC = "sz14"
+SMOKE_FIELD = "2d CESM.CLDLOW"
+
+FIELDS = {
+    "1d CESM.TS.flat": lambda: load_field("CESM-ATM", "TS").reshape(-1),
+    SMOKE_FIELD: lambda: load_field("CESM-ATM", "CLDLOW"),
+    "3d Hurricane.CLOUDf48": lambda: load_field("Hurricane", "CLOUDf48"),
+}
+
+
+def _best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _both_modes(fn, repeats: int) -> dict:
+    """Time ``fn`` under each dispatch mode (one warmup pass per mode)."""
+    out = {}
+    for mode in ("reference", "fast"):
+        with forced(mode):
+            fn()
+            out[mode] = _best(fn, repeats)
+    out["speedup"] = out["reference"] / max(out["fast"], 1e-12)
+    return out
+
+
+def _stage_micro(field: np.ndarray, repeats: int) -> dict:
+    """Micro-time each kernel on the field's real intermediate streams."""
+    bound = resolve_error_bound(field, EB, MODE)
+    quant = QuantizerConfig()
+    pqd = pqd_compress(field, bound.absolute, quant, border="truncate")
+    syms = pqd.codes.reshape(-1)
+    codec = HuffmanCodec(HuffmanTable.from_symbols(syms))
+    with forced("reference"):
+        payload, _ = codec.encode(syms)
+        blob = deflate(payload, LZ77Encoder.best_speed())
+
+    results = {
+        # encode(): table lookups + the bitio.pack_codes kernel
+        "huffman_encode_pack_codes": _both_modes(
+            lambda: codec.encode(syms), repeats
+        ),
+        # the huffman.decode kernel (per-symbol loop vs chain walk)
+        "huffman_decode": _both_modes(
+            lambda: codec.decode(payload, syms.size), repeats
+        ),
+        # the lz77.parse kernel at the SZ-1.4 gzip effort level
+        "lz77_parse_best_speed": _both_modes(
+            lambda: LZ77Encoder.best_speed().parse(payload), repeats
+        ),
+        # inflate: huffman.decode + bitio.unpack_codes + reconstruct
+        "inflate": _both_modes(lambda: inflate(blob), repeats),
+    }
+    # Differential check on the exact bench inputs.
+    with forced("reference"):
+        enc_ref = codec.encode(syms)
+        dec_ref = codec.decode(payload, syms.size)
+        blob_ref = deflate(payload, LZ77Encoder.best_speed())
+    with forced("fast"):
+        enc_fast = codec.encode(syms)
+        dec_fast = codec.decode(payload, syms.size)
+        blob_fast = deflate(payload, LZ77Encoder.best_speed())
+        body_fast = inflate(blob)
+    if enc_ref != enc_fast or blob_ref != blob_fast:
+        raise AssertionError("fast kernels changed encoded bytes")
+    if not np.array_equal(dec_ref, dec_fast) or body_fast != payload:
+        raise AssertionError("fast kernels changed decoded values")
+    return results
+
+
+def _end_to_end(field: np.ndarray, repeats: int) -> dict:
+    codec = get_codec(CODEC)
+    out: dict = {}
+    payloads = {}
+    for mode in ("reference", "fast"):
+        with forced(mode):
+            mt, cf = measure_compressor(
+                codec,
+                field,
+                EB,
+                MODE,
+                repeats=repeats,
+                warmup=1,
+                stage_timing=True,
+            )
+        payloads[mode] = cf.payload
+        out[mode] = {
+            "compress_s": mt.compress_s,
+            "decompress_s": mt.decompress_s,
+            "compress_stages_s": mt.compress_stages,
+            "decompress_stages_s": mt.decompress_stages,
+        }
+    if payloads["reference"] != payloads["fast"]:
+        raise AssertionError(f"{CODEC} payload differs between kernel modes")
+    out["compress_speedup"] = out["reference"]["compress_s"] / max(
+        out["fast"]["compress_s"], 1e-12
+    )
+    out["decompress_speedup"] = out["reference"]["decompress_s"] / max(
+        out["fast"]["decompress_s"], 1e-12
+    )
+    return out
+
+
+def run(smoke: bool = False) -> dict:
+    repeats = 2 if smoke else 3
+    field_names = [SMOKE_FIELD] if smoke else list(FIELDS)
+
+    smoke_field = FIELDS[SMOKE_FIELD]()
+    stage_micro = _stage_micro(smoke_field, repeats)
+    e2e = {name: _end_to_end(FIELDS[name](), repeats) for name in field_names}
+
+    report = {
+        "bench": "hotpath_kernels",
+        "smoke": smoke,
+        "workload": {"codec": CODEC, "eb": EB, "mode": MODE},
+        "smoke_field": SMOKE_FIELD,
+        "stage_micro": stage_micro,
+        "end_to_end": e2e,
+    }
+
+    widths = (28, 10, 10, 8)
+    lines = [
+        f"kernel dispatch: REPRO_KERNELS fast vs reference ({CODEC}, eb={EB} {MODE})",
+        "",
+        "stage micro (2D smoke field streams)",
+        fmt_row(("stage", "ref ms", "fast ms", "speedup"), widths),
+    ]
+    for stage, r in stage_micro.items():
+        lines.append(fmt_row(
+            (stage, r["reference"] * 1e3, r["fast"] * 1e3,
+             f"{r['speedup']:.1f}x"),
+            widths,
+        ))
+    lines += ["", "end to end (byte-identical payloads verified)"]
+    widths_e = (24, 10, 10, 8, 10, 10, 8)
+    lines.append(fmt_row(
+        ("field", "c-ref ms", "c-fast ms", "c-spd",
+         "d-ref ms", "d-fast ms", "d-spd"),
+        widths_e,
+    ))
+    for name, r in e2e.items():
+        lines.append(fmt_row(
+            (name,
+             r["reference"]["compress_s"] * 1e3,
+             r["fast"]["compress_s"] * 1e3,
+             f"{r['compress_speedup']:.1f}x",
+             r["reference"]["decompress_s"] * 1e3,
+             r["fast"]["decompress_s"] * 1e3,
+             f"{r['decompress_speedup']:.1f}x"),
+            widths_e,
+        ))
+    smoke_e2e = e2e[SMOKE_FIELD]
+    lines += [
+        "",
+        "fast-mode stage attribution, 2D smoke field (ms)",
+        f"  compress:   " + ", ".join(
+            f"{k}={v * 1e3:.1f}"
+            for k, v in smoke_e2e["fast"]["compress_stages_s"].items()
+        ),
+        f"  decompress: " + ", ".join(
+            f"{k}={v * 1e3:.1f}"
+            for k, v in smoke_e2e["fast"]["decompress_stages_s"].items()
+        ),
+    ]
+    emit("hotpath_kernels", lines)
+
+    (RESULTS_DIR / "BENCH_kernels.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    if smoke:
+        failures = []
+        if smoke_e2e["compress_speedup"] < 1.0:
+            failures.append(
+                f"compress regressed: {smoke_e2e['compress_speedup']:.2f}x"
+            )
+        if smoke_e2e["decompress_speedup"] < 1.0:
+            failures.append(
+                f"decompress regressed: {smoke_e2e['decompress_speedup']:.2f}x"
+            )
+        for stage, r in stage_micro.items():
+            if r["speedup"] < 1.0:
+                failures.append(f"{stage} regressed: {r['speedup']:.2f}x")
+        if failures:
+            raise AssertionError(
+                "fast kernels below 1.0x of reference: " + "; ".join(failures)
+            )
+    return report
+
+
+def test_hotpath_kernels():
+    run(smoke=True)
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="2D field only; exit nonzero if fast < 1.0x of reference",
+    )
+    args = ap.parse_args()
+    try:
+        run(smoke=args.smoke)
+    except AssertionError as err:
+        print(f"FAIL: {err}", file=sys.stderr)
+        raise SystemExit(1)

@@ -30,6 +30,7 @@ import numpy as np
 from ..config import ErrorBound, ErrorBoundMode, QuantizerConfig
 from ..errors import ContainerError, decode_guard
 from ..io.container import Container
+from ..perf.stages import active_recorder
 from ..streams import build_stats
 from ..types import CompressedField
 
@@ -139,8 +140,14 @@ class StagePipeline:
 
     def run_forward(self, ctx: PipelineContext) -> PipelineContext:
         ctx.container = Container(header={"variant": self.variant})
-        for stage in self.stages:
-            stage.forward(ctx)
+        recorder = active_recorder()
+        if recorder is None:
+            for stage in self.stages:
+                stage.forward(ctx)
+        else:
+            for stage in self.stages:
+                with recorder.stage(stage.name):
+                    stage.forward(ctx)
         return ctx
 
     def run_inverse(self, payload: bytes) -> PipelineContext:
@@ -151,8 +158,14 @@ class StagePipeline:
                 f"payload was produced by {h.get('variant')!r}, not {self.variant}"
             )
         ctx = PipelineContext(container=container)
-        for stage in reversed(self.stages):
-            stage.inverse(ctx)
+        recorder = active_recorder()
+        if recorder is None:
+            for stage in reversed(self.stages):
+                stage.inverse(ctx)
+        else:
+            for stage in reversed(self.stages):
+                with recorder.stage(stage.name):
+                    stage.inverse(ctx)
         return ctx
 
 

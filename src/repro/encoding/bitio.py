@@ -17,8 +17,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import BitstreamError
+from ..kernels.dispatch import register_kernel, resolve
 
-__all__ = ["BitWriter", "BitReader", "pack_codes"]
+__all__ = ["BitWriter", "BitReader", "pack_codes", "unpack_codes"]
 
 _MAX_CODE_BITS = 57  # leaves refill headroom in a 64-bit buffer
 _MAX_READ_BITS = 4096  # widest multi-word read any header field can need
@@ -164,10 +165,13 @@ def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
     """Vectorized MSB-first packing of per-symbol (code, length) pairs.
 
     Returns ``(packed_bytes, total_bits)``.  Bit ``k`` (0-based, MSB-first)
-    of each symbol's code is ``(code >> (length-1-k)) & 1``; the expansion
-    to a flat bit array is done with ``repeat``/``cumsum`` index arithmetic
-    and a single :func:`numpy.packbits` call, avoiding any Python-level
-    per-symbol loop.
+    of each symbol's code is ``(code >> (length-1-k)) & 1``.  The packing
+    itself goes through the ``bitio.pack_codes`` kernel: the reference
+    expands to a flat bit array with ``repeat``/``cumsum`` index
+    arithmetic and a single :func:`numpy.packbits` call; the fast path
+    (:func:`repro.kernels.bitpack_fast.pack_codes_windowed`) produces
+    the identical bytes by summing per-byte window contributions with
+    ``bincount``, using far less time and scratch memory.
     """
     codes = np.asarray(codes, dtype=np.uint64)
     lengths = np.asarray(lengths, dtype=np.int64)
@@ -179,7 +183,12 @@ def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
         return b"", 0
     if (lengths <= 0).any() or (lengths > _MAX_CODE_BITS).any():
         raise BitstreamError("code lengths must be in [1, 57]")
+    return resolve("bitio.pack_codes")(codes, lengths)
 
+
+def _pack_codes_reference(
+    codes: np.ndarray, lengths: np.ndarray
+) -> tuple[bytes, int]:
     total_bits = int(lengths.sum())
     starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
     # For every output bit: which symbol it belongs to and its index k
@@ -189,3 +198,42 @@ def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
     shift = (lengths[sym_of_bit] - 1 - k).astype(np.uint64)
     bits = ((codes[sym_of_bit] >> shift) & np.uint64(1)).astype(np.uint8)
     return np.packbits(bits).tobytes(), total_bits
+
+
+def unpack_codes(payload: bytes, widths: np.ndarray) -> np.ndarray:
+    """Read consecutive MSB-first fields of the given bit ``widths``.
+
+    The inverse of :func:`pack_codes` for known per-value widths: returns
+    an ``int64`` array with one value per width.  Raises
+    :class:`BitstreamError` if the fields overrun the payload.  Trailing
+    payload bits beyond the last field are ignored, mirroring a partial
+    :class:`BitReader` scan.
+    """
+    widths = np.asarray(widths, dtype=np.int64)
+    if widths.ndim != 1:
+        raise BitstreamError("unpack_codes expects a 1-D width array")
+    if widths.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if (widths <= 0).any() or (widths > _MAX_CODE_BITS).any():
+        raise BitstreamError("field widths must be in [1, 57]")
+    return resolve("bitio.unpack_codes")(payload, widths)
+
+
+def _unpack_codes_reference(payload: bytes, widths: np.ndarray) -> np.ndarray:
+    reader = BitReader(payload)
+    out = np.empty(widths.size, dtype=np.int64)
+    for j in range(widths.size):
+        out[j] = reader.read(int(widths[j]))
+    return out
+
+
+register_kernel(
+    "bitio.pack_codes",
+    _pack_codes_reference,
+    fast="repro.kernels.bitpack_fast:pack_codes_windowed",
+)
+register_kernel(
+    "bitio.unpack_codes",
+    _unpack_codes_reference,
+    fast="repro.kernels.bitpack_fast:unpack_codes_windowed",
+)

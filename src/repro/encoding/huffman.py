@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import HuffmanError
+from ..kernels.dispatch import register_kernel, resolve
 from .bitio import BitReader, pack_codes
 from .histogram import symbol_histogram
 
@@ -261,6 +262,11 @@ class HuffmanCodec:
         self._first_code = first_code
         self._first_idx = first_idx
         self._len_count = count
+        # Fused (symbol << 6) | length entry per fast-table slot, -1 on
+        # escape — the chain-walk kernel gathers these in one shot.
+        self._fast_entry = np.where(
+            fast_sym >= 0, (fast_sym << 6) | fast_len, np.int64(-1)
+        )
 
     # -- encode ------------------------------------------------------------
 
@@ -299,48 +305,73 @@ class HuffmanCodec:
                 f"payload too short for {n_symbols} symbols "
                 f"(min {min_len} bits each, {8 * len(payload)} bits available)"
             )
-        out = np.empty(n_symbols, dtype=np.int64)
         if self.table.symbols.size == 1:
             # Degenerate single-symbol stream: 1 bit per symbol by convention.
+            out = np.empty(n_symbols, dtype=np.int64)
             out[:] = self.table.symbols[0]
             return out
-        reader = BitReader(payload)
-        fast_bits = self._fast_bits
-        fast_sym = self._fast_sym
-        fast_len = self._fast_len
-        first_code = self._first_code
-        first_idx = self._first_idx
-        len_count = self._len_count
-        symbols = self.table.symbols
-        maxlen = self.table.max_length
-        peek = reader.peek
-        skip = reader.skip
-        for i in range(n_symbols):
-            window = peek(fast_bits)
-            s = fast_sym[window]
-            if s >= 0:
-                skip(int(fast_len[window]))
-                out[i] = s
-                continue
-            # Slow path: extend bit by bit beyond the fast window.
-            code = window
-            length = fast_bits
-            while True:
-                length += 1
-                if length > maxlen:
-                    raise HuffmanError("invalid code in bitstream")
-                code = peek(length)
-                c = int(len_count[length]) if length < len(len_count) else 0
-                fc = int(first_code[length])
-                if c and fc <= code < fc + c:
-                    skip(length)
-                    out[i] = symbols[first_idx[length] + (code - fc)]
-                    break
-        return out
+        return resolve("huffman.decode")(self, payload, n_symbols)
 
     def encoded_size_bits(self, symbols: np.ndarray) -> int:
-        """Exact payload size in bits without materializing the stream."""
+        """Exact payload size in bits without materializing the stream.
+
+        Validates exactly like :meth:`encode`: symbols outside the table
+        alphabet or with zero frequency raise :class:`HuffmanError`.
+        """
         symbols = np.asarray(symbols).reshape(-1)
         if symbols.size == 0:
             return 0
-        return int(self._encode_tables()[0][symbols].sum())
+        enc_len = self._encode_tables()[0]
+        if symbols.min() < 0 or symbols.max() >= enc_len.size:
+            raise HuffmanError("symbol outside table alphabet")
+        lengths = enc_len[symbols]
+        if (lengths == 0).any():
+            raise HuffmanError("symbol with zero frequency in table")
+        return int(lengths.sum())
+
+
+def _decode_reference(
+    codec: "HuffmanCodec", payload: bytes, n_symbols: int
+) -> np.ndarray:
+    """Per-symbol peek/skip decode loop — the ``huffman.decode`` reference."""
+    out = np.empty(n_symbols, dtype=np.int64)
+    reader = BitReader(payload)
+    fast_bits = codec._fast_bits
+    fast_sym = codec._fast_sym
+    fast_len = codec._fast_len
+    first_code = codec._first_code
+    first_idx = codec._first_idx
+    len_count = codec._len_count
+    symbols = codec.table.symbols
+    maxlen = codec.table.max_length
+    peek = reader.peek
+    skip = reader.skip
+    for i in range(n_symbols):
+        window = peek(fast_bits)
+        s = fast_sym[window]
+        if s >= 0:
+            skip(int(fast_len[window]))
+            out[i] = s
+            continue
+        # Slow path: extend bit by bit beyond the fast window.
+        code = window
+        length = fast_bits
+        while True:
+            length += 1
+            if length > maxlen:
+                raise HuffmanError("invalid code in bitstream")
+            code = peek(length)
+            c = int(len_count[length]) if length < len(len_count) else 0
+            fc = int(first_code[length])
+            if c and fc <= code < fc + c:
+                skip(length)
+                out[i] = symbols[first_idx[length] + (code - fc)]
+                break
+    return out
+
+
+register_kernel(
+    "huffman.decode",
+    _decode_reference,
+    fast="repro.kernels.huffman_fast:decode_payload",
+)

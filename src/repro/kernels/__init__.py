@@ -1,0 +1,33 @@
+"""Fast-path kernels for the lossless hot loops, behind bit-exact dispatch.
+
+``repro.kernels`` holds vectorized rewrites of the loops every
+compress/decompress bottoms out in — the per-symbol Huffman decode, the
+LZ77 hash-chain parse, bit packing/unpacking — selected at call time
+through :mod:`repro.kernels.dispatch`.  Set ``REPRO_KERNELS=reference``
+to fall back to the scalar reference implementations (the default is
+``fast``); every fast kernel is guaranteed byte-identical to the
+reference it shadows.  See ``docs/PERF.md`` for the dispatch contract
+and the measured speedups.
+"""
+
+from .dispatch import (
+    ENV_VAR,
+    MODES,
+    active_mode,
+    forced,
+    kernel_table,
+    register_kernel,
+    resolve,
+    set_mode,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "MODES",
+    "active_mode",
+    "forced",
+    "kernel_table",
+    "register_kernel",
+    "resolve",
+    "set_mode",
+]

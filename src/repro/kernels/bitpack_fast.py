@@ -1,0 +1,101 @@
+"""Memory-lean bit packing/unpacking — the ``bitio.*`` fast kernels.
+
+``pack_codes``'s reference path expands every output bit into three
+parallel ``int64`` index arrays (symbol-of-bit, bit-rank, shift) before
+a single ``packbits`` — ~24 bytes of scratch per packed *bit*.  The fast
+packer never touches individual bits: each code is left-shifted into a
+small big-endian *byte window* anchored at its start byte (3 bytes cover
+any code of up to 17 bits at any bit offset; rare longer codes get the
+full 8-byte window).  Codes occupy disjoint bit ranges, so overlapping
+windows sum without carries: start offsets are sorted, so one integer
+``add.reduceat`` collapses each same-start-byte run of windows, and a
+handful of shifted adds spread the run sums over the output bytes —
+replacing the reference's per-bit scatter with a few whole-array ops.
+
+``unpack_codes`` is the matching reader: for fields up to 25 bits wide
+it gathers a 32-bit big-endian window at each value's start byte and
+shifts/masks the whole array at once, replacing the per-value
+``BitReader.read`` loop that dominates ``inflate``'s extra-bits stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BitstreamError
+
+__all__ = ["pack_codes_windowed", "unpack_codes_windowed"]
+
+_MAX_WINDOW_WIDTH = 25  # widest field a 32-bit window serves at any bit offset
+
+
+def pack_codes_windowed(
+    codes: np.ndarray, lengths: np.ndarray
+) -> tuple[bytes, int]:
+    """Window/bincount MSB-first packing; byte-identical to reference.
+
+    The host (:func:`repro.encoding.bitio.pack_codes`) has validated
+    shapes and the ``[1, 57]`` length range and handled the empty case.
+    Byte sums stay below 256 (the summed windows never overlap in bits)
+    and are therefore exact in ``bincount``'s float64 accumulator.
+    """
+    ends = np.cumsum(lengths)
+    total_bits = int(ends[-1])
+    starts = ends - lengths
+    nbytes = (total_bits + 7) >> 3
+    # A code of length L starting at bit offset r (< 8) spans the bytes
+    # [q, q + ceil((r + L) / 8)); 3 window columns cover L <= 17
+    # (r + L <= 7 + 17 = 24 bits), 8 columns cover the [1, 57] maximum.
+    nwin = 3 if int(lengths.max()) <= 17 else 8
+    top = 8 * nwin
+    q = starts >> 3
+    shift = (top - (starts & 7)) - lengths
+    w = codes << shift.astype(np.uint64)
+    # ``starts`` is sorted, so codes anchored at the same byte form one
+    # contiguous run; their windows occupy disjoint bit ranges, so a
+    # single integer reduceat sums each run's windows exactly.
+    nseg = int(q[-1]) + 1
+    counts = np.bincount(q, minlength=nseg)
+    offsets = np.zeros(nseg, dtype=np.intp)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    segsum = np.add.reduceat(w, offsets)
+    empty = counts == 0
+    if empty.any():
+        segsum[empty] = 0  # reduceat copies w[offset] for empty runs
+    # Spread each run's window across its nwin output bytes; byte values
+    # never exceed 255 (global bit-disjointness), so int64 adds are exact.
+    acc = np.zeros(nbytes + nwin, dtype=np.int64)
+    mask = np.int64(0xFF)
+    for k in range(nwin):
+        col = (segsum >> np.uint64(top - 8 - 8 * k)).astype(np.int64)
+        if k:
+            col &= mask  # the top column is already < 256
+        acc[k : k + nseg] += col
+    return acc[:nbytes].astype(np.uint8).tobytes(), total_bits
+
+
+def unpack_codes_windowed(payload: bytes, widths: np.ndarray) -> np.ndarray:
+    """Batched MSB-first unpack of consecutive ``widths``-bit fields.
+
+    Value-identical to the reference ``BitReader.read`` loop, including
+    raising :class:`BitstreamError` when the fields overrun the payload.
+    Falls back to the reference for widths beyond the 32-bit window.
+    """
+    if int(widths.max()) > _MAX_WINDOW_WIDTH:
+        from ..encoding.bitio import _unpack_codes_reference
+
+        return _unpack_codes_reference(payload, widths)
+    ends = np.cumsum(widths)
+    if int(ends[-1]) > 8 * len(payload):
+        raise BitstreamError(
+            f"bitstream exhausted: {int(ends[-1])} field bits, "
+            f"{8 * len(payload)} available"
+        )
+    starts = ends - widths
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    buf = np.zeros(raw.size + 4, dtype=np.int64)
+    buf[: raw.size] = raw
+    q = starts >> 3
+    w32 = (buf[q] << 24) | (buf[q + 1] << 16) | (buf[q + 2] << 8) | buf[q + 3]
+    shift = 32 - (starts & 7) - widths
+    return (w32 >> shift) & ((np.int64(1) << widths) - 1)

@@ -1,0 +1,196 @@
+"""Chunked chain-walk Huffman decoder — the ``huffman.decode`` fast kernel.
+
+The reference decoder costs two Python method calls (``peek``/``skip``)
+plus a table probe *per symbol*.  This kernel inverts the loop: it first
+builds, for **every bit position** of the payload, the decode *entry*
+``(symbol << 6) | code_length`` with a vectorized fast-table gather —
+then "chain-walks" the entries: start at bit 0, emit the symbol, jump
+ahead by the code length, repeat.  The walk is a pure-Python loop but
+does one list index and two integer ops per symbol, an order of
+magnitude less work than the reference loop.
+
+Codes longer than the fast window stay as ``-1`` escapes in the entry
+table and are resolved **lazily**, one scalar canonical sweep per
+*visited* escape.  Only one bit position per symbol is ever walked, and
+long codes are by construction the rare symbols, so resolving every
+escape bit position eagerly (most of which the walk jumps over) would
+cost far more than the handful of scalar sweeps ever executed.
+
+Entries are built in chunks (so a multi-MB payload never materializes a
+per-bit table all at once), and chunk construction overlaps the walk
+through :func:`repro.parallel.prefetch_map` once a payload is large
+enough to amortize thread hand-off.
+
+The ``-2`` sentinel marks a fast-table hit whose code runs past the end
+of the payload, so the walk raises ``BitstreamError`` exactly where the
+reference ``skip`` would fail after a zero-padded ``peek``; the lazy
+escape sweep performs the same exhaustion check (and raises
+``HuffmanError`` when no canonical range matches, like the reference
+slow path exhausting ``maxlen``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BitstreamError, HuffmanError
+
+__all__ = ["decode_payload", "CHUNK_BITS"]
+
+CHUNK_BITS = 1 << 19  # entry-table chunk: 64 KiB of payload per build
+_PARALLEL_MIN_CHUNKS = 8  # prefetch chunk builds on threads beyond this
+_STEP_MASK = 63  # low 6 bits of an entry hold the code length
+
+
+def _chunk_entries(
+    buf: np.ndarray,
+    lo: int,
+    hi: int,
+    total_bits: int,
+    codec,
+) -> tuple[int, int, np.ndarray, list[int]]:
+    """Decode entries for bit positions ``[lo, hi)`` of the padded buffer.
+
+    Returns the entry array plus the per-position step list the walk
+    iterates over.  Valid steps are code lengths in ``[1, 57]``; the
+    sentinels surface as steps ``63`` (``-1 & 63``, escape) and ``62``
+    (``-2 & 63``, exhausted), which no real code length can reach.
+    """
+    fast_bits = codec._fast_bits
+    nbits = hi - lo
+    b0 = lo >> 3
+    nb = nbits >> 3  # lo/hi are byte-aligned by construction
+    # 24-bit big-endian window starting at every byte: enough for the
+    # fast-table probe at any bit offset r in [0, 8) (r + fast_bits <= 19).
+    a = buf[b0 : b0 + nb + 2].astype(np.int64)
+    w24 = (a[:nb] << 16) | (a[1 : nb + 1] << 8) | a[2 : nb + 2]
+    win = np.empty(nbits, dtype=np.int64)
+    mask = (1 << fast_bits) - 1
+    for r in range(8):
+        win[r::8] = (w24 >> (24 - fast_bits - r)) & mask
+    entry = codec._fast_entry[win]
+
+    maxlen = codec.table.max_length
+    if hi + maxlen > total_bits:
+        # Codes starting near the end may run past the payload; mark them
+        # with the exhaustion sentinel so the walk raises BitstreamError
+        # exactly where the reference skip() would.
+        t0 = max(0, (total_bits - maxlen) - lo)
+        tail = entry[t0:]
+        over = (tail >= 0) & (
+            np.arange(lo + t0, hi, dtype=np.int64) + (tail & _STEP_MASK)
+            > total_bits
+        )
+        tail[over] = -2
+    return lo, hi, entry, (entry & _STEP_MASK).tolist()
+
+
+def _resolve_one(pb: bytes, pos: int, codec, total_bits: int) -> int:
+    """Resolve one long code (beyond the fast window) at bit position ``pos``.
+
+    Reads a 64-bit big-endian window (bit offset r <= 7 plus code length
+    <= 57 always fits, and ``pb`` carries 8 padding bytes reproducing the
+    reference ``peek``'s zero-fill) and sweeps the canonical per-length
+    ranges, exactly like the reference slow path.  Returns the decode
+    entry ``(symbol << 6) | length``.
+    """
+    q = pos >> 3
+    r = pos & 7
+    w = int.from_bytes(pb[q : q + 8], "big")
+
+    first_code = codec._first_code
+    first_idx = codec._first_idx
+    len_count = codec._len_count
+    symbols = codec.table.symbols
+
+    for length in range(codec._fast_bits + 1, codec.table.max_length + 1):
+        c = int(len_count[length]) if length < len(len_count) else 0
+        if not c:
+            continue
+        fc = int(first_code[length])
+        code = (w >> (64 - length - r)) & ((1 << length) - 1)
+        if fc <= code < fc + c:
+            if pos + length > total_bits:
+                raise BitstreamError(
+                    f"bitstream exhausted: code at bit {pos} runs past "
+                    f"the {total_bits}-bit payload"
+                )
+            sym = int(symbols[int(first_idx[length]) + code - fc])
+            return (sym << 6) | length
+    raise HuffmanError("invalid code in bitstream")
+
+
+def decode_payload(codec, payload: bytes, n_symbols: int) -> np.ndarray:
+    """Decode ``n_symbols`` from ``payload`` against ``codec``'s table.
+
+    Bit-identical to ``HuffmanCodec.decode``'s reference loop for every
+    input; the host has already run its validations (positive count,
+    non-degenerate table, payload long enough for the minimum lengths).
+    """
+    total_bits = 8 * len(payload)
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    # Pad so every 24-bit window gather and 64-bit escape read stays in
+    # bounds; the zero padding reproduces BitReader.peek's zero-fill
+    # past the end.
+    buf = np.zeros(raw.size + 8, dtype=np.uint8)
+    buf[: raw.size] = raw
+    pb = payload + b"\x00" * 8
+
+    spans = [
+        (lo, min(lo + CHUNK_BITS, total_bits))
+        for lo in range(0, total_bits, CHUNK_BITS)
+    ]
+
+    def build(span: tuple[int, int]) -> tuple[int, int, np.ndarray, list[int]]:
+        return _chunk_entries(buf, span[0], span[1], total_bits, codec)
+
+    if len(spans) > _PARALLEL_MIN_CHUNKS:
+        from ..parallel import prefetch_map
+
+        chunks = prefetch_map(build, spans)
+    else:
+        chunks = map(build, spans)
+
+    # The walk records only *positions*; symbols are gathered from the
+    # entry array in one vector op per chunk.  That keeps the per-symbol
+    # loop body down to a list index, a step compare, and two adds.
+    out = np.empty(n_symbols, dtype=np.int64)
+    pos = 0
+    i = 0
+    for lo, hi, entry, steps in chunks:
+        rel = pos - lo
+        span = hi - lo
+        plist = [0] * (n_symbols - i)
+        j = 0
+        while rel < span:
+            s = steps[rel]
+            try:
+                plist[j] = rel
+            except IndexError:
+                break  # all requested symbols decoded
+            if s > 57:  # sentinel: no valid code length exceeds 57
+                if s == 63:  # -1 escape: resolve lazily, patch for gather
+                    e = _resolve_one(pb, lo + rel, codec, total_bits)
+                    s = e & _STEP_MASK
+                    entry[rel] = e
+                    steps[rel] = s
+                else:  # 62 is -2: the code runs past the payload
+                    raise BitstreamError(
+                        f"bitstream exhausted: code at bit {lo + rel} runs "
+                        f"past the {total_bits}-bit payload"
+                    )
+            j += 1
+            rel += s
+        if j:
+            p = np.array(plist[:j], dtype=np.int64)
+            out[i : i + j] = entry[p] >> 6
+            i += j
+        pos = lo + rel
+        if i == n_symbols:
+            break
+    if i < n_symbols:
+        raise BitstreamError(
+            f"bitstream exhausted: {n_symbols - i} of {n_symbols} symbols "
+            f"undecoded at the end of the {total_bits}-bit payload"
+        )
+    return out

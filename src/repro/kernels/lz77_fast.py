@@ -1,0 +1,177 @@
+"""Flat-array LZ77 parse — the ``lz77.parse`` fast kernel.
+
+Same greedy hash-chain semantics as ``LZ77Encoder.parse`` (identical
+token stream for every input and parameter set), with the per-position
+costs stripped out of the Python loop:
+
+* **Implicit literals.**  The loop records only matches; literal tokens
+  are the uncovered positions, recovered afterwards with one
+  ``bincount``/``cumsum`` coverage pass and merged into token order with
+  two ``searchsorted`` scatters.  For data that barely matches (the
+  worst case for an LZ parser) the loop body is just the hash-chain
+  bookkeeping.
+* **Word-compare match extension.**  A candidate is extended by XOR-ing
+  the two windows as big-endian integers: the highest set bit of the
+  XOR names the first differing byte, so one ``int.from_bytes`` pair
+  replaces the NumPy slice compare and its argmax.  A one-byte quick
+  reject (``data[cand + best_len] != data[i + best_len]`` implies the
+  candidate cannot beat the current best) skips most extensions
+  entirely, exactly preserving the greedy choice.
+* **Precomputed chains for the thorough level.**  With ``insert_all``
+  every position below the hash limit enters its chain exactly once, in
+  increasing order — so the whole mutable head/prev structure collapses
+  into a static ``prev_same`` array ("previous position with my hash"),
+  computed wholesale with a two-pass radix argsort.  The fast level
+  (``insert_all=False``) keeps a live head/prev pair, as flat lists
+  indexed by the 18-bit hash.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["parse_tokens"]
+
+_HASH_SLOTS = 1 << 18  # (b0 << 10) ^ (b1 << 5) ^ b2 < 2**18
+
+
+def _hash_all(buf: np.ndarray) -> np.ndarray:
+    """The reference 3-byte rolling hash at every position (int64)."""
+    return (
+        (buf[:-2].astype(np.int64) << 10)
+        ^ (buf[1:-1].astype(np.int64) << 5)
+        ^ buf[2:].astype(np.int64)
+    )
+
+
+def _prev_same(h: np.ndarray) -> list[int]:
+    """For each position, the nearest earlier position with the same hash.
+
+    Stable-sorts positions by hash value — two radix passes (uint16 low
+    bits, then the two high bits as uint8) keep it O(n) where a direct
+    int64 argsort would fall back to comparison sorting — then links
+    neighbours within each equal-hash run.
+    """
+    low = (h & 0xFFFF).astype(np.uint16)
+    o1 = np.argsort(low, kind="stable")
+    hi2 = (h >> 16).astype(np.uint8)[o1]
+    order = o1[np.argsort(hi2, kind="stable")]
+    sh = h[order]
+    prev = np.full(h.size, -1, dtype=np.int64)
+    same = sh[1:] == sh[:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev.tolist()
+
+
+def parse_tokens(encoder, data: bytes):
+    """Greedy-parse ``data``; token-identical to the reference parse.
+
+    The host has already handled the empty and too-short-to-match cases.
+    """
+    from ..lossless.lz77 import MAX_MATCH, MIN_MATCH, TokenStream
+
+    n = len(data)
+    buf = np.frombuffer(data, dtype=np.uint8)
+    window = encoder.window
+    max_chain = encoder.max_chain
+    good_len = encoder.good_len
+    insert_all = encoder.insert_all
+    hash_limit = n - 2
+
+    h = _hash_all(buf)
+    hl = h.tolist()
+    if insert_all:
+        # Static chains: every position < hash_limit is inserted once,
+        # in order, so "previous with same hash" is the whole structure.
+        prev_s = _prev_same(h[:hash_limit])
+    else:
+        head = [-1] * _HASH_SLOTS
+        prev = [-1] * hash_limit
+
+    match_pos: list[int] = []
+    match_len: list[int] = []
+    match_dist: list[int] = []
+    add_pos = match_pos.append
+    add_len = match_len.append
+    add_dist = match_dist.append
+
+    i = 0
+    while i < hash_limit:
+        if insert_all:
+            cand = prev_s[i]
+        else:
+            hv = hl[i]
+            cand = c0 = head[hv]
+        best_len = 0
+        best_dist = 0
+        if cand >= 0:
+            limit = MAX_MATCH if n - i > MAX_MATCH else n - i
+            target = None
+            chain = max_chain
+            lo = i - window
+            if lo < 0:
+                lo = 0
+            while cand >= lo and chain:
+                # Quick reject: a candidate that differs at best_len
+                # cannot produce a strictly longer match.
+                if data[cand + best_len] == data[i + best_len]:
+                    if target is None:
+                        target = int.from_bytes(data[i : i + limit], "big")
+                    x = target ^ int.from_bytes(
+                        data[cand : cand + limit], "big"
+                    )
+                    ml = (
+                        limit
+                        if x == 0
+                        else limit - ((x.bit_length() + 7) >> 3)
+                    )
+                    if ml > best_len:
+                        best_len = ml
+                        best_dist = i - cand
+                        if ml >= good_len or ml == limit:
+                            break
+                cand = prev_s[cand] if insert_all else prev[cand]
+                chain -= 1
+        if not insert_all:
+            prev[i] = c0
+            head[hv] = i
+        if best_len >= MIN_MATCH:
+            add_pos(i)
+            add_len(best_len)
+            add_dist(best_dist)
+            i += best_len
+        else:
+            i += 1
+
+    nm = len(match_pos)
+    if nm == 0:
+        return TokenStream(
+            np.zeros(n, dtype=np.uint8),
+            buf.astype(np.int32),
+            np.zeros(n, dtype=np.int32),
+        )
+
+    mp = np.array(match_pos, dtype=np.int64)
+    ml_arr = np.array(match_len, dtype=np.int64)
+    md = np.array(match_dist, dtype=np.int64)
+    # Literals are the positions no match covers.
+    delta = np.bincount(mp, minlength=n + 1) - np.bincount(
+        mp + ml_arr, minlength=n + 1
+    )
+    covered = np.cumsum(delta[:n]) > 0
+    lit_pos = np.flatnonzero(~covered)
+    nl = lit_pos.size
+
+    # Merge into position order: both lists are sorted, so each token's
+    # final index is its own rank plus the other kind's count before it.
+    nt = nm + nl
+    at_m = np.searchsorted(lit_pos, mp) + np.arange(nm)
+    at_l = np.searchsorted(mp, lit_pos) + np.arange(nl)
+    kinds = np.zeros(nt, dtype=np.uint8)
+    kinds[at_m] = 1
+    values = np.empty(nt, dtype=np.int32)
+    values[at_l] = buf[lit_pos]
+    values[at_m] = ml_arr
+    dists = np.zeros(nt, dtype=np.int32)
+    dists[at_m] = md
+    return TokenStream(kinds, values, dists)

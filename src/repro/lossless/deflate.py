@@ -18,7 +18,7 @@ import struct
 import numpy as np
 
 from ..errors import LosslessError
-from ..encoding.bitio import BitReader, pack_codes
+from ..encoding.bitio import pack_codes, unpack_codes
 from ..encoding.huffman import HuffmanCodec, HuffmanTable
 from .lz77 import LZ77Encoder, TokenStream, MAX_MATCH, MIN_MATCH
 
@@ -195,14 +195,18 @@ def inflate(blob: bytes) -> bytes:
             raise LosslessError("corrupt container: bad length symbol")
         lens = LENGTH_BASE[len_idx].copy()
         match_dists = DIST_BASE[dist_idx].copy()
-        len_extra = LENGTH_EXTRA[len_idx]
-        dist_extra = DIST_EXTRA[dist_idx]
-        reader = BitReader(extras_payload)
-        for j in range(n_matches):
-            if len_extra[j]:
-                lens[j] += reader.read(int(len_extra[j]))
-            if dist_extra[j]:
-                match_dists[j] += reader.read(int(dist_extra[j]))
+        # Extra bits are packed in token order, interleaved (length-extra,
+        # dist-extra) per match with zero-width fields skipped — recover
+        # the widths the same way and unpack the whole section at once.
+        widths = np.empty(2 * n_matches, dtype=np.int64)
+        widths[0::2] = LENGTH_EXTRA[len_idx]
+        widths[1::2] = DIST_EXTRA[dist_idx]
+        present = widths > 0
+        extras = np.zeros(2 * n_matches, dtype=np.int64)
+        if present.any():
+            extras[present] = unpack_codes(extras_payload, widths[present])
+        lens += extras[0::2]
+        match_dists += extras[1::2]
         values[match_mask] = lens
         dists[match_mask] = match_dists
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import LosslessError
+from ..kernels.dispatch import register_kernel, resolve
 
 __all__ = ["LZ77Encoder", "TokenStream", "MIN_MATCH", "MAX_MATCH", "WINDOW_SIZE"]
 
@@ -129,7 +130,12 @@ class LZ77Encoder:
         return cls(max_chain=128, good_len=64, insert_all=True)
 
     def parse(self, data: bytes) -> TokenStream:
-        """Greedy-parse ``data`` into an LZ77 token stream."""
+        """Greedy-parse ``data`` into an LZ77 token stream.
+
+        Dispatches through the ``lz77.parse`` kernel: the flat-array
+        fast path (:mod:`repro.kernels.lz77_fast`) emits a
+        token-identical stream for every input and parameter set.
+        """
         n = len(data)
         empty = np.empty(0, dtype=np.int32)
         if n == 0:
@@ -138,79 +144,93 @@ class LZ77Encoder:
         if n < MIN_MATCH + 1:
             kinds = np.zeros(n, dtype=np.uint8)
             return TokenStream(kinds, buf.astype(np.int32), np.zeros(n, np.int32))
+        return resolve("lz77.parse")(self, data)
 
-        # 3-byte rolling hash at every position (vectorized precompute).
-        # Materialized as Python lists: the parse loop below does scalar
-        # indexing, which is ~4x faster on lists than on NumPy arrays.
-        h = (
-            (buf[:-2].astype(np.int64) << 10)
-            ^ (buf[1:-1].astype(np.int64) << 5)
-            ^ buf[2:].astype(np.int64)
-        ).tolist()
-        head: dict[int, int] = {}
-        prev = [-1] * n
 
-        kinds_out: list[int] = []
-        values_out: list[int] = []
-        dists_out: list[int] = []
-        append_k = kinds_out.append
-        append_v = values_out.append
-        append_d = dists_out.append
+def _parse_reference(encoder: LZ77Encoder, data: bytes) -> TokenStream:
+    """Dict/list hash-chain parse loop — the ``lz77.parse`` reference."""
+    n = len(data)
+    buf = np.frombuffer(data, dtype=np.uint8)
 
-        window = self.window
-        max_chain = self.max_chain
-        good_len = self.good_len
-        insert_all = self.insert_all
-        hash_limit = n - 2  # last position with a full 3-byte hash
+    # 3-byte rolling hash at every position (vectorized precompute).
+    # Materialized as Python lists: the parse loop below does scalar
+    # indexing, which is ~4x faster on lists than on NumPy arrays.
+    h = (
+        (buf[:-2].astype(np.int64) << 10)
+        ^ (buf[1:-1].astype(np.int64) << 5)
+        ^ buf[2:].astype(np.int64)
+    ).tolist()
+    head: dict[int, int] = {}
+    prev = [-1] * n
 
-        def match_len(cand: int, pos: int, limit: int) -> int:
-            a = buf[cand : cand + limit]
-            b = buf[pos : pos + limit]
-            neq = a != b
-            first = int(neq.argmax())
-            return limit if not neq[first] else first
+    kinds_out: list[int] = []
+    values_out: list[int] = []
+    dists_out: list[int] = []
+    append_k = kinds_out.append
+    append_v = values_out.append
+    append_d = dists_out.append
 
-        i = 0
-        while i < n:
-            best_len = 0
-            best_dist = 0
-            if i < hash_limit:
-                hv = h[i]
-                cand = head.get(hv, -1)
-                limit = min(MAX_MATCH, n - i)
-                chain = 0
-                while cand >= 0 and i - cand <= window and chain < max_chain:
-                    ml = match_len(cand, i, limit)
-                    if ml > best_len:
-                        best_len = ml
-                        best_dist = i - cand
-                        if ml >= good_len or ml == limit:
-                            break
-                    cand = prev[cand]
-                    chain += 1
-                # Insert current position into its chain.
-                prev[i] = head.get(hv, -1)
-                head[hv] = i
-            if best_len >= MIN_MATCH:
-                append_k(1)
-                append_v(best_len)
-                append_d(best_dist)
-                if insert_all:
-                    stop = min(i + best_len, hash_limit)
-                    get = head.get
-                    for j in range(i + 1, stop):
-                        hj = h[j]
-                        prev[j] = get(hj, -1)
-                        head[hj] = j
-                i += best_len
-            else:
-                append_k(0)
-                append_v(int(buf[i]))
-                append_d(0)
-                i += 1
+    window = encoder.window
+    max_chain = encoder.max_chain
+    good_len = encoder.good_len
+    insert_all = encoder.insert_all
+    hash_limit = n - 2  # last position with a full 3-byte hash
 
-        return TokenStream(
-            np.array(kinds_out, dtype=np.uint8),
-            np.array(values_out, dtype=np.int32),
-            np.array(dists_out, dtype=np.int32),
-        )
+    def match_len(cand: int, pos: int, limit: int) -> int:
+        a = buf[cand : cand + limit]
+        b = buf[pos : pos + limit]
+        neq = a != b
+        first = int(neq.argmax())
+        return limit if not neq[first] else first
+
+    i = 0
+    while i < n:
+        best_len = 0
+        best_dist = 0
+        if i < hash_limit:
+            hv = h[i]
+            cand = head.get(hv, -1)
+            limit = min(MAX_MATCH, n - i)
+            chain = 0
+            while cand >= 0 and i - cand <= window and chain < max_chain:
+                ml = match_len(cand, i, limit)
+                if ml > best_len:
+                    best_len = ml
+                    best_dist = i - cand
+                    if ml >= good_len or ml == limit:
+                        break
+                cand = prev[cand]
+                chain += 1
+            # Insert current position into its chain.
+            prev[i] = head.get(hv, -1)
+            head[hv] = i
+        if best_len >= MIN_MATCH:
+            append_k(1)
+            append_v(best_len)
+            append_d(best_dist)
+            if insert_all:
+                stop = min(i + best_len, hash_limit)
+                get = head.get
+                for j in range(i + 1, stop):
+                    hj = h[j]
+                    prev[j] = get(hj, -1)
+                    head[hj] = j
+            i += best_len
+        else:
+            append_k(0)
+            append_v(int(buf[i]))
+            append_d(0)
+            i += 1
+
+    return TokenStream(
+        np.array(kinds_out, dtype=np.uint8),
+        np.array(values_out, dtype=np.int32),
+        np.array(dists_out, dtype=np.int32),
+    )
+
+
+register_kernel(
+    "lz77.parse",
+    _parse_reference,
+    fast="repro.kernels.lz77_fast:parse_tokens",
+)

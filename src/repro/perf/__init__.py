@@ -14,6 +14,7 @@ from ..fpga.timing import (
     wavesz_throughput,
 )
 from .measure import MeasuredThroughput, measure_compressor
+from .stages import StageRecorder, active_recorder, recording_stages
 
 __all__ = [
     "cpu_sz14_throughput",
@@ -22,4 +23,7 @@ __all__ = [
     "wavesz_throughput",
     "MeasuredThroughput",
     "measure_compressor",
+    "StageRecorder",
+    "active_recorder",
+    "recording_stages",
 ]

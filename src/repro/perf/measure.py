@@ -7,10 +7,12 @@ modelled hardware numbers (clearly labelled — see package docstring).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Protocol
 
 import numpy as np
+
+from .stages import recording_stages
 
 __all__ = ["MeasuredThroughput", "measure_compressor"]
 
@@ -25,12 +27,20 @@ class _Compressor(Protocol):
 
 @dataclass(frozen=True)
 class MeasuredThroughput:
-    """Wall-clock compress/decompress rates of a Python implementation."""
+    """Wall-clock compress/decompress rates of a Python implementation.
+
+    ``compress_stages`` / ``decompress_stages`` hold per-stage seconds
+    (stage name → time, from the best-timed pass) when the measurement
+    was taken with ``stage_timing=True`` against a pipeline compressor;
+    they stay empty otherwise.
+    """
 
     variant: str
     n_points: int
     compress_s: float
     decompress_s: float
+    compress_stages: dict[str, float] = field(default_factory=dict)
+    decompress_stages: dict[str, float] = field(default_factory=dict)
 
     @property
     def compress_mb_s(self) -> float:
@@ -48,25 +58,58 @@ def measure_compressor(
     mode: str = "vr_rel",
     *,
     repeats: int = 1,
+    warmup: int = 0,
+    stage_timing: bool = False,
 ) -> tuple[MeasuredThroughput, Any]:
-    """Time ``repeats`` compress+decompress passes; returns (timing, last cf)."""
+    """Time ``repeats`` compress+decompress passes; returns (timing, last cf).
+
+    ``warmup`` extra untimed passes run first, so one-time costs (table
+    construction, ``lru_cache`` population, allocator growth) don't land
+    in the timed minimum.  With ``stage_timing=True`` each timed pass
+    runs under a :class:`~repro.perf.stages.StageRecorder` and the
+    per-stage seconds of the best pass are attached to the result —
+    letting a bench attribute time to PQD / Huffman / gzip stages
+    instead of whole-pipeline wall clock.
+    """
+    for _ in range(max(warmup, 0)):
+        compressor.decompress(compressor.compress(data, eb, mode))
+
     best_c = float("inf")
     best_d = float("inf")
+    stages_c: dict[str, float] = {}
+    stages_d: dict[str, float] = {}
     cf = None
     for _ in range(max(repeats, 1)):
-        t0 = time.perf_counter()
-        cf = compressor.compress(data, eb, mode)
-        t1 = time.perf_counter()
-        compressor.decompress(cf)
-        t2 = time.perf_counter()
-        best_c = min(best_c, t1 - t0)
-        best_d = min(best_d, t2 - t1)
+        if stage_timing:
+            with recording_stages() as rec_c:
+                t0 = time.perf_counter()
+                cf = compressor.compress(data, eb, mode)
+                t1 = time.perf_counter()
+            with recording_stages() as rec_d:
+                compressor.decompress(cf)
+                t2 = time.perf_counter()
+        else:
+            t0 = time.perf_counter()
+            cf = compressor.compress(data, eb, mode)
+            t1 = time.perf_counter()
+            compressor.decompress(cf)
+            t2 = time.perf_counter()
+        if t1 - t0 < best_c:
+            best_c = t1 - t0
+            if stage_timing:
+                stages_c = rec_c.snapshot()
+        if t2 - t1 < best_d:
+            best_d = t2 - t1
+            if stage_timing:
+                stages_d = rec_d.snapshot()
     return (
         MeasuredThroughput(
             variant=compressor.name,
             n_points=int(data.size),
             compress_s=best_c,
             decompress_s=best_d,
+            compress_stages=stages_c,
+            decompress_stages=stages_d,
         ),
         cf,
     )

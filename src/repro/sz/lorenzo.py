@@ -18,17 +18,25 @@ through during wavefront iteration.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..errors import ShapeError
 
-__all__ = ["lorenzo_predict", "neighbor_offsets", "LORENZO_FLOPS"]
+__all__ = [
+    "lorenzo_predict",
+    "neighbor_offsets",
+    "stencil_predict",
+    "LORENZO_FLOPS",
+]
 
 #: Floating-point adds per prediction, by dimensionality (used by the
 #: CPU/FPGA performance models): 2D = N + W - NW (2 ops), 3D = 6 ops.
 LORENZO_FLOPS = {1: 0, 2: 2, 3: 6}
 
 
+@lru_cache(maxsize=64)
 def neighbor_offsets(
     shape: tuple[int, ...], layers: int = 1
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -43,6 +51,10 @@ def neighbor_offsets(
     ``(-1)**(sum(d)+1) * prod(C(k, d_i))`` — its residual is the mixed
     k-th finite difference, so k = 2 is exact on per-axis-quadratic
     surfaces (SZ-1.4's multi-layer option).
+
+    Cached per ``(shape, layers)`` like ``interior_wavefronts``: the PQD
+    loop asks for the same stencil once per wavefront sweep, and blockwise
+    codecs once per block.  The returned arrays are read-only.
     """
     ndim = len(shape)
     if ndim not in (1, 2, 3):
@@ -66,7 +78,34 @@ def neighbor_offsets(
             coeff *= comb(layers, d)
         offsets.append(off)
         signs.append(coeff)
-    return np.array(offsets, dtype=np.int64), np.array(signs)
+    offset_arr = np.array(offsets, dtype=np.int64)
+    sign_arr = np.array(signs)
+    offset_arr.setflags(write=False)
+    sign_arr.setflags(write=False)
+    return offset_arr, sign_arr
+
+
+def stencil_predict(
+    work_flat: np.ndarray,
+    idx: np.ndarray,
+    offsets: np.ndarray,
+    signs: np.ndarray,
+) -> np.ndarray:
+    """Lorenzo prediction at flat indices ``idx`` via one fancy gather.
+
+    Gathers the whole ``(len(idx), len(offsets))`` neighbour block at
+    once, then accumulates the columns *in offset order*.  The in-order
+    accumulation is deliberate: it reproduces the reference per-offset
+    sum term by term, so reconstructions stay bit-identical — a BLAS
+    ``@ signs`` contraction would reassociate the floating-point sum and
+    drift in the last ulp, which the closed PQD loop then amplifies into
+    different quantization codes.
+    """
+    gathered = work_flat[idx[:, None] - offsets]
+    pred = signs[0] * gathered[:, 0]
+    for m in range(1, offsets.size):
+        pred += signs[m] * gathered[:, m]
+    return pred
 
 
 def lorenzo_predict(data: np.ndarray, layers: int = 1) -> np.ndarray:

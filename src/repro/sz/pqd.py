@@ -31,7 +31,8 @@ import numpy as np
 
 from ..config import QuantizerConfig
 from ..errors import DTypeError, ShapeError
-from .lorenzo import neighbor_offsets
+from ..kernels import register_kernel, resolve
+from .lorenzo import neighbor_offsets, stencil_predict
 from .quantizer import quantize_vector
 from .unpredictable import truncate_roundtrip
 from .wavefront_index import border_indices, interior_wavefronts
@@ -129,7 +130,6 @@ def pqd_compress(
         orig_flat = flat.astype(np.float64)
         border_idx = border_indices(shape)
 
-    offsets, signs = neighbor_offsets(eff_shape, layers)
     codes_flat = np.zeros(int(np.prod(eff_shape)), dtype=np.int64)
 
     if border == "truncate":
@@ -142,28 +142,19 @@ def pqd_compress(
         work_flat[border_idx] = stored_border.astype(np.float64)
 
     margin = layers if border == "padded" else 1
-    for k, idx in enumerate(interior_wavefronts(eff_shape, margin)):
-        if border == "padded" and k == 0:
-            # The first wavefront of the extended array is the single point
-            # (1,...,1) — the field's origin.  Production SZ stores the very
-            # first point verbatim rather than predicting it from nothing;
-            # this also prevents the zero halo from placing every
-            # reconstruction on an exact k*2p lattice (an artifact that
-            # would make constant regions reproduce exactly and inflate
-            # PSNR for power-of-two bounds).
-            work_flat[idx] = transform(orig_flat[idx]).astype(np.float64)
-            continue  # codes stay 0 -> stored through the outlier stream
-        pred = signs[0] * work_flat[idx - offsets[0]]
-        for m in range(1, offsets.size):
-            pred += signs[m] * work_flat[idx - offsets[m]]
-        d = orig_flat[idx]
-        wf_codes, d_out = quantize_vector(d, pred, precision, quant, dtype)
-        fail = wf_codes == 0
-        if fail.any():
-            d_out = d_out.copy()
-            d_out[fail] = transform(d[fail])
-        codes_flat[idx] = wf_codes
-        work_flat[idx] = d_out.astype(np.float64)
+    resolve("pqd.compress_sweep")(
+        work_flat,
+        orig_flat,
+        codes_flat,
+        eff_shape=eff_shape,
+        margin=margin,
+        layers=layers,
+        precision=precision,
+        quant=quant,
+        dtype=dtype,
+        transform=transform,
+        skip_first=border == "padded",
+    )
 
     if border == "padded":
         codes = codes_flat.reshape(eff_shape)
@@ -212,7 +203,6 @@ def pqd_decompress(
     """
     shape = tuple(codes.shape)
     dtype = np.dtype(dtype)
-    r = quant.radius
 
     if layers != 1 and border != "padded":
         raise ShapeError("multi-layer Lorenzo requires border='padded'")
@@ -252,17 +242,17 @@ def pqd_decompress(
     if out_idx.size:
         work_flat[out_idx] = outlier_stored.astype(np.float64)
 
-    offsets, signs = neighbor_offsets(eff_shape, layers)
     margin = layers if border == "padded" else 1
-    for idx in interior_wavefronts(eff_shape, margin):
-        pred = signs[0] * work_flat[idx - offsets[0]]
-        for k in range(1, offsets.size):
-            pred += signs[k] * work_flat[idx - offsets[k]]
-        c = codes_flat[idx]
-        d_re = (pred + 2.0 * (c - r) * precision).astype(dtype)
-        sel = c != 0
-        tgt = idx[sel]
-        work_flat[tgt] = d_re[sel].astype(np.float64)
+    resolve("pqd.decompress_sweep")(
+        work_flat,
+        codes_flat,
+        eff_shape=eff_shape,
+        margin=margin,
+        layers=layers,
+        precision=precision,
+        quant=quant,
+        dtype=dtype,
+    )
 
     if border == "padded":
         return _interior_view(
@@ -275,3 +265,84 @@ def _halo_mask(eff_shape: tuple[int, ...], width: int = 1) -> np.ndarray:
     """Boolean mask of the zero-halo cells of an extended array."""
     grid = np.indices(eff_shape)
     return (grid < width).any(axis=0)
+
+
+def _compress_sweep_reference(
+    work_flat: np.ndarray,
+    orig_flat: np.ndarray,
+    codes_flat: np.ndarray,
+    *,
+    eff_shape: tuple[int, ...],
+    margin: int,
+    layers: int,
+    precision: float,
+    quant: QuantizerConfig,
+    dtype: np.dtype,
+    transform,
+    skip_first: bool,
+) -> None:
+    """The closed PQD loop over interior wavefronts (feedback carrier).
+
+    Mutates ``work_flat`` (decompressed feedback values) and
+    ``codes_flat`` in place; the ``pqd.compress_sweep`` kernel contract.
+    """
+    offsets, signs = neighbor_offsets(eff_shape, layers)
+    for k, idx in enumerate(interior_wavefronts(eff_shape, margin)):
+        if skip_first and k == 0:
+            # The first wavefront of the extended array is the single point
+            # (1,...,1) — the field's origin.  Production SZ stores the very
+            # first point verbatim rather than predicting it from nothing;
+            # this also prevents the zero halo from placing every
+            # reconstruction on an exact k*2p lattice (an artifact that
+            # would make constant regions reproduce exactly and inflate
+            # PSNR for power-of-two bounds).
+            work_flat[idx] = transform(orig_flat[idx]).astype(np.float64)
+            continue  # codes stay 0 -> stored through the outlier stream
+        pred = stencil_predict(work_flat, idx, offsets, signs)
+        d = orig_flat[idx]
+        wf_codes, d_out = quantize_vector(d, pred, precision, quant, dtype)
+        fail = wf_codes == 0
+        if fail.any():
+            d_out = d_out.copy()
+            d_out[fail] = transform(d[fail])
+        codes_flat[idx] = wf_codes
+        work_flat[idx] = d_out.astype(np.float64)
+
+
+def _decompress_sweep_reference(
+    work_flat: np.ndarray,
+    codes_flat: np.ndarray,
+    *,
+    eff_shape: tuple[int, ...],
+    margin: int,
+    layers: int,
+    precision: float,
+    quant: QuantizerConfig,
+    dtype: np.dtype,
+) -> None:
+    """Reconstruction sweep: codes + preset border/outlier values → field.
+
+    Mutates ``work_flat`` in place; the ``pqd.decompress_sweep`` kernel
+    contract.  Points with code 0 keep their preset values.
+    """
+    offsets, signs = neighbor_offsets(eff_shape, layers)
+    r = quant.radius
+    for idx in interior_wavefronts(eff_shape, margin):
+        pred = stencil_predict(work_flat, idx, offsets, signs)
+        c = codes_flat[idx]
+        d_re = (pred + 2.0 * (c - r) * precision).astype(dtype)
+        sel = c != 0
+        tgt = idx[sel]
+        work_flat[tgt] = d_re[sel].astype(np.float64)
+
+
+register_kernel(
+    "pqd.compress_sweep",
+    _compress_sweep_reference,
+    fast="repro.kernels.pqd_fast:compress_sweep",
+)
+register_kernel(
+    "pqd.decompress_sweep",
+    _decompress_sweep_reference,
+    fast="repro.kernels.pqd_fast:decompress_sweep",
+)

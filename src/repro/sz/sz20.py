@@ -42,7 +42,7 @@ from ..errors import ContainerError, DTypeError, ShapeError
 from ..lossless import GzipStage, LosslessMode
 from ..streams import MAX_FIELD_POINTS, header_dtype, header_int, header_shape
 from ..variants import Feature
-from .lorenzo import neighbor_offsets
+from .lorenzo import neighbor_offsets, stencil_predict
 from .quantizer import quantize_vector
 from .wavefront_index import interior_wavefronts
 
@@ -165,9 +165,7 @@ def _lorenzo_block(
             # The field origin is stored verbatim (see pqd.py).
             lwork_flat[idx] = lorig_flat[idx]
             continue
-        pred = signs[0] * lwork_flat[idx - offsets[0]]
-        for m in range(1, offsets.size):
-            pred += signs[m] * lwork_flat[idx - offsets[m]]
+        pred = stencil_predict(lwork_flat, idx, offsets, signs)
         d = lorig_flat[idx]
         wf_codes, d_out = quantize_vector(d, pred, p, quant, dtype)
         lcodes[idx] = wf_codes
@@ -225,9 +223,7 @@ def _lorenzo_block_decode(
         sel = c != 0
         if not sel.any():
             continue
-        pred = signs[0] * lwork_flat[idx - offsets[0]]
-        for m in range(1, offsets.size):
-            pred += signs[m] * lwork_flat[idx - offsets[m]]
+        pred = stencil_predict(lwork_flat, idx, offsets, signs)
         d_re = (pred + 2.0 * (c - r) * p).astype(dtype)
         tgt = idx[sel]
         lwork_flat[tgt] = d_re[sel].astype(np.float64)

@@ -1,0 +1,268 @@
+"""Unit tests for the kernel dispatch registry and its satellites.
+
+Covers the mode-selection contract (env var / set_mode / forced
+priority), the registry's failure modes, the ``encoded_size_bits``
+bounds checks, the cached Lorenzo stencil helpers, ``prefetch_map``
+ordering, and ``measure_compressor``'s warmup / per-stage timing.
+The bit-exactness of the fast kernels themselves is enforced by the
+differential suite in ``tests/property/test_prop_kernels.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codec.registry import get_codec
+from repro.config import QuantizerConfig
+from repro.encoding.huffman import HuffmanCodec, HuffmanTable
+from repro.errors import BitstreamError, ConfigError, HuffmanError
+from repro.kernels import (
+    ENV_VAR,
+    active_mode,
+    forced,
+    kernel_table,
+    resolve,
+    set_mode,
+)
+from repro.parallel import prefetch_map
+from repro.perf import measure_compressor
+from repro.sz.lorenzo import neighbor_offsets, stencil_predict
+from repro.sz.pqd import pqd_compress, pqd_decompress
+
+Q = QuantizerConfig()
+
+
+@pytest.fixture(autouse=True)
+def _clean_mode(monkeypatch):
+    """Each test starts from the env-driven default and leaves no override."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    set_mode(None)
+    yield
+    set_mode(None)
+
+
+class TestModeSelection:
+    def test_default_is_fast(self):
+        assert active_mode() == "fast"
+
+    def test_env_var_selects_reference(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "reference")
+        assert active_mode() == "reference"
+
+    def test_empty_env_var_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "")
+        assert active_mode() == "fast"
+
+    def test_invalid_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "turbo")
+        with pytest.raises(ConfigError, match="turbo"):
+            active_mode()
+
+    def test_set_mode_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "reference")
+        set_mode("fast")
+        assert active_mode() == "fast"
+        set_mode(None)
+        assert active_mode() == "reference"
+
+    def test_set_mode_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            set_mode("warp")
+
+    def test_forced_wins_and_restores(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "fast")
+        set_mode("fast")
+        with forced("reference"):
+            assert active_mode() == "reference"
+            with forced("fast"):
+                assert active_mode() == "fast"
+            assert active_mode() == "reference"
+        assert active_mode() == "fast"
+
+    def test_forced_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            with forced("sloth"):
+                pass  # pragma: no cover
+
+
+class TestRegistry:
+    def test_expected_kernels_registered(self):
+        table = kernel_table()
+        for name in (
+            "huffman.decode",
+            "lz77.parse",
+            "bitio.pack_codes",
+            "bitio.unpack_codes",
+            "pqd.compress_sweep",
+            "pqd.decompress_sweep",
+        ):
+            assert name in table
+            mod, _, attr = table[name].partition(":")
+            assert mod.startswith("repro.kernels.") and attr
+
+    def test_resolve_returns_mode_specific_callable(self):
+        with forced("reference"):
+            ref = resolve("bitio.pack_codes")
+        with forced("fast"):
+            fast = resolve("bitio.pack_codes")
+        assert ref is not fast
+
+    def test_resolve_unknown_kernel(self):
+        with pytest.raises(ConfigError, match="unknown kernel"):
+            resolve("fft.butterfly")
+
+
+class TestEncodedSizeBits:
+    def _codec(self):
+        syms = np.array([0, 0, 0, 1, 1, 2], dtype=np.int64)
+        return HuffmanCodec(HuffmanTable.from_symbols(syms)), syms
+
+    def test_matches_encode(self):
+        codec, syms = self._codec()
+        _, nbits = codec.encode(syms)
+        assert codec.encoded_size_bits(syms) == nbits
+
+    def test_rejects_symbol_above_alphabet(self):
+        codec, _ = self._codec()
+        with pytest.raises(HuffmanError, match="outside table alphabet"):
+            codec.encoded_size_bits(np.array([10_000], dtype=np.int64))
+
+    def test_rejects_negative_symbol(self):
+        codec, _ = self._codec()
+        with pytest.raises(HuffmanError, match="outside table alphabet"):
+            codec.encoded_size_bits(np.array([-1], dtype=np.int64))
+
+    def test_rejects_zero_frequency_symbol(self):
+        syms = np.array([0, 0, 5, 5, 5], dtype=np.int64)
+        codec = HuffmanCodec(HuffmanTable.from_symbols(syms))
+        with pytest.raises(HuffmanError, match="zero frequency"):
+            codec.encoded_size_bits(np.array([3], dtype=np.int64))
+
+
+class TestLorenzoHelpers:
+    def test_neighbor_offsets_cached_and_readonly(self):
+        a = neighbor_offsets((7, 9), 1)
+        b = neighbor_offsets((7, 9), 1)
+        assert a[0] is b[0] and a[1] is b[1]
+        assert not a[0].flags.writeable and not a[1].flags.writeable
+
+    def test_stencil_predict_matches_per_offset_loop(self):
+        rng = np.random.default_rng(11)
+        work = rng.normal(size=8 * 9)
+        offsets, signs = neighbor_offsets((8, 9), 2)
+        idx = np.arange(3 * 9 + 3, 3 * 9 + 7, dtype=np.int64)
+        got = stencil_predict(work, idx, offsets, signs)
+        want = np.zeros(idx.size)
+        for m in range(offsets.size):
+            want += signs[m] * work[idx - offsets[m]]
+        # In-order accumulation must be reproduced exactly, not just
+        # approximately — the closed PQD loop amplifies ulp drift.
+        assert np.array_equal(got, want)
+
+
+class TestPrefetchMap:
+    def test_preserves_order(self):
+        items = list(range(40))
+        assert list(prefetch_map(lambda x: x * x, items)) == [
+            x * x for x in items
+        ]
+
+    def test_exception_surfaces_at_its_item(self):
+        def fn(x):
+            if x == 5:
+                raise ValueError("boom at five")
+            return x
+
+        it = prefetch_map(fn, list(range(10)))
+        got = [next(it) for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+        with pytest.raises(ValueError, match="boom at five"):
+            next(it)
+
+
+class TestMeasureCompressor:
+    def test_stage_timing_and_warmup(self):
+        rng = np.random.default_rng(3)
+        field = np.cumsum(rng.normal(size=(20, 30)), axis=1).astype(
+            np.float32
+        )
+        codec = get_codec("sz14")
+        mt, cf = measure_compressor(
+            codec, field, 1e-3, "vr_rel", repeats=1, warmup=1,
+            stage_timing=True,
+        )
+        assert cf.payload
+        assert mt.compress_s > 0 and mt.decompress_s > 0
+        assert "pqd" in mt.compress_stages
+        assert "codes_entropy" in mt.compress_stages
+        assert all(v >= 0 for v in mt.compress_stages.values())
+        assert "pqd" in mt.decompress_stages
+
+    def test_stage_timing_off_keeps_dicts_empty(self):
+        rng = np.random.default_rng(4)
+        field = rng.normal(size=(8, 24)).astype(np.float32)
+        mt, _ = measure_compressor(get_codec("sz14"), field, 1e-2, "vr_rel")
+        assert mt.compress_stages == {} and mt.decompress_stages == {}
+
+
+class TestPQDSweepDispatch:
+    """Regression shapes for the fused sweep's dispatch conditions."""
+
+    # (2, 24) has single-point wavefronts but a non-contiguous 2D
+    # interior — it must take the scatter path, not the 1D scalar chain.
+    SHAPES = [(2, 24), (2, 2), (40,), (6, 7), (3, 4, 5)]
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("border", ["truncate", "verbatim", "padded"])
+    def test_fast_matches_reference(self, shape, border):
+        rng = np.random.default_rng(hash((shape, border)) % 2**32)
+        field = (rng.normal(size=shape) * 5).astype(np.float32)
+        with forced("reference"):
+            ref = pqd_compress(field, 1e-2, Q, border=border)
+        with forced("fast"):
+            fast = pqd_compress(field, 1e-2, Q, border=border)
+        assert np.array_equal(ref.codes, fast.codes)
+        assert ref.decompressed.tobytes() == fast.decompressed.tobytes()
+        kw = dict(
+            precision=1e-2, quant=Q, dtype=np.dtype(np.float32),
+            border=border,
+        )
+        with forced("reference"):
+            dref = pqd_decompress(
+                ref.codes, ref.border_values, ref.outlier_values, **kw
+            )
+        with forced("fast"):
+            dfast = pqd_decompress(
+                fast.codes, fast.border_values, fast.outlier_values, **kw
+            )
+        assert dref.tobytes() == dfast.tobytes()
+
+
+class TestHuffmanLazyEscapes:
+    def _deep_codec(self):
+        # Geometric frequencies force code lengths past the fast window,
+        # so decode hits the lazy escape resolver.
+        rng = np.random.default_rng(19)
+        syms = rng.geometric(0.05, 60_000).clip(0, 400).astype(np.int64)
+        return HuffmanCodec(HuffmanTable.from_symbols(syms)), syms
+
+    def test_deep_tree_decode_identical(self):
+        codec, syms = self._deep_codec()
+        payload, _ = codec.encode(syms)
+        with forced("reference"):
+            ref = codec.decode(payload, syms.size)
+        with forced("fast"):
+            fast = codec.decode(payload, syms.size)
+        assert np.array_equal(ref, fast)
+
+    def test_truncated_payload_same_error_class(self):
+        codec, syms = self._deep_codec()
+        payload, _ = codec.encode(syms)
+        # One byte short: passes the host's min-length validation, so
+        # the exhaustion must surface from the kernel walk itself.
+        bad = payload[:-1]
+        with forced("reference"):
+            with pytest.raises(BitstreamError):
+                codec.decode(bad, syms.size)
+        with forced("fast"):
+            with pytest.raises(BitstreamError):
+                codec.decode(bad, syms.size)
