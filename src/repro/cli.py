@@ -179,7 +179,32 @@ def build_parser() -> argparse.ArgumentParser:
     ss.add_argument("--no-strict", action="store_true")
 
     stsub.add_parser("ls", help="list stored datasets")
-    stsub.add_parser("gc", help="remove objects no manifest references")
+    stsub.add_parser("gc", help="remove objects no manifest references "
+                     "and stale crash leftovers")
+
+    sf = stsub.add_parser(
+        "fsck",
+        help="audit manifests, objects and the journal; optionally repair")
+    sf.add_argument("--repair", action="store_true",
+                    help="roll back interrupted puts, drop orphans and "
+                    "crash leftovers")
+    sf.add_argument("--deep", action="store_true",
+                    help="also decode every object and check tile shapes")
+
+    ch = sub.add_parser(
+        "chaos",
+        help="run seeded fault-schedule sweeps and check the durability "
+        "and at-most-once invariants")
+    ch.add_argument("--suite", choices=["store", "service", "all"],
+                    default="store")
+    ch.add_argument("--seed", type=int, default=0,
+                    help="master seed; a failing run replays from "
+                    "(seed, run) alone")
+    ch.add_argument("--schedules", type=int, default=200,
+                    help="store schedules to sweep (service runs are "
+                    "capped at schedules // 25 + 2)")
+    ch.add_argument("--workdir", type=Path, default=None,
+                    help="scratch directory (default: a temp dir)")
     return p
 
 
@@ -519,7 +544,50 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
     result = _store(args).gc()
     print(f"gc: removed {result.n_removed} object(s), "
           f"reclaimed {result.reclaimed_bytes} B, kept {result.kept}")
+    if result.tmp_removed:
+        print(f"gc: swept {len(result.tmp_removed)} stale temp file(s)")
     return 0
+
+
+def _cmd_store_fsck(args: argparse.Namespace) -> int:
+    store = _store(args)
+    if not store.recovery.clean:
+        for kind, name in store.recovery.actions:
+            print(f"recovery: {kind} {name}")
+    report = store.fsck(repair=args.repair, deep=args.deep)
+    print(report.summary())
+    for f in report.findings:
+        mark = " [repaired]" if f.repaired else ""
+        print(f"  {f.severity}: {f.kind} {f.subject}: {f.detail}{mark}")
+    for a in report.actions:
+        print(f"  action: {a}")
+    # repaired findings are gone; only what remains broken fails the run.
+    return 1 if any(not f.repaired for f in report.errors) else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .faults import ChaosHarness
+
+    harness = ChaosHarness(seed=args.seed)
+    reports = []
+    if args.suite in ("store", "all"):
+        with tempfile.TemporaryDirectory(prefix="wavesz-chaos-") as tmp:
+            workdir = args.workdir if args.workdir is not None else tmp
+            reports.append(
+                harness.run_store(workdir, runs=args.schedules)
+            )
+            print(reports[-1].summary())
+    if args.suite in ("service", "all"):
+        reports.append(
+            harness.run_service(runs=args.schedules // 25 + 2)
+        )
+        print(reports[-1].summary())
+    bad = [v for r in reports for v in r.violations]
+    for v in bad[:20]:
+        print(f"  {v}", file=sys.stderr)
+    return 1 if bad else 0
 
 
 _STORE_COMMANDS = {
@@ -528,6 +596,7 @@ _STORE_COMMANDS = {
     "slice": _cmd_store_slice,
     "ls": _cmd_store_ls,
     "gc": _cmd_store_gc,
+    "fsck": _cmd_store_fsck,
 }
 
 
@@ -557,6 +626,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "batch": _cmd_batch,
     "store": _cmd_store,
+    "chaos": _cmd_chaos,
 }
 
 

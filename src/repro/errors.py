@@ -85,6 +85,39 @@ class JobFailedError(ServiceError):
     """A job exhausted its retries (or hit a permanent fault) and failed."""
 
 
+class TransportError(ServiceError):
+    """The wire between client and server failed mid-request (connection
+    reset, short frame, socket closed).  Always tagged with the op name and
+    request id so a retry — idempotent by request id — can be correlated."""
+
+
+class ServiceTimeoutError(TransportError):
+    """A per-request deadline expired while waiting on the socket."""
+
+
+class CircuitOpenError(ServiceError):
+    """The client's circuit breaker is open: recent requests failed and the
+    cooldown has not elapsed, so the call failed fast without touching the
+    network."""
+
+
+class WorkerHungError(ServiceError):
+    """A worker exceeded the watchdog's hang timeout and was killed.
+
+    Classified transient: the pool respawns workers, so the retry runs on a
+    fresh process."""
+
+
+class SimulatedCrash(BaseException):
+    """The chaos layer's process-death signal (crash-at-step-k).
+
+    Deliberately *not* a :class:`ReproError` — and not even an
+    ``Exception`` — so no ``except ReproError``/``except Exception``
+    handler in the code under test can swallow it: a real ``kill -9``
+    cannot be caught either.  Only the chaos harness catches it.
+    """
+
+
 class DeadlineExpiredError(ServiceError):
     """A job's deadline passed before a worker could start it."""
 

@@ -13,11 +13,22 @@ exercise machinery:
 * :func:`corruption_sweep` — the differential harness that runs a
   compressor's decode path across a sweep and checks the contract;
 * :func:`is_transient` — the transient/permanent split of the error
-  taxonomy that drives the batch service's retry policy.
+  taxonomy that drives the batch service's retry policy;
+* :class:`CrashFS` / :class:`FsFault` — a filesystem with a page-cache
+  durability model and seeded crash/torn-write/ENOSPC/lying-fsync
+  schedules (what the store's crash-recovery tests write through);
+* :class:`FlakyConnection` / :class:`FlakySocketFactory` — seeded wire
+  faults (reset, stall, byte drip) for the service client;
+* :class:`ChaosHarness` — randomized fault-schedule sweeps over the
+  store and the service, asserting the durability and at-most-once
+  invariants (the ``wavesz chaos`` command).
 """
 
+from .chaos import ChaosHarness, ChaosReport, ChaosViolation
+from .fsim import CrashFS, FsFault, FsFaultKind, OsFileSystem
 from .inject import FaultInjector, FaultKind, FaultSpec, inject
 from .harness import FaultOutcome, SweepRecord, SweepResult, corruption_sweep
+from .netsim import FlakyConnection, FlakySocketFactory, NetFault, NetFaultKind
 from .taxonomy import PERMANENT_TYPES, TRANSIENT_TYPES, is_transient
 
 __all__ = [
@@ -32,4 +43,15 @@ __all__ = [
     "TRANSIENT_TYPES",
     "PERMANENT_TYPES",
     "is_transient",
+    "OsFileSystem",
+    "CrashFS",
+    "FsFault",
+    "FsFaultKind",
+    "FlakyConnection",
+    "FlakySocketFactory",
+    "NetFault",
+    "NetFaultKind",
+    "ChaosHarness",
+    "ChaosReport",
+    "ChaosViolation",
 ]

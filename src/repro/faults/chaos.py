@@ -1,0 +1,345 @@
+"""Chaos harness: randomized fault schedules, invariant assertions.
+
+The unit tests kill a ``put`` at every single filesystem step; the chaos
+harness complements them with *breadth*: hundreds of seeded schedules
+drawn over fault kind × step × crash-resolution randomness, each run
+checked against the same invariants.  A failing run prints as one line —
+``suite=store seed=1234 run=57`` — and replays deterministically from
+exactly those numbers.
+
+Store suite (one run)
+    Start from a clean two-dataset store, attempt an update ``put``
+    under a :class:`~repro.faults.fsim.CrashFS` carrying one seeded
+    fault, then pull the power (``crash_and_restore``) and reopen with
+    the real filesystem.  Invariants:
+
+    * ``reopen-clean``          — recovery never raises;
+    * ``bystander-intact``      — the untouched dataset reads bit-exact;
+    * ``acked-durable``         — an acked put survives the power cut
+      (waived when the one fault was a lying fsync — see
+      ``docs/RESILIENCE.md`` on the single-lying-fsync scope);
+    * ``interrupted-invisible`` — a put killed *before its commit point*
+      (the journal-entry unlink) leaves the old value; a crash inside
+      the commit window may resolve either way — the lost-ack case,
+      which is why the service pairs this with idempotent request ids;
+    * ``old-or-new``            — the target is bit-exact old *or* new,
+      never a hybrid;
+    * ``fsck-converges``        — ``fsck(repair=True)`` then ``fsck()``
+      ends at zero findings; when the one fault was a lying fsync the
+      store may instead hold *detected* damage (fsck reports it) —
+      never a silent wrong answer.
+
+Service suite (one run)
+    A live server (thread pool) is driven through a client whose first
+    connections carry seeded wire faults (reset / stall / drip).
+    Invariants: every request eventually succeeds bit-exactly
+    (``converges``), and no request executes twice despite retries
+    (``at-most-once``, via the server's completed-job counters).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ReproError, SimulatedCrash, StoreError
+from .fsim import CrashFS, FsFault, FsFaultKind
+from .netsim import FlakySocketFactory
+
+__all__ = ["ChaosViolation", "ChaosReport", "ChaosHarness"]
+
+#: Steps an update put can take is ~21; drawing up to a slightly larger
+#: ceiling also exercises schedules that miss entirely (the clean path
+#: followed by a power cut — which must preserve the acked put).
+_MAX_STEP = 26
+
+_STORE_KINDS = (
+    FsFaultKind.CRASH,
+    FsFaultKind.TORN_WRITE,
+    FsFaultKind.FAIL_RENAME,
+    FsFaultKind.ENOSPC,
+    FsFaultKind.DROP_FSYNC,
+)
+
+
+@dataclass(frozen=True)
+class ChaosViolation:
+    """One broken invariant: which run, which promise, what happened."""
+
+    suite: str
+    seed: int
+    run: int
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.suite} seed={self.seed} run={self.run}] "
+            f"{self.invariant}: {self.detail}"
+        )
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Outcome of one sweep: coverage counters plus every violation."""
+
+    suite: str
+    seed: int
+    runs: int
+    faults_fired: Mapping[str, int]
+    violations: tuple[ChaosViolation, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        cov = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.faults_fired.items())
+        ) or "none fired"
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (
+            f"chaos {self.suite}: {status} over {self.runs} schedule(s) "
+            f"(seed {self.seed}; fired: {cov})"
+        )
+
+    def assert_clean(self) -> None:
+        if self.ok:
+            return
+        lines = [f"  {v}" for v in self.violations[:8]]
+        raise AssertionError(
+            f"{len(self.violations)} chaos violation(s):\n" + "\n".join(lines)
+        )
+
+
+class ChaosHarness:
+    """Runs seeded fault-schedule sweeps and checks the invariants."""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.seed = seed
+
+    def _run_seed(self, run: int) -> int:
+        # distinct, stable stream per run; avoids Random(tuple) hashing.
+        return self.seed * 1_000_003 + run
+
+    # -- store suite ------------------------------------------------------
+
+    def run_store(self, work_dir: str | Path, *, runs: int = 200) -> ChaosReport:
+        """Sweep ``runs`` crash schedules over the array store."""
+        from ..store import ArrayStore
+
+        work = Path(work_dir)
+        work.mkdir(parents=True, exist_ok=True)
+        template = work / "template"
+        rng0 = np.random.default_rng(self.seed)
+        keep = rng0.normal(size=(8, 12)).astype(np.float32)
+        old = rng0.normal(size=(8, 12)).astype(np.float32)
+        base = ArrayStore(template)
+        base.put("keep", keep, "sz10", n_tiles=2)
+        base.put("target", old, "sz10", n_tiles=2)
+        keep_val = base.read("keep").data
+        old_val = base.read("target").data
+
+        violations: list[ChaosViolation] = []
+        fired: dict[str, int] = {}
+        scratch = work / "scratch"
+        for run in range(runs):
+            rs = self._run_seed(run)
+            rng = random.Random(rs)
+            shutil.rmtree(scratch, ignore_errors=True)
+            shutil.copytree(template, scratch)
+            # shift far beyond the error bound so old and new quantize to
+            # visibly different stored values.
+            new = (
+                old + np.float32(1.0 + rng.randrange(1000)) / 16.0
+            ).astype(np.float32)
+            fault = FsFault(
+                kind=_STORE_KINDS[rng.randrange(len(_STORE_KINDS))],
+                step=1 + rng.randrange(_MAX_STEP),
+                seed=rng.getrandbits(31),
+            )
+            fs = CrashFS(scratch, schedule=(fault,), seed=rs)
+
+            def bad(invariant: str, detail: str, _run: int = run) -> None:
+                violations.append(ChaosViolation(
+                    "store", self.seed, _run, invariant, detail
+                ))
+
+            # the value an undisturbed put of `new` stores (the lossy
+            # round-trip) — computed on a clean copy so the fault run
+            # has a bit-exact reference even when it dies mid-put.
+            expected = work / "expected"
+            shutil.rmtree(expected, ignore_errors=True)
+            shutil.copytree(template, expected)
+            clean = ArrayStore(expected)
+            clean.put("target", new, "sz10", n_tiles=2)
+            new_val = clean.read("target").data
+
+            acked = False
+            try:
+                store = ArrayStore(scratch, fs=fs)
+                store.put("target", new, "sz10", n_tiles=2)
+                acked = True
+            except SimulatedCrash:
+                pass
+            except StoreError:
+                pass  # survivable fault: put failed and rolled back
+            # once the journal-entry unlink has been issued, the put is
+            # inside its commit window: a crash there may land old or
+            # new (the classic lost ack), both legitimate.
+            committing = any(
+                op == "unlink" and os.sep + "journal" + os.sep in key
+                for op, key in fs.ops
+            )
+            for f in fs.fired:
+                fired[f.kind.value] = fired.get(f.kind.value, 0) + 1
+            lying = any(
+                f.kind is FsFaultKind.DROP_FSYNC for f in fs.fired
+            )
+            # pull the power, then come back up on the real filesystem.
+            fs.crash_and_restore(rng.getrandbits(31))
+            try:
+                after = ArrayStore(scratch)
+            except ReproError as exc:
+                bad("reopen-clean", f"{type(exc).__name__}: {exc}")
+                continue
+            try:
+                keep_now = after.read("keep").data
+                if not np.array_equal(keep_now, keep_val):
+                    bad(
+                        "bystander-intact",
+                        "'keep' changed across the crash",
+                    )
+            except ReproError as exc:
+                bad("bystander-intact", f"{type(exc).__name__}: {exc}")
+            detected_loss = False
+            try:
+                target = after.read("target").data
+            except ReproError as exc:
+                # with a lying disk an acked put may be lost — but never
+                # silently: the checksum walk detects it.  Any other
+                # schedule must leave the target readable.
+                target = None
+                if lying:
+                    detected_loss = True
+                else:
+                    bad(
+                        "old-or-new",
+                        f"target unreadable: {type(exc).__name__}: {exc}",
+                    )
+            if target is not None:
+                is_old = np.array_equal(target, old_val)
+                is_new = np.array_equal(target, new_val)
+                if not (is_old or is_new):
+                    bad(
+                        "old-or-new",
+                        "'target' is neither old nor new value",
+                    )
+                elif acked and not lying and not is_new:
+                    bad("acked-durable", "acked put lost after power cut")
+                elif not acked and not committing and not is_old:
+                    bad(
+                        "interrupted-invisible",
+                        "pre-commit put became visible after recovery",
+                    )
+            after.fsck(repair=True)
+            check = after.fsck(deep=True)
+            if not check.ok and not lying:
+                bad("fsck-converges", check.summary())
+            if detected_loss and not check.errors:
+                bad(
+                    "fsck-converges",
+                    "target unreadable but fsck reports no error",
+                )
+        shutil.rmtree(scratch, ignore_errors=True)
+        return ChaosReport(
+            "store", self.seed, runs, fired, tuple(violations)
+        )
+
+    # -- service suite ----------------------------------------------------
+
+    def run_service(self, *, runs: int = 6, ops_per_run: int = 4) -> ChaosReport:
+        """Sweep flaky-wire schedules against a live server."""
+        import asyncio
+        import threading
+
+        from ..codec.registry import get_codec
+        from ..service import (
+            CompressionServer,
+            RetryPolicy,
+            ServiceClient,
+        )
+
+        violations: list[ChaosViolation] = []
+        fired: dict[str, int] = {}
+        rng0 = np.random.default_rng(self.seed)
+        fld = rng0.normal(size=(8, 12)).astype(np.float32)
+        direct = get_codec("sz10").compress(fld, 1e-3, "vr_rel").payload
+
+        loop = asyncio.new_event_loop()
+        srv = CompressionServer(port=0, workers=2, pool_kind="thread")
+        started = threading.Event()
+
+        def runner() -> None:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(srv.start())
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        if not started.wait(10):  # pragma: no cover - startup failure
+            raise RuntimeError("chaos service failed to start")
+        try:
+            for run in range(runs):
+                rs = self._run_seed(run)
+                factory = FlakySocketFactory(
+                    seed=rs, faulty_connections=1 + rs % 2,
+                    max_after_bytes=48,
+                )
+                before = srv.scheduler.stats().totals.get("completed", 0)
+                try:
+                    client = ServiceClient(
+                        port=srv.port, timeout=2.0,
+                        retry=RetryPolicy(attempts=6, base_s=0.01, seed=rs),
+                        socket_factory=factory,
+                    )
+                    with client:
+                        for _ in range(ops_per_run):
+                            payload, _info = client.compress(
+                                fld, "sz10", eb=1e-3
+                            )
+                            if payload != direct:
+                                violations.append(ChaosViolation(
+                                    "service", self.seed, run, "converges",
+                                    "payload differs from the direct path",
+                                ))
+                except ReproError as exc:
+                    violations.append(ChaosViolation(
+                        "service", self.seed, run, "converges",
+                        f"{type(exc).__name__}: {exc}",
+                    ))
+                for f in factory.faults_injected:
+                    fired[f.kind.value] = fired.get(f.kind.value, 0) + 1
+                after = srv.scheduler.stats().totals.get("completed", 0)
+                # DRIP never aborts a request, so every op runs exactly
+                # once; RESET/STALL retries must dedup via request ids.
+                if after - before > ops_per_run:
+                    violations.append(ChaosViolation(
+                        "service", self.seed, run, "at-most-once",
+                        f"{after - before} executions for "
+                        f"{ops_per_run} request(s)",
+                    ))
+        finally:
+            asyncio.run_coroutine_threadsafe(srv.stop(), loop).result(10)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(10)
+        return ChaosReport(
+            "service", self.seed, runs, fired, tuple(violations)
+        )

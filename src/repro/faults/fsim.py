@@ -1,0 +1,368 @@
+"""Deterministic filesystem fault plane: torn writes, lost renames, crashes.
+
+:class:`OsFileSystem` is the thin mutation surface the array store writes
+through — plain byte writes plus the three durability primitives a
+crash-consistent layout needs (``fsync_file``, ``replace``, ``fsync_dir``).
+:class:`CrashFS` is the same surface with a *page-cache model* bolted on:
+every mutation updates both the real directory tree (what the process
+sees) and a shadow *durable image* (what would survive ``kill -9`` plus a
+power cut), and a seeded fault schedule can
+
+* **crash at step k** — raise :class:`~repro.errors.SimulatedCrash`
+  before the k-th mutation (it derives from ``BaseException`` so no
+  handler in the code under test can swallow it);
+* **tear a write** — persist only a seeded prefix, then crash;
+* **fail a rename** — ``replace`` raises ``EIO`` and the process lives;
+* **hit ENOSPC** — a write persists a prefix and raises ``ENOSPC``;
+* **drop an fsync** — the call silently does nothing (a lying disk).
+
+After a crash, :meth:`CrashFS.crash_and_restore` rewrites the real tree
+from the durable image, resolving every not-yet-durable path with seeded
+choices (old content, torn prefix, full content, or absent).  The model:
+
+* file **data** becomes durable only through ``fsync_file``;
+* directory **entries** (create / rename / unlink) become durable only
+  through ``fsync_dir`` on the parent;
+* until both have happened, a crash may surface any combination the
+  kernel could have left behind.
+
+The same ``(schedule, seed)`` always produces the same post-crash tree,
+so a failing schedule from CI replays locally from its spec alone.
+"""
+
+from __future__ import annotations
+
+import enum
+import errno
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import FaultInjectionError, SimulatedCrash
+
+__all__ = [
+    "FsFaultKind",
+    "FsFault",
+    "OsFileSystem",
+    "CrashFS",
+]
+
+
+class FsFaultKind(enum.Enum):
+    CRASH = "crash"  # die before the op at this step runs
+    TORN_WRITE = "torn_write"  # persist a prefix of the write, then die
+    FAIL_RENAME = "fail_rename"  # replace raises EIO; process survives
+    ENOSPC = "enospc"  # write persists a prefix, raises ENOSPC; survives
+    DROP_FSYNC = "drop_fsync"  # fsync silently lies; process survives
+
+
+@dataclass(frozen=True)
+class FsFault:
+    """One fault, armed at one mutation step (1-based).
+
+    ``TORN_WRITE``/``ENOSPC`` arm only if the op at ``step`` is a write
+    and degrade to ``CRASH``/no-op otherwise; ``FAIL_RENAME`` only on a
+    ``replace``; ``DROP_FSYNC`` only on an fsync.  ``seed`` drives the
+    prefix length of torn writes.
+    """
+
+    kind: FsFaultKind
+    step: int
+    seed: int = 0
+
+
+class OsFileSystem:
+    """The real thing: POSIX mutations with honest durability primitives."""
+
+    def write_bytes(self, path: Path, data: bytes) -> None:
+        path.write_bytes(data)
+
+    def fsync_file(self, path: Path) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, src: Path, dst: Path) -> None:
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: Path) -> None:
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir-open
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fs without dir-fsync
+            pass
+        finally:
+            os.close(fd)
+
+    def mkdir(self, path: Path) -> None:
+        path.mkdir(parents=True, exist_ok=True)
+
+    def unlink(self, path: Path) -> None:
+        path.unlink()
+
+
+class _PathState:
+    """Shadow durability bookkeeping for one path under a :class:`CrashFS`.
+
+    ``committed`` is the content that survives if every pending change is
+    lost (``None`` = durably absent); ``inode`` is the current logical
+    content; ``inode_synced`` says the current content reached the platter
+    (``fsync_file``); ``entry_pending`` says the directory entry itself
+    (create / rename / unlink) has not been committed by a ``fsync_dir``.
+    """
+
+    __slots__ = ("committed", "inode", "inode_synced", "entry_pending")
+
+    def __init__(
+        self,
+        committed: bytes | None,
+        inode: bytes | None,
+        inode_synced: bool,
+        entry_pending: bool,
+    ) -> None:
+        self.committed = committed
+        self.inode = inode
+        self.inode_synced = inode_synced
+        self.entry_pending = entry_pending
+
+    @property
+    def durable(self) -> bool:
+        return not self.entry_pending and (
+            self.inode is None or self.inode_synced
+        )
+
+
+class CrashFS(OsFileSystem):
+    """A filesystem that keeps score of what a crash would destroy."""
+
+    def __init__(
+        self, root: str | Path, *, schedule: tuple[FsFault, ...] = (),
+        seed: int = 0,
+    ) -> None:
+        self.root = Path(root)
+        self.seed = seed
+        self.step = 0
+        self.crashed = False
+        self._faults: dict[int, FsFault] = {}
+        for f in schedule:
+            if f.step in self._faults:
+                raise FaultInjectionError(
+                    f"two faults armed at step {f.step}"
+                )
+            self._faults[f.step] = f
+        self._state: dict[str, _PathState] = {}
+        #: op log (op name, path) per step — lets tests name the step a
+        #: schedule killed, and sizes the kill-at-every-step sweep.
+        self.ops: list[tuple[str, str]] = []
+        #: faults that actually applied (a mis-aimed survivable fault
+        #: misses silently; the chaos harness keys its invariants off
+        #: what fired, not what was scheduled).
+        self.fired: list[FsFault] = []
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def _key(self, path: Path) -> str:
+        return os.path.normpath(str(path))
+
+    def _track(self, path: Path) -> _PathState:
+        key = self._key(path)
+        st = self._state.get(key)
+        if st is None:
+            if path.exists():
+                st = _PathState(path.read_bytes(), path.read_bytes(), True, False)
+            else:
+                st = _PathState(None, None, True, False)
+            self._state[key] = st
+        return st
+
+    def _arm(self, op: str, path: Path) -> FsFault | None:
+        """Advance the step counter and return the fault armed here."""
+        if self.crashed:
+            raise FaultInjectionError(
+                "filesystem already crashed; call crash_and_restore() first"
+            )
+        self.step += 1
+        self.ops.append((op, self._key(path)))
+        fault = self._faults.get(self.step)
+        if fault is None:
+            return None
+        applies = {
+            FsFaultKind.CRASH: True,
+            FsFaultKind.TORN_WRITE: op == "write",
+            FsFaultKind.ENOSPC: op == "write",
+            FsFaultKind.FAIL_RENAME: op == "replace",
+            FsFaultKind.DROP_FSYNC: op in ("fsync_file", "fsync_dir"),
+        }[fault.kind]
+        if not applies:
+            # a mis-aimed torn write still kills the process; the
+            # survivable kinds just miss.
+            if fault.kind is FsFaultKind.TORN_WRITE:
+                fault = FsFault(FsFaultKind.CRASH, fault.step, fault.seed)
+            else:
+                return None
+        self.fired.append(fault)
+        return fault
+
+    def _die(self, why: str) -> None:
+        self.crashed = True
+        raise SimulatedCrash(why)
+
+    @staticmethod
+    def _prefix(data: bytes, seed: int) -> bytes:
+        if not data:
+            return data
+        return data[: random.Random(seed).randrange(len(data))]
+
+    # -- the mutation surface ---------------------------------------------
+
+    def write_bytes(self, path: Path, data: bytes) -> None:
+        fault = self._arm("write", path)
+        st = self._track(path)
+        if fault is not None and fault.kind is FsFaultKind.CRASH:
+            self._die(f"crash before write of {path.name}")
+        creating = st.inode is None
+        if fault is not None and fault.kind is FsFaultKind.TORN_WRITE:
+            torn = self._prefix(data, fault.seed)
+            path.write_bytes(torn)
+            st.inode = torn
+            st.inode_synced = False
+            st.entry_pending = st.entry_pending or creating
+            self._die(f"crash mid-write of {path.name} ({len(torn)} bytes)")
+        if fault is not None and fault.kind is FsFaultKind.ENOSPC:
+            part = self._prefix(data, fault.seed)
+            path.write_bytes(part)
+            st.inode = part
+            st.inode_synced = False
+            st.entry_pending = st.entry_pending or creating
+            raise OSError(
+                errno.ENOSPC, f"injected ENOSPC writing {path.name}"
+            )
+        path.write_bytes(data)
+        st.inode = data
+        st.inode_synced = False
+        st.entry_pending = st.entry_pending or creating
+
+    def fsync_file(self, path: Path) -> None:
+        fault = self._arm("fsync_file", path)
+        if fault is not None and fault.kind is FsFaultKind.CRASH:
+            self._die(f"crash before fsync of {path.name}")
+        if fault is not None and fault.kind is FsFaultKind.DROP_FSYNC:
+            return  # the disk lied; durability state unchanged
+        st = self._track(path)
+        super().fsync_file(path)
+        st.inode_synced = True
+        if not st.entry_pending:
+            st.committed = st.inode
+
+    def replace(self, src: Path, dst: Path) -> None:
+        fault = self._arm("replace", src)
+        if fault is not None and fault.kind is FsFaultKind.CRASH:
+            self._die(f"crash before rename {src.name} -> {dst.name}")
+        if fault is not None and fault.kind is FsFaultKind.FAIL_RENAME:
+            raise OSError(
+                errno.EIO, f"injected rename failure {src.name} -> {dst.name}"
+            )
+        sst = self._track(src)
+        dst_state = self._track(dst)
+        super().replace(src, dst)
+        dst_state.inode = sst.inode
+        dst_state.inode_synced = sst.inode_synced
+        dst_state.entry_pending = True
+        sst.inode = None
+        sst.entry_pending = True
+
+    def fsync_dir(self, path: Path) -> None:
+        fault = self._arm("fsync_dir", path)
+        if fault is not None and fault.kind is FsFaultKind.CRASH:
+            self._die(f"crash before dir fsync of {path.name}")
+        if fault is not None and fault.kind is FsFaultKind.DROP_FSYNC:
+            return
+        super().fsync_dir(path)
+        key = self._key(path)
+        for pkey, st in self._state.items():
+            if os.path.dirname(pkey) != key or not st.entry_pending:
+                continue
+            st.entry_pending = False
+            if st.inode is None:
+                st.committed = None
+            elif st.inode_synced:
+                st.committed = st.inode
+
+    def mkdir(self, path: Path) -> None:
+        fault = self._arm("mkdir", path)
+        if fault is not None and fault.kind is FsFaultKind.CRASH:
+            self._die(f"crash before mkdir of {path.name}")
+        super().mkdir(path)
+
+    def unlink(self, path: Path) -> None:
+        fault = self._arm("unlink", path)
+        if fault is not None and fault.kind is FsFaultKind.CRASH:
+            self._die(f"crash before unlink of {path.name}")
+        st = self._track(path)
+        super().unlink(path)
+        st.inode = None
+        st.entry_pending = True
+
+    # -- crash resolution --------------------------------------------------
+
+    def survivors(self, path: Path) -> list[bytes | None]:
+        """Every content this path may hold after a crash right now."""
+        st = self._track(path)
+        out: list[bytes | None] = []
+
+        def add(v: bytes | None) -> None:
+            if not any(
+                v is w or v == w for w in out
+            ):
+                out.append(v)
+
+        if st.entry_pending:
+            add(st.committed)
+        if st.inode is None:
+            add(None)
+        elif st.inode_synced:
+            add(st.inode)
+        else:
+            # unsynced data: anything from nothing to the full write may
+            # have hit the platter (plus the pre-write content).
+            add(st.committed)
+            add(b"")
+            add(st.inode)
+            add(("torn", st.inode))  # type: ignore[arg-type]
+        return out
+
+    def crash_and_restore(self, seed: int | None = None) -> dict[str, bytes | None]:
+        """Rewrite the real tree to one seeded post-crash image.
+
+        Usable after a :class:`SimulatedCrash` *or* mid-flight (modelling
+        an external ``kill -9``).  Returns the resolved image (path key →
+        surviving content or ``None``) and resets the durability ledger so
+        the filesystem can be reused for the next life of the process.
+        """
+        rng = random.Random(self.seed if seed is None else seed)
+        image: dict[str, bytes | None] = {}
+        for key in sorted(self._state):
+            st = self._state[key]
+            options = self.survivors(Path(key))
+            pick = options[rng.randrange(len(options))]
+            if isinstance(pick, tuple):  # ("torn", data)
+                pick = self._prefix(pick[1], rng.randrange(2**31))
+            image[key] = pick
+            p = Path(key)
+            if pick is None:
+                if p.exists():
+                    p.unlink()
+            else:
+                p.parent.mkdir(parents=True, exist_ok=True)
+                p.write_bytes(pick)
+        self._state = {
+            k: _PathState(v, v, True, False) for k, v in image.items()
+        }
+        self.crashed = False
+        return image

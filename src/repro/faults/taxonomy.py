@@ -7,8 +7,9 @@ scheduler, the server and the CLI all agree:
 
 * **transient** — environmental damage that a retry can plausibly clear:
   a checksum mismatch (bit rot on one read, torn write), an injected
-  fault from the test harness, OS-level I/O errors, timeouts, and a
-  broken worker process (the pool respawns workers between attempts).
+  fault from the test harness, OS-level I/O errors, timeouts, a broken
+  or hung worker process (the pool respawns workers between attempts),
+  and a wire failure mid-request (the client reconnects and retries).
 * **permanent** — structural problems retrying cannot fix: invalid
   configuration, unsupported shapes/dtypes, unknown datasets, and
   malformed containers whose checksums *do* verify (the bytes really are
@@ -32,6 +33,8 @@ from ..errors import (
     DTypeError,
     FaultInjectionError,
     ShapeError,
+    TransportError,
+    WorkerHungError,
 )
 
 __all__ = ["TRANSIENT_TYPES", "PERMANENT_TYPES", "is_transient"]
@@ -41,6 +44,8 @@ __all__ = ["TRANSIENT_TYPES", "PERMANENT_TYPES", "is_transient"]
 TRANSIENT_TYPES: tuple[type[BaseException], ...] = (
     ChecksumError,
     FaultInjectionError,
+    WorkerHungError,
+    TransportError,
     BrokenExecutor,
     TimeoutError,
     ConnectionError,

@@ -30,11 +30,14 @@ the wire format.
 from .jobs import CompressionJob, JobHandle, JobResult, JobState, make_job
 from .metrics import LatencySummary, MetricsRegistry, ServiceStats
 from .queue import BoundedJobQueue
+from .resilience import CircuitBreaker, RetryPolicy
 from .scheduler import BatchScheduler, run_batch
 from .server import CompressionServer, ServiceClient, serve
 from .workers import WorkerPool, tile_compress_parallel
 
 __all__ = [
+    "RetryPolicy",
+    "CircuitBreaker",
     "CompressionJob",
     "JobHandle",
     "JobResult",

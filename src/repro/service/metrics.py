@@ -98,6 +98,7 @@ class ServiceStats:
     bytes_out: int
     ratio: float = field(default=0.0)
     gauges: Mapping[str, float] = field(default_factory=dict)
+    events: Mapping[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-serializable form (the wire format of the ``stats`` op)."""
@@ -118,6 +119,7 @@ class ServiceStats:
             "bytes_out": self.bytes_out,
             "ratio": self.ratio,
             "gauges": dict(self.gauges),
+            "events": dict(self.events),
         }
 
 
@@ -132,6 +134,7 @@ class MetricsRegistry:
         self._bytes_in = 0
         self._bytes_out = 0
         self._gauges: dict[str, float] = {}
+        self._events: dict[str, int] = {}
         self._first_completion: float | None = None
         self._last_completion: float | None = None
 
@@ -144,6 +147,18 @@ class MetricsRegistry:
         """Bump one per-codec counter (event ∈ ``_COUNTER_KEYS``)."""
         with self._lock:
             self._codec(codec)[event] += n
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Bump a free-form monotonic event counter.
+
+        The resilience plane lives here: ``client.retries``,
+        ``server.idem_hits``, ``watchdog.kills``, ``store.rollbacks``,
+        ``store.fsck_repairs`` — anything that is a count of things that
+        happened rather than a per-codec job transition.  Appears in
+        every snapshot under ``events`` from the first bump.
+        """
+        with self._lock:
+            self._events[name] = self._events.get(name, 0) + n
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set a point-in-time gauge (cache residency, queue depth, ...).
@@ -222,4 +237,5 @@ class MetricsRegistry:
                     self._bytes_in / self._bytes_out if self._bytes_out else 0.0
                 ),
                 gauges=dict(self._gauges),
+                events=dict(self._events),
             )

@@ -1,0 +1,130 @@
+"""Client-side resilience primitives: retry policy and circuit breaker.
+
+Both are deliberately tiny, deterministic state machines — no threads, no
+wall-clock reads of their own — so the chaos harness can drive them with
+a seeded RNG and an injectable clock and assert exact transitions.
+
+:class:`RetryPolicy` owns the *when to try again* decision: exponential
+backoff with full jitter (the AWS-style ``random() * min(cap, base*2^k)``
+schedule, which de-synchronises a thundering herd better than equal
+jitter) drawn from a seeded :class:`random.Random`.
+
+:class:`CircuitBreaker` owns the *whether to try at all* decision, the
+classic three states:
+
+* ``CLOSED``  — healthy; failures are counted, successes reset the count.
+* ``OPEN``    — ``failure_threshold`` consecutive failures tripped it;
+  every call is refused (:class:`~repro.errors.CircuitOpenError`) until
+  ``reset_after_s`` of clock time has passed.
+* ``HALF_OPEN`` — the cool-down elapsed; exactly one probe request is
+  let through.  Success closes the breaker, failure re-opens it and
+  restarts the cool-down.
+
+The breaker only ever sees *transport-level* outcomes: a server that
+answers with an application error (bad codec, queue full) is alive, and
+those responses count as successes for the breaker even though the call
+raises for the caller.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+from ..errors import CircuitOpenError
+
+__all__ = ["RetryPolicy", "CircuitBreaker"]
+
+
+class RetryPolicy:
+    """Seeded full-jitter exponential backoff over a bounded attempt budget.
+
+    ``attempts`` is the total number of tries (first call included), so
+    ``attempts=1`` means "never retry".  ``delay(k)`` is the pause *after*
+    failed attempt ``k`` (1-based).
+    """
+
+    def __init__(
+        self,
+        *,
+        attempts: int = 3,
+        base_s: float = 0.05,
+        cap_s: float = 2.0,
+        seed: int | None = None,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        self.attempts = attempts
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self._rng = random.Random(seed)
+
+    def delay(self, attempt: int) -> float:
+        """Jittered pause after failed attempt ``attempt`` (1-based)."""
+        ceiling = min(self.cap_s, self.base_s * (2 ** (attempt - 1)))
+        return self._rng.random() * ceiling
+
+    def should_retry(self, attempt: int) -> bool:
+        return attempt < self.attempts
+
+
+class CircuitBreaker:
+    """CLOSED → OPEN → HALF_OPEN three-state breaker with injectable clock.
+
+    ``clock`` defaults to :func:`time.monotonic`; tests pass a controlled
+    callable so state transitions are exact rather than sleep-raced.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_after_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_at: float | None = None
+        self.trips = 0  # times the breaker has opened (telemetry)
+
+    def allow(self) -> None:
+        """Gate one call: no-op when permitted, raises when the breaker
+        is open and still cooling down.  Moving to HALF_OPEN happens here,
+        so the first caller after the cool-down becomes the probe.
+        """
+        if self.state == self.OPEN:
+            assert self.opened_at is not None
+            remaining = self.reset_after_s - (self._clock() - self.opened_at)
+            if remaining > 0:
+                raise CircuitOpenError(
+                    f"circuit open after {self.failures} consecutive "
+                    f"failure(s); retry in {remaining:.2f}s"
+                )
+            self.state = self.HALF_OPEN
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == self.HALF_OPEN or (
+            self.failures >= self.failure_threshold
+        ):
+            if self.state != self.OPEN:
+                self.trips += 1
+            self.state = self.OPEN
+            self.opened_at = self._clock()

@@ -23,6 +23,7 @@ from ..errors import (
     JobFailedError,
     QueueFullError,
     ServiceError,
+    WorkerHungError,
 )
 from ..faults import is_transient
 from ..types import CompressedField
@@ -47,6 +48,7 @@ class BatchScheduler:
         max_retries: int = 2,
         backoff_base_s: float = 0.02,
         backoff_cap_s: float = 1.0,
+        hang_timeout_s: float | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self.pool = pool if pool is not None else WorkerPool(
@@ -57,6 +59,7 @@ class BatchScheduler:
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
+        self.hang_timeout_s = hang_timeout_s
         self._dispatchers: list[asyncio.Task] = []
         self._in_flight = 0
         self._idle = asyncio.Event()
@@ -105,16 +108,32 @@ class BatchScheduler:
             for i in range(self.pool.size)
         ]
 
-    async def stop(self) -> None:
-        """Drain nothing further: close intake, let dispatchers exit."""
+    async def stop(self, *, deadline_s: float | None = None) -> None:
+        """Graceful shutdown: close intake, drain in-flight, bounded.
+
+        Queued and running jobs finish normally (their callers get real
+        results) — intake is closed so nothing new enters.  With a
+        ``deadline_s``, dispatchers that have not exited by then are
+        cancelled and any job caught mid-run fails with a
+        :class:`JobFailedError` so no waiter hangs forever.
+        """
         self.queue.close()
-        for t in self._dispatchers:
-            try:
-                await t
-            except asyncio.CancelledError:  # pragma: no cover - teardown
-                pass
+        abandoned = False
+        pending = [t for t in self._dispatchers if not t.done()]
+        if pending:
+            _, not_done = await asyncio.wait(pending, timeout=deadline_s)
+            abandoned = bool(not_done)
+            for t in not_done:
+                t.cancel()
+            for t in not_done:
+                try:
+                    await t
+                except asyncio.CancelledError:
+                    pass
         self._dispatchers = []
-        self.pool.shutdown()
+        # a blown deadline means some worker is stuck mid-job; joining it
+        # would re-introduce the unbounded wait the deadline exists to cap
+        self.pool.shutdown(wait=not abandoned)
 
     async def drain(self) -> None:
         """Wait until the queue is empty and no job is in flight."""
@@ -141,6 +160,19 @@ class BatchScheduler:
             self._in_flight += 1
             try:
                 await self._run_one(handle)
+            except asyncio.CancelledError:
+                # shutdown deadline expired mid-run: fail the handle so
+                # its waiter is released, then let the cancellation win.
+                if handle.result is None and handle.error is None:
+                    handle.finish(
+                        JobState.FAILED,
+                        error=JobFailedError(
+                            f"job {handle.job.job_id!r} cancelled at "
+                            "shutdown deadline"
+                        ),
+                    )
+                    self.metrics.count(handle.job.metrics_key, "failed")
+                raise
             finally:
                 self._in_flight -= 1
                 if not self._in_flight and not self.queue.depth:
@@ -167,7 +199,7 @@ class BatchScheduler:
             handle.attempts = attempt
             t0 = time.monotonic()
             try:
-                output = await self.pool.run(self._worker_fn, job)
+                output = await self._run_worker(job)
             except Exception as exc:  # noqa: BLE001 - classified below
                 if is_transient(exc) and attempt < attempts:
                     self.metrics.count(key, "retried")
@@ -202,6 +234,29 @@ class BatchScheduler:
                 ),
             )
             return
+
+    async def _run_worker(self, job: CompressionJob) -> object:
+        """One pool execution under the watchdog's hang budget.
+
+        With ``hang_timeout_s`` set, a worker that does not come back in
+        time is killed (:meth:`WorkerPool.kill_hung` respawns the
+        executor) and the attempt fails with :class:`WorkerHungError` —
+        a *transient* error, so the normal retry loop gets the next
+        attempt on a fresh worker.
+        """
+        if self.hang_timeout_s is None:
+            return await self.pool.run(self._worker_fn, job)
+        try:
+            return await asyncio.wait_for(
+                self.pool.run(self._worker_fn, job), self.hang_timeout_s
+            )
+        except asyncio.TimeoutError:
+            self.pool.kill_hung()
+            self.metrics.incr("watchdog.kills")
+            raise WorkerHungError(
+                f"job {job.job_id!r} exceeded the {self.hang_timeout_s:g}s "
+                "hang budget; worker killed and pool respawned"
+            ) from None
 
     def _to_result(
         self, handle: JobHandle, output: object, *, run_s: float

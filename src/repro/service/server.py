@@ -11,6 +11,9 @@ Requests carry ``{"op": ...}`` plus op-specific fields; responses carry
 
 ``ping``
     liveness → ``{"ok": true, "version": ...}``
+``health``
+    readiness: status ("ok" / "draining"), queue depth, in-flight count,
+    worker count and pool restarts — the supervisor's probe op
 ``codecs``
     registry listing (canonical names, aliases, profiles)
 ``stats``
@@ -41,18 +44,36 @@ import asyncio
 import json
 import socket
 import struct
-from typing import Any
+import time
+import uuid
+from collections import OrderedDict
+from typing import Any, Callable
 
 import numpy as np
 
 from .. import __version__
 from ..codec.registry import REGISTRY
-from ..errors import QueueFullError, ReproError, ServiceError
+from ..errors import (
+    QueueFullError,
+    ReproError,
+    ServiceError,
+    ServiceTimeoutError,
+    TransportError,
+)
 from ..streams import MAX_FIELD_POINTS
 from .jobs import make_job
+from .resilience import CircuitBreaker, RetryPolicy
 from .scheduler import BatchScheduler
 
 __all__ = ["CompressionServer", "ServiceClient", "serve"]
+
+#: Completed responses remembered per request id — big enough that any
+#: sane retry window replays from cache, small enough to never matter.
+_IDEM_CACHE = 512
+
+#: Ops whose effect must not double-execute when a client retries after
+#: a wire failure: the request may have run even though the ack was lost.
+_IDEMPOTENT_OPS = frozenset({"compress", "decompress", "store_put"})
 
 _LEN = struct.Struct(">I")
 #: Largest accepted frame header/body (a full float64 field at the
@@ -97,6 +118,7 @@ class CompressionServer:
         pool_kind: str = "process",
         queue_size: int = 128,
         max_retries: int = 2,
+        hang_timeout_s: float | None = None,
         store_root: str | None = None,
         store_cache_bytes: int | None = None,
     ) -> None:
@@ -107,6 +129,7 @@ class CompressionServer:
             pool_kind=pool_kind,
             queue_size=queue_size,
             max_retries=max_retries,
+            hang_timeout_s=hang_timeout_s,
         )
         self.store = None
         if store_root is not None:
@@ -121,6 +144,10 @@ class CompressionServer:
                 metrics=self.scheduler.metrics,
             )
         self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        # request-id → Future[response frame]; in-flight entries dedup
+        # concurrent replays, completed entries answer late ones.
+        self._idem: OrderedDict[str, asyncio.Future] = OrderedDict()
 
     async def start(self) -> None:
         self.scheduler.start()
@@ -130,12 +157,26 @@ class CompressionServer:
         # resolve the ephemeral port for clients/tests
         self.port = self._server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
+    async def stop(
+        self, *, drain: bool = True, deadline_s: float | None = None
+    ) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight, bounded.
+
+        New work ops on existing connections are refused the moment this
+        is called (``"shutting-down"``); already-accepted jobs run to
+        completion so every acked submission gets a real answer.  With
+        ``drain=False`` (or once ``deadline_s`` expires) in-flight jobs
+        are cancelled and their callers get an explicit failure instead
+        of a hang.
+        """
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.scheduler.stop()
+        await self.scheduler.stop(
+            deadline_s=0 if not drain else deadline_s
+        )
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -167,9 +208,73 @@ class CompressionServer:
 
     async def _dispatch(self, header: dict, body: bytes) -> bytes:
         op = header.get("op")
+        req_id = header.get("req_id")
+        if (
+            op in _IDEMPOTENT_OPS
+            and isinstance(req_id, str)
+            and req_id
+        ):
+            return await self._dispatch_idempotent(req_id, header, body)
+        return await self._dispatch_inner(header, body)
+
+    async def _dispatch_idempotent(
+        self, req_id: str, header: dict, body: bytes
+    ) -> bytes:
+        """At-most-once execution per request id.
+
+        A retry that lands while the original is still running awaits the
+        *same* future; one that lands after completion replays the cached
+        response frame.  Either way the job executes exactly once — the
+        client may retry as aggressively as it likes.
+        """
+        fut = self._idem.get(req_id)
+        if fut is not None:
+            self.scheduler.metrics.incr("server.idem_hits")
+            return await asyncio.shield(fut)
+        fut = asyncio.get_running_loop().create_future()
+        self._idem[req_id] = fut
+        while len(self._idem) > _IDEM_CACHE:
+            self._idem.popitem(last=False)
+        try:
+            response = await self._dispatch_inner(header, body)
+        except BaseException as exc:
+            self._idem.pop(req_id, None)  # do not cache a non-answer
+            if not fut.done():
+                fut.set_exception(exc)
+                fut.exception()  # consumed: avoid the never-retrieved log
+            raise
+        if not fut.done():
+            fut.set_result(response)
+        return response
+
+    async def _dispatch_inner(self, header: dict, body: bytes) -> bytes:
+        op = header.get("op")
         try:
             if op == "ping":
                 return _pack({"ok": True, "version": __version__})
+            if op == "health":
+                s = self.scheduler
+                return _pack({
+                    "ok": True,
+                    "status": "draining" if self._draining else "ok",
+                    "version": __version__,
+                    "queue_depth": s.queue.depth,
+                    "in_flight": s._in_flight,
+                    "workers": s.pool.size,
+                    "pool_restarts": s.pool.restarts,
+                    "store": (
+                        "absent" if self.store is None
+                        else f"{len(self.store.names())} dataset(s)"
+                    ),
+                })
+            if self._draining and op in (
+                "compress", "decompress", "store_put",
+            ):
+                return _pack({
+                    "ok": False,
+                    "error": "shutting-down",
+                    "detail": "server is draining; submit elsewhere",
+                })
             if op == "codecs":
                 return _pack({"ok": True, "codecs": REGISTRY.describe(),
                               "short_names": list(REGISTRY.short_names())})
@@ -349,9 +454,18 @@ class CompressionServer:
 async def serve(
     host: str = "127.0.0.1",
     port: int = 8123,
+    *,
+    drain_deadline_s: float | None = 30.0,
     **kwargs: Any,
 ) -> None:
-    """Start a server and run until cancelled (the ``wavesz serve`` body)."""
+    """Start a server and run until cancelled (the ``wavesz serve`` body).
+
+    SIGTERM triggers the graceful path: stop accepting, drain in-flight
+    jobs for up to ``drain_deadline_s``, then exit — so a supervisor's
+    ordinary terminate never drops an acked job.
+    """
+    import signal
+
     server = CompressionServer(host, port, **kwargs)
     await server.start()
     store_note = (
@@ -361,25 +475,88 @@ async def serve(
           f"({server.scheduler.pool.kind} pool, "
           f"{server.scheduler.pool.size} workers, "
           f"queue {server.scheduler.queue.maxsize}{store_note})", flush=True)
+    stop_requested = asyncio.Event()
+    loop = asyncio.get_running_loop()
     try:
-        await server.serve_forever()
+        loop.add_signal_handler(signal.SIGTERM, stop_requested.set)
+    except (NotImplementedError, RuntimeError):  # pragma: no cover - win
+        pass
+    try:
+        forever = asyncio.ensure_future(server.serve_forever())
+        waiter = asyncio.ensure_future(stop_requested.wait())
+        await asyncio.wait(
+            (forever, waiter), return_when=asyncio.FIRST_COMPLETED
+        )
+        forever.cancel()
+        waiter.cancel()
+        if stop_requested.is_set():
+            print("wavesz service draining...", flush=True)
     except asyncio.CancelledError:  # pragma: no cover - SIGINT path
         pass
     finally:
-        await server.stop()
+        await server.stop(drain=True, deadline_s=drain_deadline_s)
+
+
+def _default_socket_factory(
+    host: str, port: int, timeout: float | None
+) -> Any:
+    return socket.create_connection((host, port), timeout=timeout)
 
 
 class ServiceClient:
-    """Blocking client for the service protocol (one socket, many ops)."""
+    """Blocking client for the service protocol (one socket, many ops).
+
+    Resilient by default: every op runs under a per-request deadline
+    (``timeout`` seconds of wall clock covering all socket reads, not
+    just connect), wire failures retry with seeded jittered backoff on a
+    fresh connection, and a :class:`CircuitBreaker` refuses calls fast
+    once the server looks down.  Work ops (``compress``, ``decompress``,
+    ``store_put``) carry a generated request id; the server executes
+    each id at most once, so a retry after a lost ack replays the cached
+    response instead of double-running the job.
+
+    ``socket_factory`` is the chaos seam: anything callable as
+    ``(host, port, timeout) -> socket-like`` (see
+    :class:`repro.faults.netsim.FlakySocketFactory`).
+    """
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 8123,
         timeout: float = 60.0,
+        *,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        socket_factory: Callable[..., Any] | None = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.retries = 0  # wire-level retries performed (telemetry)
+        self._socket_factory = (
+            socket_factory if socket_factory is not None
+            else _default_socket_factory
+        )
+        self._sock: Any = None
+        self._connect()  # eager: surface a dead server at construction
+
+    def _connect(self) -> None:
+        if self._sock is None:
+            self._sock = self._socket_factory(
+                self.host, self.port, self.timeout
+            )
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close races
+                pass
+            self._sock = None
 
     def close(self) -> None:
-        self._sock.close()
+        self._drop_connection()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -389,22 +566,74 @@ class ServiceClient:
 
     # -- framing ---------------------------------------------------------
 
-    def _recv_exact(self, n: int) -> bytes:
+    def _recv_exact(self, n: int, deadline: float) -> bytes:
+        """Read exactly ``n`` bytes, spending at most the time left until
+        ``deadline`` — the timeout is re-armed before *every* recv so a
+        byte-dripping peer cannot stretch one request past its budget.
+        """
         chunks = []
         while n:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError("request deadline expired mid-read")
+            self._sock.settimeout(remaining)
             chunk = self._sock.recv(min(n, 1 << 20))
             if not chunk:
-                raise ServiceError("server closed the connection mid-frame")
+                raise ConnectionResetError(
+                    "server closed the connection mid-frame"
+                )
             chunks.append(chunk)
             n -= len(chunk)
         return b"".join(chunks)
 
-    def _roundtrip(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
+    def _once(
+        self, header: dict, body: bytes, deadline: float
+    ) -> tuple[dict, bytes]:
+        """One wire attempt: connect if needed, send, read the response."""
+        self._connect()
         self._sock.sendall(_pack(header, body))
-        (hlen,) = _LEN.unpack(self._recv_exact(_LEN.size))
-        resp = json.loads(self._recv_exact(hlen))
-        rbody = self._recv_exact(resp.get("body_len", 0))
+        (hlen,) = _LEN.unpack(self._recv_exact(_LEN.size, deadline))
+        resp = json.loads(self._recv_exact(hlen, deadline))
+        rbody = self._recv_exact(resp.get("body_len", 0), deadline)
         return resp, rbody
+
+    def _roundtrip(
+        self, header: dict, body: bytes = b""
+    ) -> tuple[dict, bytes]:
+        op = str(header.get("op"))
+        if op in _IDEMPOTENT_OPS:
+            header = {**header, "req_id": uuid.uuid4().hex}
+        req_id = header.get("req_id", "-")
+        attempt = 0
+        while True:
+            attempt += 1
+            self.breaker.allow()  # raises CircuitOpenError when open
+            deadline = time.monotonic() + self.timeout
+            try:
+                resp, rbody = self._once(header, body, deadline)
+            except (socket.timeout, TimeoutError) as exc:
+                err: ServiceError = ServiceTimeoutError(
+                    f"{op} (request {req_id}) hit its {self.timeout:g}s "
+                    f"deadline on attempt {attempt}: {exc}"
+                )
+                cause: BaseException = exc
+            except (ConnectionError, OSError) as exc:
+                err = TransportError(
+                    f"{op} (request {req_id}) wire failure on attempt "
+                    f"{attempt}: {type(exc).__name__}: {exc}"
+                )
+                cause = exc
+            else:
+                # an application-level error still proves the server is
+                # alive — the breaker only tracks transport outcomes.
+                self.breaker.record_success()
+                return resp, rbody
+            self.breaker.record_failure()
+            self._drop_connection()
+            if not self.retry.should_retry(attempt):
+                raise err from cause
+            self.retries += 1
+            time.sleep(self.retry.delay(attempt))
 
     @staticmethod
     def _check(resp: dict) -> dict:
@@ -420,6 +649,10 @@ class ServiceClient:
 
     def ping(self) -> dict:
         return self._check(self._roundtrip({"op": "ping"})[0])
+
+    def health(self) -> dict:
+        """Liveness + readiness: status, queue depth, pool restarts."""
+        return self._check(self._roundtrip({"op": "health"})[0])
 
     def codecs(self) -> dict:
         return self._check(self._roundtrip({"op": "codecs"})[0])

@@ -77,6 +77,7 @@ class WorkerPool:
             self._owned = False
             self.size = getattr(executor, "_max_workers", 1)
             self.kind = "external"
+            self.restarts = 0
             return
         import os
 
@@ -90,6 +91,7 @@ class WorkerPool:
         self.size = max(1, max_workers)
         self._executor = None
         self._owned = True
+        self.restarts = 0  # times kill_hung() tore down the executor
 
     @property
     def executor(self) -> Executor | None:
@@ -126,9 +128,39 @@ class WorkerPool:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self.executor, fn, *args)
 
-    def shutdown(self) -> None:
+    def kill_hung(self) -> int:
+        """Tear down the live executor so a hung worker cannot wedge the
+        pool forever; the next :attr:`executor` access starts a fresh one.
+
+        For a process pool the worker processes are terminated outright
+        (a hung C loop never reaches a cooperative cancellation point);
+        thread pools cannot kill threads, so the stuck thread is leaked
+        and a replacement executor takes over — bounded by the watchdog's
+        hang budget, not by luck.  Returns the number of restarts so far.
+        External and inline pools are left alone (we do not own them).
+        """
+        if not self._owned or self.kind == "inline":
+            return self.restarts
+        executor = self._executor
+        self._executor = None
+        self.restarts += 1
+        if executor is not None:
+            if self.kind == "process":
+                for proc in list(
+                    getattr(executor, "_processes", {}).values()
+                ):
+                    try:
+                        proc.terminate()
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+            executor.shutdown(wait=False, cancel_futures=True)
+        return self.restarts
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Tear the pool down; ``wait=False`` abandons stuck workers
+        instead of blocking on them (used when a stop deadline blew)."""
         if self._owned and self._executor is not None:
-            self._executor.shutdown(wait=True)
+            self._executor.shutdown(wait=wait, cancel_futures=not wait)
             self._executor = None
 
     def __enter__(self) -> "WorkerPool":

@@ -21,11 +21,14 @@ reads skip them and report the lost tile indices.
 """
 
 from .cache import DEFAULT_CACHE_BYTES, TileCache
+from .fsck import FsckFinding, FsckReport, run_fsck
 from .store import (
+    JOURNAL_FORMAT,
     MANIFEST_FORMAT,
     ArrayStore,
     GCResult,
     PutResult,
+    RecoveryResult,
     StoreReadResult,
     TileDamage,
 )
@@ -38,5 +41,10 @@ __all__ = [
     "StoreReadResult",
     "TileDamage",
     "GCResult",
+    "RecoveryResult",
+    "FsckFinding",
+    "FsckReport",
+    "run_fsck",
     "MANIFEST_FORMAT",
+    "JOURNAL_FORMAT",
 ]

@@ -1,0 +1,285 @@
+"""Store-wide consistency check: walk everything, report, optionally repair.
+
+``fsck`` is the offline complement to the store's online recovery: where
+:meth:`~repro.store.ArrayStore.recover` undoes the *known* in-flight
+transaction recorded in the journal, ``fsck`` audits the whole layout
+against the durability invariants and classifies every deviation:
+
+========================  ========  =============================================
+kind                      severity  meaning / repair
+========================  ========  =============================================
+``dangling-journal``      error     an interrupted put not yet rolled back —
+                                    repair runs the rollback
+``torn-journal``          error     unreadable journal entry — repair removes it
+``bad-manifest``          error     manifest unparseable or structurally invalid
+                                    — never auto-deleted (it may name real data)
+``missing-object``        error     a manifest references an object that is gone
+                                    — unrepairable without the data
+``digest-mismatch``       error     object bytes do not hash to their name
+``container-damage``      error     object fails container-v2 integrity
+``decode-damage``         error     (``deep``) object does not decode to the
+                                    tile shape the manifest promises
+``orphan-object``         warning   no manifest references it — repair removes
+``stale-tmp``             warning   ``.tmp-*`` crash leftover — repair removes
+========================  ========  =============================================
+
+A clean store yields an empty report; after any single crash the pair
+``recover()`` (automatic on open) + ``fsck(repair=True)`` converges to
+zero findings — the property the chaos harness asserts across hundreds
+of seeded crash schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..codec.registry import get_codec
+from ..errors import ReproError, StoreError
+from ..io.container import Container
+from .store import _DIGEST_RE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .store import ArrayStore
+
+__all__ = ["FsckFinding", "FsckReport", "run_fsck"]
+
+
+@dataclass(frozen=True)
+class FsckFinding:
+    """One inconsistency: what, where, how bad, and whether it was fixed."""
+
+    kind: str
+    severity: str  # "error" | "warning"
+    subject: str  # dataset name, object digest, or file name
+    detail: str
+    repaired: bool = False
+
+
+@dataclass(frozen=True)
+class FsckReport:
+    """Everything one fsck pass saw."""
+
+    findings: tuple[FsckFinding, ...]
+    manifests_checked: int
+    objects_checked: int
+    deep: bool
+    repair: bool
+    actions: tuple[str, ...] = field(default=())
+
+    @property
+    def errors(self) -> tuple[FsckFinding, ...]:
+        return tuple(f for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> tuple[FsckFinding, ...]:
+        return tuple(f for f in self.findings if f.severity == "warning")
+
+    @property
+    def repaired(self) -> int:
+        return sum(1 for f in self.findings if f.repaired)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        mode = "deep" if self.deep else "fast"
+        if self.ok:
+            return (
+                f"fsck ({mode}): OK — {self.manifests_checked} manifest(s), "
+                f"{self.objects_checked} object(s), no findings"
+            )
+        kinds: dict[str, int] = {}
+        for f in self.findings:
+            kinds[f.kind] = kinds.get(f.kind, 0) + 1
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        return (
+            f"fsck ({mode}): {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s) [{parts}], "
+            f"{self.repaired} repaired"
+        )
+
+    def assert_clean(self) -> None:
+        if self.ok:
+            return
+        lines = [
+            f"  {f.severity}: {f.kind} {f.subject}: {f.detail}"
+            for f in self.findings[:8]
+        ]
+        raise StoreError(
+            f"fsck found {len(self.findings)} problem(s):\n" + "\n".join(lines)
+        )
+
+
+def _check_object(
+    store: "ArrayStore",
+    digest: str,
+    manifest: dict,
+    tile_index: int,
+    *,
+    deep: bool,
+) -> FsckFinding | None:
+    path = store._object_path(digest)
+    if not path.exists():
+        return FsckFinding(
+            "missing-object", "error", digest,
+            f"referenced by {manifest['name']!r} tile {tile_index}, not on disk",
+        )
+    blob = path.read_bytes()
+    if hashlib.sha256(blob).hexdigest() != digest:
+        return FsckFinding(
+            "digest-mismatch", "error", digest,
+            f"content of {path.name} does not hash to its name "
+            f"(referenced by {manifest['name']!r} tile {tile_index})",
+        )
+    report = Container.scan(blob)
+    if not report.ok:
+        return FsckFinding(
+            "container-damage", "error", digest,
+            "; ".join(report.problems or ("section checksum mismatch",)),
+        )
+    if deep:
+        try:
+            tile = get_codec(str(manifest["codec"])).decompress(blob)
+        except ReproError as exc:
+            return FsckFinding(
+                "decode-damage", "error", digest,
+                f"{type(exc).__name__}: {exc}",
+            )
+        expected = store._grid(manifest).tile_shape(tile_index)
+        if tuple(tile.shape) != expected:
+            return FsckFinding(
+                "decode-damage", "error", digest,
+                f"decoded to shape {tuple(tile.shape)}, manifest "
+                f"{manifest['name']!r} tile {tile_index} needs {expected}",
+            )
+    return None
+
+
+def run_fsck(
+    store: "ArrayStore", *, repair: bool = False, deep: bool = False
+) -> FsckReport:
+    """Walk the store; see the module docstring for the finding taxonomy.
+
+    With ``repair=True``, repairable findings are fixed *and reported as
+    repaired* — a second pass proves convergence by coming back empty.
+    """
+    findings: list[FsckFinding] = []
+    actions: list[str] = []
+
+    # 1. journal: anything here is an un-acked transaction.
+    jdir = store._journal_dir
+    if jdir.is_dir():
+        for jpath in sorted(jdir.glob("*.json")):
+            try:
+                entry = json.loads(jpath.read_text())
+                if not isinstance(entry, dict) or not isinstance(
+                    entry.get("name"), str
+                ):
+                    raise ValueError("not a journal object")
+            except (OSError, ValueError) as exc:
+                if repair:
+                    store._durable_unlink(jpath)
+                    actions.append(f"removed torn journal {jpath.name}")
+                findings.append(FsckFinding(
+                    "torn-journal", "error", jpath.name,
+                    f"unreadable journal entry: {exc}", repaired=repair,
+                ))
+                continue
+            if repair:
+                store._rollback(entry)
+                store._durable_unlink(jpath)
+                actions.append(
+                    f"rolled back interrupted put of {entry['name']!r}"
+                )
+            findings.append(FsckFinding(
+                "dangling-journal", "error", jpath.name,
+                f"interrupted put of {entry['name']!r} "
+                + ("rolled back" if repair else "awaiting rollback"),
+                repaired=repair,
+            ))
+
+    # 2. manifests and every object they reference.
+    manifests_checked = 0
+    checked: dict[str, FsckFinding | None] = {}
+    referenced: set[str] = set()
+    if store._manifest_dir.is_dir():
+        for mpath in sorted(store._manifest_dir.glob("*.json")):
+            manifests_checked += 1
+            try:
+                m = store.manifest(mpath.stem)
+            except ReproError as exc:
+                findings.append(FsckFinding(
+                    "bad-manifest", "error", mpath.stem, str(exc),
+                ))
+                continue
+            grid_ok = True
+            try:
+                store._grid(m)
+            except ReproError as exc:
+                grid_ok = False
+                findings.append(FsckFinding(
+                    "bad-manifest", "error", mpath.stem,
+                    f"tile grid invalid: {exc}",
+                ))
+            for i, digest in enumerate(m["tiles"]):
+                referenced.add(digest)
+                if digest not in checked:
+                    checked[digest] = _check_object(
+                        store, digest, m, i, deep=deep and grid_ok
+                    )
+                if checked[digest] is not None:
+                    findings.append(checked[digest])
+
+    # 3. object area: orphans and crash leftovers.
+    objects_checked = len(checked)
+    if store._object_dir.is_dir():
+        for path in sorted(store._object_dir.iterdir()):
+            name = path.name
+            if name.startswith(".tmp-"):
+                continue  # handled with the other dirs below
+            if not _DIGEST_RE.match(name):
+                findings.append(FsckFinding(
+                    "orphan-object", "warning", name,
+                    "foreign file in the object area (left in place)",
+                ))
+                continue
+            if name in referenced:
+                continue
+            objects_checked += 1
+            if repair:
+                store._durable_unlink(path)
+                store.cache.discard(name)
+                actions.append(f"removed orphan object {name[:12]}…")
+            findings.append(FsckFinding(
+                "orphan-object", "warning", name,
+                "no manifest references it", repaired=repair,
+            ))
+
+    for d in (store._manifest_dir, store._object_dir, store._journal_dir):
+        if not d.is_dir():
+            continue
+        for path in sorted(d.glob(".tmp-*")):
+            if repair:
+                store._durable_unlink(path)
+                actions.append(f"removed stale temp {path.name}")
+            findings.append(FsckFinding(
+                "stale-tmp", "warning", path.name,
+                f"crash leftover in {d.name}/", repaired=repair,
+            ))
+
+    if repair:
+        store._incr("store.fsck_repairs", sum(
+            1 for f in findings if f.repaired
+        ))
+    return FsckReport(
+        findings=tuple(findings),
+        manifests_checked=manifests_checked,
+        objects_checked=objects_checked,
+        deep=deep,
+        repair=repair,
+        actions=tuple(actions),
+    )

@@ -24,11 +24,22 @@ Both go through a byte-budgeted LRU :class:`~repro.store.cache.TileCache`
 of decoded tiles and report damage structurally: with ``strict=False`` a
 corrupt tile (caught by the container checksums or the content digest)
 is skipped and its index reported instead of failing the whole read.
+
+Crash consistency (see ``docs/RESILIENCE.md``): every on-disk mutation
+goes through an injectable :class:`~repro.faults.fsim.OsFileSystem` with
+full fsync discipline (temp file synced before the rename, parent
+directory synced after), ``put`` writes a journal entry *before* any
+tile or manifest write, and opening the store replays the journal —
+rolling interrupted puts back so the invariant holds: **an acked put is
+durable, an interrupted put is invisible**.  :meth:`ArrayStore.fsck`
+audits (and optionally repairs) the whole layout; :meth:`ArrayStore.gc`
+also sweeps stale ``.tmp-*`` files left by crashed writers.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import re
@@ -40,6 +51,7 @@ import numpy as np
 
 from ..codec.registry import REGISTRY, get_codec
 from ..errors import ChecksumError, ContainerError, ReproError, StoreError
+from ..faults.fsim import OsFileSystem
 from ..io.container import Container
 from ..parallel import plan_bands
 from ..tiling import TileGrid, normalize_slices
@@ -47,6 +59,7 @@ from .cache import DEFAULT_CACHE_BYTES, TileCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..service.metrics import MetricsRegistry
+    from .fsck import FsckReport
 
 __all__ = [
     "ArrayStore",
@@ -54,13 +67,18 @@ __all__ = [
     "StoreReadResult",
     "TileDamage",
     "GCResult",
+    "RecoveryResult",
     "MANIFEST_FORMAT",
+    "JOURNAL_FORMAT",
 ]
 
 MANIFEST_FORMAT = 1
+JOURNAL_FORMAT = 1
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
 _DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
+
+_TX_SEQ = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -130,17 +148,32 @@ class GCResult:
     removed: tuple[str, ...]
     reclaimed_bytes: int
     kept: int
+    tmp_removed: tuple[str, ...] = ()
 
     @property
     def n_removed(self) -> int:
         return len(self.removed)
 
 
-def _atomic_write(path: Path, blob: bytes) -> None:
-    """Write-then-rename so a crash never leaves a torn file behind."""
-    tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
-    tmp.write_bytes(blob)
-    os.replace(tmp, path)
+@dataclass(frozen=True)
+class RecoveryResult:
+    """What opening the store had to clean up.
+
+    ``actions`` is a tuple of ``(kind, subject)`` pairs — ``kind`` one of
+    ``"rolled-back"`` (a journaled put undone), ``"torn-journal"`` (an
+    unreadable journal entry removed; by write-ahead ordering nothing
+    after it was written), ``"stale-tmp"`` (a ``.tmp-*`` leftover swept).
+    An empty tuple means the store was already clean.
+    """
+
+    actions: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.actions
+
+    def count(self, kind: str) -> int:
+        return sum(1 for k, _ in self.actions if k == kind)
 
 
 class ArrayStore:
@@ -152,13 +185,25 @@ class ArrayStore:
         *,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         metrics: "MetricsRegistry | None" = None,
+        fs: OsFileSystem | None = None,
+        recover: bool = True,
     ) -> None:
         self.root = Path(root)
+        self.fs = fs if fs is not None else OsFileSystem()
+        self.metrics = metrics
         self.cache = TileCache(cache_bytes, metrics=metrics)
         #: Tiles actually decompressed (cache misses included, hits not) —
         #: the counter the "slice decodes only overlapping tiles" and
         #: "warm reads decode nothing" guarantees are asserted against.
         self.decode_calls = 0
+        #: what the opening recovery pass found (empty on a clean store)
+        self.recovery = RecoveryResult()
+        if recover:
+            self.recovery = self.recover()
+
+    def _incr(self, name: str, n: int = 1) -> None:
+        if self.metrics is not None and n:
+            self.metrics.incr(name, n)
 
     # -- paths ------------------------------------------------------------
 
@@ -169,6 +214,10 @@ class ArrayStore:
     @property
     def _object_dir(self) -> Path:
         return self.root / "objects"
+
+    @property
+    def _journal_dir(self) -> Path:
+        return self.root / "journal"
 
     def _manifest_path(self, name: str) -> Path:
         return self._manifest_dir / f"{name}.json"
@@ -184,6 +233,35 @@ class ArrayStore:
                 "[A-Za-z0-9._-], starting with a letter or digit"
             )
         return name
+
+    # -- durable writing ---------------------------------------------------
+
+    def _atomic_write(self, path: Path, blob: bytes) -> None:
+        """Write-then-rename with full fsync discipline.
+
+        The temp file is synced *before* the rename (so the entry can
+        never point at torn data) and the parent directory *after* (so
+        the entry itself survives a crash).  A survivable failure (e.g.
+        ENOSPC) cleans its temp file up; a crash leaves it for
+        :meth:`recover`/:meth:`gc` to sweep.
+        """
+        tmp = path.with_name(f".tmp-{os.getpid()}-{path.name}")
+        try:
+            self.fs.write_bytes(tmp, blob)
+            self.fs.fsync_file(tmp)
+            self.fs.replace(tmp, path)
+        except OSError:
+            try:
+                if tmp.exists():
+                    self.fs.unlink(tmp)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            raise
+        self.fs.fsync_dir(path.parent)
+
+    def _durable_unlink(self, path: Path) -> None:
+        self.fs.unlink(path)
+        self.fs.fsync_dir(path.parent)
 
     # -- writing ----------------------------------------------------------
 
@@ -205,6 +283,15 @@ class ArrayStore:
         field's feasible band count, so small fields store as one tile
         instead of failing.  Re-putting an existing name replaces its
         manifest; superseded objects stay until :meth:`gc`.
+
+        Crash contract: all compression happens up front, then a journal
+        entry naming the transaction (prior manifest bytes + the tile
+        digests about to be written) is made durable *before* any tile
+        or manifest write.  Returning — the ack — happens only after the
+        manifest is durable and the journal entry is gone.  A crash at
+        any interior step is rolled back by :meth:`recover` on the next
+        open; a survivable I/O failure (ENOSPC, a failed rename) is
+        rolled back immediately and re-raised as :class:`StoreError`.
         """
         self._check_name(name)
         data = np.ascontiguousarray(field)
@@ -212,14 +299,10 @@ class ArrayStore:
         canonical = REGISTRY.canonical(codec)
         bound, slices = plan_bands(data, eb, mode, n_tiles, clamp=True)
 
-        self._manifest_dir.mkdir(parents=True, exist_ok=True)
-        self._object_dir.mkdir(parents=True, exist_ok=True)
-
+        # Phase 0: pure compute — nothing on disk can be hurt yet.
         digests: list[str] = []
         tile_bytes: list[int] = []
-        new_objects = 0
-        stored_bytes = 0
-        dedup_bytes = 0
+        payloads: dict[str, bytes] = {}
         for sl in slices:
             payload = compressor.compress(
                 np.ascontiguousarray(data[sl]), bound.absolute, "abs"
@@ -227,13 +310,7 @@ class ArrayStore:
             digest = hashlib.sha256(payload).hexdigest()
             digests.append(digest)
             tile_bytes.append(len(payload))
-            path = self._object_path(digest)
-            if path.exists():
-                dedup_bytes += len(payload)
-            else:
-                _atomic_write(path, payload)
-                new_objects += 1
-                stored_bytes += len(payload)
+            payloads.setdefault(digest, payload)
 
         manifest = {
             "format": MANIFEST_FORMAT,
@@ -249,10 +326,62 @@ class ArrayStore:
             "tile_bytes": tile_bytes,
             "original_bytes": int(data.size * data.dtype.itemsize),
         }
-        _atomic_write(
-            self._manifest_path(name),
-            json.dumps(manifest, indent=2, sort_keys=True).encode(),
-        )
+
+        self.fs.mkdir(self._manifest_dir)
+        self.fs.mkdir(self._object_dir)
+        self.fs.mkdir(self._journal_dir)
+
+        new_digests = [
+            d for d in dict.fromkeys(digests)
+            if not self._object_path(d).exists()
+        ]
+        mpath = self._manifest_path(name)
+        prior_text = mpath.read_text() if mpath.exists() else None
+
+        # Phase 1: the write-ahead journal entry — durable before any
+        # other byte moves, so recovery always knows how to undo us.
+        entry = {
+            "format": JOURNAL_FORMAT,
+            "txid": f"{os.getpid()}-{next(_TX_SEQ)}",
+            "name": name,
+            "prior_manifest": prior_text,
+            "new_tiles": new_digests,
+        }
+        jpath = self._journal_dir / f"tx-{entry['txid']}.json"
+        try:
+            self._atomic_write(jpath, json.dumps(entry, indent=2).encode())
+        except OSError as exc:
+            # nothing was written yet — the put simply never happened.
+            raise StoreError(
+                f"put {name!r} could not journal its transaction: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+        # Phase 2: tiles, then manifest — each individually atomic.
+        try:
+            for digest in new_digests:
+                self._atomic_write(self._object_path(digest), payloads[digest])
+            self._atomic_write(
+                mpath, json.dumps(manifest, indent=2, sort_keys=True).encode()
+            )
+        except OSError as exc:
+            self._rollback(entry)
+            try:
+                self._durable_unlink(jpath)
+            except OSError:  # pragma: no cover - sweep catches it later
+                pass
+            self._incr("store.put_rollbacks")
+            raise StoreError(
+                f"put {name!r} failed and was rolled back: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+        # Phase 3: commit — the journal entry disappears, then we ack.
+        self._durable_unlink(jpath)
+
+        new_objects = len(new_digests)
+        stored_bytes = sum(len(payloads[d]) for d in new_digests)
+        dedup_bytes = sum(tile_bytes) - stored_bytes
         return PutResult(
             name=name,
             shape=tuple(data.shape),
@@ -343,7 +472,97 @@ class ArrayStore:
         path = self._manifest_path(name)
         if not path.exists():
             raise StoreError(f"store at {self.root} has no dataset {name!r}")
-        path.unlink()
+        self._durable_unlink(path)
+
+    # -- recovery ----------------------------------------------------------
+
+    def _referenced_tolerant(self) -> frozenset[str]:
+        """Referenced digests, skipping manifests recovery can't read yet."""
+        refs: set[str] = set()
+        if self._manifest_dir.is_dir():
+            for path in self._manifest_dir.glob("*.json"):
+                try:
+                    refs.update(self.manifest(path.stem)["tiles"])
+                except ReproError:
+                    continue
+        return frozenset(refs)
+
+    def _rollback(self, entry: dict[str, Any]) -> None:
+        """Undo one journaled put: restore the prior manifest, drop the
+        tiles the transaction introduced (unless another manifest now
+        references them)."""
+        name = str(entry.get("name", ""))
+        mpath = self._manifest_path(name)
+        prior = entry.get("prior_manifest")
+        if prior is not None:
+            if not mpath.exists() or mpath.read_text() != prior:
+                self._atomic_write(mpath, str(prior).encode())
+        elif mpath.exists():
+            self._durable_unlink(mpath)
+        refs = self._referenced_tolerant()
+        for digest in entry.get("new_tiles", ()):
+            if not isinstance(digest, str) or not _DIGEST_RE.match(digest):
+                continue
+            path = self._object_path(digest)
+            if digest not in refs and path.exists():
+                self._durable_unlink(path)
+            self.cache.discard(digest)
+
+    def recover(self) -> RecoveryResult:
+        """Replay-or-roll-back the journal and sweep crash leftovers.
+
+        Runs automatically when the store is opened.  Idempotent: a crash
+        *during* recovery is repaired by the next recovery.  Journal
+        entries that survive a crash mean the put never acked (the commit
+        point is the entry's durable removal), so each one is rolled
+        back; an unreadable (torn) entry means the crash happened while
+        the entry itself was being written — write-ahead ordering
+        guarantees nothing else moved, so it is simply dropped.
+        """
+        actions: list[tuple[str, str]] = []
+        jdir = self._journal_dir
+        if jdir.is_dir():
+            for jpath in sorted(jdir.glob("*.json")):
+                try:
+                    entry = json.loads(jpath.read_text())
+                    if (
+                        not isinstance(entry, dict)
+                        or entry.get("format") != JOURNAL_FORMAT
+                        or not isinstance(entry.get("name"), str)
+                    ):
+                        raise ValueError("bad journal entry")
+                except (OSError, ValueError):
+                    self._durable_unlink(jpath)
+                    actions.append(("torn-journal", jpath.name))
+                    continue
+                self._rollback(entry)
+                self._durable_unlink(jpath)
+                actions.append(("rolled-back", str(entry["name"])))
+        for d in (self._manifest_dir, self._object_dir, jdir):
+            if not d.is_dir():
+                continue
+            for tmp in sorted(d.glob(".tmp-*")):
+                try:
+                    self._durable_unlink(tmp)
+                except OSError:  # pragma: no cover - racing writer
+                    continue
+                actions.append(("stale-tmp", tmp.name))
+        self._incr("store.rollbacks", sum(
+            1 for k, _ in actions if k == "rolled-back"
+        ))
+        return RecoveryResult(tuple(actions))
+
+    def fsck(self, *, repair: bool = False, deep: bool = False) -> "FsckReport":
+        """Audit every manifest, object, journal entry and temp file.
+
+        See :func:`repro.store.fsck.run_fsck` for the finding taxonomy.
+        ``repair=True`` fixes what can be fixed (journal rollback, orphan
+        and temp-file removal); ``deep=True`` additionally decodes every
+        referenced tile and checks its shape.
+        """
+        from .fsck import run_fsck
+
+        return run_fsck(self, repair=repair, deep=deep)
 
     # -- reading ----------------------------------------------------------
 
@@ -468,28 +687,44 @@ class ArrayStore:
         refs: set[str] = set()
         if self._manifest_dir.is_dir():
             for path in self._manifest_dir.glob("*.json"):
+                if path.name.startswith(".tmp-"):
+                    continue  # crashed writer leftovers, swept by gc
                 refs.update(self.manifest(path.stem)["tiles"])
         return frozenset(refs)
 
     def gc(self) -> GCResult:
         """Remove objects no manifest references (superseded versions,
-        deleted datasets).  Safe to run any time; referenced objects and
-        non-object files are never touched."""
+        deleted datasets) and sweep stale ``.tmp-*`` files left behind by
+        crashed writers.  Safe to run any time; referenced objects,
+        journal entries and foreign files are never touched."""
         refs = self.referenced_digests()
         removed: list[str] = []
+        tmp_removed: list[str] = []
         reclaimed = 0
         kept = 0
         if self._object_dir.is_dir():
             for path in sorted(self._object_dir.iterdir()):
                 if not _DIGEST_RE.match(path.name):
-                    continue  # temp files / foreign junk are not ours to gc
+                    continue  # temp files / foreign junk handled below
                 if path.name in refs:
                     kept += 1
                     continue
                 reclaimed += path.stat().st_size
-                path.unlink()
+                self.fs.unlink(path)
                 self.cache.discard(path.name)
                 removed.append(path.name)
+            self.fs.fsync_dir(self._object_dir)
+        for d in (self._manifest_dir, self._object_dir, self._journal_dir):
+            if not d.is_dir():
+                continue
+            for path in sorted(d.glob(".tmp-*")):
+                reclaimed += path.stat().st_size
+                try:
+                    self._durable_unlink(path)
+                except OSError:  # pragma: no cover - racing writer
+                    continue
+                tmp_removed.append(path.name)
         return GCResult(
-            removed=tuple(removed), reclaimed_bytes=reclaimed, kept=kept
+            removed=tuple(removed), reclaimed_bytes=reclaimed, kept=kept,
+            tmp_removed=tuple(tmp_removed),
         )

@@ -1,0 +1,76 @@
+"""Chaos smoke: seeded randomized fault schedules over store and service.
+
+Tier-1 keeps the sweeps small (tens of schedules); the CI chaos job and
+``wavesz chaos --schedules 200`` run the wide ones.  Fixed seeds: a
+failure here replays bit-for-bit from the (seed, run) pair it prints.
+"""
+
+import numpy as np
+
+from repro.cli import main
+from repro.faults import ChaosHarness
+from repro.store import ArrayStore
+
+
+class TestStoreChaos:
+    def test_store_sweep_clean(self, tmp_path):
+        report = ChaosHarness(seed=2026).run_store(tmp_path, runs=30)
+        report.assert_clean()
+        assert report.runs == 30
+        assert sum(report.faults_fired.values()) > 0
+        assert "OK" in report.summary()
+
+    def test_distinct_seeds_draw_distinct_schedules(self, tmp_path):
+        a = ChaosHarness(seed=1).run_store(tmp_path / "a", runs=8)
+        b = ChaosHarness(seed=2).run_store(tmp_path / "b", runs=8)
+        assert a.ok and b.ok
+        assert a.faults_fired != b.faults_fired
+
+
+class TestServiceChaos:
+    def test_service_sweep_clean(self):
+        report = ChaosHarness(seed=5).run_service(runs=3, ops_per_run=3)
+        report.assert_clean()
+        assert report.suite == "service"
+
+
+class TestChaosCli:
+    def test_cli_store_suite_exit_zero(self, capsys):
+        rc = main(["chaos", "--suite", "store", "--schedules", "10",
+                   "--seed", "12"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "chaos store: OK" in out
+
+    def test_cli_fsck_roundtrip(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        field = np.random.default_rng(0).normal(size=(8, 12)).astype(
+            np.float32
+        )
+        store = ArrayStore(root)
+        store.put("x", field, "sz10", n_tiles=2)
+        assert main(["store", "--root", str(root), "fsck", "--deep"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        store.delete("x")  # orphans the objects
+        assert main(["store", "--root", str(root), "fsck"]) == 0
+        assert "orphan-object" in capsys.readouterr().out
+        assert main(
+            ["store", "--root", str(root), "fsck", "--repair"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["store", "--root", str(root), "fsck", "--deep"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_cli_fsck_unrepairable_exits_nonzero(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        field = np.random.default_rng(0).normal(size=(8, 12)).astype(
+            np.float32
+        )
+        store = ArrayStore(root)
+        store.put("x", field, "sz10", n_tiles=2)
+        next(iter((root / "objects").iterdir())).unlink()
+        assert main(
+            ["store", "--root", str(root), "fsck", "--repair"]
+        ) == 1
+        assert "missing-object" in capsys.readouterr().out

@@ -1,0 +1,206 @@
+"""Crash-recovery suite: kill a put at *every* filesystem step.
+
+The central durability claim — *an acked put is durable, an interrupted
+put is invisible* — proven exhaustively rather than statistically: a dry
+run counts the exact mutation steps an update put performs, then one
+test case per step kills the process right there, pulls the power, and
+checks the reopened store.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulatedCrash, StoreError
+from repro.faults.fsim import CrashFS, FsFault, FsFaultKind
+from repro.store import ArrayStore
+
+EB = 1e-3
+
+
+def _field(seed, shape=(8, 12)):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """A template store with two datasets plus its bit-exact reads."""
+    root = tmp_path_factory.mktemp("crash") / "template"
+    store = ArrayStore(root)
+    store.put("keep", _field(1), "sz10", EB, n_tiles=2)
+    store.put("target", _field(2), "sz10", EB, n_tiles=2)
+    return {
+        "root": root,
+        "keep": store.read("keep").data,
+        "old": store.read("target").data,
+    }
+
+
+def _update(root, fs=None):
+    store = ArrayStore(root, fs=fs) if fs else ArrayStore(root)
+    return store.put(
+        "target", (_field(2) + 0.5).astype(np.float32), "sz10", EB,
+        n_tiles=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def n_steps(baseline, tmp_path_factory):
+    """Count the filesystem steps of one undisturbed update put."""
+    scratch = tmp_path_factory.mktemp("dry") / "s"
+    shutil.copytree(baseline["root"], scratch)
+    fs = CrashFS(scratch)
+    _update(scratch, fs)
+    assert fs.step >= 15, "journalled put should take many fs steps"
+    return fs.step
+
+
+def _new_value(baseline, tmp_path):
+    scratch = tmp_path / "expected"
+    shutil.copytree(baseline["root"], scratch)
+    _update(scratch)
+    return ArrayStore(scratch).read("target").data
+
+
+@pytest.mark.parametrize("step", range(1, 22))
+def test_kill_at_step(step, baseline, n_steps, tmp_path):
+    if step > n_steps:
+        pytest.skip(f"update put only takes {n_steps} steps")
+    scratch = tmp_path / "s"
+    shutil.copytree(baseline["root"], scratch)
+    fs = CrashFS(
+        scratch,
+        schedule=(FsFault(FsFaultKind.CRASH, step, seed=step),),
+        seed=step,
+    )
+    acked = False
+    try:
+        _update(scratch, fs)
+        acked = True
+    except SimulatedCrash:
+        pass
+    assert not acked, "the schedule must kill before the ack"
+    journal_unlinked = any(
+        op == "unlink" and "journal" in key for op, key in fs.ops
+    )
+    fs.crash_and_restore(1000 + step)
+
+    store = ArrayStore(scratch)  # recovery runs here — must not raise
+    np.testing.assert_array_equal(
+        store.read("keep").data, baseline["keep"]
+    )
+    target = store.read("target").data
+    if not journal_unlinked:
+        # killed before the commit point: the put must be invisible.
+        np.testing.assert_array_equal(target, baseline["old"])
+    else:
+        # killed inside the commit window: old or new, never a hybrid.
+        new = _new_value(baseline, tmp_path)
+        assert (
+            np.array_equal(target, baseline["old"])
+            or np.array_equal(target, new)
+        )
+    store.fsck(repair=True)
+    report = store.fsck(deep=True)
+    assert report.ok, report.summary()
+
+
+class TestSurvivableFaults:
+    @pytest.mark.parametrize("kind", [
+        FsFaultKind.ENOSPC, FsFaultKind.FAIL_RENAME,
+    ])
+    @pytest.mark.parametrize("step", [4, 6, 8, 10, 12, 14, 16, 18])
+    def test_failed_put_rolls_back_immediately(
+        self, kind, step, baseline, n_steps, tmp_path
+    ):
+        """Writes happen at steps 4/8/12/16, renames at 6/10/14/18; a
+        fault that misses its op kind is survivable noise and the put
+        simply succeeds."""
+        scratch = tmp_path / "s"
+        shutil.copytree(baseline["root"], scratch)
+        fs = CrashFS(
+            scratch, schedule=(FsFault(kind, step, seed=step),), seed=step
+        )
+        try:
+            _update(scratch, fs)
+            fired = False  # the fault missed its op kind at this step
+        except StoreError:
+            fired = True
+        store = ArrayStore(scratch)
+        if fired:
+            np.testing.assert_array_equal(
+                store.read("target").data, baseline["old"]
+            )
+            assert store.fsck(deep=True).ok
+        else:
+            # the put went through; the superseded tiles are orphan
+            # *warnings* awaiting gc, never errors.
+            assert not store.fsck(deep=True).errors
+
+    def test_rollback_restores_prior_manifest_text(
+        self, baseline, tmp_path
+    ):
+        scratch = tmp_path / "s"
+        shutil.copytree(baseline["root"], scratch)
+        before = (scratch / "manifests" / "target.json").read_bytes()
+        # step 18 is the manifest rename itself — the worst place to fail
+        fs = CrashFS(
+            scratch,
+            schedule=(FsFault(FsFaultKind.FAIL_RENAME, 18, seed=1),),
+        )
+        with pytest.raises(StoreError, match="rolled back"):
+            _update(scratch, fs)
+        assert (scratch / "manifests" / "target.json").read_bytes() == before
+
+
+class TestRecoveryItself:
+    def test_crash_during_recovery_recovers(self, baseline, tmp_path):
+        """Recovery is idempotent: killing the rollback re-runs it."""
+        scratch = tmp_path / "s"
+        shutil.copytree(baseline["root"], scratch)
+        fs = CrashFS(
+            scratch, schedule=(FsFault(FsFaultKind.CRASH, 17),), seed=3
+        )
+        with pytest.raises(SimulatedCrash):
+            _update(scratch, fs)
+        fs.crash_and_restore(3)
+
+        fs2 = CrashFS(
+            scratch, schedule=(FsFault(FsFaultKind.CRASH, 2),), seed=4
+        )
+        with pytest.raises(SimulatedCrash):
+            ArrayStore(scratch, fs=fs2)  # dies mid-rollback
+        fs2.crash_and_restore(4)
+
+        store = ArrayStore(scratch)
+        np.testing.assert_array_equal(
+            store.read("target").data, baseline["old"]
+        )
+        store.fsck(repair=True)
+        assert store.fsck(deep=True).ok
+
+    def test_recovery_reports_actions(self, baseline, tmp_path):
+        scratch = tmp_path / "s"
+        shutil.copytree(baseline["root"], scratch)
+        fs = CrashFS(
+            scratch, schedule=(FsFault(FsFaultKind.CRASH, 15),), seed=5
+        )
+        with pytest.raises(SimulatedCrash):
+            _update(scratch, fs)
+        fs.crash_and_restore(5)
+        store = ArrayStore(scratch)
+        assert store.recovery.count("rolled-back") + store.recovery.count(
+            "stale-tmp"
+        ) >= 1
+
+    def test_gc_sweeps_stale_tmp(self, baseline, tmp_path):
+        scratch = tmp_path / "s"
+        shutil.copytree(baseline["root"], scratch)
+        store = ArrayStore(scratch)
+        (scratch / "objects" / ".tmp-1-deadbeef").write_bytes(b"junk")
+        (scratch / "manifests" / ".tmp-2-x.json").write_bytes(b"junk")
+        result = store.gc()
+        assert len(result.tmp_removed) == 2
+        assert not list(scratch.glob("*/.tmp-*"))

@@ -1,0 +1,151 @@
+"""Unit tests for the client resilience primitives and the wire shims."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.faults.netsim import (
+    FlakyConnection,
+    NetFault,
+    NetFaultKind,
+)
+from repro.service.resilience import CircuitBreaker, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_delays_follow_capped_exponential_ceiling(self):
+        p = RetryPolicy(attempts=6, base_s=0.1, cap_s=0.5, seed=1)
+        for attempt in range(1, 6):
+            ceiling = min(0.5, 0.1 * 2 ** (attempt - 1))
+            for _ in range(20):
+                assert 0 <= p.delay(attempt) <= ceiling
+
+    def test_seeded_delays_reproduce(self):
+        a = [RetryPolicy(seed=7).delay(k) for k in (1, 2, 3)]
+        b = [RetryPolicy(seed=7).delay(k) for k in (1, 2, 3)]
+        assert a == b
+
+    def test_should_retry_budget(self):
+        p = RetryPolicy(attempts=3)
+        assert p.should_retry(1)
+        assert p.should_retry(2)
+        assert not p.should_retry(3)
+        assert not RetryPolicy(attempts=1).should_retry(1)
+
+    def test_attempts_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kw):
+        self.now = 0.0
+        kw.setdefault("failure_threshold", 3)
+        kw.setdefault("reset_after_s", 10.0)
+        return CircuitBreaker(clock=lambda: self.now, **kw)
+
+    def test_stays_closed_below_threshold(self):
+        b = self._breaker()
+        for _ in range(2):
+            b.allow()
+            b.record_failure()
+        assert b.state == CircuitBreaker.CLOSED
+        b.record_success()
+        assert b.failures == 0
+
+    def test_opens_at_threshold_and_refuses(self):
+        b = self._breaker()
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == CircuitBreaker.OPEN
+        assert b.trips == 1
+        with pytest.raises(CircuitOpenError, match="retry in"):
+            b.allow()
+
+    def test_half_open_probe_then_close(self):
+        b = self._breaker()
+        for _ in range(3):
+            b.record_failure()
+        self.now = 10.1  # cool-down elapsed
+        b.allow()  # becomes the probe
+        assert b.state == CircuitBreaker.HALF_OPEN
+        b.record_success()
+        assert b.state == CircuitBreaker.CLOSED
+        b.allow()
+
+    def test_half_open_failure_reopens(self):
+        b = self._breaker()
+        for _ in range(3):
+            b.record_failure()
+        self.now = 10.1
+        b.allow()
+        b.record_failure()  # the probe failed
+        assert b.state == CircuitBreaker.OPEN
+        assert b.trips == 2
+        with pytest.raises(CircuitOpenError):
+            b.allow()
+        self.now = 20.2
+        b.allow()  # a fresh cool-down elapsed
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+@pytest.fixture
+def wire():
+    """A connected socket pair; the far end is fed by the test."""
+    a, b = socket.socketpair()
+    yield a, b
+    for s in (a, b):
+        try:
+            s.close()
+        except OSError:
+            pass
+
+
+class TestFlakyConnection:
+    def test_reset_after_n_bytes(self, wire):
+        a, b = wire
+        conn = FlakyConnection(
+            a, NetFault(NetFaultKind.RESET, after_bytes=4)
+        )
+        b.sendall(b"12345678")
+        assert conn.recv(4) == b"1234"
+        with pytest.raises(ConnectionResetError, match="injected"):
+            conn.recv(4)
+
+    def test_stall_raises_timeout(self, wire):
+        a, b = wire
+        conn = FlakyConnection(
+            a, NetFault(NetFaultKind.STALL, after_bytes=0)
+        )
+        with pytest.raises(TimeoutError, match="stalled"):
+            conn.recv(1)
+
+    def test_drip_caps_chunk_size(self, wire):
+        a, b = wire
+        conn = FlakyConnection(a, NetFault(NetFaultKind.DRIP, chunk=2))
+        b.sendall(b"abcdef")
+        out = b""
+        while len(out) < 6:
+            chunk = conn.recv(1024)
+            assert len(chunk) <= 2
+            out += chunk
+        assert out == b"abcdef"
+
+    def test_clean_connection_passthrough(self, wire):
+        a, b = wire
+        conn = FlakyConnection(a)
+
+        def echo():
+            data = b.recv(16)
+            b.sendall(data.upper())
+
+        t = threading.Thread(target=echo)
+        t.start()
+        conn.sendall(b"ping")
+        assert conn.recv(16) == b"PING"
+        t.join(5)
