@@ -1,0 +1,206 @@
+"""Dual-quant bench — waveSZ-dp vs the classic wavefront PQD path.
+
+The dual-quant refactor's pitch is "same rate/quality, no recurrence":
+prequantizing to the eb lattice up front turns the Lorenzo sweep into a
+pure data-parallel diff/cumsum chain, so the fused kernels should beat
+the classic waveSZ wavefront loop outright while landing the same
+rate-distortion point.  This bench measures both halves:
+
+* **rate/PSNR parity** — compression ratio, bit rate, PSNR, and max
+  error of ``wavesz-dp`` vs classic ``wavesz`` on the paper's 1D/2D/3D
+  fields at the standard working point;
+* **throughput** — compress/decompress wall clock for both codecs, plus
+  the dp codec's fast-vs-reference kernel speedup with byte-identical
+  payloads verified across dispatch modes.
+
+Results land in ``benchmarks/results/BENCH_dualquant.json`` and a human
+table.  ``--smoke`` runs only the 2D field and **fails unless the fast
+dp kernels hold >= 1.0x of reference and fused dp compress beats the
+classic wavefront compress** — the CI perf gate for this codec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from common import RESULTS_DIR, emit, fmt_row
+
+from repro import load_field
+from repro.codec.registry import get_codec
+from repro.kernels import forced
+from repro.metrics import psnr
+from repro.perf import measure_compressor
+
+EB = 1e-3
+MODE = "vr_rel"
+SMOKE_FIELD = "2d CESM.CLDLOW"
+
+# Classic waveSZ needs >= 2D (the wavefront axis), so the parity sweep
+# sticks to 2D/3D fields; dp's 1D support is covered by the test suites.
+FIELDS = {
+    "2d CESM.TS": lambda: load_field("CESM-ATM", "TS"),
+    SMOKE_FIELD: lambda: load_field("CESM-ATM", "CLDLOW"),
+    "3d Hurricane.CLOUDf48": lambda: load_field("Hurricane", "CLOUDf48"),
+}
+
+
+def _quality(field: np.ndarray, codec_name: str, repeats: int) -> dict:
+    """Rate/quality plus wall clock for one codec on one field."""
+    codec = get_codec(codec_name)
+    mt, cf = measure_compressor(
+        codec, field, EB, MODE, repeats=repeats, warmup=1, stage_timing=True
+    )
+    out = codec.decompress(cf.payload)
+    err = np.abs(out.astype(np.float64) - field.astype(np.float64))
+    return {
+        "ratio": cf.stats.ratio,
+        "bit_rate": cf.stats.bit_rate,
+        "psnr_db": psnr(field, out),
+        "max_abs_err": float(err.max()),
+        "bound_abs": cf.bound.absolute,
+        "compress_s": mt.compress_s,
+        "decompress_s": mt.decompress_s,
+        "compress_stages_s": mt.compress_stages,
+        "decompress_stages_s": mt.decompress_stages,
+    }
+
+
+def _dp_kernel_modes(field: np.ndarray, repeats: int) -> dict:
+    """Fast vs reference dispatch for the dp codec, bytes verified."""
+    codec = get_codec("wavesz-dp")
+    out: dict = {}
+    payloads = {}
+    for mode in ("reference", "fast"):
+        with forced(mode):
+            mt, cf = measure_compressor(
+                codec, field, EB, MODE, repeats=repeats, warmup=1
+            )
+        payloads[mode] = cf.payload
+        out[mode] = {
+            "compress_s": mt.compress_s,
+            "decompress_s": mt.decompress_s,
+        }
+    if payloads["reference"] != payloads["fast"]:
+        raise AssertionError("wavesz-dp payload differs between kernel modes")
+    out["compress_speedup"] = out["reference"]["compress_s"] / max(
+        out["fast"]["compress_s"], 1e-12
+    )
+    out["decompress_speedup"] = out["reference"]["decompress_s"] / max(
+        out["fast"]["decompress_s"], 1e-12
+    )
+    return out
+
+
+def run(smoke: bool = False) -> dict:
+    repeats = 2 if smoke else 3
+    field_names = [SMOKE_FIELD] if smoke else list(FIELDS)
+
+    per_field: dict[str, dict] = {}
+    for name in field_names:
+        field = FIELDS[name]()
+        classic = _quality(field, "wavesz", repeats)
+        dp = _quality(field, "wavesz-dp", repeats)
+        per_field[name] = {
+            "classic": classic,
+            "dual_quant": dp,
+            "compress_speedup_vs_classic": classic["compress_s"] / max(
+                dp["compress_s"], 1e-12
+            ),
+            "decompress_speedup_vs_classic": classic["decompress_s"] / max(
+                dp["decompress_s"], 1e-12
+            ),
+            "ratio_vs_classic": dp["ratio"] / max(classic["ratio"], 1e-12),
+            "psnr_delta_db": dp["psnr_db"] - classic["psnr_db"],
+        }
+
+    kernel_modes = _dp_kernel_modes(FIELDS[SMOKE_FIELD](), repeats)
+
+    report = {
+        "bench": "dualquant",
+        "smoke": smoke,
+        "workload": {"eb": EB, "mode": MODE},
+        "smoke_field": SMOKE_FIELD,
+        "fields": per_field,
+        "dp_kernel_modes": kernel_modes,
+    }
+
+    widths = (22, 9, 8, 8, 9, 9, 8, 8)
+    lines = [
+        f"dual-quant (waveSZ-dp) vs classic wavefront waveSZ (eb={EB} {MODE})",
+        "",
+        fmt_row(("field", "codec", "ratio", "bits/pt", "psnr dB",
+                 "c ms", "d ms", "c-spd"), widths),
+    ]
+    for name, r in per_field.items():
+        for label, key in (("wavesz", "classic"), ("wavesz-dp", "dual_quant")):
+            q = r[key]
+            spd = ("" if key == "classic"
+                   else f"{r['compress_speedup_vs_classic']:.1f}x")
+            lines.append(fmt_row(
+                (name, label, f"{q['ratio']:.2f}", f"{q['bit_rate']:.2f}",
+                 f"{q['psnr_db']:.1f}", q["compress_s"] * 1e3,
+                 q["decompress_s"] * 1e3, spd),
+                widths,
+            ))
+    smoke_dp = per_field[SMOKE_FIELD]["dual_quant"]
+    lines += [
+        "",
+        "dp kernel dispatch on the 2D smoke field "
+        f"(compress {kernel_modes['compress_speedup']:.1f}x, "
+        f"decompress {kernel_modes['decompress_speedup']:.1f}x, "
+        "payloads byte-identical)",
+        "",
+        "dp per-stage compress attribution (ms): " + ", ".join(
+            f"{k}={v * 1e3:.1f}" for k, v in smoke_dp["compress_stages_s"].items()
+        ),
+    ]
+    emit("dualquant", lines)
+
+    (RESULTS_DIR / "BENCH_dualquant.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    if smoke:
+        failures = []
+        if kernel_modes["compress_speedup"] < 1.0:
+            failures.append(
+                "dp fast compress below reference: "
+                f"{kernel_modes['compress_speedup']:.2f}x"
+            )
+        if kernel_modes["decompress_speedup"] < 1.0:
+            failures.append(
+                "dp fast decompress below reference: "
+                f"{kernel_modes['decompress_speedup']:.2f}x"
+            )
+        smoke_row = per_field[SMOKE_FIELD]
+        if smoke_row["compress_speedup_vs_classic"] < 1.0:
+            failures.append(
+                "fused dp compress slower than classic wavefront: "
+                f"{smoke_row['compress_speedup_vs_classic']:.2f}x"
+            )
+        if failures:
+            raise AssertionError("dual-quant gate: " + "; ".join(failures))
+    return report
+
+
+def test_dualquant():
+    run(smoke=True)
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="2D field only; exit nonzero if dp loses to reference/classic",
+    )
+    args = ap.parse_args()
+    try:
+        run(smoke=args.smoke)
+    except AssertionError as err:
+        print(f"FAIL: {err}", file=sys.stderr)
+        raise SystemExit(1)

@@ -7,6 +7,11 @@ out.  This bench runs the same 32-job mixed-codec batch of synthetic
 CESM fields through the scheduler at 1, 2, 4 and N_cpu workers and
 archives both the human table and ``BENCH_service.json`` (the seed of
 the service perf trajectory; later PRs regress against it).
+
+A second section exercises the dual-quant *intra-job* axis: one large
+field submitted as a single ``wavesz-dp`` job with ``n_tiles > 1`` fans
+its bands across the same pool (``scheduler.tile_fanouts``), with the
+payload byte-identical to the serial tiled path at every tile count.
 """
 
 from __future__ import annotations
@@ -44,6 +49,39 @@ def _jobs():
 def _worker_counts() -> list[int]:
     n_cpu = os.cpu_count() or 1
     return sorted({1, 2, 4, n_cpu})
+
+
+def _tile_fanout_rows(n_cpu: int) -> list[dict]:
+    """One big dp job, bands spread across the pool (intra-job axis)."""
+    from repro.codec.registry import get_codec
+    from repro.parallel import tile_compress
+
+    big = load_field("Hurricane", "CLOUDf48")
+    rows = []
+    for n_tiles in sorted({1, 2, 4, n_cpu}):
+        expect = (
+            get_codec("wavesz-dp").compress(big, EB, "vr_rel").payload
+            if n_tiles == 1
+            else tile_compress(
+                get_codec("wavesz-dp"), big, EB, "vr_rel", n_tiles=n_tiles
+            ).payload
+        )
+        t0 = time.perf_counter()
+        results, stats = run_batch(
+            [make_job("wavesz-dp", big, eb=EB, mode="vr_rel",
+                      n_tiles=n_tiles)],
+            workers=n_cpu, pool_kind="process",
+        )
+        wall_s = time.perf_counter() - t0
+        assert stats.totals["failed"] == 0
+        assert results[0].output == expect  # fan-out must not move a byte
+        rows.append({
+            "n_tiles": n_tiles,
+            "wall_s": wall_s,
+            "mb_per_s": big.nbytes / 1e6 / wall_s,
+            "tile_fanouts": stats.events.get("scheduler.tile_fanouts", 0),
+        })
+    return rows
 
 
 def test_service_scaling():
@@ -106,6 +144,19 @@ def test_service_scaling():
             round(r["mb_per_s"], 1), round(r["p50_s"] * 1e3, 1),
             round(r["p99_s"] * 1e3, 1), r["queue_high_water"],
         ], widths))
+    fanout_rows = _tile_fanout_rows(n_cpu)
+    widths_f = [8, 9, 10, 9]
+    lines += [
+        "",
+        "single wavesz-dp job, bands fanned across the pool "
+        f"({n_cpu} workers; payload byte-identical to serial tiling)",
+        fmt_row(["n_tiles", "wall s", "MB/s", "fanouts"], widths_f),
+    ]
+    for r in fanout_rows:
+        lines.append(fmt_row([
+            r["n_tiles"], round(r["wall_s"], 2), round(r["mb_per_s"], 1),
+            r["tile_fanouts"],
+        ], widths_f))
     emit("service_scaling", lines)
 
     (RESULTS_DIR / "BENCH_service.json").write_text(json.dumps({
@@ -116,6 +167,7 @@ def test_service_scaling():
         "serial_s": serial_s,
         "serial_jobs_per_s": N_JOBS / serial_s,
         "scaling": rows,
+        "dp_tile_fanout": fanout_rows,
     }, indent=2))
 
 

@@ -232,14 +232,24 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _inner_variant(header: dict) -> str:
+    """The registry name behind a payload header (tiled or plain)."""
+    variant = str(header.get("variant", ""))
+    if variant.startswith("tiled[") and variant.endswith("]"):
+        return str(header.get("inner_variant", variant[6:-1]))
+    return variant
+
+
 def _cmd_decompress(args: argparse.Namespace) -> int:
+    from .streams import decompress_auto
+
     payload = args.input.read_bytes()
     header = Container.from_bytes(payload).header
-    variant = header.get("variant", "")
-    if variant not in REGISTRY:
+    variant = str(header.get("variant", ""))
+    if _inner_variant(header) not in REGISTRY:
         print(f"unknown variant {variant!r} in payload", file=sys.stderr)
         return 2
-    out = get_codec(variant).decompress(payload)
+    out = decompress_auto(payload)
     write_raw_field(args.output, out)
     print(f"{args.input} -> {args.output} "
           f"({variant}, shape {tuple(header['shape'])}, {header['dtype']})")
@@ -321,9 +331,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(f"{args.input}: FAILED integrity check", file=sys.stderr)
         return 1
 
+    from .streams import decompress_auto
+
     header = Container.from_bytes(blob).header
     variant = str(header.get("variant", ""))
-    out = get_codec(variant).decompress(blob)
+    if _inner_variant(header) not in REGISTRY:
+        print(f"{args.input}: unknown variant {variant!r} in payload",
+              file=sys.stderr)
+        return 2
+    out = decompress_auto(blob)
     msg = (f"{args.input}: OK (v{report.version}, "
            f"{report.n_sections} sections, {variant}, shape {out.shape})")
 
@@ -333,10 +349,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             return 2
         data = read_raw_field(args.original, tuple(args.dims),
                               np.dtype(args.dtype))
-        bound = bound_from_header(header.get("bound"))
-        verify_error_bound(data, out, bound.absolute)
+        if "bound" in header:
+            bound_abs = bound_from_header(header.get("bound")).absolute
+        else:  # tiled containers carry the resolved absolute bound
+            bound_abs = float(header["eb_abs"])
+        verify_error_bound(data, out, bound_abs)
         err = max_abs_error(data, out)
-        msg += f", max error {err:.3e} <= bound {bound.absolute:.3e}"
+        msg += f", max error {err:.3e} <= bound {bound_abs:.3e}"
     print(msg)
     return 0
 
@@ -406,6 +425,7 @@ def _load_batch_manifest(args: argparse.Namespace) -> list:
             mode=merged.get("mode", "vr_rel"),
             priority=int(merged.get("priority", 0)),
             deadline_s=merged.get("deadline_s"),
+            n_tiles=int(merged.get("tiles", 1)),
         )))
     if not jobs:
         raise ReproError("manifest contains no jobs")

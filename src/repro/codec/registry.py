@@ -52,6 +52,10 @@ class CodecEntry:
     profiles: dict[str, Factory] = field(default_factory=dict)
     table2: str | None = None  # VARIANTS row this variant implements
     spec: PipelineSpec | None = None
+    #: True when the codec's sweeps carry no cross-point feedback loop
+    #: (dual-quant family), so one field's tile bands may legally fan out
+    #: across a worker pool; the scheduler keys its tile routing on this.
+    data_parallel: bool = False
 
 
 class CodecRegistry:
@@ -107,6 +111,10 @@ class CodecRegistry:
 
     def entry(self, name: str) -> CodecEntry:
         return self._entries[self.canonical(name)]
+
+    def is_data_parallel(self, name: str) -> bool:
+        """Whether ``name`` resolves to a wavefront-free (dp) codec."""
+        return self.entry(name).data_parallel
 
     def create(self, name: str) -> Any:
         """Instantiate the compressor registered under any known name."""
@@ -169,6 +177,7 @@ class CodecRegistry:
                 "aliases": list(e.aliases),
                 "profiles": sorted(e.profiles),
                 "table2": e.table2,
+                "data_parallel": e.data_parallel,
             }
             for e in self._entries.values()
         ]
@@ -212,6 +221,7 @@ def register_codec(
     table2: str | None = None,
     spec: PipelineSpec | None = None,
     factory: Factory | None = None,
+    data_parallel: bool = False,
     registry: CodecRegistry = REGISTRY,
 ):
     """Class decorator registering a compressor variant.
@@ -231,6 +241,7 @@ def register_codec(
                 profiles=dict(profiles or {}),
                 table2=table2,
                 spec=spec,
+                data_parallel=data_parallel,
             )
         )
         return cls

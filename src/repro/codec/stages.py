@@ -13,6 +13,13 @@ Artifact keys published on :attr:`PipelineContext.artifacts`:
     Decoded value streams (inverse direction), raster order.
 ``log_transform``
     The forward :class:`~repro.sz.preprocess.LogTransform` side channels.
+``dq_pre`` / ``dq_q``
+    Dual-quant phase-1 output: the :class:`~repro.sz.dualquant.
+    PrequantResult` and the int64 lattice (forward direction; the inverse
+    :class:`DualQuantStage` republishes ``dq_q`` for the phase-1 inverse).
+``dq_outlier_deltas`` / ``dq_raw_idx`` / ``dq_raw_values``
+    Dual-quant side streams (decoded by :class:`DualQuantValuesStage` on
+    the inverse path), raster order.
 """
 
 from __future__ import annotations
@@ -23,6 +30,13 @@ import numpy as np
 
 from ..config import ErrorBoundMode, QuantizerConfig, resolve_error_bound
 from ..errors import ContainerError, ShapeError
+from ..kernels import resolve as resolve_kernel
+from ..sz.dualquant import (
+    codes_to_deltas,
+    lattice_to_values,
+    predict_encode,
+    prequantize,
+)
 from ..sz.pqd import BorderMode, pqd_compress, pqd_decompress
 from ..sz.preprocess import LogTransform, forward_log2, inverse_log2
 from ..sz.unpredictable import decode_truncated, encode_truncated
@@ -47,6 +61,9 @@ __all__ = [
     "ValidateInputStage",
     "HeaderStage",
     "PQDStage",
+    "PrequantStage",
+    "DualQuantStage",
+    "DualQuantValuesStage",
     "PwRelForwardStage",
     "PwRelMasksStage",
     "HuffmanGzipCodesStage",
@@ -223,6 +240,138 @@ class PQDStage:
             border=border,
             layers=layers,
         )
+
+
+class PrequantStage:
+    """Dual-quant phase 1: snap the field to the error-bound lattice.
+
+    The *only* lossy stage of the dual-quant pipeline — everything after
+    it is exact integer arithmetic, which is what makes the wavesz-dp
+    wire format bit-exact against its own spec.  Forward publishes the
+    int64 lattice (plus the raw-point side channel for points the lattice
+    cannot hold within the bound); inverse maps the reconstructed lattice
+    back to values and overlays the raw points verbatim.
+    """
+
+    name = "prequant"
+
+    def forward(self, ctx: "PipelineContext") -> None:
+        pre = prequantize(ctx.work, ctx.bound.absolute)
+        ctx.artifacts["dq_pre"] = pre
+        ctx.artifacts["dq_q"] = pre.q
+
+    def inverse(self, ctx: "PipelineContext") -> None:
+        q = ctx.require("dq_q")
+        out = lattice_to_values(q, ctx.bound.absolute, ctx.dtype)
+        raw_idx = ctx.require("dq_raw_idx")
+        raw_values = ctx.require("dq_raw_values")
+        if raw_idx.size:
+            flat = out.reshape(-1)
+            if int(raw_idx.min()) < 0 or int(raw_idx.max()) >= flat.size:
+                raise ContainerError("raw-point index out of field bounds")
+            flat[raw_idx] = raw_values
+        ctx.out = out
+
+
+class DualQuantStage:
+    """Dual-quant phase 2: data-parallel Lorenzo residuals over integers.
+
+    Forward turns the lattice into quant codes through the dispatchable
+    ``dualquant.delta_encode`` sweep (residuals beyond the quantizer
+    range become verbatim outlier deltas behind code 0); inverse merges
+    the two streams back and reconstructs the lattice with the
+    ``dualquant.delta_integrate`` prefix-sum sweep.  No feedback loop in
+    either direction — this stage is why dp tiles may fan out across
+    workers.
+    """
+
+    name = "predict_quant"
+
+    def forward(self, ctx: "PipelineContext") -> None:
+        codes, outlier_deltas = predict_encode(ctx.require("dq_q"), ctx.quant)
+        ctx.codes = codes
+        ctx.artifacts["dq_outlier_deltas"] = outlier_deltas
+
+    def inverse(self, ctx: "PipelineContext") -> None:
+        codes = ctx.codes
+        if codes.ndim == 1:
+            codes = codes.reshape(ctx.shape)
+        delta = codes_to_deltas(
+            codes, ctx.require("dq_outlier_deltas"), ctx.quant
+        )
+        ctx.artifacts["dq_q"] = resolve_kernel("dualquant.delta_integrate")(delta)
+
+
+class DualQuantValuesStage:
+    """Dual-quant side streams: outlier deltas + raw points, gzip-aware.
+
+    Outlier residuals are little-endian int64 raster streams; raw points
+    travel as (flat index, verbatim value) pairs.  Each stream is stored
+    gzipped only when that wins (``outliers_gzipped`` / ``raw_gzipped``
+    header flags), mirroring waveSZ's verbatim-through-gzip policy.
+    """
+
+    name = "values"
+
+    def __init__(self, lossless: "GzipStage") -> None:
+        self.lossless = lossless
+
+    def _pack(self, ctx: "PipelineContext", name: str, raw: bytes) -> tuple[int, bool]:
+        stored, use_gz = gzip_if_smaller(self.lossless, raw)
+        ctx.container.add(name, stored)
+        return len(stored), use_gz
+
+    def forward(self, ctx: "PipelineContext") -> None:
+        pre = ctx.require("dq_pre")
+        outlier_deltas = ctx.require("dq_outlier_deltas")
+        h = ctx.header
+        out_bytes, out_gz = self._pack(
+            ctx, "outliers", outlier_deltas.astype("<i8").tobytes()
+        )
+        raw_stream = (
+            pre.raw_idx.astype("<i8").tobytes()
+            + values_to_bytes(pre.raw_values)
+        )
+        raw_bytes, raw_gz = self._pack(ctx, "raw_points", raw_stream)
+        h["outliers_gzipped"] = out_gz
+        h["raw_gzipped"] = raw_gz
+        ctx.outlier_bytes = out_bytes
+        ctx.extra_bytes += raw_bytes
+        ctx.n_unpredictable = int(outlier_deltas.size) + pre.n_raw
+        ctx.n_border = 0
+
+    def inverse(self, ctx: "PipelineContext") -> None:
+        h = ctx.header
+        container = ctx.container
+        n_out = header_int(h, "n_outliers", hi=MAX_FIELD_POINTS)
+        n_raw = header_int(h, "n_raw", hi=MAX_FIELD_POINTS)
+        dtype = header_dtype(h)
+        out_raw = container.get("outliers")
+        if h.get("outliers_gzipped"):
+            out_raw = self.lossless.decompress(out_raw)
+        if len(out_raw) < n_out * 8:
+            raise ContainerError(
+                f"outlier-delta stream holds {len(out_raw)} bytes, "
+                f"needs {n_out * 8}"
+            )
+        ctx.artifacts["dq_outlier_deltas"] = np.frombuffer(
+            out_raw, dtype="<i8", count=n_out
+        ).astype(np.int64)
+        raw_stream = container.get("raw_points")
+        if h.get("raw_gzipped"):
+            raw_stream = self.lossless.decompress(raw_stream)
+        need = n_raw * (8 + np.dtype(dtype).itemsize)
+        if len(raw_stream) < need:
+            raise ContainerError(
+                f"raw-point stream holds {len(raw_stream)} bytes, needs {need}"
+            )
+        ctx.artifacts["dq_raw_idx"] = np.frombuffer(
+            raw_stream, dtype="<i8", count=n_raw
+        ).astype(np.int64)
+        ctx.artifacts["dq_raw_values"] = np.frombuffer(
+            raw_stream, dtype=np.dtype(dtype).newbyteorder("<"),
+            count=n_raw, offset=n_raw * 8,
+        ).astype(dtype)
 
 
 class PwRelForwardStage:

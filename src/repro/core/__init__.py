@@ -10,6 +10,8 @@
   equivalence with raster-order SZ-1.4.
 * :mod:`repro.core.wavesz` — the end-to-end waveSZ compressor (G⋆ and
   H⋆G⋆ backends, verbatim borders, 2D interpretation of 3D fields).
+* :mod:`repro.core.wavesz_dp` — the dual-quant data-parallel variant
+  (waveSZ-dp): prequantize first, then wavefront-free integer Lorenzo.
 * :mod:`repro.core.pipeline` — the PQD hardware stage inventory consumed
   by the FPGA timing/resource models.
 """
@@ -19,6 +21,7 @@ from .kernel import wavefront_order_codes, wavefront_pqd
 from .layout import LoopPartition, end_cycle, start_cycle
 from .wavefront import WavefrontLayout, from_wavefront, to_wavefront
 from .wavesz import WaveSZCompressor
+from .wavesz_dp import WaveSZDPCompressor
 
 __all__ = [
     "binary_representation",
@@ -33,4 +36,5 @@ __all__ = [
     "to_wavefront",
     "from_wavefront",
     "WaveSZCompressor",
+    "WaveSZDPCompressor",
 ]

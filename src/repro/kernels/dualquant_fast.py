@@ -1,0 +1,43 @@
+"""Fused data-parallel sweeps for the dual-quant phase-2 kernels.
+
+The reference twins in :mod:`repro.sz.dualquant` gather the Lorenzo
+stencil point by point.  Over *integers* with a zero halo, the 1-layer
+Lorenzo residual is exactly the mixed first difference — one
+``np.diff(..., prepend=0)`` per axis — and its inverse is the matching
+chain of per-axis prefix sums.  Both chains are whole-array vectorized
+ops with no carried dependency between lanes, which is the entire point
+of the dual-quant decoupling: the sweep that used to serialize on the
+wavefront is now ``ndim`` BLAS-free passes over contiguous memory.
+
+Bit-exactness with the reference twins is trivial (identical int64
+arithmetic, associativity intact), but the differential suites enforce it
+anyway as part of the kernel contract.
+
+Overflow headroom: prequantization caps ``|q| < 2**53``, so any partial
+mixed difference or prefix sum stays below ``2**ndim * 2**53 <= 2**56``,
+far inside int64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["delta_encode", "delta_integrate"]
+
+_ZERO = np.int64(0)
+
+
+def delta_encode(q: np.ndarray) -> np.ndarray:
+    """Lorenzo residual of the lattice: one zero-prepended diff per axis."""
+    delta = np.ascontiguousarray(q, dtype=np.int64)
+    for axis in range(delta.ndim):
+        delta = np.diff(delta, axis=axis, prepend=_ZERO)
+    return delta
+
+
+def delta_integrate(delta: np.ndarray) -> np.ndarray:
+    """Invert the residual: one in-place prefix sum per axis."""
+    q = np.array(delta, dtype=np.int64, order="C", copy=True)
+    for axis in range(q.ndim):
+        np.cumsum(q, axis=axis, out=q)
+    return q

@@ -66,6 +66,13 @@ class CompressionJob:
     (higher first, FIFO within a level); ``deadline_s`` is a TTL in
     seconds from submission after which the scheduler refuses to start
     the job.
+
+    ``n_tiles > 1`` asks for a tiled compression through the shared
+    :func:`repro.parallel.plan_bands` plan (``tiled[...]`` payload,
+    decoded transparently by ``decompress_auto``).  For data-parallel
+    codecs the scheduler fans the bands of *one* job across the worker
+    pool; other codecs tile serially inside a single worker — the
+    payload is byte-identical either way.
     """
 
     job_id: str
@@ -77,6 +84,7 @@ class CompressionJob:
     mode: str = "vr_rel"
     priority: int = 0
     deadline_s: float | None = None
+    n_tiles: int = 1
 
     def __post_init__(self) -> None:
         if self.op not in ("compress", "decompress"):
@@ -102,6 +110,20 @@ class CompressionJob:
             raise ConfigError(
                 f"deadline_s must be positive, got {self.deadline_s}"
             )
+        if self.n_tiles < 1:
+            raise ConfigError(f"n_tiles must be >= 1, got {self.n_tiles}")
+        if self.n_tiles > 1:
+            if self.op != "compress":
+                raise ConfigError(
+                    "n_tiles applies to compress jobs only (tiled payloads "
+                    "decompress transparently through decompress_auto)"
+                )
+            assert self.data is not None
+            if self.data.ndim < 2:
+                raise ConfigError(
+                    f"tiled compression needs a >= 2D field, "
+                    f"got {self.data.ndim}D"
+                )
 
     @property
     def metrics_key(self) -> str:
@@ -132,6 +154,7 @@ def make_job(
     mode: str = "vr_rel",
     priority: int = 0,
     deadline_s: float | None = None,
+    n_tiles: int = 1,
     job_id: str | None = None,
 ) -> CompressionJob:
     """Build a validated job with an auto-assigned id."""
@@ -145,6 +168,7 @@ def make_job(
         mode=mode,
         priority=priority,
         deadline_s=deadline_s,
+        n_tiles=n_tiles,
     )
 
 

@@ -18,6 +18,9 @@ import asyncio
 import time
 from typing import Callable, Sequence
 
+import numpy as np
+
+from ..codec.registry import REGISTRY
 from ..errors import (
     DeadlineExpiredError,
     JobFailedError,
@@ -26,11 +29,12 @@ from ..errors import (
     WorkerHungError,
 )
 from ..faults import is_transient
+from ..parallel import TiledResult, assemble_tiles, plan_bands
 from ..types import CompressedField
 from .jobs import CompressionJob, JobHandle, JobResult, JobState
 from .metrics import MetricsRegistry, ServiceStats
 from .queue import BoundedJobQueue
-from .workers import WorkerPool, run_job
+from .workers import WorkerPool, compress_band, run_job
 
 __all__ = ["BatchScheduler", "run_batch"]
 
@@ -235,6 +239,24 @@ class BatchScheduler:
             )
             return
 
+    def _wants_fanout(self, job: CompressionJob) -> bool:
+        """Multi-tile compress jobs of data-parallel codecs fan out.
+
+        Classic wavefront codecs still tile, but serially inside one
+        worker (:func:`run_job`): their per-band sweeps hog a core each,
+        so spreading one job's bands buys nothing a second *job* would
+        not use better.  Dual-quant codecs have no wavefront — their
+        bands are the intra-job parallel axis the registry flag
+        advertises.  The test seam (`_worker_fn`) opts out of routing so
+        substituted work functions always see the whole job.
+        """
+        return (
+            job.op == "compress"
+            and job.n_tiles > 1
+            and self._worker_fn is run_job
+            and REGISTRY.entry(job.codec).data_parallel
+        )
+
     async def _run_worker(self, job: CompressionJob) -> object:
         """One pool execution under the watchdog's hang budget.
 
@@ -244,12 +266,14 @@ class BatchScheduler:
         a *transient* error, so the normal retry loop gets the next
         attempt on a fresh worker.
         """
+        if self._wants_fanout(job):
+            work = self._run_tiled(job)
+        else:
+            work = self.pool.run(self._worker_fn, job)
         if self.hang_timeout_s is None:
-            return await self.pool.run(self._worker_fn, job)
+            return await work
         try:
-            return await asyncio.wait_for(
-                self.pool.run(self._worker_fn, job), self.hang_timeout_s
-            )
+            return await asyncio.wait_for(work, self.hang_timeout_s)
         except asyncio.TimeoutError:
             self.pool.kill_hung()
             self.metrics.incr("watchdog.kills")
@@ -258,12 +282,38 @@ class BatchScheduler:
                 "hang budget; worker killed and pool respawned"
             ) from None
 
+    async def _run_tiled(self, job: CompressionJob) -> TiledResult:
+        """Fan one dp job's tile bands across the pool (satellite wiring).
+
+        Same plan (:func:`plan_bands`), same band unit
+        (:func:`compress_band`), same deterministic assembly
+        (:func:`assemble_tiles`) as the serial path and
+        :func:`~repro.service.workers.tile_compress_parallel` — gathered
+        in band order, so the payload is byte-identical to a single
+        worker running :func:`run_job` on the same job.
+        """
+        assert job.data is not None
+        bound, slices = plan_bands(job.data, job.eb, job.mode, job.n_tiles)
+        compressed = await asyncio.gather(*(
+            self.pool.run(
+                compress_band,
+                job.codec,
+                np.ascontiguousarray(job.data[sl]),
+                bound.absolute,
+            )
+            for sl in slices
+        ))
+        self.metrics.incr("scheduler.tile_fanouts")
+        return assemble_tiles(
+            REGISTRY.canonical(job.codec), job.data, bound, slices, compressed
+        )
+
     def _to_result(
         self, handle: JobHandle, output: object, *, run_s: float
     ) -> JobResult:
         job = handle.job
         stats = None
-        if isinstance(output, CompressedField):
+        if isinstance(output, (CompressedField, TiledResult)):
             stats = output.stats
             payload: object = output.payload
         else:

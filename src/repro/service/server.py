@@ -341,6 +341,7 @@ class CompressionServer:
                 float(header["deadline_s"])
                 if header.get("deadline_s") is not None else None
             ),
+            n_tiles=int(header.get("tiles", 1)),
         )
         handle = await self.scheduler.submit(job)  # raises QueueFullError
         result = await self.scheduler.wait(handle)
@@ -669,8 +670,13 @@ class ServiceClient:
         *,
         priority: int = 0,
         deadline_s: float | None = None,
+        tiles: int = 1,
     ) -> tuple[bytes, dict]:
-        """Compress one field; returns (payload, response header)."""
+        """Compress one field; returns (payload, response header).
+
+        ``tiles > 1`` requests a tiled compression; dp-capable codecs
+        spread the bands across the server's worker pool.
+        """
         data = np.ascontiguousarray(data)
         resp, body = self._roundtrip(
             {
@@ -682,6 +688,7 @@ class ServiceClient:
                 "dtype": str(data.dtype),
                 "priority": priority,
                 "deadline_s": deadline_s,
+                "tiles": tiles,
             },
             data.astype(data.dtype.newbyteorder("<")).tobytes(),
         )

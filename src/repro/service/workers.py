@@ -40,16 +40,27 @@ __all__ = ["run_job", "compress_band", "WorkerPool", "tile_compress_parallel"]
 def run_job(job: CompressionJob) -> Any:
     """Execute one job in the current process (any pool kind).
 
-    Returns a :class:`CompressedField` for compress jobs and the restored
-    ``np.ndarray`` for decompress jobs — the exact objects the direct
-    library calls produce, which is what keeps the service bit-exact with
-    the single-threaded path.
+    Returns a :class:`CompressedField` for compress jobs (a
+    :class:`~repro.parallel.TiledResult` when ``n_tiles > 1``) and the
+    restored ``np.ndarray`` for decompress jobs — the exact objects the
+    direct library calls produce, which is what keeps the service
+    bit-exact with the single-threaded path.  A multi-tile job landing
+    here runs the *serial* band loop inside this one worker; the
+    scheduler only routes past this function — to the band fan-out — for
+    data-parallel codecs.
     """
     from ..codec.registry import get_codec
     from ..streams import decompress_auto
 
     if job.op == "compress":
         assert job.data is not None
+        if job.n_tiles > 1:
+            from ..parallel import tile_compress
+
+            return tile_compress(
+                get_codec(job.codec), job.data, job.eb, job.mode,
+                n_tiles=job.n_tiles,
+            )
         return get_codec(job.codec).compress(job.data, job.eb, job.mode)
     assert job.payload is not None
     return decompress_auto(bytes(job.payload))

@@ -13,10 +13,13 @@ gzip lossless stage.
   (the dependency-free sets of §3.1, reused by every engine).
 * :mod:`repro.sz.pqd` — the prediction→quantization→decompression engine
   with decompressed-value feedback.
+* :mod:`repro.sz.dualquant` — the two-phase dual-quant engine (cuSZ-style
+  prequantization + data-parallel integer Lorenzo, no feedback loop).
 * :mod:`repro.sz.sz14` / :mod:`repro.sz.sz10` — end-to-end compressors.
 * :mod:`repro.sz.curvefit` — Order-{0,1,2} 1D curve fitting (SZ-1.0).
 """
 
+from .dualquant import DualQuantResult, dq_compress, dq_decompress
 from .lorenzo import lorenzo_predict, neighbor_offsets
 from .pqd import PQDResult, pqd_compress, pqd_decompress
 from .quantizer import quantize_scalar, quantize_vector, reconstruct
@@ -31,6 +34,9 @@ __all__ = [
     "PQDResult",
     "pqd_compress",
     "pqd_decompress",
+    "DualQuantResult",
+    "dq_compress",
+    "dq_decompress",
     "quantize_scalar",
     "quantize_vector",
     "reconstruct",

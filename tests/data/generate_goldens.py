@@ -45,6 +45,20 @@ def _smooth2d(shape: tuple[int, int], seed: int) -> np.ndarray:
     return field.astype(np.float32)
 
 
+def _smooth3d(shape: tuple[int, int, int], seed: int) -> np.ndarray:
+    """A smooth 3D field (stacked modulated planes) with a few spikes."""
+    rng = np.random.default_rng(seed)
+    k = np.arange(shape[0], dtype=np.float64)[:, None, None]
+    i = np.arange(shape[1], dtype=np.float64)[None, :, None]
+    j = np.arange(shape[2], dtype=np.float64)[None, None, :]
+    field = np.cos(k / 4.0) * np.sin(i / 5.0) * np.cos(j / 7.0)
+    field = field + 0.01 * rng.standard_normal(shape)
+    n_spikes = max(2, field.size // 200)
+    pos = rng.integers(0, field.size, size=n_spikes)
+    field.reshape(-1)[pos] += rng.standard_normal(n_spikes) * 3.0
+    return field.astype(np.float32)
+
+
 def _smooth1d(n: int, seed: int) -> np.ndarray:
     rng = np.random.default_rng(seed)
     x = np.linspace(0.0, 6.0, n)
@@ -65,8 +79,10 @@ def make_input(key: str) -> np.ndarray:
         return _smooth2d((24, 32), seed=2020)
     if key == "ghostsz":
         return _smooth2d((16, 48), seed=4242)
-    if key in ("wavesz", "wavesz_g"):
+    if key in ("wavesz", "wavesz_g", "wavesz_dp"):
         return _smooth2d((16, 48), seed=3131)
+    if key == "wavesz_dp_3d":
+        return _smooth3d((8, 12, 16), seed=7878)
     if key == "zfp":
         return _smooth2d((24, 32), seed=9999)
     raise KeyError(f"unknown golden key {key!r}")
@@ -75,7 +91,7 @@ def make_input(key: str) -> np.ndarray:
 def make_compressor(key: str):
     """The compressor instance each golden was captured with."""
     from repro.ghostsz import GhostSZCompressor
-    from repro.core import WaveSZCompressor
+    from repro.core import WaveSZCompressor, WaveSZDPCompressor
     from repro.sz import SZ10Compressor, SZ14Compressor, SZ20Compressor
     from repro.zfp import ZFPCompressor
 
@@ -87,6 +103,8 @@ def make_compressor(key: str):
         "ghostsz": GhostSZCompressor,
         "wavesz": lambda: WaveSZCompressor(use_huffman=True),
         "wavesz_g": lambda: WaveSZCompressor(use_huffman=False),
+        "wavesz_dp": WaveSZDPCompressor,
+        "wavesz_dp_3d": WaveSZDPCompressor,
         "zfp": ZFPCompressor,
     }
     return factories[key]()
@@ -101,6 +119,8 @@ GOLDEN_PARAMS: dict[str, tuple[float, str]] = {
     "ghostsz": (1e-3, "vr_rel"),
     "wavesz": (1e-3, "vr_rel"),
     "wavesz_g": (1e-3, "vr_rel"),
+    "wavesz_dp": (1e-3, "vr_rel"),
+    "wavesz_dp_3d": (1e-3, "abs"),
     "zfp": (1e-3, "vr_rel"),
 }
 

@@ -49,7 +49,8 @@ def test_manifest_covers_every_variant():
     assert set(MANIFEST) == set(goldens.GOLDEN_PARAMS)
     variants = {m["variant"] for m in MANIFEST.values()}
     assert variants == {
-        "SZ-1.0", "SZ-1.4", "SZ-2.0", "GhostSZ", "waveSZ", "ZFP-like",
+        "SZ-1.0", "SZ-1.4", "SZ-2.0", "GhostSZ", "waveSZ", "waveSZ-dp",
+        "ZFP-like",
     }
 
 

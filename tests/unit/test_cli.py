@@ -200,6 +200,41 @@ class TestServiceCommands:
         assert rep["stats"]["totals"]["completed"] == 2
         assert {j["codec"] for j in rep["jobs"]} == {"sz14", "zfp-like"}
 
+    def test_batch_tiled_dp_job_roundtrips_through_cli(self, tmp_path,
+                                                       raw_field, capsys):
+        import json
+
+        path, data = raw_field
+        manifest = path.parent / "m.json"
+        manifest.write_text(json.dumps({"jobs": [
+            {"input": path.name, "dims": list(data.shape),
+             "codec": "wavesz-dp", "tiles": 3, "output": "dp.wsz"},
+        ]}))
+        outdir = tmp_path / "out"
+        assert main(["batch", str(manifest), "-o", str(outdir),
+                     "--workers", "0"]) == 0
+        from repro.codec.registry import get_codec
+        from repro.parallel import tile_compress
+
+        direct = tile_compress(
+            get_codec("wavesz-dp"), data, 1e-3, "vr_rel", n_tiles=3
+        )
+        wsz = outdir / "dp.wsz"
+        assert wsz.read_bytes() == direct.payload
+        # tiled payloads decompress and verify through the plain CLI
+        restored = tmp_path / "dp.f32"
+        assert main(["decompress", str(wsz), "-o", str(restored)]) == 0
+        assert "tiled[waveSZ-dp]" in capsys.readouterr().out
+        d0, d1 = data.shape
+        assert main(["verify", str(wsz), "--original", str(path),
+                     "--dims", str(d0), str(d1)]) == 0
+        from repro.io import Container
+
+        out = read_raw_field(restored, data.shape, np.float32)
+        err = np.abs(out.astype(np.float64) - data.astype(np.float64))
+        eb_abs = Container.from_bytes(direct.payload).header["eb_abs"]
+        assert float(err.max()) <= float(eb_abs)
+
     def test_batch_duplicate_outputs_disambiguated(self, tmp_path, capsys):
         import json
 

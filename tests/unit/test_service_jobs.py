@@ -45,6 +45,21 @@ class TestJobValidation:
         with pytest.raises(ConfigError, match="op"):
             make_job("sz14", smooth2d, op="transmogrify")
 
+    def test_bad_n_tiles_rejected(self, smooth2d):
+        with pytest.raises(ConfigError, match="n_tiles"):
+            make_job("sz14", smooth2d, n_tiles=0)
+
+    def test_tiles_need_a_compress_job(self):
+        with pytest.raises(ConfigError, match="compress"):
+            make_job("auto", op="decompress", payload=b"x", n_tiles=2)
+
+    def test_tiles_need_a_2d_field(self):
+        with pytest.raises(ConfigError, match="2D"):
+            make_job("wavesz-dp", np.zeros(64, dtype=np.float32), n_tiles=2)
+
+    def test_tiled_compress_job_accepted(self, smooth2d):
+        assert make_job("wavesz-dp", smooth2d, n_tiles=4).n_tiles == 4
+
     def test_metrics_key(self, smooth2d):
         assert make_job("wavesz-g", smooth2d).metrics_key == "wavesz-g"
         j = make_job("auto", op="decompress", payload=b"x")
