@@ -1,0 +1,243 @@
+"""Sharded store scaling — aggregate slice throughput at 1/2/3 shards.
+
+The gateway's perf claim is that tile placement by consistent hashing
+turns N shard servers into aggregate read bandwidth: concurrent readers
+pull different tiles from different shards, so cold windowed reads scale
+with the cluster instead of queueing on one server, while the per-
+gateway tile cache keeps warm reads local.  This bench runs in-process
+clusters (real loopback sockets) of 1, 2 and 3 shards, drives several
+reader threads (one gateway each — a gateway is single-thread by
+contract), and measures aggregate cold and warm slice throughput plus
+the degraded case with one of three shards down.  Results archive to
+``BENCH_store_sharded.json``.
+
+``--smoke`` shrinks the repetitions and exits nonzero if bit-exactness
+breaks anywhere, if a degraded read fails, or if 3 shards fall wildly
+below the single-shard baseline (a generous structural floor, not a
+speedup gate — loopback RTTs on shared CI boxes are noisy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import RESULTS_DIR, emit, fmt_row
+
+from repro import load_field
+from repro.shard import LocalShardCluster
+from repro.store import ArrayStore
+
+EB = 1e-3
+CODEC = "sz14"
+N_TILES = 8
+NAME = "cldlow.ts"
+# half the 180-row CESM grid: 4 of 8 tiles, spread over the cluster
+WINDOW = (slice(0, 90),)
+
+
+def _aggregate_reads(
+    addresses, make_gateway, window, readers: int, reps: int, *, warm: bool
+) -> tuple[float, int]:
+    """Wall time and bytes for ``readers`` threads x ``reps`` reads.
+
+    Cold mode builds a fresh gateway per read (empty tile cache, new
+    sockets); warm mode primes one gateway per thread and then times
+    cache-served reads.
+    """
+    errors: list[BaseException] = []
+    moved = [0] * readers
+    gws = [None] * readers
+    # all threads (and the timer below) rendezvous here once their
+    # setup — and, warm, their priming read — is done
+    ready = threading.Barrier(readers + 1)
+
+    def reader(i: int) -> None:
+        try:
+            if warm:
+                gws[i] = make_gateway()
+                gws[i].read_slice(NAME, window)  # prime the tile cache
+                ready.wait()
+                for _ in range(reps):
+                    out = gws[i].read_slice(NAME, window)
+                    moved[i] += out.data.nbytes
+            else:
+                ready.wait()
+                for _ in range(reps):
+                    with make_gateway() as gw:
+                        out = gw.read_slice(NAME, window)
+                        moved[i] += out.data.nbytes
+        except BaseException as exc:  # noqa: BLE001 - reported by caller
+            errors.append(exc)
+            try:
+                ready.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [
+        threading.Thread(target=reader, args=(i,)) for i in range(readers)
+    ]
+    for t in threads:
+        t.start()
+    try:
+        ready.wait()
+    except threading.BrokenBarrierError:
+        pass
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    for gw in gws:
+        if gw is not None:
+            gw.close()
+    if errors:
+        raise errors[0]
+    return wall, sum(moved)
+
+
+def run(smoke: bool = False) -> dict:
+    readers = 2 if smoke else 3
+    reps = 1 if smoke else 3
+    work = Path(tempfile.mkdtemp(prefix="bench-shard-"))
+    field = load_field("CESM-ATM", "CLDLOW")
+    expect = None
+    rows = []
+    degraded_row = None
+    try:
+        local = ArrayStore(work / "local")
+        local.put(NAME, field, CODEC, EB, n_tiles=N_TILES)
+        expect = local.read_slice(NAME, WINDOW).data
+
+        for n_shards in (1, 2, 3):
+            replicas = min(2, n_shards)
+            roots = [work / f"c{n_shards}-s{i}" for i in range(n_shards)]
+            with LocalShardCluster(roots, replicas=replicas) as cluster:
+                with cluster.gateway() as gw:
+                    put = gw.put(NAME, field, CODEC, EB, n_tiles=N_TILES)
+                    got = gw.read_slice(NAME, WINDOW).data
+                    assert np.array_equal(got, expect), (
+                        f"{n_shards}-shard slice not bit-exact"
+                    )
+                cold_s, cold_b = _aggregate_reads(
+                    cluster.addresses, cluster.gateway, WINDOW,
+                    readers, reps, warm=False,
+                )
+                warm_s, warm_b = _aggregate_reads(
+                    cluster.addresses, cluster.gateway, WINDOW,
+                    readers, reps, warm=True,
+                )
+                row = {
+                    "n_shards": n_shards,
+                    "replicas": replicas,
+                    "readers": readers,
+                    "reps": reps,
+                    "put_degraded": put.degraded,
+                    "stored_bytes": put.stored_bytes,
+                    "cold_mbps": cold_b / cold_s / 1e6,
+                    "warm_mbps": warm_b / warm_s / 1e6,
+                }
+                rows.append(row)
+
+                if n_shards == 3:
+                    # one of three down, replicas=2: reads must still
+                    # answer bit-exactly, through failover
+                    cluster.stop_shard(0)
+                    t0 = time.perf_counter()
+                    with cluster.gateway() as gw:
+                        down = gw.read_slice(NAME, WINDOW)
+                    down_s = time.perf_counter() - t0
+                    assert down.ok and np.array_equal(down.data, expect), (
+                        "degraded slice lost data"
+                    )
+                    degraded_row = {
+                        "n_shards": 3,
+                        "shards_up": 2,
+                        "cold_mbps": down.data.nbytes / down_s / 1e6,
+                    }
+
+        widths = [7, 9, 8, 10, 10]
+        lines = [
+            f"sharded store: CESM CLDLOW x {N_TILES} tiles, {CODEC} @ "
+            f"eb {EB:g}; window rows {WINDOW[0].start}..{WINDOW[0].stop}",
+            f"aggregate over {readers} reader thread(s) x {reps} rep(s), "
+            f"one gateway per thread",
+            fmt_row(["shards", "replicas", "degr", "cold MB/s",
+                     "warm MB/s"], widths),
+        ]
+        for r in rows:
+            lines.append(fmt_row([
+                r["n_shards"], r["replicas"],
+                "yes" if r["put_degraded"] else "no",
+                round(r["cold_mbps"], 1), round(r["warm_mbps"], 1),
+            ], widths))
+        if degraded_row is not None:
+            lines.append(
+                f"one-down (3 shards, replicas=2): "
+                f"{degraded_row['cold_mbps']:.1f} MB/s cold, bit-exact"
+            )
+        emit("store_sharded", lines)
+
+        report = {
+            "codec": CODEC,
+            "eb": EB,
+            "n_tiles": N_TILES,
+            "window_rows": [WINDOW[0].start, WINDOW[0].stop],
+            "readers": readers,
+            "reps": reps,
+            "smoke": smoke,
+            "configs": rows,
+            "degraded_one_down": degraded_row,
+        }
+        (RESULTS_DIR / "BENCH_store_sharded.json").write_text(
+            json.dumps(report, indent=2) + "\n"
+        )
+
+        if smoke:
+            failures = []
+            base = rows[0]["cold_mbps"]
+            tri = rows[-1]["cold_mbps"]
+            if tri < base * 0.3:
+                failures.append(
+                    f"3-shard cold throughput collapsed: {tri:.1f} vs "
+                    f"{base:.1f} MB/s on one shard"
+                )
+            for r in rows:
+                if r["put_degraded"]:
+                    failures.append(
+                        f"healthy {r['n_shards']}-shard put acked degraded"
+                    )
+                if r["warm_mbps"] <= r["cold_mbps"]:
+                    failures.append(
+                        f"{r['n_shards']}-shard warm reads not faster "
+                        f"than cold"
+                    )
+            if degraded_row is None:
+                failures.append("degraded one-down case did not run")
+            if failures:
+                raise AssertionError(
+                    "sharded store gate: " + "; ".join(failures)
+                )
+        return report
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+
+def test_store_sharded():
+    run(smoke=True)
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sweep; exit nonzero on bit-exactness or gate failure",
+    )
+    run(smoke=ap.parse_args().smoke)

@@ -122,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--store", type=Path, default=None,
                    help="array-store root to expose over the "
                    "store_put/store_read/store_slice ops")
+    s.add_argument("--shards", default=None,
+                   help="comma-separated host:port list of the cluster "
+                   "this server is one shard of; served on the "
+                   "shard_map op so clients can bootstrap failover")
+    s.add_argument("--replicas", type=int, default=2,
+                   help="replication factor advertised with --shards")
 
     b = sub.add_parser(
         "batch",
@@ -142,8 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
     st = sub.add_parser(
         "store",
         help="persistent compressed array store (tile-level random access)")
-    st.add_argument("--root", type=Path, required=True,
+    st.add_argument("--root", type=Path, default=None,
                     help="store directory (created on first put)")
+    st.add_argument("--gateway", default=None,
+                    help="operate on a sharded store instead of a local "
+                    "directory: host:port of a gateway / cluster member "
+                    "(shard map is fetched), or a full comma-separated "
+                    "shard list")
+    st.add_argument("--replicas", type=int, default=2,
+                    help="replication factor when --gateway lists the "
+                    "shards directly (ignored when the map is fetched)")
     stsub = st.add_subparsers(dest="store_command", required=True)
 
     sp = stsub.add_parser("put", help="compress a raw field into the store")
@@ -191,11 +205,37 @@ def build_parser() -> argparse.ArgumentParser:
     sf.add_argument("--deep", action="store_true",
                     help="also decode every object and check tile shapes")
 
+    sh = sub.add_parser(
+        "shard",
+        help="sharded store: run a gateway over N shard servers, probe "
+        "cluster health")
+    shsub = sh.add_subparsers(dest="shard_command", required=True)
+
+    shs = shsub.add_parser(
+        "serve",
+        help="run a shard gateway fronting N wavesz servers with stores")
+    shs.add_argument("--listen", default="127.0.0.1:8124",
+                     help="host:port the gateway listens on")
+    shs.add_argument("--shards", required=True,
+                     help="comma-separated host:port list of the shard "
+                     "servers (each a 'wavesz serve --store DIR')")
+    shs.add_argument("--replicas", type=int, default=2,
+                     help="copies of every tile object and manifest "
+                     "(clamped to the shard count)")
+
+    sht = shsub.add_parser(
+        "status",
+        help="probe every shard's health and print per-shard telemetry")
+    sht.add_argument("--gateway", required=True,
+                     help="host:port of a gateway / cluster member, or "
+                     "the full comma-separated shard list")
+    sht.add_argument("--replicas", type=int, default=2)
+
     ch = sub.add_parser(
         "chaos",
         help="run seeded fault-schedule sweeps and check the durability "
         "and at-most-once invariants")
-    ch.add_argument("--suite", choices=["store", "service", "all"],
+    ch.add_argument("--suite", choices=["store", "service", "shard", "all"],
                     default="store")
     ch.add_argument("--seed", type=int, default=0,
                     help="master seed; a failing run replays from "
@@ -373,6 +413,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service.server import serve
 
+    shard_map = None
+    if args.shards is not None:
+        from .shard import ShardMap
+
+        shard_map = ShardMap.from_addresses(
+            args.shards, replicas=args.replicas
+        ).to_dict()
     try:
         asyncio.run(serve(
             args.host,
@@ -382,6 +429,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_size=args.queue_size,
             max_retries=args.max_retries,
             store_root=None if args.store is None else str(args.store),
+            shard_map=shard_map,
         ))
     except KeyboardInterrupt:
         print("shutting down")
@@ -498,9 +546,23 @@ def _parse_window(text: str) -> tuple:
 
 
 def _store(args: argparse.Namespace):
+    """The store the subcommand operates on: local directory or cluster."""
+    if (args.root is None) == (args.gateway is None):
+        raise ReproError(
+            "pass exactly one of --root (local store) or --gateway "
+            "(sharded store)"
+        )
+    if args.gateway is not None:
+        from .shard import ShardGateway
+
+        return ShardGateway.from_any(args.gateway, replicas=args.replicas)
     from .store import ArrayStore
 
     return ArrayStore(args.root)
+
+
+def _store_desc(args: argparse.Namespace) -> str:
+    return str(args.root) if args.root is not None else f"[{args.gateway}]"
 
 
 def _report_damage(result, name: str) -> None:
@@ -514,7 +576,7 @@ def _cmd_store_put(args: argparse.Namespace) -> int:
     result = _store(args).put(
         args.name, data, args.variant, args.eb, args.mode, n_tiles=args.tiles
     )
-    print(f"{args.input} -> {args.root}/{result.name} "
+    print(f"{args.input} -> {_store_desc(args)}/{result.name} "
           f"({result.codec}, {result.n_tiles} tiles, "
           f"ratio {result.ratio:.2f}x)")
     print(f"  {result.new_objects} new object(s), {result.stored_bytes} B "
@@ -527,7 +589,7 @@ def _cmd_store_get(args: argparse.Namespace) -> int:
     result = _store(args).read(args.name, strict=not args.no_strict)
     _report_damage(result, args.name)
     write_raw_field(args.output, result.data)
-    print(f"{args.root}/{args.name} -> {args.output} "
+    print(f"{_store_desc(args)}/{args.name} -> {args.output} "
           f"(shape {result.data.shape}, {result.data.dtype})")
     return 0 if result.ok else 3
 
@@ -538,7 +600,7 @@ def _cmd_store_slice(args: argparse.Namespace) -> int:
     )
     _report_damage(result, args.name)
     write_raw_field(args.output, result.data)
-    print(f"{args.root}/{args.name}[{args.window}] -> {args.output} "
+    print(f"{_store_desc(args)}/{args.name}[{args.window}] -> {args.output} "
           f"(shape {result.data.shape}, {len(result.tile_indices)} "
           f"tile(s) touched)")
     return 0 if result.ok else 3
@@ -570,6 +632,12 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_fsck(args: argparse.Namespace) -> int:
+    if args.gateway is not None:
+        raise ReproError(
+            "fsck audits one store directory; run it shard by shard "
+            "with --root (a shard holding tiles whose manifests live on "
+            "other shards will correctly report them as remote)"
+        )
     store = _store(args)
     if not store.recovery.clean:
         for kind, name in store.recovery.actions:
@@ -583,6 +651,57 @@ def _cmd_store_fsck(args: argparse.Namespace) -> int:
         print(f"  action: {a}")
     # repaired findings are gone; only what remains broken fails the run.
     return 1 if any(not f.repaired for f in report.errors) else 0
+
+
+def _cmd_shard_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .shard import ShardGateway, ShardMap, serve_gateway
+
+    host, _, port_s = args.listen.rpartition(":")
+    if not host:
+        raise ReproError(f"--listen {args.listen!r} is not host:port")
+    try:
+        port = int(port_s)
+    except ValueError as exc:
+        raise ReproError(f"--listen {args.listen!r} has a bad port") from exc
+    gateway = ShardGateway(
+        ShardMap.from_addresses(args.shards, replicas=args.replicas)
+    )
+    try:
+        asyncio.run(serve_gateway(gateway, host, port))
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    from .shard import ShardGateway
+
+    with ShardGateway.from_any(
+        args.gateway, replicas=args.replicas
+    ) as gateway:
+        status = gateway.status()
+    print(f"cluster: {status['shards_up']}/{status['n_shards']} shard(s) "
+          f"up, replicas={status['replicas']}")
+    for sid, s in status["shards"].items():
+        if s["up"]:
+            print(f"  {sid:<24} up    {s['status']:<9} "
+                  f"latency {s['latency_ms']:7.3f} ms  "
+                  f"failovers {s['failovers']}  ({s['store']})")
+        else:
+            print(f"  {sid:<24} DOWN  {s['error']}")
+    return 0 if status["shards_up"] == status["n_shards"] else 3
+
+
+_SHARD_COMMANDS = {
+    "serve": _cmd_shard_serve,
+    "status": _cmd_shard_status,
+}
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    return _SHARD_COMMANDS[args.shard_command](args)
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -604,6 +723,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             harness.run_service(runs=args.schedules // 25 + 2)
         )
         print(reports[-1].summary())
+    if args.suite in ("shard", "all"):
+        with tempfile.TemporaryDirectory(prefix="wavesz-chaos-") as tmp:
+            workdir = args.workdir if args.workdir is not None else tmp
+            reports.append(
+                harness.run_shard(workdir, runs=args.schedules // 25 + 2)
+            )
+            print(reports[-1].summary())
     bad = [v for r in reports for v in r.violations]
     for v in bad[:20]:
         print(f"  {v}", file=sys.stderr)
@@ -646,6 +772,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "batch": _cmd_batch,
     "store": _cmd_store,
+    "shard": _cmd_shard,
     "chaos": _cmd_chaos,
 }
 

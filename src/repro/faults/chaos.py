@@ -343,3 +343,180 @@ class ChaosHarness:
         return ChaosReport(
             "service", self.seed, runs, fired, tuple(violations)
         )
+
+    # -- shard suite ------------------------------------------------------
+
+    def run_shard(
+        self, work_dir: str | Path, *, runs: int = 6
+    ) -> ChaosReport:
+        """Sweep shard-loss and flaky-wire schedules over a 3-shard /
+        replicas=2 cluster.
+
+        Each run cycles one of three phases against a seeded victim
+        shard and checks the distributed-store promises:
+
+        * ``old-or-new``       — a put interrupted by wire faults leaves
+          a read returning bit-exact version 1 *or* version 2, never a
+          hybrid;
+        * ``acked-durable``    — a put that returned survives gateway
+          turnover and shard restarts;
+        * ``degraded-ack``     — with one shard down, puts still ack
+          (every tile keeps >= 1 replica);
+        * ``reads-converge``   — with one shard down (and, in the wire
+          phase, flaky sockets on top), full and windowed reads return
+          the acked bytes;
+        * ``read-repair-converges`` — after the victim returns, one full
+          read restores every tile object and manifest replica the
+          victim owns, verified directly against its store directory.
+        """
+        import json as _json
+        from pathlib import Path as _P
+
+        from ..shard import LocalShardCluster, manifest_key
+
+        work_dir = _P(work_dir)
+        violations: list[ChaosViolation] = []
+        fired: dict[str, int] = {}
+        phases = ("wire-mid-put", "down-before-put", "down-mid-read")
+        for run in range(runs):
+            rs = self._run_seed(run)
+            rng = np.random.default_rng(rs)
+            phase = phases[run % len(phases)]
+            fired[phase] = fired.get(phase, 0) + 1
+            victim = int(rng.integers(0, 3))
+            scratch = work_dir / f"shard-run{run}"
+            roots = [scratch / f"s{i}" for i in range(3)]
+
+            def bad(invariant: str, detail: str, _run: int = run) -> None:
+                violations.append(ChaosViolation(
+                    "shard", self.seed, _run, invariant, detail
+                ))
+
+            f1 = rng.normal(size=(24, 32)).astype(np.float32)
+            f2 = (f1 * 1.5 + rng.normal(size=(24, 32))).astype(np.float32)
+            with LocalShardCluster(roots, replicas=2) as cluster:
+                gw = cluster.gateway()
+                try:
+                    gw.put("d.ts", f1, "sz14", 1e-3, n_tiles=4)
+                    v1 = gw.read("d.ts").data
+                except ReproError as exc:
+                    bad("acked-durable", f"clean baseline put failed: {exc}")
+                    gw.close()
+                    continue
+
+                acked = None
+                if phase == "wire-mid-put":
+                    flaky = cluster.gateway(
+                        timeout=2.0,
+                        socket_factory=FlakySocketFactory(
+                            seed=rs, faulty_connections=1 + rs % 2,
+                            max_after_bytes=64,
+                        ),
+                    )
+                    try:
+                        acked = flaky.put("d.ts", f2, "sz14", 1e-3, n_tiles=4)
+                    except ReproError:
+                        acked = None  # old-or-new checked below either way
+                    finally:
+                        flaky.close()
+                elif phase == "down-before-put":
+                    cluster.stop_shard(victim)
+                    try:
+                        acked = gw.put("d.ts", f2, "sz14", 1e-3, n_tiles=4)
+                        if not acked.degraded:
+                            bad("degraded-ack",
+                                "put with a shard down not flagged degraded")
+                    except ReproError as exc:
+                        bad("degraded-ack",
+                            f"put with one of 3 shards down refused: {exc}")
+                else:  # down-mid-read
+                    try:
+                        acked = gw.put("d.ts", f2, "sz14", 1e-3, n_tiles=4)
+                    except ReproError as exc:
+                        bad("acked-durable", f"clean put failed: {exc}")
+                    cluster.stop_shard(victim)
+
+                # reads while (possibly) degraded — fresh gateway, no cache
+                reader = cluster.gateway(
+                    timeout=2.0,
+                    socket_factory=(
+                        FlakySocketFactory(
+                            seed=rs + 1, faulty_connections=1,
+                            max_after_bytes=64,
+                        ) if phase == "down-mid-read" else None
+                    ),
+                )
+                got = None
+                try:
+                    got = reader.read("d.ts").data
+                    is_v1 = np.array_equal(got, v1)
+                    if acked is not None:
+                        # the update was acked: the old version is gone
+                        if is_v1:
+                            bad("acked-durable",
+                                "read returned the old version after an "
+                                "acked update put")
+                    elif not is_v1:
+                        # no ack: the new bytes are allowed too, but a
+                        # hybrid is not — reads must be self-consistent.
+                        again = reader.read("d.ts").data
+                        if not np.array_equal(got, again):
+                            bad("old-or-new",
+                                "two reads of the same version disagree")
+                    window = (slice(3, 17), slice(5, 29))
+                    sl = reader.read_slice("d.ts", window).data
+                    if not np.array_equal(sl, got[window]):
+                        bad("reads-converge",
+                            "windowed read disagrees with the full read")
+                except ReproError as exc:
+                    bad("reads-converge",
+                        f"{phase}: read with cluster degraded failed: {exc}")
+                finally:
+                    reader.close()
+
+                # victim returns: one full read must re-converge replicas
+                if phase in ("down-before-put", "down-mid-read"):
+                    cluster.start_shard(victim)
+                    repairer = cluster.gateway()
+                    try:
+                        healed = repairer.read("d.ts").data
+                        if (
+                            acked is not None and got is not None
+                            and not np.array_equal(healed, got)
+                        ):
+                            bad("acked-durable",
+                                "read after victim restart lost the "
+                                "acked bytes")
+                        if acked is not None:
+                            vid = cluster.shard_id(victim)
+                            ring = repairer.ring
+                            vroot = roots[victim]
+                            for d in acked.tile_digests:
+                                if vid in ring.owners(d, 2) and not (
+                                    vroot / "objects" / d
+                                ).exists():
+                                    bad("read-repair-converges",
+                                        f"tile {d[:12]}... not restored "
+                                        f"to shard {victim}")
+                            if vid in ring.owners(manifest_key("d.ts"), 2):
+                                mp = vroot / "manifests" / "d.ts.json"
+                                if not mp.exists():
+                                    bad("read-repair-converges",
+                                        "manifest replica not restored")
+                                elif (
+                                    _json.loads(mp.read_text())
+                                    .get("version") != acked.version
+                                ):
+                                    bad("read-repair-converges",
+                                        "manifest replica restored at a "
+                                        "stale version")
+                    except ReproError as exc:
+                        bad("read-repair-converges",
+                            f"read after victim restart failed: {exc}")
+                    finally:
+                        repairer.close()
+                gw.close()
+            shutil.rmtree(scratch, ignore_errors=True)
+        return ChaosReport(
+            "shard", self.seed, runs, fired, tuple(violations)
+        )

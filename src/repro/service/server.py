@@ -33,6 +33,19 @@ Requests carry ``{"op": ...}`` plus op-specific fields; responses carry
     damaged-tile indices in the header when ``strict`` is off.  A server
     without a store answers ``{"ok": false, "error": "store-not-
     configured"}``.
+``store_ls`` / ``store_gc`` / ``store_get_object`` / ``store_put_object``
+/ ``store_has_objects`` / ``store_get_manifest`` / ``store_put_manifest``
+    the shard-facing primitives: raw content-addressed blob and manifest
+    transfer, listing, and a gc that honours cluster-wide ``refs``.  The
+    :mod:`repro.shard` gateway speaks these to each shard.
+``shard_map``
+    the cluster topology (shards, addresses, replication factor) when
+    the server was started with one; how clients bootstrap failover.
+
+Store failures cross the wire typed: error responses carry the exception
+class name plus op and request id, and :class:`ServiceClient` re-raises
+``StoreError`` / ``ChecksumError`` / ``ContainerError`` locally so retry
+and failover classification work end-to-end.
 
 :class:`ServiceClient` is the blocking counterpart used by the CLI, the
 CI smoke test and anything else that wants the service without asyncio.
@@ -54,10 +67,13 @@ import numpy as np
 from .. import __version__
 from ..codec.registry import REGISTRY
 from ..errors import (
+    ChecksumError,
+    ContainerError,
     QueueFullError,
     ReproError,
     ServiceError,
     ServiceTimeoutError,
+    StoreError,
     TransportError,
 )
 from ..streams import MAX_FIELD_POINTS
@@ -73,7 +89,19 @@ _IDEM_CACHE = 512
 
 #: Ops whose effect must not double-execute when a client retries after
 #: a wire failure: the request may have run even though the ack was lost.
-_IDEMPOTENT_OPS = frozenset({"compress", "decompress", "store_put"})
+#: (The object/manifest ops are naturally idempotent — content-addressed
+#: writes — but dedup still saves the replayed work.)
+_IDEMPOTENT_OPS = frozenset({
+    "compress", "decompress", "store_put",
+    "store_put_object", "store_put_manifest",
+})
+
+#: Store ops a server without a store root refuses in one place.
+_STORE_OPS = frozenset({
+    "store_put", "store_read", "store_slice", "store_ls", "store_gc",
+    "store_get_object", "store_put_object", "store_has_objects",
+    "store_get_manifest", "store_put_manifest",
+})
 
 _LEN = struct.Struct(">I")
 #: Largest accepted frame header/body (a full float64 field at the
@@ -121,9 +149,13 @@ class CompressionServer:
         hang_timeout_s: float | None = None,
         store_root: str | None = None,
         store_cache_bytes: int | None = None,
+        shard_map: dict | None = None,
     ) -> None:
         self.host = host
         self.port = port
+        #: Cluster topology served on the ``shard_map`` op when this
+        #: server is one shard of a sharded store (``wavesz shard``).
+        self.shard_map = shard_map
         self.scheduler = BatchScheduler(
             workers=workers,
             pool_kind=pool_kind,
@@ -144,6 +176,7 @@ class CompressionServer:
                 metrics=self.scheduler.metrics,
             )
         self._server: asyncio.AbstractServer | None = None
+        self._conns: set[asyncio.StreamWriter] = set()
         self._draining = False
         # request-id → Future[response frame]; in-flight entries dedup
         # concurrent replays, completed entries answer late ones.
@@ -177,6 +210,11 @@ class CompressionServer:
         await self.scheduler.stop(
             deadline_s=0 if not drain else deadline_s
         )
+        # Sever surviving connections: a stopped server must look *down*
+        # to its peers (shard failover depends on this), not like a
+        # zombie that keeps answering store reads on old sockets.
+        for w in list(self._conns):
+            w.close()
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -188,6 +226,7 @@ class CompressionServer:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._conns.add(writer)
         try:
             while True:
                 try:
@@ -200,6 +239,7 @@ class CompressionServer:
         except Exception:  # noqa: BLE001 - connection-scoped failure
             pass
         finally:
+            self._conns.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -269,6 +309,7 @@ class CompressionServer:
                 })
             if self._draining and op in (
                 "compress", "decompress", "store_put",
+                "store_put_object", "store_put_manifest", "store_gc",
             ):
                 return _pack({
                     "ok": False,
@@ -282,22 +323,26 @@ class CompressionServer:
                 return _pack(
                     {"ok": True, "stats": self.scheduler.stats().to_dict()}
                 )
+            if op == "shard_map":
+                if self.shard_map is None:
+                    return _pack({
+                        "ok": False,
+                        "error": "shard-map-not-configured",
+                        "detail": "server is not part of a sharded store",
+                    })
+                return _pack({"ok": True, "shard_map": self.shard_map})
             if op == "compress":
                 return await self._op_compress(header, body)
             if op == "decompress":
                 return await self._op_decompress(body)
-            if op in ("store_put", "store_read", "store_slice"):
+            if op in _STORE_OPS:
                 if self.store is None:
                     return _pack({
                         "ok": False,
                         "error": "store-not-configured",
                         "detail": "server was started without a store root",
                     })
-                if op == "store_put":
-                    return await self._op_store_put(header, body)
-                if op == "store_read":
-                    return await self._op_store_read(header)
-                return await self._op_store_slice(header)
+                return await self._op_store(op, header, body)
             return _pack({"ok": False, "error": f"unknown op {op!r}"})
         except QueueFullError as exc:
             return _pack({
@@ -307,11 +352,83 @@ class CompressionServer:
                 "queue_depth": self.scheduler.queue.depth,
             })
         except ReproError as exc:
+            # typed failure: the client re-raises the same taxonomy
+            # (StoreError, ChecksumError, ...) with op + request id kept,
+            # so retry/failover classification works end to end.
             return _pack({
                 "ok": False,
                 "error": type(exc).__name__,
                 "detail": str(exc),
+                "op": str(op),
+                "req_id": str(header.get("req_id", "-")),
             })
+
+    async def _op_store(self, op: str, header: dict, body: bytes) -> bytes:
+        if op == "store_put":
+            return await self._op_store_put(header, body)
+        if op == "store_read":
+            return await self._op_store_read(header)
+        if op == "store_slice":
+            return await self._op_store_slice(header)
+        if op == "store_ls":
+            rows = await asyncio.to_thread(self.store.ls)
+            for r in rows:
+                r["shape"] = list(r["shape"])
+            return _pack({"ok": True, "datasets": rows})
+        if op == "store_gc":
+            refs = header.get("refs", [])
+            if not isinstance(refs, list):
+                raise ServiceError(f"store_gc refs must be a list, got {refs!r}")
+            result = await asyncio.to_thread(
+                lambda: self.store.gc(extra_refs=[str(r) for r in refs])
+            )
+            return _pack({
+                "ok": True,
+                "removed": result.n_removed,
+                "reclaimed_bytes": result.reclaimed_bytes,
+                "kept": result.kept,
+                "tmp_removed": len(result.tmp_removed),
+            })
+        if op == "store_get_object":
+            blob = await asyncio.to_thread(
+                self.store.get_object, str(header.get("digest", ""))
+            )
+            return _pack({"ok": True}, blob)
+        if op == "store_put_object":
+            digest, stored = await asyncio.to_thread(
+                lambda: self.store.put_object(
+                    body,
+                    (str(header["digest"])
+                     if header.get("digest") is not None else None),
+                    overwrite=bool(header.get("overwrite", False)),
+                )
+            )
+            return _pack({"ok": True, "digest": digest, "stored": stored})
+        if op == "store_has_objects":
+            digests = header.get("digests", [])
+            if not isinstance(digests, list):
+                raise ServiceError(
+                    f"store_has_objects digests must be a list, got {digests!r}"
+                )
+            have = await asyncio.to_thread(
+                self.store.has_objects, [str(d) for d in digests]
+            )
+            return _pack({"ok": True, "have": have})
+        if op == "store_get_manifest":
+            m = await asyncio.to_thread(
+                self.store.manifest, str(header.get("name", ""))
+            )
+            return _pack({"ok": True, "manifest": m})
+        assert op == "store_put_manifest"
+        manifest = header.get("manifest")
+        if not isinstance(manifest, dict):
+            raise ServiceError(
+                "store_put_manifest needs a manifest object in the header"
+            )
+        await asyncio.to_thread(
+            self.store.put_manifest, str(header.get("name", "")), manifest
+        )
+        return _pack({"ok": True, "name": str(header.get("name", ""))})
 
     @staticmethod
     def _parse_field(header: dict, body: bytes) -> np.ndarray:
@@ -636,13 +753,29 @@ class ServiceClient:
             self.retries += 1
             time.sleep(self.retry.delay(attempt))
 
-    @staticmethod
-    def _check(resp: dict) -> dict:
+    #: Wire error names that re-raise as their local exception type, so a
+    #: caller (gateway, CLI) classifies a remote store failure exactly
+    #: like a local one.  Anything unlisted stays a generic ServiceError.
+    _WIRE_ERRORS: dict[str, type[ReproError]] = {
+        "StoreError": StoreError,
+        "ChecksumError": ChecksumError,
+        "ContainerError": ContainerError,
+    }
+
+    @classmethod
+    def _check(cls, resp: dict) -> dict:
         if not resp.get("ok"):
-            if resp.get("error") == "queue-full":
+            name = resp.get("error", "error")
+            if name == "queue-full":
                 raise QueueFullError(resp.get("detail", "queue full"))
+            context = ""
+            if resp.get("op"):
+                context = f" [op {resp['op']}, request {resp.get('req_id', '-')}]"
+            exc_type = cls._WIRE_ERRORS.get(str(name))
+            if exc_type is not None:
+                raise exc_type(f"{resp.get('detail', '')}{context}")
             raise ServiceError(
-                f"{resp.get('error', 'error')}: {resp.get('detail', '')}"
+                f"{name}: {resp.get('detail', '')}{context}"
             )
         return resp
 
@@ -773,3 +906,63 @@ class ServiceClient:
              "strict": strict}
         )
         return self._unpack_read(self._check(resp), body)
+
+    # -- shard-facing store primitives ------------------------------------
+    # Raw object / manifest transfer: what the gateway speaks to each
+    # shard.  All of these re-raise typed store errors (see _WIRE_ERRORS).
+
+    def store_ls(self) -> list[dict]:
+        rows = self._check(self._roundtrip({"op": "store_ls"})[0])["datasets"]
+        for r in rows:
+            r["shape"] = tuple(r["shape"])
+        return rows
+
+    def store_gc(self, refs=()) -> dict:
+        """Garbage-collect the remote store, keeping ``refs`` digests too.
+
+        A sharded deployment must pass the cluster-wide referenced set:
+        this shard may hold tiles whose manifests live on other shards.
+        """
+        return self._check(self._roundtrip(
+            {"op": "store_gc", "refs": [str(r) for r in refs]}
+        )[0])
+
+    def store_get_object(self, digest: str) -> bytes:
+        resp, body = self._roundtrip(
+            {"op": "store_get_object", "digest": digest}
+        )
+        self._check(resp)
+        return body
+
+    def store_put_object(
+        self, blob: bytes, digest: str | None = None, *,
+        overwrite: bool = False,
+    ) -> tuple[str, bool]:
+        """Store one content-addressed blob; returns (digest, stored)."""
+        header: dict = {"op": "store_put_object", "overwrite": overwrite}
+        if digest is not None:
+            header["digest"] = digest
+        resp = self._check(self._roundtrip(header, blob)[0])
+        return str(resp["digest"]), bool(resp["stored"])
+
+    def store_has_objects(self, digests) -> dict[str, bool]:
+        resp = self._check(self._roundtrip(
+            {"op": "store_has_objects", "digests": [str(d) for d in digests]}
+        )[0])
+        return {str(k): bool(v) for k, v in resp["have"].items()}
+
+    def store_get_manifest(self, name: str) -> dict:
+        return self._check(self._roundtrip(
+            {"op": "store_get_manifest", "name": name}
+        )[0])["manifest"]
+
+    def store_put_manifest(self, name: str, manifest: dict) -> None:
+        self._check(self._roundtrip(
+            {"op": "store_put_manifest", "name": name, "manifest": manifest}
+        )[0])
+
+    def shard_map(self) -> dict:
+        """The cluster topology this server belongs to (gateway op)."""
+        return self._check(
+            self._roundtrip({"op": "shard_map"})[0]
+        )["shard_map"]

@@ -1,0 +1,135 @@
+"""In-process shard clusters for tests, benchmarks and chaos runs.
+
+:class:`LocalShardCluster` runs N real :class:`CompressionServer`
+instances — each with its own :class:`~repro.store.ArrayStore` root —
+on one background asyncio loop, and hands out :class:`ShardMap` /
+:class:`~repro.shard.gateway.ShardGateway` objects wired to them.
+Individual shards can be stopped (abruptly or drained) and restarted on
+the *same* port with the *same* store directory, which is exactly the
+shard-loss-and-return scenario the failover and read-repair paths exist
+for.  Everything is real sockets on loopback; only the process boundary
+is elided.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+from typing import Any
+
+from ..service.server import CompressionServer
+from .gateway import ShardGateway
+from .ring import ShardMap
+
+__all__ = ["LocalShardCluster"]
+
+
+class LocalShardCluster:
+    """N loopback shard servers with stable ports across restarts."""
+
+    def __init__(
+        self,
+        roots: list[str | Path],
+        *,
+        replicas: int = 2,
+        workers: int = 1,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if not roots:
+            raise ValueError("a cluster needs at least one shard root")
+        self.roots = [Path(r) for r in roots]
+        self.replicas = min(replicas, len(self.roots))
+        self.workers = workers
+        self.host = host
+        self.ports: list[int | None] = [None] * len(self.roots)
+        self.servers: list[CompressionServer | None] = [None] * len(self.roots)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            loop = asyncio.new_event_loop()
+            ready = threading.Event()
+
+            def runner() -> None:
+                asyncio.set_event_loop(loop)
+                ready.set()
+                loop.run_forever()
+
+            self._thread = threading.Thread(target=runner, daemon=True)
+            self._thread.start()
+            if not ready.wait(10):  # pragma: no cover - startup failure
+                raise RuntimeError("cluster loop failed to start")
+            self._loop = loop
+        return self._loop
+
+    def _run(self, coro: Any, timeout: float = 30.0) -> Any:
+        loop = self._ensure_loop()
+        return asyncio.run_coroutine_threadsafe(coro, loop).result(timeout)
+
+    def start(self) -> "LocalShardCluster":
+        for i in range(len(self.roots)):
+            if self.servers[i] is None:
+                self.start_shard(i)
+        return self
+
+    def start_shard(self, i: int) -> None:
+        """(Re)start shard ``i`` on its previous port, same store root."""
+        assert self.servers[i] is None, f"shard {i} already running"
+        srv = CompressionServer(
+            host=self.host,
+            port=self.ports[i] or 0,
+            workers=self.workers,
+            pool_kind="thread",
+            store_root=str(self.roots[i]),
+        )
+        self._run(srv.start())
+        self.ports[i] = srv.port
+        self.servers[i] = srv
+
+    def stop_shard(self, i: int, *, drain: bool = False) -> None:
+        """Take shard ``i`` down; its port stays reserved for restart."""
+        srv = self.servers[i]
+        if srv is None:
+            return
+        self.servers[i] = None
+        self._run(srv.stop(drain=drain, deadline_s=2.0))
+
+    def close(self) -> None:
+        for i in range(len(self.roots)):
+            try:
+                self.stop_shard(i)
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(10)
+            self._loop.close()
+            self._loop = None
+            self._thread = None
+
+    def __enter__(self) -> "LocalShardCluster":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def addresses(self) -> list[str]:
+        assert all(p is not None for p in self.ports), "cluster not started"
+        return [f"{self.host}:{p}" for p in self.ports]
+
+    def shard_map(self) -> ShardMap:
+        return ShardMap.from_addresses(self.addresses, replicas=self.replicas)
+
+    def gateway(self, **kwargs: Any) -> ShardGateway:
+        return ShardGateway(self.shard_map(), **kwargs)
+
+    def shard_id(self, i: int) -> str:
+        return self.addresses[i]

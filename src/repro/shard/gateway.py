@@ -1,0 +1,825 @@
+"""The shard gateway: one logical :class:`~repro.store.ArrayStore` over N.
+
+:class:`ShardGateway` fronts N plain ``wavesz serve --store`` servers and
+speaks the shard-facing wire primitives (``store_put_object``,
+``store_get_object``, ``store_put_manifest``, ...) to each.  Placement is
+the :class:`~repro.shard.ring.ShardRing`: a tile object lives on the
+``replicas`` shards owning its content digest, a dataset manifest on the
+shards owning ``m:<name>``.  The read and write paths reuse the exact
+tile functions the local store is built from
+(:func:`~repro.store.compress_field_tiles`,
+:func:`~repro.store.decode_tile_blob`,
+:func:`~repro.store.assemble_tiles`), so a sharded read is bit-exact
+with a single-store read by construction.
+
+Failure semantics:
+
+* **put** — every tile must land on at least one replica *before* the
+  manifest is written anywhere (old-or-new: a put that fails leaves the
+  previous version fully readable), and the manifest must land on at
+  least one of its owners to ack.  Writes that reach fewer than
+  ``replicas`` copies still ack but are flagged ``degraded`` and counted
+  (``gateway.degraded_writes``).
+* **read** — manifests are read from all owners, the highest version
+  wins (ties broken by canonical-JSON digest), stale or missing replicas
+  are repaired in the background of the read (``gateway.read_repairs``).
+  Tiles fail over down the owner list (``gateway.failovers``); a replica
+  that is alive but missing/corrupt gets the winning bytes written back.
+  With one shard down and ``replicas >= 2`` every read succeeds; with
+  ``replicas=1`` a ``strict=False`` read salvages and reports lost tile
+  indices exactly like the local damage path (stage ``"missing"``).
+
+Each shard gets its own :class:`~repro.service.resilience.RetryPolicy`
+and :class:`~repro.service.resilience.CircuitBreaker`, so one sick shard
+trips fast without poisoning calls to its peers.  Per-shard telemetry
+exports as ``shard.<id>.up`` / ``.latency_ms`` / ``.failovers`` gauges
+on the gateway's :class:`~repro.service.metrics.MetricsRegistry`.
+
+A gateway instance is not thread-safe (its per-shard clients own plain
+sockets); use one instance per thread.  Within one call it fans out to
+shards in parallel, one worker per shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from ..errors import (
+    ChecksumError,
+    CircuitOpenError,
+    ConfigError,
+    ReproError,
+    ServiceError,
+    StoreError,
+    TransportError,
+)
+from ..service.metrics import MetricsRegistry
+from ..service.resilience import CircuitBreaker, RetryPolicy
+from ..service.server import ServiceClient
+from ..store import TileCache, assemble_tiles, compress_field_tiles, decode_tile_blob
+from ..store.cache import DEFAULT_CACHE_BYTES
+from ..store.store import ArrayStore, StoreReadResult
+from ..tiling import TileGrid, normalize_slices
+from .ring import DEFAULT_VNODES, ShardMap, ShardRing
+
+__all__ = ["ShardGateway", "ShardPutResult", "GatewayGCResult", "manifest_key"]
+
+#: Errors that mean "this shard is down / unreachable", as opposed to
+#: alive-but-missing-data.  ServiceTimeoutError subclasses TransportError.
+_DOWN = (TransportError, CircuitOpenError, ConnectionError, OSError)
+
+
+def manifest_key(name: str) -> str:
+    """The ring key a dataset's manifest replicas are placed by.
+
+    Prefixed so a manifest and a tile digest can never collide on the
+    ring, and so placement depends only on the dataset name.
+    """
+    return f"m:{name}"
+
+
+class _ShardDown(Exception):
+    """Internal: a call failed because the shard is unreachable."""
+
+    def __init__(self, shard_id: str, cause: BaseException) -> None:
+        super().__init__(f"shard {shard_id} is unreachable: {cause}")
+        self.shard_id = shard_id
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class ShardPutResult:
+    """Outcome of one replicated put, PutResult-compatible where shared."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    codec: str
+    eb_abs: float
+    tile_digests: tuple[str, ...]
+    version: int
+    replicas: int
+    new_objects: int  # unique digests that did not exist anywhere
+    dedup_objects: int  # unique digests every replica already had
+    stored_bytes: int  # bytes physically written cluster-wide (all copies)
+    dedup_bytes: int  # bytes existing copies saved us
+    compressed_bytes: int  # one logical copy (sum of tile payloads)
+    original_bytes: int
+    degraded: bool  # acked with fewer than `replicas` copies somewhere
+    per_shard: dict[str, int] = field(default_factory=dict)  # objects written
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self.tile_digests)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio of one logical copy (replication excluded)."""
+        return self.original_bytes / max(1, self.compressed_bytes)
+
+
+@dataclass(frozen=True)
+class GatewayGCResult:
+    """Aggregate of one cluster-wide gc pass."""
+
+    n_removed: int
+    reclaimed_bytes: int
+    kept: int
+    per_shard: dict[str, dict[str, int]] = field(default_factory=dict)
+    tmp_removed: tuple[str, ...] = ()  # GCResult-shape compat (CLI)
+
+
+class ShardGateway:
+    """One logical store spread over the shards of a :class:`ShardMap`."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        *,
+        timeout: float = 30.0,
+        vnodes: int = DEFAULT_VNODES,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        metrics: MetricsRegistry | None = None,
+        retry_factory: Callable[[str], RetryPolicy] | None = None,
+        breaker_factory: Callable[[str], CircuitBreaker] | None = None,
+        socket_factory: Callable[..., Any] | None = None,
+    ) -> None:
+        self.map = shard_map
+        self.ring: ShardRing = shard_map.ring(vnodes=vnodes)
+        self.timeout = timeout
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = TileCache(
+            cache_bytes, metrics=self.metrics, gauge_prefix="gateway.cache"
+        )
+        self._socket_factory = socket_factory
+        self._retry_factory = retry_factory or (
+            # fail over to a replica quickly instead of retrying one
+            # shard for seconds: 2 tries, short jittered pause.
+            lambda sid: RetryPolicy(attempts=2, base_s=0.02, cap_s=0.2)
+        )
+        self._breaker_factory = breaker_factory or (
+            lambda sid: CircuitBreaker(failure_threshold=3, reset_after_s=2.0)
+        )
+        # Breakers outlive client objects: a shard whose *connection*
+        # cannot even be built must still trip and cool down.
+        self._breakers = {
+            sid: self._breaker_factory(sid) for sid in self.map.shard_ids
+        }
+        self._clients: dict[str, ServiceClient] = {}
+        self._latency_ms: dict[str, float] = {}
+        self._failovers: dict[str, int] = dict.fromkeys(self.map.shard_ids, 0)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, len(self.map.shard_ids)),
+            thread_name_prefix="shard-gw",
+        )
+        self.decode_calls = 0  # parity with ArrayStore telemetry
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_any(
+        cls, addresses: str | Iterable[str], *, replicas: int = 2, **kwargs: Any
+    ) -> "ShardGateway":
+        """Build a gateway from ``host:port[,host:port...]`` addresses.
+
+        A single address is asked for its ``shard_map`` op first — so
+        pointing at any member of a configured cluster (or at a gateway
+        server) yields the full topology.  A server that has no shard
+        map, or a multi-address list, becomes the topology directly with
+        the given replication factor.
+        """
+        if isinstance(addresses, str):
+            addresses = [a.strip() for a in addresses.split(",") if a.strip()]
+        else:
+            addresses = [str(a).strip() for a in addresses]
+        if not addresses:
+            raise ConfigError("no shard addresses given")
+        if len(addresses) == 1:
+            probe_map = ShardMap.from_addresses(addresses, replicas=1)
+            info = probe_map.shards[0]
+            try:
+                with ServiceClient(
+                    info.host, info.port,
+                    retry=RetryPolicy(attempts=2, base_s=0.02, cap_s=0.2),
+                ) as probe:
+                    fetched = probe.shard_map()
+            except _DOWN as exc:
+                raise TransportError(
+                    f"cannot reach {info.id} to fetch the shard map: {exc}"
+                ) from exc
+            except ServiceError:
+                fetched = None  # plain single server: treat as 1-shard map
+            if fetched is not None:
+                return cls(ShardMap.from_dict(fetched), **kwargs)
+        return cls(ShardMap.from_addresses(addresses, replicas=replicas), **kwargs)
+
+    # -- per-shard plumbing ------------------------------------------------
+
+    def _client(self, sid: str) -> ServiceClient:
+        c = self._clients.get(sid)
+        if c is not None:
+            return c
+        breaker = self._breakers[sid]
+        breaker.allow()  # raises CircuitOpenError while cooling down
+        info = self.map.shard(sid)
+        kwargs: dict[str, Any] = {}
+        if self._socket_factory is not None:
+            kwargs["socket_factory"] = self._socket_factory
+        try:
+            c = ServiceClient(
+                info.host, info.port, self.timeout,
+                retry=self._retry_factory(sid),
+                breaker=breaker,
+                **kwargs,
+            )
+        except (ConnectionError, OSError) as exc:
+            breaker.record_failure()
+            raise TransportError(
+                f"shard {sid} refused a connection: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        self._clients[sid] = c
+        return c
+
+    def _call(self, sid: str, fn: Callable[[ServiceClient], Any]) -> Any:
+        """One shard call with up/latency telemetry and down-classification.
+
+        Raises :class:`_ShardDown` for transport-level failures; typed
+        application errors (StoreError, ChecksumError, ...) pass through
+        untouched — the shard answered, it just doesn't have the goods.
+        """
+        t0 = time.perf_counter()
+        try:
+            result = fn(self._client(sid))
+        except _DOWN as exc:
+            self._clients.pop(sid, None)
+            self.metrics.set_gauge(f"shard.{sid}.up", 0.0)
+            raise _ShardDown(sid, exc) from exc
+        ms = (time.perf_counter() - t0) * 1e3
+        prev = self._latency_ms.get(sid)
+        ewma = ms if prev is None else 0.8 * prev + 0.2 * ms
+        self._latency_ms[sid] = ewma
+        self.metrics.set_gauges({
+            f"shard.{sid}.up": 1.0,
+            f"shard.{sid}.latency_ms": round(ewma, 3),
+        })
+        return result
+
+    def _note_failover(self, sid: str) -> None:
+        self._failovers[sid] = self._failovers.get(sid, 0) + 1
+        self.metrics.incr("gateway.failovers")
+        self.metrics.set_gauge(
+            f"shard.{sid}.failovers", float(self._failovers[sid])
+        )
+
+    def _fanout(self, tasks: dict[str, Callable[[], Any]]) -> dict[str, Any]:
+        """Run one task per shard concurrently; exceptions are returned,
+        not raised (each shard's client is only ever touched by its own
+        worker, so parallelism never shares a socket)."""
+        futures = {
+            sid: self._pool.submit(fn) for sid, fn in tasks.items()
+        }
+        out: dict[str, Any] = {}
+        for sid, fut in futures.items():
+            try:
+                out[sid] = fut.result()
+            except BaseException as exc:  # noqa: BLE001 - collected, re-raised by callers
+                out[sid] = exc
+        return out
+
+    # -- put ---------------------------------------------------------------
+
+    def put(
+        self,
+        name: str,
+        field_data: np.ndarray,
+        codec: str = "wavesz",
+        eb: float = 1e-3,
+        mode: str = "vr_rel",
+        *,
+        n_tiles: int = 4,
+    ) -> ShardPutResult:
+        """Replicated put: tiles to their owners first, manifest last.
+
+        Ack requires every tile on >= 1 replica and the manifest on >= 1
+        of its owners; anything short of the full replication factor
+        acks ``degraded`` and is counted.  A put that raises leaves any
+        previous version fully intact (old-or-new).
+        """
+        ArrayStore._check_name(name)
+        manifest, payloads = compress_field_tiles(
+            field_data, codec, eb, mode, n_tiles=n_tiles
+        )
+        manifest["name"] = name
+        R = self.map.replicas
+
+        # phase 1: every unique payload to its owner shards, shard-parallel
+        by_shard: dict[str, list[str]] = {}
+        owners_of = {d: self.ring.owners(d, R) for d in payloads}
+        for d, owners in owners_of.items():
+            for sid in owners:
+                by_shard.setdefault(sid, []).append(d)
+
+        def write_objects(sid: str, digests: list[str]):
+            def task() -> dict[str, bool]:
+                stored: dict[str, bool] = {}
+                for d in digests:
+                    _, fresh = self._call(
+                        sid, lambda c, d=d: c.store_put_object(payloads[d], d)
+                    )
+                    stored[d] = fresh
+                return stored
+            return task
+
+        results = self._fanout(
+            {sid: write_objects(sid, ds) for sid, ds in by_shard.items()}
+        )
+
+        ok_copies: dict[str, int] = dict.fromkeys(payloads, 0)
+        fresh_copies: dict[str, int] = dict.fromkeys(payloads, 0)
+        per_shard: dict[str, int] = {}
+        degraded = False
+        for sid, res in results.items():
+            if isinstance(res, BaseException):
+                degraded = True
+                continue
+            per_shard[sid] = sum(1 for fresh in res.values() if fresh)
+            for d, fresh in res.items():
+                ok_copies[d] += 1
+                fresh_copies[d] += int(fresh)
+        lost = [d for d, n in ok_copies.items() if n == 0]
+        if lost:
+            raise StoreError(
+                f"put {name!r} failed: {len(lost)} tile object(s) could not "
+                f"be written to any replica (first: {lost[0][:12]}...)"
+            )
+        if any(n < len(owners_of[d]) for d, n in ok_copies.items()):
+            degraded = True
+
+        # phase 2: version, then the manifest to its owner shards
+        m_owners = self.ring.owners(manifest_key(name), R)
+        versions: list[int] = []
+        for sid in m_owners:
+            try:
+                existing = self._call(
+                    sid, lambda c: c.store_get_manifest(name)
+                )
+                versions.append(int(existing.get("version", 1)))
+            except (StoreError, _ShardDown):
+                continue
+        manifest["version"] = (max(versions) + 1) if versions else 1
+
+        m_results = self._fanout({
+            sid: (lambda s=sid: self._call(
+                s, lambda c: c.store_put_manifest(name, manifest)
+            ))
+            for sid in m_owners
+        })
+        m_ok = [sid for sid, r in m_results.items()
+                if not isinstance(r, BaseException)]
+        if not m_ok:
+            raise StoreError(
+                f"put {name!r} failed: manifest unwritable on all "
+                f"{len(m_owners)} owner shard(s)"
+            )
+        if len(m_ok) < len(m_owners):
+            degraded = True
+        if degraded:
+            self.metrics.incr("gateway.degraded_writes")
+
+        new_objects = sum(1 for d in payloads if fresh_copies[d] > 0)
+        stored_bytes = sum(
+            len(payloads[d]) * fresh_copies[d] for d in payloads
+        )
+        dedup_bytes = sum(
+            len(payloads[d]) * (ok_copies[d] - fresh_copies[d])
+            for d in payloads
+        )
+        return ShardPutResult(
+            name=name,
+            compressed_bytes=sum(manifest["tile_bytes"]),
+            shape=tuple(manifest["shape"]),
+            dtype=manifest["dtype"],
+            codec=manifest["codec"],
+            eb_abs=manifest["eb_abs"],
+            tile_digests=tuple(manifest["tiles"]),
+            version=int(manifest["version"]),
+            replicas=R,
+            new_objects=new_objects,
+            dedup_objects=len(payloads) - new_objects,
+            stored_bytes=stored_bytes,
+            dedup_bytes=dedup_bytes,
+            original_bytes=int(manifest["original_bytes"]),
+            degraded=degraded,
+            per_shard=per_shard,
+        )
+
+    # -- manifests ---------------------------------------------------------
+
+    @staticmethod
+    def _canonical_digest(m: dict[str, Any]) -> str:
+        return hashlib.sha256(
+            json.dumps(m, sort_keys=True).encode()
+        ).hexdigest()
+
+    def _load_manifest(self, name: str) -> dict[str, Any]:
+        """Read all replicas, pick the winner, repair the stragglers.
+
+        Winner = highest ``version``; ties break on the canonical JSON
+        digest so every client converges on the same copy.  Owners that
+        answered with a missing/stale/corrupt manifest get the winner
+        written back (read-repair) before the read proceeds.
+        """
+        owners = self.ring.owners(manifest_key(name), self.map.replicas)
+        replies = self._fanout({
+            sid: (lambda s=sid: self._call(
+                s, lambda c: c.store_get_manifest(name)
+            ))
+            for sid in owners
+        })
+        winner: dict[str, Any] | None = None
+        repair: list[str] = []
+        missing: list[str] = []
+        down = 0
+        for sid in owners:
+            r = replies[sid]
+            if isinstance(r, _ShardDown):
+                down += 1
+            elif isinstance(r, StoreError):
+                missing.append(sid)
+            elif isinstance(r, BaseException):
+                repair.append(sid)  # corrupt / unreadable replica
+            else:
+                if winner is None or self._newer(r, winner):
+                    winner = r
+        if winner is None:
+            if down == len(owners):
+                raise StoreError(
+                    f"no dataset {name!r}: all {len(owners)} manifest "
+                    f"owner shard(s) are unreachable"
+                )
+            raise StoreError(f"sharded store has no dataset {name!r}")
+        wd = self._canonical_digest(winner)
+        for sid in owners:
+            r = replies[sid]
+            if isinstance(r, dict) and self._canonical_digest(r) != wd:
+                repair.append(sid)  # stale version on an alive shard
+        repair.extend(missing)
+        for sid in repair:
+            try:
+                self._call(
+                    sid, lambda c: c.store_put_manifest(name, winner)
+                )
+                self.metrics.incr("gateway.read_repairs")
+            except (_ShardDown, ReproError):
+                continue  # repair is best-effort; the read already has truth
+        return winner
+
+    def _newer(self, a: dict[str, Any], b: dict[str, Any]) -> bool:
+        va, vb = int(a.get("version", 1)), int(b.get("version", 1))
+        if va != vb:
+            return va > vb
+        return self._canonical_digest(a) > self._canonical_digest(b)
+
+    # -- read --------------------------------------------------------------
+
+    def _fetch_tile(
+        self, m: dict[str, Any], grid: TileGrid, index: int,
+        prefetched: dict[str, bytes],
+    ) -> np.ndarray:
+        """One decoded tile: cache, prefetched blob, or owner-list walk.
+
+        Failover walks the digest's owner preference order; a replica
+        that is alive but missing (StoreError) or corrupt (Checksum /
+        Container) is repaired with the good bytes once some replica
+        delivers.  Raises StoreError when no replica can produce the
+        tile — the same class the local store raises for a missing
+        object, so ``strict=False`` salvage classifies it ``missing``.
+        """
+        digest = m["tiles"][index]
+        cached = self.cache.get(digest)
+        if cached is not None:
+            return cached
+
+        owners = self.ring.owners(digest, self.map.replicas)
+        blob = prefetched.get(digest)
+        tile: np.ndarray | None = None
+        repair_missing: list[str] = []
+        repair_corrupt: list[str] = []
+        checksum_exc: ChecksumError | None = None
+        if blob is not None:
+            try:
+                tile = decode_tile_blob(m, grid, index, blob)
+            except ReproError as exc:
+                # the prefetch came from the primary: it handed us bad
+                # bytes, so fail over below and repair it on success.
+                repair_corrupt.append(owners[0])
+                if isinstance(exc, ChecksumError):
+                    checksum_exc = exc
+                blob = None
+        if tile is None:
+            for round_i, sid in enumerate(owners):
+                if sid in repair_corrupt:
+                    continue  # already proven bad
+                try:
+                    candidate = self._call(
+                        sid, lambda c: c.store_get_object(digest)
+                    )
+                    tile = decode_tile_blob(m, grid, index, candidate)
+                    blob = candidate
+                    if round_i > 0:
+                        self._note_failover(owners[0])
+                    break
+                except _ShardDown:
+                    continue
+                except StoreError:
+                    repair_missing.append(sid)
+                except ChecksumError as exc:
+                    checksum_exc = exc
+                    repair_corrupt.append(sid)
+                except ReproError:
+                    repair_corrupt.append(sid)
+        if tile is None or blob is None:
+            if checksum_exc is not None and not repair_missing:
+                raise checksum_exc  # every reachable copy is corrupt
+            raise StoreError(
+                f"object {digest} is unavailable: no replica of "
+                f"{len(owners)} could produce it"
+            )
+        self.decode_calls += 1
+        self.cache.put(digest, tile)
+        for sid in repair_missing:
+            self._repair_object(sid, digest, blob, overwrite=False)
+        for sid in repair_corrupt:
+            self._repair_object(sid, digest, blob, overwrite=True)
+        return tile
+
+    def _repair_object(
+        self, sid: str, digest: str, blob: bytes, *, overwrite: bool
+    ) -> None:
+        try:
+            self._call(
+                sid,
+                lambda c: c.store_put_object(blob, digest, overwrite=overwrite),
+            )
+            self.metrics.incr("gateway.read_repairs")
+        except (_ShardDown, ReproError):
+            pass  # best-effort; the next read will try again
+
+    def _prefetch(
+        self, m: dict[str, Any], tiles: Iterable[int]
+    ) -> tuple[dict[str, bytes], list[str]]:
+        """Bulk-fetch uncached tile blobs, shard-parallel, primary first.
+
+        Returns ``(blobs, needed)`` — ``needed`` is every digest the
+        read could not serve from cache, cached by the caller to decide
+        whether an anti-entropy sweep is worth an extra round trip.
+        Failures here are silent — the per-tile walk in
+        :meth:`_fetch_tile` handles failover and repair serially.
+        """
+        needed: list[str] = []
+        seen: set[str] = set()
+        for t in tiles:
+            d = m["tiles"][t]
+            if d not in seen and self.cache.get(d) is None:
+                seen.add(d)
+                needed.append(d)
+        if not needed:
+            return {}, []
+        by_shard: dict[str, list[str]] = {}
+        for d in needed:
+            by_shard.setdefault(self.ring.owner(d), []).append(d)
+
+        def fetch(sid: str, digests: list[str]):
+            def task() -> dict[str, bytes]:
+                got: dict[str, bytes] = {}
+                for d in digests:
+                    try:
+                        got[d] = self._call(
+                            sid, lambda c, d=d: c.store_get_object(d)
+                        )
+                    except _ShardDown:
+                        break  # the rest of this shard's list would fail too
+                    except ReproError:
+                        continue  # missing/corrupt here: the walk fails over
+                return got
+            return task
+
+        results = self._fanout(
+            {sid: fetch(sid, ds) for sid, ds in by_shard.items()}
+        )
+        blobs: dict[str, bytes] = {}
+        for res in results.values():
+            if isinstance(res, dict):
+                blobs.update(res)
+        return blobs, needed
+
+    def _anti_entropy(
+        self, digests: list[str], blobs: dict[str, bytes]
+    ) -> None:
+        """Restore missing replicas of the digests a read just touched.
+
+        The failover walk only repairs copies it had to *visit*; a tile
+        served happily by its primary never reveals that a secondary
+        (say, a shard that was down during the put) is missing it.  One
+        batched ``store_has_objects`` per owner shard closes that gap:
+        a full read after a shard returns re-converges every replica it
+        owns.  Entirely best-effort — a read never fails because its
+        repairs could not be written.
+        """
+        want: dict[str, list[str]] = {}
+        for d in digests:
+            for sid in self.ring.owners(d, self.map.replicas):
+                want.setdefault(sid, []).append(d)
+        replies = self._fanout({
+            sid: (lambda s=sid, ds=ds: self._call(
+                s, lambda c: c.store_has_objects(ds)
+            ))
+            for sid, ds in want.items()
+        })
+        for sid, have in replies.items():
+            if isinstance(have, BaseException):
+                continue
+            for d in want[sid]:
+                if have.get(d):
+                    continue
+                blob = blobs.get(d)
+                if blob is None:
+                    blob = self._fetch_blob_from_owner(d, skip=sid)
+                if blob is not None:
+                    self._repair_object(sid, d, blob, overwrite=False)
+
+    def _fetch_blob_from_owner(
+        self, digest: str, *, skip: str
+    ) -> bytes | None:
+        for sid in self.ring.owners(digest, self.map.replicas):
+            if sid == skip:
+                continue
+            try:
+                return self._call(
+                    sid, lambda c: c.store_get_object(digest)
+                )
+            except (_ShardDown, ReproError):
+                continue
+        return None
+
+    def read(self, name: str, *, strict: bool = True) -> StoreReadResult:
+        """Reassemble the full field from the cluster, bit-exact."""
+        m = self._load_manifest(name)
+        grid = TileGrid.from_starts(m["shape"], m["band_starts"])
+        window = tuple(slice(0, d) for d in grid.shape)
+        return self._assemble(m, grid, window, range(grid.n_tiles), strict)
+
+    def read_slice(
+        self, name: str, slices, *, strict: bool = True
+    ) -> StoreReadResult:
+        """Read a sub-window, touching only the shards that own its tiles."""
+        m = self._load_manifest(name)
+        grid = TileGrid.from_starts(m["shape"], m["band_starts"])
+        window = normalize_slices(grid.shape, slices)
+        return self._assemble(
+            m, grid, window, grid.overlapping(window[0]), strict
+        )
+
+    def _assemble(
+        self, m: dict[str, Any], grid: TileGrid, window, tiles, strict: bool
+    ) -> StoreReadResult:
+        tiles = list(tiles)
+        prefetched, needed = self._prefetch(m, tiles)
+        result = assemble_tiles(
+            m, grid, window, tiles,
+            lambda t: self._fetch_tile(m, grid, t, prefetched),
+            strict=strict,
+        )
+        if result.damaged:
+            self.metrics.incr("gateway.degraded_reads")
+        if needed:
+            # the read touched the wire anyway: one has_objects round
+            # trip per owner shard re-converges replicas a failover
+            # walk would never visit.  Fully-cached reads skip this.
+            self._anti_entropy(needed, prefetched)
+        return result
+
+    # -- listing / gc / health --------------------------------------------
+
+    def ls(self) -> list[dict[str, Any]]:
+        """Merged dataset listing (one row per name) from reachable shards."""
+        replies = self._fanout({
+            sid: (lambda s=sid: self._call(s, lambda c: c.store_ls()))
+            for sid in self.map.shard_ids
+        })
+        rows: dict[str, dict[str, Any]] = {}
+        for sid in self.map.shard_ids:
+            r = replies[sid]
+            if isinstance(r, BaseException):
+                continue
+            for row in r:
+                rows.setdefault(row["name"], row)
+        return [rows[k] for k in sorted(rows)]
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(r["name"] for r in self.ls())
+
+    def gc(self) -> GatewayGCResult:
+        """Cluster-wide gc: union every manifest's tiles, then sweep.
+
+        Refuses (``StoreError``) unless every shard is reachable — a
+        manifest on an unreachable shard may be the only reference to
+        tiles held here, and sweeping those would turn a transient
+        outage into data loss.
+        """
+        listings = self._fanout({
+            sid: (lambda s=sid: self._call(s, lambda c: c.store_ls()))
+            for sid in self.map.shard_ids
+        })
+        down = [sid for sid, r in listings.items()
+                if isinstance(r, BaseException)]
+        if down:
+            raise StoreError(
+                f"gc refused: shard(s) {', '.join(sorted(down))} are "
+                f"unreachable and may hold the only manifest referencing "
+                f"live objects"
+            )
+        refs: set[str] = set()
+        for sid, rows in listings.items():
+            for row in rows:
+                try:
+                    m = self._call(
+                        sid, lambda c, n=row["name"]: c.store_get_manifest(n)
+                    )
+                except (_ShardDown, ReproError) as exc:
+                    raise StoreError(
+                        f"gc refused: manifest {row['name']!r} on shard "
+                        f"{sid} is unreadable: {exc}"
+                    ) from exc
+                refs.update(m["tiles"])
+        sweeps = self._fanout({
+            sid: (lambda s=sid: self._call(
+                s, lambda c: c.store_gc(refs=sorted(refs))
+            ))
+            for sid in self.map.shard_ids
+        })
+        per_shard: dict[str, dict[str, int]] = {}
+        n_removed = reclaimed = kept = 0
+        for sid, r in sweeps.items():
+            if isinstance(r, BaseException):
+                raise StoreError(f"gc sweep failed on shard {sid}: {r}")
+            per_shard[sid] = {
+                "removed": int(r["removed"]),
+                "reclaimed_bytes": int(r["reclaimed_bytes"]),
+                "kept": int(r["kept"]),
+            }
+            n_removed += int(r["removed"])
+            reclaimed += int(r["reclaimed_bytes"])
+            kept += int(r["kept"])
+        return GatewayGCResult(
+            n_removed=n_removed, reclaimed_bytes=reclaimed, kept=kept,
+            per_shard=per_shard,
+        )
+
+    def status(self) -> dict[str, Any]:
+        """Probe every shard's health op; refresh the per-shard gauges."""
+        replies = self._fanout({
+            sid: (lambda s=sid: self._call(s, lambda c: c.health()))
+            for sid in self.map.shard_ids
+        })
+        shards: dict[str, Any] = {}
+        up = 0
+        for sid in self.map.shard_ids:
+            r = replies[sid]
+            if isinstance(r, BaseException):
+                shards[sid] = {"up": False, "error": str(r)}
+            else:
+                up += 1
+                shards[sid] = {
+                    "up": True,
+                    "status": r.get("status"),
+                    "store": r.get("store"),
+                    "latency_ms": round(self._latency_ms.get(sid, 0.0), 3),
+                    "failovers": self._failovers.get(sid, 0),
+                }
+        return {
+            "replicas": self.map.replicas,
+            "n_shards": len(self.map.shard_ids),
+            "shards_up": up,
+            "shards": shards,
+        }
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+        for c in self._clients.values():
+            c.close()
+        self._clients.clear()
+
+    def __enter__(self) -> "ShardGateway":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,204 @@
+"""Consistent-hash placement: the ring and the cluster topology map.
+
+:class:`ShardRing` answers one question — *which shards own this key?* —
+with the classic consistent-hashing construction: every shard projects
+``vnodes`` points onto a 64-bit circle (SHA-256 of ``"<shard>#<i>"``),
+a key hashes to a point, and its owners are the first ``n`` *distinct*
+shards found walking clockwise.  Two properties matter to the store
+gateway built on top:
+
+* **uniformity** — with enough virtual nodes the key space splits close
+  to evenly (the property suite pins the tolerance), so tile placement
+  balances bytes across shards without any central allocation table;
+* **bounded rebalance** — adding or removing one shard only moves the
+  keys in the arcs that shard's points cover, ≈ ``1/N`` of the space,
+  so cluster membership changes re-home a bounded slice of the data
+  instead of reshuffling everything (the failure mode of ``hash % N``).
+
+:class:`ShardMap` is the deployment topology the ring is derived from:
+shard ids with their TCP addresses plus the replication factor, JSON
+round-trippable because clients fetch it over the wire (the gateway's
+``shard_map`` op) before going shard-direct.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ..errors import ConfigError
+
+__all__ = ["ShardRing", "ShardInfo", "ShardMap", "DEFAULT_VNODES"]
+
+#: Virtual nodes per shard.  64 keeps the max/min shard span under ~2x
+#: for small clusters while the ring build stays microseconds.
+DEFAULT_VNODES = 64
+
+
+def _point(label: str) -> int:
+    """Map a label onto the 64-bit hash circle."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode()).digest()[:8], "big"
+    )
+
+
+class ShardRing:
+    """An immutable consistent-hash ring over a set of shard ids."""
+
+    def __init__(
+        self, shard_ids: Iterable[str], *, vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        ids = list(dict.fromkeys(shard_ids))
+        if not ids:
+            raise ConfigError("a shard ring needs at least one shard")
+        if vnodes < 1:
+            raise ConfigError(f"vnodes must be >= 1, got {vnodes}")
+        self.shard_ids = tuple(ids)
+        self.vnodes = vnodes
+        points: list[tuple[int, str]] = []
+        for sid in ids:
+            for i in range(vnodes):
+                points.append((_point(f"{sid}#{i}"), sid))
+        points.sort()
+        self._points = points
+        self._keys = [p for p, _ in points]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_ids)
+
+    def owners(self, key: str, n: int = 1) -> tuple[str, ...]:
+        """The first ``n`` distinct shards clockwise from ``key``'s point.
+
+        ``owners(key, 1)[0]`` is the primary; the rest are the replica
+        preference order.  ``n`` beyond the shard count is clamped — a
+        3-shard ring asked for 5 owners returns all 3.
+        """
+        if n < 1:
+            raise ConfigError(f"owner count must be >= 1, got {n}")
+        n = min(n, self.n_shards)
+        start = bisect_right(self._keys, _point(key))
+        found: list[str] = []
+        for i in range(len(self._points)):
+            sid = self._points[(start + i) % len(self._points)][1]
+            if sid not in found:
+                found.append(sid)
+                if len(found) == n:
+                    break
+        return tuple(found)
+
+    def owner(self, key: str) -> str:
+        return self.owners(key, 1)[0]
+
+    def with_shard(self, shard_id: str) -> "ShardRing":
+        """A new ring with ``shard_id`` added (membership change)."""
+        return ShardRing(self.shard_ids + (shard_id,), vnodes=self.vnodes)
+
+    def without_shard(self, shard_id: str) -> "ShardRing":
+        """A new ring with ``shard_id`` removed (membership change)."""
+        return ShardRing(
+            (s for s in self.shard_ids if s != shard_id), vnodes=self.vnodes
+        )
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard's identity and TCP address."""
+
+    id: str
+    host: str
+    port: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"id": self.id, "host": self.host, "port": int(self.port)}
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """The cluster topology: shards, replication factor, map version."""
+
+    shards: tuple[ShardInfo, ...]
+    replicas: int = 2
+    version: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ConfigError("a shard map needs at least one shard")
+        ids = [s.id for s in self.shards]
+        if len(set(ids)) != len(ids):
+            raise ConfigError(f"duplicate shard ids in map: {ids}")
+        if not 1 <= self.replicas <= len(self.shards):
+            raise ConfigError(
+                f"replication factor {self.replicas} needs between 1 and "
+                f"{len(self.shards)} shards"
+            )
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        return tuple(s.id for s in self.shards)
+
+    def shard(self, shard_id: str) -> ShardInfo:
+        for s in self.shards:
+            if s.id == shard_id:
+                return s
+        raise ConfigError(f"shard map has no shard {shard_id!r}")
+
+    def ring(self, *, vnodes: int = DEFAULT_VNODES) -> ShardRing:
+        return ShardRing(self.shard_ids, vnodes=vnodes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "shards": [s.to_dict() for s in self.shards],
+            "replicas": int(self.replicas),
+            "version": int(self.version),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Any) -> "ShardMap":
+        if not isinstance(d, dict) or not isinstance(d.get("shards"), list):
+            raise ConfigError(f"bad shard map payload {d!r}")
+        try:
+            shards = tuple(
+                ShardInfo(str(s["id"]), str(s["host"]), int(s["port"]))
+                for s in d["shards"]
+            )
+            return cls(
+                shards=shards,
+                replicas=int(d.get("replicas", 2)),
+                version=int(d.get("version", 1)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"bad shard map payload: {exc}") from exc
+
+    @classmethod
+    def from_addresses(
+        cls, addresses: str | Sequence[str], *, replicas: int = 2
+    ) -> "ShardMap":
+        """Build a map from ``host:port`` addresses (or one comma list).
+
+        Shard ids are the address strings themselves, so placement is
+        stable under reordering and across independently built clients.
+        """
+        if isinstance(addresses, str):
+            addresses = [a for a in addresses.split(",") if a.strip()]
+        shards = []
+        for addr in addresses:
+            addr = addr.strip()
+            host, sep, port_s = addr.rpartition(":")
+            if not sep or not host:
+                raise ConfigError(
+                    f"shard address {addr!r} is not host:port"
+                )
+            try:
+                port = int(port_s)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"shard address {addr!r} has a bad port"
+                ) from exc
+            shards.append(ShardInfo(addr, host, port))
+        return cls(
+            shards=tuple(shards),
+            replicas=min(replicas, len(shards)) if shards else replicas,
+        )

@@ -31,10 +31,16 @@ from .store import (
     RecoveryResult,
     StoreReadResult,
     TileDamage,
+    assemble_tiles,
+    compress_field_tiles,
+    decode_tile_blob,
 )
 
 __all__ = [
     "ArrayStore",
+    "assemble_tiles",
+    "compress_field_tiles",
+    "decode_tile_blob",
     "TileCache",
     "DEFAULT_CACHE_BYTES",
     "PutResult",

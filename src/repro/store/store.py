@@ -70,6 +70,9 @@ __all__ = [
     "RecoveryResult",
     "MANIFEST_FORMAT",
     "JOURNAL_FORMAT",
+    "compress_field_tiles",
+    "decode_tile_blob",
+    "assemble_tiles",
 ]
 
 MANIFEST_FORMAT = 1
@@ -79,6 +82,149 @@ _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
 _DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
 
 _TX_SEQ = itertools.count(1)
+
+
+def compress_field_tiles(
+    field: np.ndarray,
+    codec: str = "wavesz",
+    eb: float = 1e-3,
+    mode: str = "vr_rel",
+    *,
+    n_tiles: int = 4,
+) -> tuple[dict[str, Any], dict[str, bytes]]:
+    """Phase 0 of any put: compress ``field`` into its tile payloads.
+
+    Pure compute — nothing touches disk or the network.  Returns the
+    manifest dict (format :data:`MANIFEST_FORMAT`) and the unique
+    payloads keyed by content digest.  Both :meth:`ArrayStore.put` and
+    the shard gateway's replicated put are built on this one function,
+    which is what makes a sharded read bit-exact with the local path:
+    the bytes placed on the wire are the same bytes a single store
+    would have written.
+    """
+    data = np.ascontiguousarray(field)
+    compressor = get_codec(codec)
+    canonical = REGISTRY.canonical(codec)
+    bound, slices = plan_bands(data, eb, mode, n_tiles, clamp=True)
+
+    digests: list[str] = []
+    tile_bytes: list[int] = []
+    payloads: dict[str, bytes] = {}
+    for sl in slices:
+        payload = compressor.compress(
+            np.ascontiguousarray(data[sl]), bound.absolute, "abs"
+        ).payload
+        digest = hashlib.sha256(payload).hexdigest()
+        digests.append(digest)
+        tile_bytes.append(len(payload))
+        payloads.setdefault(digest, payload)
+
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "name": None,  # filled in by the caller once the name is checked
+        "shape": [int(d) for d in data.shape],
+        "dtype": str(data.dtype),
+        "codec": canonical,
+        "eb": float(eb),
+        "mode": str(mode),
+        "eb_abs": float(bound.absolute),
+        "band_starts": [int(s.start) for s in slices],
+        "tiles": digests,
+        "tile_bytes": tile_bytes,
+        "original_bytes": int(data.size * data.dtype.itemsize),
+    }
+    return manifest, payloads
+
+
+def decode_tile_blob(
+    m: dict[str, Any], grid: TileGrid, index: int, blob: bytes
+) -> np.ndarray:
+    """Verify and decode one tile payload against its manifest entry.
+
+    Raises :class:`ChecksumError` (content digest or container checksum
+    mismatch) or :class:`ContainerError` (undecodable payload / wrong
+    decoded shape).  Shared by the local store's read path and the shard
+    gateway, so damage classifies identically wherever the bytes came
+    from.
+    """
+    digest = m["tiles"][index]
+    if hashlib.sha256(blob).hexdigest() != digest:
+        raise ChecksumError(
+            f"object {digest} content does not match its digest"
+        )
+    # The digest catches any post-write mutation; the container scan
+    # additionally catches payloads that were damaged *before* they
+    # reached the object area (an object imported or written by an
+    # outside tool whose name does match its corrupt content).
+    report = Container.scan(blob)
+    if not report.ok:
+        raise ChecksumError(
+            f"object {digest} failed container integrity: "
+            + "; ".join(report.problems or ("section checksum mismatch",))
+        )
+    tile = get_codec(str(m["codec"])).decompress(blob)
+    expected = grid.tile_shape(index)
+    if tuple(tile.shape) != expected:
+        raise ContainerError(
+            f"object {digest} decoded to shape {tuple(tile.shape)}, "
+            f"tile {index} needs {expected}"
+        )
+    return tile
+
+
+def assemble_tiles(
+    m: dict[str, Any],
+    grid: TileGrid,
+    window: tuple[slice, ...],
+    tiles,
+    fetch,
+    *,
+    strict: bool,
+) -> StoreReadResult:
+    """Assemble decoded tiles into the requested window.
+
+    ``fetch(index)`` returns one decoded tile or raises a
+    :class:`ReproError`; with ``strict=False`` those failures become
+    :class:`TileDamage` rows (stage ``missing`` for :class:`StoreError`,
+    ``checksum`` for :class:`ChecksumError`, ``decode`` otherwise) and
+    the damaged rows stay zero-filled.  One assembly loop serves both
+    the local store and the shard gateway, so a distributed read is the
+    same arithmetic as a local one.
+    """
+    out = np.zeros(
+        tuple(s.stop - s.start for s in window), dtype=np.dtype(m["dtype"])
+    )
+    rest = tuple(window[1:])
+    damage: list[TileDamage] = []
+    touched: list[int] = []
+    for t in tiles:
+        touched.append(t)
+        try:
+            tile = fetch(t)
+        except ReproError as exc:
+            if strict:
+                raise
+            stage = (
+                "missing" if isinstance(exc, StoreError)
+                else "checksum" if isinstance(exc, ChecksumError)
+                else "decode"
+            )
+            damage.append(
+                TileDamage(
+                    index=t, digest=m["tiles"][t], stage=stage,
+                    error=str(exc),
+                )
+            )
+            continue
+        t0, t1 = grid.band_range(t)
+        lo = max(t0, window[0].start)
+        hi = min(t1, window[0].stop)
+        out[(slice(lo - window[0].start, hi - window[0].start),)] = tile[
+            (slice(lo - t0, hi - t0),) + rest
+        ]
+    return StoreReadResult(
+        data=out, damaged=tuple(damage), tile_indices=tuple(touched)
+    )
 
 
 @dataclass(frozen=True)
@@ -294,38 +440,13 @@ class ArrayStore:
         rolled back immediately and re-raised as :class:`StoreError`.
         """
         self._check_name(name)
-        data = np.ascontiguousarray(field)
-        compressor = get_codec(codec)
-        canonical = REGISTRY.canonical(codec)
-        bound, slices = plan_bands(data, eb, mode, n_tiles, clamp=True)
-
         # Phase 0: pure compute — nothing on disk can be hurt yet.
-        digests: list[str] = []
-        tile_bytes: list[int] = []
-        payloads: dict[str, bytes] = {}
-        for sl in slices:
-            payload = compressor.compress(
-                np.ascontiguousarray(data[sl]), bound.absolute, "abs"
-            ).payload
-            digest = hashlib.sha256(payload).hexdigest()
-            digests.append(digest)
-            tile_bytes.append(len(payload))
-            payloads.setdefault(digest, payload)
-
-        manifest = {
-            "format": MANIFEST_FORMAT,
-            "name": name,
-            "shape": [int(d) for d in data.shape],
-            "dtype": str(data.dtype),
-            "codec": canonical,
-            "eb": float(eb),
-            "mode": str(mode),
-            "eb_abs": float(bound.absolute),
-            "band_starts": [int(s.start) for s in slices],
-            "tiles": digests,
-            "tile_bytes": tile_bytes,
-            "original_bytes": int(data.size * data.dtype.itemsize),
-        }
+        manifest, payloads = compress_field_tiles(
+            field, codec, eb, mode, n_tiles=n_tiles
+        )
+        manifest["name"] = name
+        digests = list(manifest["tiles"])
+        tile_bytes = list(manifest["tile_bytes"])
 
         self.fs.mkdir(self._manifest_dir)
         self.fs.mkdir(self._object_dir)
@@ -384,10 +505,10 @@ class ArrayStore:
         dedup_bytes = sum(tile_bytes) - stored_bytes
         return PutResult(
             name=name,
-            shape=tuple(data.shape),
-            dtype=str(data.dtype),
-            codec=canonical,
-            eb_abs=float(bound.absolute),
+            shape=tuple(manifest["shape"]),
+            dtype=str(manifest["dtype"]),
+            codec=str(manifest["codec"]),
+            eb_abs=float(manifest["eb_abs"]),
             tile_digests=tuple(digests),
             new_objects=new_objects,
             dedup_objects=len(digests) - new_objects,
@@ -473,6 +594,90 @@ class ArrayStore:
         if not path.exists():
             raise StoreError(f"store at {self.root} has no dataset {name!r}")
         self._durable_unlink(path)
+
+    # -- shard-facing primitives -------------------------------------------
+    #
+    # A shard of a distributed store receives *individual* tile objects
+    # and replicated manifests from the gateway rather than whole fields;
+    # these methods are that narrow surface.  They share the durable
+    # `_atomic_write` discipline with `put`, so a shard's crash story is
+    # the same as a standalone store's.
+
+    def put_object(
+        self, blob: bytes, digest: str | None = None, *, overwrite: bool = False
+    ) -> tuple[str, bool]:
+        """Store one content-addressed object; returns (digest, written).
+
+        ``digest``, when given, is verified against the blob's SHA-256 —
+        a gateway replicating a tile cannot silently store bytes under
+        the wrong name.  An existing object is left untouched unless
+        ``overwrite=True`` (the read-repair path for a replica whose
+        on-disk bytes rotted: its content no longer matches its name).
+        """
+        actual = hashlib.sha256(blob).hexdigest()
+        if digest is not None and digest != actual:
+            raise ChecksumError(
+                f"object content hashes to {actual}, not the declared "
+                f"digest {digest}"
+            )
+        path = self._object_path(actual)
+        if path.exists() and not overwrite:
+            return actual, False
+        self.fs.mkdir(self._object_dir)
+        try:
+            self._atomic_write(path, blob)
+        except OSError as exc:
+            raise StoreError(
+                f"object {actual} could not be stored: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        self.cache.discard(actual)
+        return actual, True
+
+    def get_object(self, digest: str) -> bytes:
+        """Read one object's raw payload, verifying content == digest."""
+        if not isinstance(digest, str) or not _DIGEST_RE.match(digest):
+            raise StoreError(f"bad object digest {digest!r}")
+        path = self._object_path(digest)
+        if not path.exists():
+            raise StoreError(f"object {digest} is missing from {self.root}")
+        blob = path.read_bytes()
+        if hashlib.sha256(blob).hexdigest() != digest:
+            raise ChecksumError(
+                f"object {digest} content does not match its digest"
+            )
+        return blob
+
+    def has_objects(self, digests) -> dict[str, bool]:
+        """Which of ``digests`` exist here (the gateway's dedup probe)."""
+        out: dict[str, bool] = {}
+        for d in digests:
+            if not isinstance(d, str) or not _DIGEST_RE.match(d):
+                raise StoreError(f"bad object digest {d!r}")
+            out[d] = self._object_path(d).exists()
+        return out
+
+    def put_manifest(self, name: str, manifest: dict[str, Any]) -> None:
+        """Durably (re)write one dataset manifest, validated first.
+
+        The gateway's replication path: the manifest may reference tiles
+        that live on *other* shards, which is why a sharded shard's
+        ``fsck`` is expected to report those digests missing — see
+        ``docs/API.md`` on sharded layouts.
+        """
+        self._check_name(name)
+        m = self._validate_manifest(name, manifest)
+        self.fs.mkdir(self._manifest_dir)
+        try:
+            self._atomic_write(
+                self._manifest_path(name),
+                json.dumps(m, indent=2, sort_keys=True).encode(),
+            )
+        except OSError as exc:
+            raise StoreError(
+                f"manifest for {name!r} could not be stored: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
 
     # -- recovery ----------------------------------------------------------
 
@@ -583,29 +788,8 @@ class ArrayStore:
         path = self._object_path(digest)
         if not path.exists():
             raise StoreError(f"object {digest} is missing from {self.root}")
-        blob = path.read_bytes()
-        if hashlib.sha256(blob).hexdigest() != digest:
-            raise ChecksumError(
-                f"object {digest} content does not match its digest"
-            )
-        # The digest catches any post-write mutation; the container scan
-        # additionally catches payloads that were damaged *before* they
-        # reached the object area (an object imported or written by an
-        # outside tool whose name does match its corrupt content).
-        report = Container.scan(blob)
-        if not report.ok:
-            raise ChecksumError(
-                f"object {digest} failed container integrity: "
-                + "; ".join(report.problems or ("section checksum mismatch",))
-            )
-        tile = get_codec(str(m["codec"])).decompress(blob)
+        tile = decode_tile_blob(m, grid, index, path.read_bytes())
         self.decode_calls += 1
-        expected = grid.tile_shape(index)
-        if tuple(tile.shape) != expected:
-            raise ContainerError(
-                f"object {digest} decoded to shape {tuple(tile.shape)}, "
-                f"tile {index} needs {expected}"
-            )
         self.cache.put(digest, tile)
         return tile
 
@@ -645,39 +829,9 @@ class ArrayStore:
         *,
         strict: bool,
     ) -> StoreReadResult:
-        out = np.zeros(
-            tuple(s.stop - s.start for s in window), dtype=np.dtype(m["dtype"])
-        )
-        rest = tuple(window[1:])
-        damage: list[TileDamage] = []
-        touched: list[int] = []
-        for t in tiles:
-            touched.append(t)
-            try:
-                tile = self._decode_tile(m, grid, t)
-            except ReproError as exc:
-                if strict:
-                    raise
-                stage = (
-                    "missing" if isinstance(exc, StoreError)
-                    else "checksum" if isinstance(exc, ChecksumError)
-                    else "decode"
-                )
-                damage.append(
-                    TileDamage(
-                        index=t, digest=m["tiles"][t], stage=stage,
-                        error=str(exc),
-                    )
-                )
-                continue
-            t0, t1 = grid.band_range(t)
-            lo = max(t0, window[0].start)
-            hi = min(t1, window[0].stop)
-            out[(slice(lo - window[0].start, hi - window[0].start),)] = tile[
-                (slice(lo - t0, hi - t0),) + rest
-            ]
-        return StoreReadResult(
-            data=out, damaged=tuple(damage), tile_indices=tuple(touched)
+        return assemble_tiles(
+            m, grid, window, tiles,
+            lambda t: self._decode_tile(m, grid, t), strict=strict,
         )
 
     # -- garbage collection ------------------------------------------------
@@ -692,12 +846,20 @@ class ArrayStore:
                 refs.update(self.manifest(path.stem)["tiles"])
         return frozenset(refs)
 
-    def gc(self) -> GCResult:
+    def gc(self, *, extra_refs=()) -> GCResult:
         """Remove objects no manifest references (superseded versions,
         deleted datasets) and sweep stale ``.tmp-*`` files left behind by
         crashed writers.  Safe to run any time; referenced objects,
-        journal entries and foreign files are never touched."""
-        refs = self.referenced_digests()
+        journal entries and foreign files are never touched.
+
+        ``extra_refs`` extends the keep-set with digests referenced from
+        *outside* this directory — the shard gateway passes the union of
+        every manifest in the cluster, because a shard may hold tiles
+        whose manifests replicate on other shards.  Running a bare
+        ``gc()`` on one shard of a sharded deployment would sweep those,
+        so shard gc must go through the gateway.
+        """
+        refs = self.referenced_digests() | frozenset(extra_refs)
         removed: list[str] = []
         tmp_removed: list[str] = []
         reclaimed = 0

@@ -34,6 +34,16 @@ class TestServiceChaos:
         assert report.suite == "service"
 
 
+class TestShardChaos:
+    def test_shard_sweep_clean(self, tmp_path):
+        # 3 runs cycle all three phases: wire-mid-put, down-before-put,
+        # down-mid-read — each ends in a read-repair convergence audit
+        report = ChaosHarness(seed=11).run_shard(tmp_path, runs=3)
+        report.assert_clean()
+        assert report.suite == "shard"
+        assert sum(report.faults_fired.values()) >= 3
+
+
 class TestChaosCli:
     def test_cli_store_suite_exit_zero(self, capsys):
         rc = main(["chaos", "--suite", "store", "--schedules", "10",

@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.data.fields import gaussian_random_field
-from repro.errors import ServiceError
+from repro.errors import ServiceError, StoreError
 from repro.service import CompressionServer, ServiceClient
 
 
@@ -85,7 +85,7 @@ class TestStoreOverTcp:
 
     def test_unknown_dataset_is_an_answered_error(self, server):
         with ServiceClient(port=server.port) as c:
-            with pytest.raises(ServiceError, match="no dataset"):
+            with pytest.raises(StoreError, match="no dataset"):
                 c.store_read("never.put")
             assert c.ping()["ok"]  # connection survives
 

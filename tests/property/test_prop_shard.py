@@ -1,0 +1,85 @@
+"""Property tests for consistent-hash placement.
+
+The two guarantees the gateway's scaling story rests on, checked over
+randomized cluster shapes and key populations:
+
+* **uniformity** — with the default virtual-node count, no shard's share
+  of a large key population strays too far from ``1/N``;
+* **bounded rebalance** — adding (or removing) one shard re-homes about
+  ``1/N`` (``1/(N+1)``) of the keys and never shuffles a key between two
+  surviving shards: every move involves the shard that changed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard import ShardRing
+
+shard_counts = st.integers(min_value=2, max_value=8)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _keys(seed: int, n: int = 600) -> list[str]:
+    return [f"key-{seed}-{i}" for i in range(n)]
+
+
+class TestUniformity:
+    @settings(max_examples=25, deadline=None)
+    @given(n=shard_counts, seed=seeds)
+    def test_no_shard_hoards_or_starves(self, n, seed):
+        ring = ShardRing([f"s{i}" for i in range(n)])
+        keys = _keys(seed)
+        counts = dict.fromkeys(ring.shard_ids, 0)
+        for k in keys:
+            counts[ring.owner(k)] += 1
+        ideal = len(keys) / n
+        # 64 vnodes keeps every shard within ~2.5x of its fair share and
+        # never empty; the bound is deliberately loose — placement only
+        # needs to balance bytes, not split them exactly.
+        for sid, c in counts.items():
+            assert c > 0, f"{sid} owns nothing"
+            assert c < ideal * 2.5, f"{sid} owns {c} of ~{ideal:.0f}"
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=shard_counts, seed=seeds)
+    def test_replica_sets_are_distinct_shards(self, n, seed):
+        ring = ShardRing([f"s{i}" for i in range(n)])
+        r = min(3, n)
+        for k in _keys(seed, 50):
+            owners = ring.owners(k, r)
+            assert len(owners) == len(set(owners)) == r
+
+
+class TestBoundedRebalance:
+    @settings(max_examples=25, deadline=None)
+    @given(n=shard_counts, seed=seeds)
+    def test_adding_one_shard_moves_about_one_over_n(self, n, seed):
+        ring = ShardRing([f"s{i}" for i in range(n)])
+        grown = ring.with_shard("new")
+        keys = _keys(seed)
+        moved = [k for k in keys if ring.owner(k) != grown.owner(k)]
+        # ideal fraction is 1/(n+1); allow hash-variance slack
+        assert len(moved) <= len(keys) * (1 / (n + 1) + 0.12)
+        for k in moved:
+            assert grown.owner(k) == "new", (
+                "a key moved between surviving shards"
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=shard_counts, seed=seeds)
+    def test_removing_one_shard_only_rehomes_its_keys(self, n, seed):
+        ring = ShardRing([f"s{i}" for i in range(n)])
+        shrunk = ring.without_shard("s0")
+        for k in _keys(seed, 300):
+            if ring.owner(k) != "s0":
+                assert shrunk.owner(k) == ring.owner(k), (
+                    "a key not owned by the removed shard moved"
+                )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds)
+    def test_membership_round_trip_restores_placement(self, seed):
+        ring = ShardRing(["a", "b", "c"])
+        back = ring.with_shard("d").without_shard("d")
+        for k in _keys(seed, 200):
+            assert ring.owner(k) == back.owner(k)

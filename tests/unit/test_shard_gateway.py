@@ -1,0 +1,111 @@
+"""Unit tests for gateway pieces that need no running shards.
+
+Constructing a :class:`ShardGateway` is lazy — no sockets are opened
+until a call goes out — so winner selection, result accounting, and the
+construction-time error taxonomy are all testable offline.  The wire
+behaviour (failover, read-repair, salvage) lives in
+``tests/integration/test_shard_gateway.py``.
+"""
+
+import socket
+
+import pytest
+
+from repro.errors import ConfigError, TransportError
+from repro.shard import GatewayGCResult, ShardGateway, ShardMap, ShardPutResult
+from repro.shard.gateway import manifest_key
+
+
+@pytest.fixture()
+def offline_gateway():
+    gw = ShardGateway(
+        ShardMap.from_addresses("127.0.0.1:1,127.0.0.1:2,127.0.0.1:3",
+                                replicas=2)
+    )
+    yield gw
+    gw.close()
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+class TestManifestWinner:
+    def test_higher_version_wins(self, offline_gateway):
+        old = {"name": "d", "version": 1, "tiles": ["a"]}
+        new = {"name": "d", "version": 2, "tiles": ["b"]}
+        assert offline_gateway._newer(new, old)
+        assert not offline_gateway._newer(old, new)
+
+    def test_version_tie_breaks_deterministically(self, offline_gateway):
+        a = {"name": "d", "version": 3, "tiles": ["a"]}
+        b = {"name": "d", "version": 3, "tiles": ["b"]}
+        # exactly one direction is "newer": every client converges on
+        # the same replica no matter the order replies arrive in
+        assert offline_gateway._newer(a, b) != offline_gateway._newer(b, a)
+
+    def test_missing_version_defaults_to_one(self, offline_gateway):
+        assert offline_gateway._newer(
+            {"version": 2, "tiles": []}, {"tiles": []}
+        )
+
+    def test_key_order_does_not_change_the_digest(self, offline_gateway):
+        a = {"version": 1, "tiles": ["x"], "name": "d"}
+        b = {"name": "d", "tiles": ["x"], "version": 1}
+        assert (offline_gateway._canonical_digest(a)
+                == offline_gateway._canonical_digest(b))
+
+
+class TestResultShapes:
+    def _result(self, **over):
+        base = dict(
+            name="d.ts", shape=(8, 8), dtype="float32", codec="wavesz",
+            eb_abs=1e-3, tile_digests=("a", "b"), version=1, replicas=2,
+            new_objects=2, dedup_objects=0, stored_bytes=400,
+            dedup_bytes=0, compressed_bytes=200, original_bytes=1024,
+            degraded=False,
+        )
+        base.update(over)
+        return ShardPutResult(**base)
+
+    def test_ratio_counts_one_logical_copy(self):
+        r = self._result()
+        # replication doubles stored_bytes but must not halve the ratio
+        assert r.ratio == 1024 / 200
+        assert r.n_tiles == 2
+
+    def test_gc_result_is_cli_shape_compatible(self):
+        r = GatewayGCResult(n_removed=1, reclaimed_bytes=10, kept=3)
+        # the CLI prints result.tmp_removed for local GCResult too
+        assert r.tmp_removed == ()
+
+
+class TestFromAny:
+    def test_no_addresses_rejected(self):
+        with pytest.raises(ConfigError, match="no shard addresses"):
+            ShardGateway.from_any("")
+
+    def test_multi_address_skips_probe(self):
+        gw = ShardGateway.from_any(
+            "127.0.0.1:8301,127.0.0.1:8302", replicas=2
+        )
+        try:
+            assert gw.map.shard_ids == ("127.0.0.1:8301", "127.0.0.1:8302")
+            assert gw.map.replicas == 2
+        finally:
+            gw.close()
+
+    def test_unreachable_single_address_is_transport_error(self):
+        port = _free_port()
+        with pytest.raises(TransportError, match="shard map"):
+            ShardGateway.from_any(f"127.0.0.1:{port}")
+
+
+class TestPlacementKeys:
+    def test_manifest_keys_never_collide_with_digests(self):
+        # tile keys are hex digests; the "m:" prefix keeps the two key
+        # families disjoint on the ring
+        assert manifest_key("abc.ts").startswith("m:")
+        assert ":" not in "0123456789abcdef"

@@ -1,0 +1,109 @@
+"""Unit tests for the consistent-hash ring and the shard map."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.shard import ShardInfo, ShardMap, ShardRing, manifest_key
+
+
+class TestShardRing:
+    def test_owner_is_deterministic_and_member(self):
+        ring = ShardRing(["a", "b", "c"])
+        for key in ("x", "y", "tile-digest-123", ""):
+            assert ring.owner(key) == ring.owner(key)
+            assert ring.owner(key) in ring.shard_ids
+
+    def test_owners_distinct_and_ordered(self):
+        ring = ShardRing(["a", "b", "c", "d"])
+        owners = ring.owners("some-key", 3)
+        assert len(owners) == 3
+        assert len(set(owners)) == 3
+        assert owners[0] == ring.owner("some-key")
+
+    def test_owners_clamped_to_shard_count(self):
+        ring = ShardRing(["a", "b"])
+        assert set(ring.owners("k", 5)) == {"a", "b"}
+
+    def test_single_shard_owns_everything(self):
+        ring = ShardRing(["only"])
+        assert ring.owner("anything") == "only"
+        assert ring.owners("anything", 3) == ("only",)
+
+    def test_duplicate_ids_collapse(self):
+        assert ShardRing(["a", "b", "a"]).n_shards == 2
+
+    def test_membership_change_keeps_most_placements(self):
+        ring = ShardRing(["a", "b", "c", "d"])
+        grown = ring.with_shard("e")
+        keys = [f"key-{i}" for i in range(400)]
+        moved = sum(ring.owner(k) != grown.owner(k) for k in keys)
+        # ideal is 1/5 of keys; generous slack for hash variance
+        assert moved <= len(keys) * (1 / 5 + 0.15)
+        # every moved key went TO the new shard, never shuffled laterally
+        for k in keys:
+            if ring.owner(k) != grown.owner(k):
+                assert grown.owner(k) == "e"
+
+    def test_without_shard_inverse_of_with(self):
+        ring = ShardRing(["a", "b", "c"])
+        assert ring.with_shard("d").without_shard("d").shard_ids == \
+            ring.shard_ids
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ShardRing([])
+        with pytest.raises(ConfigError):
+            ShardRing(["a"], vnodes=0)
+        with pytest.raises(ConfigError):
+            ShardRing(["a"]).owners("k", 0)
+
+
+class TestShardMap:
+    def test_from_addresses_round_trips(self):
+        m = ShardMap.from_addresses(
+            "127.0.0.1:8201, 127.0.0.1:8202,127.0.0.1:8203", replicas=2
+        )
+        assert m.shard_ids == (
+            "127.0.0.1:8201", "127.0.0.1:8202", "127.0.0.1:8203"
+        )
+        assert m.replicas == 2
+        assert ShardMap.from_dict(m.to_dict()) == m
+
+    def test_replicas_clamped_to_shard_count(self):
+        m = ShardMap.from_addresses("h:1", replicas=3)
+        assert m.replicas == 1
+
+    def test_shard_lookup(self):
+        m = ShardMap.from_addresses("h:1,h:2")
+        assert m.shard("h:1") == ShardInfo("h:1", "h", 1)
+        with pytest.raises(ConfigError):
+            m.shard("h:9")
+
+    def test_bad_addresses_rejected(self):
+        for bad in ("nocolon", ":8123", "h:notaport", ""):
+            with pytest.raises(ConfigError):
+                ShardMap.from_addresses(bad)
+
+    def test_bad_payloads_rejected(self):
+        for bad in (None, [], {"shards": "x"}, {"shards": [{"id": "a"}]}):
+            with pytest.raises(ConfigError):
+                ShardMap.from_dict(bad)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardMap(shards=(
+                ShardInfo("a", "h", 1), ShardInfo("a", "h", 2),
+            ))
+
+    def test_replicas_bounds(self):
+        with pytest.raises(ConfigError):
+            ShardMap(shards=(ShardInfo("a", "h", 1),), replicas=0)
+        with pytest.raises(ConfigError):
+            ShardMap(shards=(ShardInfo("a", "h", 1),), replicas=2)
+
+    def test_manifest_key_prefix_disjoint_from_digests(self):
+        # manifest keys can never collide with a hex digest key
+        assert manifest_key("x.ts") == "m:x.ts"
+        assert not manifest_key("abc123").isalnum() or ":" in manifest_key(
+            "abc123"
+        )
