@@ -1,0 +1,188 @@
+"""Entropy-backend bench — rANS+RLE vs Huffman+gzip on the dp codec.
+
+PR 9 makes the ``codes_entropy`` stage pluggable: the classic
+Huffman+gzip coder, a byte-aligned static rANS coder with a zero-run
+RLE pre-pass, and an ``auto`` mode that picks per payload from a cheap
+histogram-entropy probe.  This bench measures what the swap buys on the
+paper's fields at the standard working point:
+
+* **end-to-end** — compress/decompress wall clock and compressed size
+  for ``wavesz-dp`` (Huffman), ``wavesz-dp-rans``, and
+  ``wavesz-dp-auto`` on the 2D/3D fields;
+* **stage attribution** — the ``codes_entropy`` stage split into its
+  table-build and stream-coding sub-stages (the probe's cost shows up
+  as the difference between the stage total and the two sub-stages);
+* **auto honesty** — which backend the probe resolved per field, and
+  that ``auto`` never loses to the worse backend.
+
+Results land in ``benchmarks/results/BENCH_entropy.json`` and a human
+table.  ``--smoke`` runs only the 2D smoke field and **fails unless
+rANS holds >= 1.0x of Huffman compress throughput at equal-or-better
+compressed size and auto matches the better backend** — the CI perf
+gate for the entropy subsystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from common import RESULTS_DIR, emit, fmt_row
+
+from repro import load_field
+from repro.codec.registry import get_codec
+from repro.metrics import psnr
+from repro.perf import measure_compressor
+from repro.io.container import Container
+from repro.streams import decompress_auto
+
+EB = 1e-3
+MODE = "vr_rel"
+SMOKE_FIELD = "2d CESM.CLDLOW"
+
+FIELDS = {
+    SMOKE_FIELD: lambda: load_field("CESM-ATM", "CLDLOW"),
+    "2d CESM.TS": lambda: load_field("CESM-ATM", "TS"),
+    "3d Hurricane.CLOUDf48": lambda: load_field("Hurricane", "CLOUDf48"),
+}
+
+BACKENDS = {
+    "huffman": "wavesz-dp",
+    "rans": "wavesz-dp-rans",
+    "auto": "wavesz-dp-auto",
+}
+
+
+def _measure(field: np.ndarray, codec_name: str, repeats: int) -> dict:
+    """Wall clock, size, quality, and entropy attribution for one codec."""
+    codec = get_codec(codec_name)
+    mt, cf = measure_compressor(
+        codec, field, EB, MODE, repeats=repeats, warmup=2, stage_timing=True
+    )
+    out = decompress_auto(cf.payload)
+    err = np.abs(out.astype(np.float64) - field.astype(np.float64))
+    header = Container.from_bytes(cf.payload).header
+    stages = mt.compress_stages or {}
+    return {
+        "resolved_entropy": header.get("entropy", "huffman"),
+        "payload_bytes": len(cf.payload),
+        "ratio": cf.stats.ratio,
+        "bit_rate": cf.stats.bit_rate,
+        "psnr_db": psnr(field, out),
+        "max_abs_err": float(err.max()),
+        "bound_abs": cf.bound.absolute,
+        "compress_s": mt.compress_s,
+        "decompress_s": mt.decompress_s,
+        "entropy_stage_s": stages.get("codes_entropy"),
+        "entropy_table_s": stages.get("codes_entropy.table"),
+        "entropy_stream_s": stages.get("codes_entropy.stream"),
+    }
+
+
+def run(smoke: bool = False) -> dict:
+    repeats = 3 if smoke else 7
+    field_names = [SMOKE_FIELD] if smoke else list(FIELDS)
+
+    per_field: dict[str, dict] = {}
+    for name in field_names:
+        field = FIELDS[name]()
+        rows = {b: _measure(field, c, repeats) for b, c in BACKENDS.items()}
+        huff, rans, auto = rows["huffman"], rows["rans"], rows["auto"]
+        per_field[name] = {
+            **rows,
+            "rans_compress_speedup": huff["compress_s"] / max(
+                rans["compress_s"], 1e-12
+            ),
+            "rans_decompress_speedup": huff["decompress_s"] / max(
+                rans["decompress_s"], 1e-12
+            ),
+            "rans_size_vs_huffman": rans["payload_bytes"] / max(
+                huff["payload_bytes"], 1
+            ),
+            # auto must land on the smaller payload of the two backends
+            "auto_matches_better_size": auto["payload_bytes"] <= min(
+                huff["payload_bytes"], rans["payload_bytes"]
+            ),
+        }
+
+    report = {
+        "bench": "entropy",
+        "smoke": smoke,
+        "workload": {"eb": EB, "mode": MODE},
+        "smoke_field": SMOKE_FIELD,
+        "fields": per_field,
+    }
+
+    widths = (22, 8, 9, 8, 8, 9, 9, 9, 9)
+    lines = [
+        f"entropy backends on waveSZ-dp (eb={EB} {MODE})",
+        "",
+        fmt_row(("field", "backend", "resolved", "ratio", "bits/pt",
+                 "c ms", "d ms", "tbl ms", "strm ms"), widths),
+    ]
+    for name, r in per_field.items():
+        for backend in BACKENDS:
+            q = r[backend]
+            tbl = q["entropy_table_s"]
+            strm = q["entropy_stream_s"]
+            lines.append(fmt_row(
+                (name, backend, q["resolved_entropy"], f"{q['ratio']:.2f}",
+                 f"{q['bit_rate']:.2f}", q["compress_s"] * 1e3,
+                 q["decompress_s"] * 1e3,
+                 "" if tbl is None else tbl * 1e3,
+                 "" if strm is None else strm * 1e3),
+                widths,
+            ))
+        lines.append(fmt_row(
+            (name, "", "",
+             f"rans {r['rans_compress_speedup']:.2f}x c",
+             f"{r['rans_decompress_speedup']:.2f}x d",
+             f"size {r['rans_size_vs_huffman']:.3f}", "", "", ""),
+            widths,
+        ))
+    emit("entropy", lines)
+
+    (RESULTS_DIR / "BENCH_entropy.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    if smoke:
+        failures = []
+        r = per_field[SMOKE_FIELD]
+        if r["rans_compress_speedup"] < 1.0:
+            failures.append(
+                "rANS compress below Huffman on the smoke field: "
+                f"{r['rans_compress_speedup']:.2f}x"
+            )
+        if r["rans_size_vs_huffman"] > 1.0:
+            failures.append(
+                "rANS payload larger than Huffman on the smoke field: "
+                f"{r['rans_size_vs_huffman']:.3f}x"
+            )
+        if not r["auto_matches_better_size"]:
+            failures.append("auto did not match the better backend's size")
+        if failures:
+            raise AssertionError("entropy gate: " + "; ".join(failures))
+    return report
+
+
+def test_entropy():
+    run(smoke=True)
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smoke field only; exit nonzero if rANS loses to Huffman",
+    )
+    args = ap.parse_args()
+    try:
+        run(smoke=args.smoke)
+    except AssertionError as err:
+        print(f"FAIL: {err}", file=sys.stderr)
+        raise SystemExit(1)

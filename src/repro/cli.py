@@ -404,7 +404,9 @@ def _cmd_codecs(_: argparse.Namespace) -> int:
     for entry in REGISTRY.describe():
         names = ", ".join(entry["aliases"] + entry["profiles"])
         row = f" (Table 2: {entry['table2']})" if entry["table2"] else ""
-        print(f"{entry['name']}: {names}{row}")
+        backends = entry.get("entropy_backends") or []
+        tail = f" [entropy: {'|'.join(backends)}]" if backends else ""
+        print(f"{entry['name']}: {names}{row}{tail}")
     return 0
 
 
@@ -616,6 +618,7 @@ def _cmd_store_ls(args: argparse.Namespace) -> int:
         )
         print(f"{r['name']:<24} {shape:>12} {r['dtype']:<8} "
               f"{r['codec']:<9} eb {r['eb']:g} {r['n_tiles']:>3} tiles  "
+              f"{r.get('entropy', '-'):<8} "
               f"{r['compressed_bytes']:>10} B  ratio {ratio:6.2f}x")
     if not rows:
         print("(empty store)")

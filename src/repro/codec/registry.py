@@ -56,6 +56,10 @@ class CodecEntry:
     #: (dual-quant family), so one field's tile bands may legally fan out
     #: across a worker pool; the scheduler keys its tile routing on this.
     data_parallel: bool = False
+    #: ``codes_entropy`` backends this codec's pipeline accepts (empty for
+    #: codecs without the stage).  Informational: surfaced by
+    #: :meth:`CodecRegistry.describe` for the CLI and service listings.
+    entropy_backends: tuple[str, ...] = ()
 
 
 class CodecRegistry:
@@ -178,6 +182,7 @@ class CodecRegistry:
                 "profiles": sorted(e.profiles),
                 "table2": e.table2,
                 "data_parallel": e.data_parallel,
+                "entropy_backends": list(e.entropy_backends),
             }
             for e in self._entries.values()
         ]
@@ -222,6 +227,7 @@ def register_codec(
     spec: PipelineSpec | None = None,
     factory: Factory | None = None,
     data_parallel: bool = False,
+    entropy_backends: tuple[str, ...] = (),
     registry: CodecRegistry = REGISTRY,
 ):
     """Class decorator registering a compressor variant.
@@ -242,6 +248,7 @@ def register_codec(
                 table2=table2,
                 spec=spec,
                 data_parallel=data_parallel,
+                entropy_backends=entropy_backends,
             )
         )
         return cls

@@ -24,7 +24,13 @@ from dataclasses import dataclass, field
 from ..errors import ConfigError
 from ..variants import VARIANTS, Feature
 
-__all__ = ["StageSpec", "PipelineSpec", "validate_spec"]
+__all__ = ["ENTROPY_BACKENDS", "StageSpec", "PipelineSpec", "validate_spec"]
+
+#: Valid values of the ``codes_entropy`` backend knob.  ``auto`` probes the
+#: code histogram per payload and resolves to one of the concrete two; the
+#: resolved choice is recorded in the container header (``entropy`` key,
+#: omitted for Huffman so pre-rANS streams stay byte-identical).
+ENTROPY_BACKENDS = ("huffman", "rans", "auto")
 
 
 @dataclass(frozen=True)

@@ -24,13 +24,17 @@ Artifact keys published on :attr:`PipelineContext.artifacts`:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Callable, ContextManager
 
 import numpy as np
 
 from ..config import ErrorBoundMode, QuantizerConfig, resolve_error_bound
-from ..errors import ContainerError, ShapeError
+from ..encoding.huffman import HuffmanCodec, HuffmanTable
+from ..errors import ConfigError, ContainerError, ShapeError
 from ..kernels import resolve as resolve_kernel
+from ..perf.stages import active_recorder
+from ..rans import RansTable, encode_tokens, probe_codes, rle_collapse
 from ..sz.dualquant import (
     codes_to_deltas,
     lattice_to_values,
@@ -45,7 +49,7 @@ from ..streams import (
     bound_from_header,
     bound_to_header,
     decode_codes_huffman,
-    encode_codes_huffman,
+    decode_codes_rans,
     header_dtype,
     header_int,
     header_shape,
@@ -66,11 +70,24 @@ __all__ = [
     "DualQuantValuesStage",
     "PwRelForwardStage",
     "PwRelMasksStage",
+    "EntropyCodesStage",
     "HuffmanGzipCodesStage",
     "TruncatedValuesStage",
     "VerbatimValuesStage",
     "gzip_if_smaller",
 ]
+
+
+def _substage(name: str) -> "ContextManager[None]":
+    """Attribute time to a sub-stage key when a recorder is installed.
+
+    The pipeline runner already wraps the whole stage in its name, so
+    these nested keys (``codes_entropy.table`` / ``codes_entropy.stream``)
+    land as *additional* flat entries in the same profile — the parent
+    key keeps the stage total.
+    """
+    recorder = active_recorder()
+    return recorder.stage(name) if recorder is not None else nullcontext()
 
 
 def gzip_if_smaller(lossless: "GzipStage", raw: bytes) -> tuple[bytes, bool]:
@@ -441,49 +458,155 @@ class PwRelMasksStage:
         pass
 
 
-class HuffmanGzipCodesStage:
-    """Customized Huffman + gzip entropy coding of the quant-code stream.
+class EntropyCodesStage:
+    """Pluggable entropy coding of the quant-code stream.
 
-    The SZ lossless tail (Table 2): codes go through the customized
-    Huffman pass, then gzip rides along on the already-dense stream and
-    the smaller representation wins (``codes_gzipped`` header flag,
-    ``huffman_codes`` vs ``huffman_codes_gz`` section).
+    The SZ lossless tail (Table 2) made backend-selectable:
+
+    ``huffman``
+        The customized Huffman pass with gzip riding along on the
+        already-dense stream; the smaller representation wins
+        (``codes_gzipped`` header flag, ``huffman_codes`` vs
+        ``huffman_codes_gz`` section).  Byte-identical to the original
+        hardwired stage — pre-rANS payloads carry no ``entropy`` header
+        key and keep decoding unchanged.
+    ``rans``
+        The zero-run RLE pre-pass (when the dominant-symbol runs warrant
+        it) followed by the interleaved-lane static rANS coder of
+        :mod:`repro.rans`.  Falls back to Huffman when the alphabet
+        exceeds the 4096-slot table.
+    ``auto``
+        Resolve per payload via :func:`repro.rans.probe_codes` — one
+        histogram (reused as the rANS table build) plus closed-form size
+        estimates.
+
+    The *resolved* backend is recorded in the container header
+    (``entropy`` key, written only when it is ``rans``) so the inverse
+    direction needs no knowledge of the knob, and in ``ctx.meta`` so
+    stats consumers (store manifests, service) can surface it.  Table
+    build and stream coding report separate ``codes_entropy.table`` /
+    ``codes_entropy.stream`` timing keys when a stage recorder is
+    installed.
     """
 
     name = "codes_entropy"
 
-    def __init__(self, lossless: "GzipStage", *, meta_bits: bool = True) -> None:
+    def __init__(
+        self,
+        lossless: "GzipStage",
+        *,
+        backend: str = "huffman",
+        meta_bits: bool = True,
+    ) -> None:
+        from .spec import ENTROPY_BACKENDS
+
+        if backend not in ENTROPY_BACKENDS:
+            raise ConfigError(
+                f"unknown entropy backend {backend!r}; "
+                f"expected one of {ENTROPY_BACKENDS}"
+            )
         self.lossless = lossless
+        self.backend = backend
         self.meta_bits = meta_bits
 
     def forward(self, ctx: "PipelineContext") -> None:
-        container = ctx.container
-        encode_codes_huffman(container, ctx.codes.reshape(-1))
-        table_bytes = len(container.get("huffman_table"))
-        huff_payload = container.get("huffman_codes")
-        gz = self.lossless.compress(huff_payload)
-        if len(gz) < len(huff_payload):
-            container.sections[:] = [
-                s for s in container.sections if s.name != "huffman_codes"
-            ]
-            container.add("huffman_codes_gz", gz)
-            container.header["codes_gzipped"] = True
-            code_stream_bytes = len(gz)
+        codes_flat = ctx.codes.reshape(-1)
+        resolved = self.backend
+        probe = None
+        if resolved != "huffman":
+            probe = probe_codes(codes_flat)
+            if resolved == "auto":
+                resolved = probe.pick
+            elif not probe.rans_ok:
+                resolved = "huffman"
+        if resolved == "rans":
+            self._forward_rans(ctx, codes_flat, probe)
         else:
-            container.header["codes_gzipped"] = False
-            code_stream_bytes = len(huff_payload)
-        ctx.encoded_code_bytes = table_bytes + code_stream_bytes
+            self._forward_huffman(ctx, codes_flat)
+        ctx.meta["entropy"] = resolved
+
+    def _forward_huffman(self, ctx: "PipelineContext", codes_flat: np.ndarray) -> None:
+        container = ctx.container
+        with _substage("codes_entropy.table"):
+            table = HuffmanTable.from_symbols(codes_flat)
+            table_blob = table.to_bytes()
+        with _substage("codes_entropy.stream"):
+            payload, nbits = HuffmanCodec(table).encode(codes_flat)
+            container.add("huffman_table", table_blob)
+            container.add("huffman_codes", payload)
+            container.header["n_codes"] = int(codes_flat.size)
+            container.header["huffman_bits"] = int(nbits)
+            gz = self.lossless.compress(payload)
+            if len(gz) < len(payload):
+                container.sections[:] = [
+                    s for s in container.sections if s.name != "huffman_codes"
+                ]
+                container.add("huffman_codes_gz", gz)
+                container.header["codes_gzipped"] = True
+                code_stream_bytes = len(gz)
+            else:
+                container.header["codes_gzipped"] = False
+                code_stream_bytes = len(payload)
+        ctx.encoded_code_bytes = len(table_blob) + code_stream_bytes
         if self.meta_bits:
             ctx.meta["huffman_bits"] = container.header["huffman_bits"]
 
+    def _forward_rans(
+        self, ctx: "PipelineContext", codes_flat: np.ndarray, probe
+    ) -> None:
+        container = ctx.container
+        h = container.header
+        with _substage("codes_entropy.table"):
+            table = RansTable.from_counts(probe.values, probe.token_counts)
+            table_blob = table.to_bytes()
+        with _substage("codes_entropy.stream"):
+            if probe.use_rle:
+                tokens, runs = rle_collapse(codes_flat, probe.run_symbol)
+            else:
+                tokens, runs = codes_flat, None
+            blob = encode_tokens(tokens, table)
+            container.add("rans_table", table_blob)
+            container.add("rans_codes", blob)
+            h["entropy"] = "rans"
+            h["n_codes"] = int(codes_flat.size)
+            h["rans_tokens"] = int(tokens.size)
+            runs_bytes = 0
+            if runs is not None:
+                stored, use_gz = gzip_if_smaller(self.lossless, runs.tobytes())
+                container.add("rle_runs", stored)
+                h["rle_symbol"] = int(probe.run_symbol)
+                h["rle_runs_gz"] = use_gz
+                runs_bytes = len(stored)
+        ctx.encoded_code_bytes = len(table_blob) + len(blob) + runs_bytes
+        if self.meta_bits:
+            ctx.meta["rans_tokens"] = int(tokens.size)
+
     def inverse(self, ctx: "PipelineContext") -> None:
         container = ctx.container
-        if container.header.get("codes_gzipped"):
-            container.add(
-                "huffman_codes",
-                self.lossless.decompress(container.get("huffman_codes_gz")),
-            )
-        ctx.codes = decode_codes_huffman(container)
+        backend = container.header.get("entropy", "huffman")
+        if backend == "huffman":
+            if container.header.get("codes_gzipped"):
+                container.add(
+                    "huffman_codes",
+                    self.lossless.decompress(container.get("huffman_codes_gz")),
+                )
+            ctx.codes = decode_codes_huffman(container)
+        elif backend == "rans":
+            ctx.codes = decode_codes_rans(container, self.lossless)
+        else:
+            raise ContainerError(f"unknown entropy backend {backend!r} in header")
+
+
+class HuffmanGzipCodesStage(EntropyCodesStage):
+    """The original hardwired Huffman + gzip tail, kept as a pinned alias.
+
+    Construction-compatible with the pre-rANS stage; decoding still
+    dispatches on the ``entropy`` header key, so a pipeline built with
+    this class reads rANS payloads too.
+    """
+
+    def __init__(self, lossless: "GzipStage", *, meta_bits: bool = True) -> None:
+        super().__init__(lossless, backend="huffman", meta_bits=meta_bits)
 
 
 class TruncatedValuesStage:

@@ -37,8 +37,8 @@ from ..codec.spec import PipelineSpec, StageSpec
 from ..codec.stages import (
     DualQuantStage,
     DualQuantValuesStage,
+    EntropyCodesStage,
     HeaderStage,
-    HuffmanGzipCodesStage,
     PrequantStage,
     PwRelForwardStage,
     PwRelMasksStage,
@@ -90,8 +90,13 @@ class _DPHeaderStage(HeaderStage):
 @register_codec(
     name="waveSZ-dp",
     aliases=("wavesz-dp",),
+    profiles={
+        "wavesz-dp-rans": lambda: WaveSZDPCompressor(entropy="rans"),
+        "wavesz-dp-auto": lambda: WaveSZDPCompressor(entropy="auto"),
+    },
     spec=WAVESZ_DP_SPEC,
     data_parallel=True,
+    entropy_backends=("huffman", "rans", "auto"),
 )
 @dataclass(frozen=True)
 class WaveSZDPCompressor(PipelineCompressor):
@@ -109,6 +114,10 @@ class WaveSZDPCompressor(PipelineCompressor):
         default_factory=lambda: GzipStage(mode=LosslessMode.BEST_SPEED)
     )
     base2: bool = True
+    #: ``codes_entropy`` backend (``huffman`` | ``rans`` | ``auto``).  The
+    #: dual-quant code stream is where RLE+rANS pays off most: accurately
+    #: predicted regions produce long radius runs the pre-pass collapses.
+    entropy: str = "huffman"
 
     name = "waveSZ-dp"
     spec = WAVESZ_DP_SPEC
@@ -121,7 +130,7 @@ class WaveSZDPCompressor(PipelineCompressor):
             PrequantStage(),
             DualQuantStage(),
             _DPHeaderStage(with_quant=True),
-            HuffmanGzipCodesStage(self.lossless),
+            EntropyCodesStage(self.lossless, backend=self.entropy),
             DualQuantValuesStage(self.lossless),
             PwRelMasksStage(self.lossless),
         )

@@ -3,23 +3,50 @@
 The linear-scaling quantizer emits codes that are heavily concentrated
 around the radius (accurately predicted points), which is exactly why SZ
 follows it with Huffman coding (paper §2.1 step 4).  These helpers compute
-the frequency table the Huffman builder consumes and the empirical entropy
-used by tests to check encode optimality.
+the frequency table the Huffman *and* rANS builders consume and the
+empirical entropy used by tests to check encode optimality.
+
+The counting pass is a ``REPRO_KERNELS`` twin (``histogram.counts``):
+the scalar dict-walk reference lives here, the ``np.bincount`` /
+``np.unique`` fast path in :mod:`repro.kernels.histogram_fast`.  Both
+return increasing int64 values with matching int64 counts, so table
+builds are byte-identical across dispatch modes.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..kernels.dispatch import register_kernel, resolve
+
 __all__ = ["symbol_histogram", "entropy_bits"]
+
+
+def _counts_reference(flat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Scalar counting pass over a validated flat non-negative int array."""
+    counts: dict[int, int] = {}
+    for v in flat.tolist():
+        counts[v] = counts.get(v, 0) + 1
+    values = sorted(counts)
+    return (
+        np.array(values, dtype=np.int64),
+        np.array([counts[v] for v in values], dtype=np.int64),
+    )
+
+
+register_kernel(
+    "histogram.counts",
+    _counts_reference,
+    fast="repro.kernels.histogram_fast:symbol_counts",
+)
 
 
 def symbol_histogram(symbols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Return ``(values, counts)`` for the distinct symbols in ``symbols``.
 
-    Symbols must be non-negative integers.  Uses ``bincount`` when the
-    alphabet is dense and small (the 16-bit quant-code case), falling back
-    to ``unique`` for sparse/large alphabets.
+    Symbols must be non-negative integers.  Validation runs here (host
+    level); the counting pass dispatches through the ``histogram.counts``
+    kernel registry entry.
     """
     symbols = np.asarray(symbols)
     if symbols.size == 0:
@@ -29,13 +56,7 @@ def symbol_histogram(symbols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     flat = symbols.reshape(-1)
     if flat.min() < 0:
         raise ValueError("symbols must be non-negative")
-    hi = int(flat.max())
-    if hi < 1 << 22:  # dense path: one pass, no sort
-        counts = np.bincount(flat.astype(np.int64, copy=False))
-        values = np.nonzero(counts)[0]
-        return values.astype(np.int64), counts[values].astype(np.int64)
-    values, counts = np.unique(flat, return_counts=True)
-    return values.astype(np.int64), counts.astype(np.int64)
+    return resolve("histogram.counts")(flat)
 
 
 def entropy_bits(counts: np.ndarray) -> float:

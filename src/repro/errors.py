@@ -45,6 +45,10 @@ class HuffmanError(EncodingError):
     """Huffman table construction or decode failure."""
 
 
+class RansError(EncodingError):
+    """rANS table construction or stream encode/decode failure."""
+
+
 class LosslessError(ReproError):
     """LZ77 / DEFLATE-substrate failure (corrupt container, bad backend)."""
 

@@ -1,0 +1,26 @@
+"""Fast twin of the ``histogram.counts`` kernel.
+
+One ``np.bincount`` pass when the alphabet is dense and small (the
+16-bit quant-code case — by far the common one), ``np.unique`` for
+sparse/large alphabets.  Identical output contract to the scalar
+reference in :mod:`repro.encoding.histogram`: increasing int64 values
+with matching int64 counts.  Shared by the Huffman and rANS table
+builds and the ``auto`` entropy probe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["symbol_counts"]
+
+
+def symbol_counts(flat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(values, counts)`` of a validated flat non-negative int array."""
+    hi = int(flat.max())
+    if hi < 1 << 22:  # dense path: one pass, no sort
+        counts = np.bincount(flat.astype(np.int64, copy=False))
+        values = np.nonzero(counts)[0]
+        return values.astype(np.int64), counts[values].astype(np.int64)
+    values, counts = np.unique(flat, return_counts=True)
+    return values.astype(np.int64), counts.astype(np.int64)

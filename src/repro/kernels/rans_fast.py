@@ -1,0 +1,185 @@
+"""Vectorized fast twins of the rANS and RLE kernels.
+
+Byte-identical to the scalar references in :mod:`repro.rans.coder` and
+:mod:`repro.rans.rle` (the differential suites in
+``tests/unit/test_rans.py`` / ``tests/property/test_prop_rans.py``
+enforce it), same :class:`~repro.errors.RansError` taxonomy on damage.
+
+The lane interleaving was designed for these loops: the reference
+encoder walks steps last-to-first emitting at most two renorm bytes per
+lane, and after the decode transform the number of bytes a lane needs
+is a pure function of its state (``0`` if ``x >= 2^23``, ``1`` if
+``x >= 2^15``, else ``2``).  So each step vectorizes across all lanes:
+
+* **encode** — build an ``(lanes, 2)`` byte/emit matrix per step,
+  reverse the lane axis (the reference walks lanes high-to-low), and
+  masked-ravel it into the step's chunk; the final stream is the
+  concatenation of the reversed chunks, each byte-reversed (the
+  reference reverses one flat buffer at the end).
+* **decode** — gather each lane's slot/symbol, apply the transform,
+  compute the per-lane byte need from the thresholds above, and turn
+  ``cumsum(need)`` into gather offsets into the byte stream — no data
+  dependence between lanes inside a step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import RansError
+from ..rans.coder import PROB_BITS, PROB_SCALE, RANS_L
+from ..rans.rle import RUN_MAX
+
+__all__ = ["encode_stream", "decode_stream", "collapse_runs", "expand_runs"]
+
+
+def encode_stream(
+    idx: np.ndarray, freqs: np.ndarray, cum: np.ndarray, n_lanes: int
+) -> tuple[np.ndarray, bytes]:
+    """Interleaved rANS encode, vectorized across lanes per step."""
+    m = idx.size
+    x = np.full(n_lanes, RANS_L, dtype=np.int64)
+    chunks: list[np.ndarray] = []
+    n_steps = -(-m // n_lanes)
+    # one gather over the whole stream; steps take contiguous slices
+    f_all = freqs[idx]
+    c_all = cum[idx]
+    bytes_mat = np.zeros((n_lanes, 2), dtype=np.uint8)
+    emit_mat = np.zeros((n_lanes, 2), dtype=bool)
+    for step in range(n_steps - 1, -1, -1):
+        base = step * n_lanes
+        hi = min(n_lanes, m - base)
+        f = f_all[base:base + hi]
+        c = c_all[base:base + hi]
+        xs = x[:hi]
+        limit = f << 19
+        emit = xs >= limit
+        if emit.any():
+            bm = bytes_mat[:hi]
+            em = emit_mat[:hi]
+            np.bitwise_and(xs, 0xFF, out=bm[:, 0], casting="unsafe")
+            em[:, 0] = emit
+            xs = np.where(emit, xs >> 8, xs)
+            emit2 = xs >= limit  # second renorm byte (never a third)
+            em[:, 1] = emit2
+            if emit2.any():
+                np.bitwise_and(xs, 0xFF, out=bm[:, 1], casting="unsafe")
+                xs = np.where(emit2, xs >> 8, xs)
+            # lanes high-to-low, each lane low byte first
+            chunks.append(bm[::-1].reshape(-1)[em[::-1].reshape(-1)])
+        q, r = np.divmod(xs, f)
+        x[:hi] = (q << PROB_BITS) + r + c
+    if chunks:
+        stream = np.concatenate(
+            [ch[::-1] for ch in reversed(chunks)]
+        ).tobytes()
+    else:
+        stream = b""
+    return x.astype(np.uint32), stream
+
+
+def decode_stream(
+    stream: bytes,
+    states: np.ndarray,
+    m: int,
+    freqs: np.ndarray,
+    cum: np.ndarray,
+    slot_map: np.ndarray,
+) -> np.ndarray:
+    """Interleaved rANS decode, vectorized across lanes per step."""
+    buf = np.frombuffer(stream, dtype=np.uint8).astype(np.int64)
+    x = states.astype(np.int64, copy=True)
+    n_lanes = x.size
+    out = np.empty(m, dtype=np.int64)
+    pos = 0
+    total_bytes = buf.size
+    slot_mask = PROB_SCALE - 1
+    n_steps = -(-m // n_lanes)
+    for step in range(n_steps):
+        base = step * n_lanes
+        hi = min(n_lanes, m - base)
+        xs = x[:hi]
+        slots = xs & slot_mask
+        idxs = slot_map[slots]
+        out[base:base + hi] = idxs
+        xs = freqs[idxs] * (xs >> PROB_BITS) + slots - cum[idxs]
+        need = (xs < RANS_L).astype(np.int64) + (xs < (1 << 15))
+        total = int(need.sum())
+        if total:
+            if pos + total > total_bytes:
+                raise RansError("rANS byte stream exhausted mid-decode")
+            ends = np.cumsum(need)
+            starts = ends - need
+            one = need >= 1
+            first = np.zeros(hi, dtype=np.int64)
+            first[one] = buf[pos + starts[one]]
+            xs = np.where(one, (xs << 8) | first, xs)
+            two = need == 2
+            if two.any():
+                second = np.zeros(hi, dtype=np.int64)
+                second[two] = buf[pos + starts[two] + 1]
+                xs = np.where(two, (xs << 8) | second, xs)
+            pos += total
+        x[:hi] = xs
+    if pos != total_bytes:
+        raise RansError(
+            f"rANS stream carries {total_bytes - pos} trailing bytes"
+        )
+    if (x != RANS_L).any():
+        raise RansError("rANS lanes do not terminate at the coder lower bound")
+    return out
+
+
+def collapse_runs(
+    codes: np.ndarray, run_symbol: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized zero-run collapse (maximal runs chunked to <= 255)."""
+    mask = codes == run_symbol
+    if not mask.any():
+        return codes.astype(np.int64, copy=True), np.empty(0, dtype=np.uint8)
+    idx = np.flatnonzero(mask)
+    brk = np.flatnonzero(np.diff(idx) > 1)
+    starts = idx[np.concatenate(([0], brk + 1))]
+    ends = idx[np.concatenate((brk, [idx.size - 1]))]
+    lens = ends - starts + 1
+    n_chunks = (lens + RUN_MAX - 1) // RUN_MAX
+    total_chunks = int(n_chunks.sum())
+    runs = np.full(total_chunks, RUN_MAX, dtype=np.uint8)
+    runs[np.cumsum(n_chunks) - 1] = (
+        lens - RUN_MAX * (n_chunks - 1)
+    ).astype(np.uint8)
+    # token index of each run's first chunk: literals before the run
+    # (its start minus the run-symbol occurrences before it) plus the
+    # chunks of earlier runs
+    excl_occ = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    excl_chunks = np.concatenate(([0], np.cumsum(n_chunks)[:-1]))
+    start_tok = (starts - excl_occ) + excl_chunks
+    offs = np.arange(total_chunks) - np.repeat(excl_chunks, n_chunks)
+    run_pos = np.repeat(start_tok, n_chunks) + offs
+    m = (codes.size - idx.size) + total_chunks
+    tokens = np.empty(m, dtype=np.int64)
+    lit = np.ones(m, dtype=bool)
+    lit[run_pos] = False
+    tokens[run_pos] = run_symbol
+    tokens[lit] = codes[~mask]
+    return tokens, runs
+
+
+def expand_runs(
+    tokens: np.ndarray, runs: np.ndarray, run_symbol: int
+) -> np.ndarray:
+    """Vectorized zero-run expand: per-token repeat counts."""
+    is_run = tokens == run_symbol
+    n_run = int(is_run.sum())
+    if n_run != runs.size:
+        raise RansError(
+            f"RLE side stream carries {runs.size} lengths for "
+            f"{n_run} run tokens"
+        )
+    if runs.size == 0:
+        return tokens.astype(np.int64, copy=True)
+    if (runs == 0).any():
+        raise RansError("zero-length run in the RLE side stream")
+    counts = np.ones(tokens.size, dtype=np.int64)
+    counts[is_run] = runs
+    return np.repeat(tokens, counts)

@@ -69,7 +69,10 @@ def measure_compressor(
     runs under a :class:`~repro.perf.stages.StageRecorder` and the
     per-stage seconds of the best pass are attached to the result —
     letting a bench attribute time to PQD / Huffman / gzip stages
-    instead of whole-pipeline wall clock.
+    instead of whole-pipeline wall clock.  Stages that report nested
+    sub-stage keys (the entropy stage's ``codes_entropy.table`` /
+    ``codes_entropy.stream`` table-build vs stream-coding split) land as
+    additional flat entries next to their parent stage's total.
     """
     for _ in range(max(warmup, 0)):
         compressor.decompress(compressor.compress(data, eb, mode))

@@ -1,0 +1,52 @@
+"""Entropy-coding subsystem: byte-aligned rANS + zero-run RLE.
+
+An alternative lossless tail for the ``codes_entropy`` pipeline stage,
+built for the dual-quant code distribution where near-zero residual runs
+dominate (see ``docs/PERF.md``).  Three pieces:
+
+* :mod:`repro.rans.coder` — static rANS over a 2^12-normalized
+  frequency table with interleaved per-lane states (vectorizable
+  encode *and* decode);
+* :mod:`repro.rans.rle` — the zero-run pre-pass collapsing dominant-
+  symbol runs into (run token, u8 length) pairs;
+* :mod:`repro.rans.probe` — the histogram probe ``backend="auto"``
+  uses to pick Huffman or rANS per payload.
+
+All hot loops are ``REPRO_KERNELS`` twins (``rans.encode``,
+``rans.decode``, ``rle.collapse``, ``rle.expand``); the host-level wire
+format and table normalization are mode-independent so payloads are
+byte-identical across dispatch modes.
+"""
+
+from .coder import (
+    MAX_SYMBOLS,
+    PROB_BITS,
+    PROB_SCALE,
+    RANS_L,
+    RansTable,
+    decode_tokens,
+    encode_tokens,
+    normalize_freqs,
+    pick_lanes,
+)
+from .probe import CodesProbe, probe_codes
+from .rle import RUN_MAX, rle_collapse, rle_expand, run_stats, should_rle
+
+__all__ = [
+    "MAX_SYMBOLS",
+    "PROB_BITS",
+    "PROB_SCALE",
+    "RANS_L",
+    "RUN_MAX",
+    "RansTable",
+    "CodesProbe",
+    "decode_tokens",
+    "encode_tokens",
+    "normalize_freqs",
+    "pick_lanes",
+    "probe_codes",
+    "rle_collapse",
+    "rle_expand",
+    "run_stats",
+    "should_rle",
+]

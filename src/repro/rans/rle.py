@@ -1,0 +1,152 @@
+"""Zero-run RLE pre-pass for quantization-code streams.
+
+The dual-quant code distribution is dominated by one symbol — the
+quantizer radius, i.e. "residual 0" — in long raster runs.  Per-symbol
+entropy coding pays >= some fraction of a bit for every one of those
+positions; collapsing each maximal run into run tokens first shrinks the
+token stream the rANS coder sees by the run factor.
+
+Wire scheme (fixed):
+
+* ``run_symbol`` is the stream's most frequent code (the prober's
+  histogram argmax), recorded in the container header.
+* Every maximal run of ``run_symbol`` of length ``L`` becomes
+  ``ceil(L / 255)`` *run tokens* — the token value is ``run_symbol``
+  itself — each consuming one ``u8`` length byte in 1..255 (all 255
+  except the last chunk).  Other codes pass through as literal tokens.
+* The length bytes travel as their own (gzip-when-smaller) section;
+  expansion is ``np.repeat(tokens, counts)`` with the run tokens'
+  counts gathered from that side stream.
+
+Activation is a deterministic host-level rule (:func:`should_rle`):
+collapse only when the run symbol covers at least half the stream
+*and* averages runs of length >= 2 — otherwise the run tokens plus
+length bytes would cost more than they save.
+
+``rle.collapse`` / ``rle.expand`` are kernel twins: scalar reference
+here, vectorized fast path in :mod:`repro.kernels.rans_fast`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import RansError
+from ..kernels.dispatch import register_kernel, resolve
+
+__all__ = [
+    "RUN_MAX",
+    "run_stats",
+    "should_rle",
+    "rle_collapse",
+    "rle_expand",
+]
+
+RUN_MAX = 255  # a run length byte is u8 and never zero
+
+
+def run_stats(codes: np.ndarray, run_symbol: int) -> tuple[int, int]:
+    """``(occurrences, run_tokens)`` of ``run_symbol`` in ``codes``.
+
+    ``run_tokens`` counts the post-split chunks (runs longer than
+    :data:`RUN_MAX` split), i.e. exactly the number of length bytes a
+    collapse would emit.
+    """
+    mask = codes == run_symbol
+    n_r = int(mask.sum())
+    if n_r == 0:
+        return 0, 0
+    idx = np.flatnonzero(mask)
+    brk = np.flatnonzero(np.diff(idx) > 1)
+    starts = idx[np.concatenate(([0], brk + 1))]
+    ends = idx[np.concatenate((brk, [idx.size - 1]))]
+    lens = ends - starts + 1
+    k = int(((lens + RUN_MAX - 1) // RUN_MAX).sum())
+    return n_r, k
+
+
+def should_rle(n: int, n_r: int, k: int) -> bool:
+    """Deterministic activation rule for the RLE pre-pass."""
+    return n_r > 0 and 2 * n_r >= n and n_r >= 2 * k
+
+
+def _collapse_reference(
+    codes: np.ndarray, run_symbol: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scalar collapse: one pass, runs chunked to <= RUN_MAX."""
+    tokens: list[int] = []
+    runs: list[int] = []
+    n = codes.size
+    i = 0
+    while i < n:
+        c = int(codes[i])
+        if c != run_symbol:
+            tokens.append(c)
+            i += 1
+            continue
+        j = i
+        while j < n and codes[j] == run_symbol:
+            j += 1
+        length = j - i
+        while length > 0:
+            chunk = min(length, RUN_MAX)
+            tokens.append(run_symbol)
+            runs.append(chunk)
+            length -= chunk
+        i = j
+    return (
+        np.array(tokens, dtype=np.int64),
+        np.array(runs, dtype=np.uint8),
+    )
+
+
+def _expand_reference(
+    tokens: np.ndarray, runs: np.ndarray, run_symbol: int
+) -> np.ndarray:
+    """Scalar expand, validating the length stream against the tokens."""
+    out: list[int] = []
+    r = 0
+    for t in tokens.tolist():
+        if t == run_symbol:
+            if r >= runs.size:
+                raise RansError("run-length stream exhausted mid-expand")
+            length = int(runs[r])
+            r += 1
+            if length < 1:
+                raise RansError("zero-length run in the RLE side stream")
+            out.extend([t] * length)
+        else:
+            out.append(t)
+    if r != runs.size:
+        raise RansError(
+            f"RLE side stream carries {runs.size - r} unused run lengths"
+        )
+    return np.array(out, dtype=np.int64)
+
+
+register_kernel(
+    "rle.collapse", _collapse_reference, fast="repro.kernels.rans_fast:collapse_runs"
+)
+register_kernel(
+    "rle.expand", _expand_reference, fast="repro.kernels.rans_fast:expand_runs"
+)
+
+
+def rle_collapse(
+    codes: np.ndarray, run_symbol: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse via the active kernel: ``(tokens int64, run lengths u8)``."""
+    return resolve("rle.collapse")(
+        np.asarray(codes, dtype=np.int64).reshape(-1), int(run_symbol)
+    )
+
+
+def rle_expand(
+    tokens: np.ndarray, runs: np.ndarray, run_symbol: int
+) -> np.ndarray:
+    """Expand via the active kernel; raises :class:`RansError` on mismatch."""
+    return resolve("rle.expand")(
+        np.asarray(tokens, dtype=np.int64).reshape(-1),
+        np.asarray(runs, dtype=np.uint8).reshape(-1),
+        int(run_symbol),
+    )

@@ -73,6 +73,7 @@ __all__ = [
     "compress_field_tiles",
     "decode_tile_blob",
     "assemble_tiles",
+    "summarize_entropy",
 ]
 
 MANIFEST_FORMAT = 1
@@ -109,14 +110,17 @@ def compress_field_tiles(
 
     digests: list[str] = []
     tile_bytes: list[int] = []
+    tile_entropy: list[str | None] = []
     payloads: dict[str, bytes] = {}
     for sl in slices:
-        payload = compressor.compress(
+        cf = compressor.compress(
             np.ascontiguousarray(data[sl]), bound.absolute, "abs"
-        ).payload
+        )
+        payload = cf.payload
         digest = hashlib.sha256(payload).hexdigest()
         digests.append(digest)
         tile_bytes.append(len(payload))
+        tile_entropy.append(cf.meta.get("entropy"))
         payloads.setdefault(digest, payload)
 
     manifest = {
@@ -131,9 +135,27 @@ def compress_field_tiles(
         "band_starts": [int(s.start) for s in slices],
         "tiles": digests,
         "tile_bytes": tile_bytes,
+        # resolved codes_entropy backend per tile; None for codecs
+        # without the stage (the probe may resolve per tile under "auto")
+        "tile_entropy": tile_entropy,
         "original_bytes": int(data.size * data.dtype.itemsize),
     }
     return manifest, payloads
+
+
+def summarize_entropy(tile_entropy: Any) -> str:
+    """One-token summary of a manifest's per-tile entropy backends.
+
+    ``"-"`` for pre-entropy manifests and codecs without the stage;
+    otherwise the sorted distinct backends joined with ``+`` (the
+    ``auto`` knob may legitimately resolve differently per tile).
+    """
+    if not isinstance(tile_entropy, list):
+        return "-"
+    seen = sorted({e for e in tile_entropy if isinstance(e, str)})
+    if not seen:
+        return "-"
+    return "+".join(seen)
 
 
 def decode_tile_blob(
@@ -578,6 +600,7 @@ class ArrayStore:
                         "eb": m.get("eb"),
                         "mode": m.get("mode"),
                         "n_tiles": len(m["tiles"]),
+                        "entropy": summarize_entropy(m.get("tile_entropy")),
                         "original_bytes": m.get("original_bytes", 0),
                         "compressed_bytes": sum(m.get("tile_bytes", [])),
                     }

@@ -9,6 +9,8 @@ variants byte-compatible where the paper says they are.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from .config import ErrorBound, ErrorBoundMode
@@ -17,9 +19,13 @@ from .errors import ContainerError
 from .io.container import Container
 from .types import CompressionStats
 
+if TYPE_CHECKING:
+    from .lossless import GzipStage
+
 __all__ = [
     "encode_codes_huffman",
     "decode_codes_huffman",
+    "decode_codes_rans",
     "encode_codes_raw",
     "decode_codes_raw",
     "values_to_bytes",
@@ -109,6 +115,42 @@ def decode_codes_huffman(container: Container) -> np.ndarray:
     table, _ = HuffmanTable.from_bytes(container.get("huffman_table"))
     n = header_int(container.header, "n_codes", hi=MAX_FIELD_POINTS)
     return HuffmanCodec(table).decode(container.get("huffman_codes"), n)
+
+
+def decode_codes_rans(container: Container, lossless: "GzipStage") -> np.ndarray:
+    """Decode the RLE+rANS sections written by ``EntropyCodesStage``.
+
+    Wire layout: a ``rans_table`` section (2^12-normalized frequency
+    table), a ``rans_codes`` section (interleaved-lane byte stream) and,
+    when the zero-run pre-pass fired, a ``rle_runs`` side stream of u8
+    run lengths (gzipped when that wins, ``rle_runs_gz`` flag) with the
+    collapsed symbol in the ``rle_symbol`` header field.
+    """
+    from .rans import RansTable, decode_tokens, rle_expand
+
+    h = container.header
+    n = header_int(h, "n_codes", hi=MAX_FIELD_POINTS)
+    m = header_int(h, "rans_tokens", hi=MAX_FIELD_POINTS)
+    table = RansTable.from_bytes(container.get("rans_table"))
+    tokens = decode_tokens(container.get("rans_codes"), table, m)
+    if container.has("rle_runs"):
+        run_symbol = header_int(h, "rle_symbol")
+        runs_raw = container.get("rle_runs")
+        if h.get("rle_runs_gz"):
+            runs_raw = lossless.decompress(runs_raw)
+        runs = np.frombuffer(runs_raw, dtype=np.uint8)
+        codes = rle_expand(tokens, runs, run_symbol)
+    else:
+        if m != n:
+            raise ContainerError(
+                f"rANS header declares {m} tokens for {n} codes without RLE"
+            )
+        codes = tokens
+    if codes.size != n:
+        raise ContainerError(
+            f"rANS stream expands to {codes.size} codes, header says {n}"
+        )
+    return codes
 
 
 def encode_codes_raw(container: Container, codes_flat: np.ndarray, bits: int) -> int:

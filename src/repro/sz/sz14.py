@@ -18,8 +18,8 @@ from ..codec.pipeline import PipelineCompressor, PipelineContext, Stage
 from ..codec.registry import register_codec
 from ..codec.spec import PipelineSpec, StageSpec
 from ..codec.stages import (
+    EntropyCodesStage,
     HeaderStage,
-    HuffmanGzipCodesStage,
     PQDStage,
     PwRelForwardStage,
     PwRelMasksStage,
@@ -86,8 +86,12 @@ class _SZ14HeaderStage(HeaderStage):
 @register_codec(
     name="SZ-1.4",
     aliases=("sz14",),
+    profiles={
+        "sz14-rans": lambda: SZ14Compressor(entropy="rans"),
+    },
     table2="SZ-1.4",
     spec=SZ14_SPEC,
+    entropy_backends=("huffman", "rans", "auto"),
 )
 @dataclass(frozen=True)
 class SZ14Compressor(PipelineCompressor):
@@ -111,6 +115,8 @@ class SZ14Compressor(PipelineCompressor):
     #: Lorenzo stencil depth (SZ-1.4's multi-layer option); layers > 1
     #: requires the padded border policy.
     layers: int = 1
+    #: ``codes_entropy`` backend (``huffman`` | ``rans`` | ``auto``).
+    entropy: str = "huffman"
 
     name = "SZ-1.4"
     spec = SZ14_SPEC
@@ -121,7 +127,7 @@ class SZ14Compressor(PipelineCompressor):
             PwRelForwardStage(self.lossless),
             PQDStage(border=self.border, layers=self.layers, from_header=True),
             _SZ14HeaderStage(self),
-            HuffmanGzipCodesStage(self.lossless),
+            EntropyCodesStage(self.lossless, backend=self.entropy),
             TruncatedValuesStage(border=self.border),
             PwRelMasksStage(self.lossless),
         )

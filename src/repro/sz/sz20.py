@@ -31,8 +31,8 @@ from ..codec.pipeline import PipelineCompressor, PipelineContext, Stage
 from ..codec.registry import register_codec
 from ..codec.spec import PipelineSpec, StageSpec
 from ..codec.stages import (
+    EntropyCodesStage,
     HeaderStage,
-    HuffmanGzipCodesStage,
     ResolveBoundStage,
     ValidateInputStage,
     gzip_if_smaller,
@@ -461,6 +461,7 @@ class _OutliersStage:
     aliases=("SZ-2.0+", "sz20"),
     table2="SZ-2.0+",
     spec=SZ20_SPEC,
+    entropy_backends=("huffman", "rans", "auto"),
 )
 @dataclass(frozen=True)
 class SZ20Compressor(PipelineCompressor):
@@ -471,6 +472,8 @@ class SZ20Compressor(PipelineCompressor):
         default_factory=lambda: GzipStage(mode=LosslessMode.BEST_SPEED)
     )
     block_size: int = 6
+    #: ``codes_entropy`` backend (``huffman`` | ``rans`` | ``auto``).
+    entropy: str = "huffman"
 
     name = "SZ-2.0"
     spec = SZ20_SPEC
@@ -484,7 +487,7 @@ class SZ20Compressor(PipelineCompressor):
             ),
             _BlockHybridStage(self.quant, self.block_size),
             _SZ20HeaderStage(self),
-            HuffmanGzipCodesStage(self.lossless, meta_bits=False),
+            EntropyCodesStage(self.lossless, backend=self.entropy, meta_bits=False),
             _BlockTypesStage(),
             _CoeffsStage(self.lossless),
             _OutliersStage(),

@@ -85,6 +85,14 @@ def make_input(key: str) -> np.ndarray:
         return _smooth3d((8, 12, 16), seed=7878)
     if key == "zfp":
         return _smooth2d((24, 32), seed=9999)
+    if key == "sz14_rans":
+        return _smooth2d((24, 32), seed=1414)
+    if key in ("wavesz_dp_rans", "wavesz_dp_auto"):
+        return _smooth2d((16, 48), seed=3131)
+    if key == "wavesz_dp_rans_3d":
+        return _smooth3d((8, 12, 16), seed=7878)
+    if key == "wavesz_dp_rans_1d":
+        return _smooth1d(2000, seed=6060)
     raise KeyError(f"unknown golden key {key!r}")
 
 
@@ -106,6 +114,12 @@ def make_compressor(key: str):
         "wavesz_dp": WaveSZDPCompressor,
         "wavesz_dp_3d": WaveSZDPCompressor,
         "zfp": ZFPCompressor,
+        # rANS-backend goldens (PR 9): same variants, entropy knob flipped
+        "sz14_rans": lambda: SZ14Compressor(entropy="rans"),
+        "wavesz_dp_rans": lambda: WaveSZDPCompressor(entropy="rans"),
+        "wavesz_dp_rans_3d": lambda: WaveSZDPCompressor(entropy="rans"),
+        "wavesz_dp_rans_1d": lambda: WaveSZDPCompressor(entropy="rans"),
+        "wavesz_dp_auto": lambda: WaveSZDPCompressor(entropy="auto"),
     }
     return factories[key]()
 
@@ -122,6 +136,11 @@ GOLDEN_PARAMS: dict[str, tuple[float, str]] = {
     "wavesz_dp": (1e-3, "vr_rel"),
     "wavesz_dp_3d": (1e-3, "abs"),
     "zfp": (1e-3, "vr_rel"),
+    "sz14_rans": (1e-3, "vr_rel"),
+    "wavesz_dp_rans": (1e-3, "vr_rel"),
+    "wavesz_dp_rans_3d": (1e-3, "abs"),
+    "wavesz_dp_rans_1d": (1e-3, "vr_rel"),
+    "wavesz_dp_auto": (1e-3, "vr_rel"),
 }
 
 

@@ -1,0 +1,175 @@
+"""Differential property suite for the rANS / RLE / histogram kernels.
+
+PR 5 pattern: every ``REPRO_KERNELS`` twin must be *byte-identical*
+across dispatch modes on arbitrary inputs, and the host round trip must
+be lossless over adversarial distributions — all-zero, single-symbol,
+uniform, heavy-tail — which stress the table normalization (extreme
+skew), the RLE activation rule, and the lane renormalization paths.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.codec.registry import get_codec
+from repro.kernels import forced
+from repro.rans import (
+    RansTable,
+    decode_tokens,
+    encode_tokens,
+    normalize_freqs,
+    probe_codes,
+    rle_collapse,
+    rle_expand,
+)
+from repro.streams import decompress_auto
+
+
+def _table_for(tokens):
+    values, counts = np.unique(tokens, return_counts=True)
+    return RansTable.from_counts(values.astype(np.int64), counts.astype(np.int64))
+
+
+# Adversarial code streams: each branch is one distribution family.
+code_streams = st.one_of(
+    # all one symbol (degenerate table, maximal runs)
+    st.builds(
+        lambda n, s: np.full(n, s, dtype=np.int64),
+        st.integers(1, 3000),
+        st.integers(0, 1 << 16),
+    ),
+    # uniform over a window
+    hnp.arrays(
+        dtype=np.int64,
+        shape=st.integers(1, 2000),
+        elements=st.integers(0, 600),
+    ),
+    # heavy-tail: mostly one symbol, rare wide literals
+    st.builds(
+        lambda seed, n: (
+            lambda rng: np.where(
+                rng.random(n) < 0.85, 512, rng.integers(0, 4000, n)
+            ).astype(np.int64)
+        )(np.random.default_rng(seed)),
+        st.integers(0, 2**31),
+        st.integers(1, 3000),
+    ),
+    # blocky runs (RLE chunk-splitting paths)
+    st.builds(
+        lambda seed, blocks: (
+            lambda rng: np.repeat(
+                rng.integers(0, 30, blocks), rng.integers(1, 400, blocks)
+            ).astype(np.int64)
+        )(np.random.default_rng(seed)),
+        st.integers(0, 2**31),
+        st.integers(1, 12),
+    ),
+)
+
+
+@given(code_streams)
+@settings(max_examples=60, deadline=None)
+def test_coder_roundtrip_and_mode_parity(codes):
+    table = _table_for(codes)
+    blobs = {}
+    for mode in ("reference", "fast"):
+        with forced(mode):
+            blob = encode_tokens(codes, table)
+            back = decode_tokens(blob, table, codes.size)
+        assert (back == codes).all(), mode
+        blobs[mode] = blob
+    assert blobs["reference"] == blobs["fast"]
+
+
+@given(code_streams)
+@settings(max_examples=60, deadline=None)
+def test_rle_roundtrip_and_mode_parity(codes):
+    probe = probe_codes(codes)
+    run_symbol = probe.run_symbol
+    results = {}
+    for mode in ("reference", "fast"):
+        with forced(mode):
+            tokens, runs = rle_collapse(codes, run_symbol)
+            back = rle_expand(tokens, runs, run_symbol)
+        assert (back == codes).all(), mode
+        results[mode] = (tokens.tobytes(), runs.tobytes())
+    assert results["reference"] == results["fast"]
+
+
+@given(code_streams)
+@settings(max_examples=60, deadline=None)
+def test_full_rans_plan_roundtrip(codes):
+    """Probe → table → (collapse) → encode → decode → (expand)."""
+    probe = probe_codes(codes)
+    if not probe.rans_ok:
+        return
+    table = RansTable.from_counts(probe.values, probe.token_counts)
+    if probe.use_rle:
+        tokens, runs = rle_collapse(codes, probe.run_symbol)
+    else:
+        tokens, runs = codes, None
+    assert tokens.size == probe.n_tokens
+    blob = encode_tokens(tokens, table)
+    back = decode_tokens(blob, table, tokens.size)
+    if runs is not None:
+        back = rle_expand(back, runs, probe.run_symbol)
+    assert (back == codes).all()
+
+
+@given(
+    hnp.arrays(
+        dtype=np.int64,
+        shape=st.integers(1, 200),
+        elements=st.integers(1, 10**9),
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_normalize_freqs_invariants(counts):
+    freqs = normalize_freqs(counts)
+    assert int(freqs.sum()) == 4096
+    assert (freqs >= 1).all()
+
+
+@given(
+    hnp.arrays(
+        dtype=np.int64,
+        shape=st.integers(1, 4000),
+        elements=st.integers(0, 1 << 20),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_histogram_mode_parity(flat):
+    from repro.encoding.histogram import symbol_histogram
+
+    with forced("reference"):
+        v_ref, c_ref = symbol_histogram(flat)
+    with forced("fast"):
+        v_fast, c_fast = symbol_histogram(flat)
+    assert (v_ref == v_fast).all()
+    assert (c_ref == c_fast).all()
+    assert int(c_ref.sum()) == flat.size
+
+
+@given(
+    st.integers(0, 2**31),
+    st.sampled_from(["wavesz-dp-rans", "wavesz-dp-auto", "sz14-rans"]),
+    st.sampled_from(["fast", "reference"]),
+)
+@settings(max_examples=15, deadline=None)
+def test_stage_level_roundtrip_is_bounded(seed, profile, mode):
+    """End-to-end: the entropy backend never affects the error bound."""
+    rng = np.random.default_rng(seed)
+    f = np.cumsum(rng.standard_normal((24, 30)).astype(np.float32), axis=0) / 8
+    eb = 1e-3
+    with forced(mode):
+        comp = get_codec(profile)
+        cf = comp.compress(f, eb, "vr_rel")
+        out = decompress_auto(cf.payload)
+    eb_abs = cf.meta.get("eb_abs")
+    if eb_abs is None:
+        vr = float(f.max() - f.min())
+        eb_abs = eb * vr if vr > 0 else eb
+    assert np.abs(out.astype(np.float64) - f.astype(np.float64)).max() <= eb_abs * (
+        1 + 1e-9
+    )

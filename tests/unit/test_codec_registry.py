@@ -45,8 +45,9 @@ class TestNameResolution:
 
     def test_cli_short_names(self):
         assert REGISTRY.short_names() == (
-            "ghostsz", "sz10", "sz14", "sz20", "wavesz", "wavesz-dp",
-            "wavesz-g", "zfp-like",
+            "ghostsz", "sz10", "sz14", "sz14-rans", "sz20", "wavesz",
+            "wavesz-dp", "wavesz-dp-auto", "wavesz-dp-rans", "wavesz-g",
+            "zfp-like",
         )
 
     def test_short_aliases_resolve(self):

@@ -1,0 +1,433 @@
+"""Unit tests for the rANS entropy subsystem (table, coder, RLE, stage).
+
+The vectorized fast kernels are held bit-identical to their scalar
+references by the differential property suite in
+``tests/property/test_prop_rans.py``; this module covers the host-level
+wire format, the validation taxonomy (:class:`repro.errors.RansError`),
+the ``auto`` probe, and the ``codes_entropy`` stage integration —
+including the backward-compat guarantee that Huffman payloads are
+byte-identical to the pre-rANS stage and carry no ``entropy`` header
+key.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.codec.registry import REGISTRY, get_codec
+from repro.codec.spec import ENTROPY_BACKENDS
+from repro.codec.stages import EntropyCodesStage, HuffmanGzipCodesStage
+from repro.errors import ConfigError, ContainerError, RansError
+from repro.io.container import Container
+from repro.kernels import forced
+from repro.lossless import GzipStage, LosslessMode
+from repro.rans import (
+    MAX_SYMBOLS,
+    PROB_SCALE,
+    RUN_MAX,
+    RansTable,
+    decode_tokens,
+    encode_tokens,
+    normalize_freqs,
+    pick_lanes,
+    probe_codes,
+    rle_collapse,
+    rle_expand,
+    run_stats,
+    should_rle,
+)
+from repro.streams import decompress_auto
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+
+LOSSLESS = GzipStage(mode=LosslessMode.BEST_SPEED)
+
+
+def _table_for(tokens: np.ndarray) -> RansTable:
+    values, counts = np.unique(tokens, return_counts=True)
+    return RansTable.from_counts(values.astype(np.int64), counts.astype(np.int64))
+
+
+class TestNormalizeFreqs:
+    def test_sums_to_prob_scale(self):
+        counts = np.array([1, 10, 100, 1000, 10000], dtype=np.int64)
+        freqs = normalize_freqs(counts)
+        assert int(freqs.sum()) == PROB_SCALE
+        assert (freqs >= 1).all()
+
+    def test_extreme_skew_keeps_rare_symbols_alive(self):
+        counts = np.array([10**9] + [1] * 50, dtype=np.int64)
+        freqs = normalize_freqs(counts)
+        assert int(freqs.sum()) == PROB_SCALE
+        assert (freqs[1:] == 1).all()
+
+    def test_single_symbol_takes_whole_scale(self):
+        freqs = normalize_freqs(np.array([7], dtype=np.int64))
+        assert freqs.tolist() == [PROB_SCALE]
+
+    def test_deterministic(self):
+        counts = np.array([3, 3, 3, 5, 5], dtype=np.int64)
+        assert (normalize_freqs(counts) == normalize_freqs(counts)).all()
+
+
+class TestRansTable:
+    def test_serialization_roundtrip(self):
+        t = _table_for(np.array([0, 0, 1, 1, 1, 7, 512, 512]))
+        t2 = RansTable.from_bytes(t.to_bytes())
+        assert (t2.symbols == t.symbols).all()
+        assert (t2.freqs == t.freqs).all()
+
+    def test_rejects_unsorted_symbols(self):
+        with pytest.raises(RansError):
+            RansTable.from_counts(
+                np.array([5, 3], dtype=np.int64), np.array([1, 1], dtype=np.int64)
+            )
+
+    def test_rejects_negative_symbols(self):
+        with pytest.raises(RansError):
+            RansTable.from_counts(
+                np.array([-1, 3], dtype=np.int64), np.array([1, 1], dtype=np.int64)
+            )
+
+    def test_rejects_oversized_alphabet(self):
+        values = np.arange(MAX_SYMBOLS + 1, dtype=np.int64)
+        counts = np.ones(MAX_SYMBOLS + 1, dtype=np.int64)
+        with pytest.raises(RansError):
+            RansTable.from_counts(values, counts)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda b: b"XXXX" + b[4:],  # bad magic
+            lambda b: b[:-1],  # truncated
+            lambda b: b + b"\x00",  # trailing garbage
+        ],
+    )
+    def test_corrupt_blob_raises(self, mutate):
+        blob = _table_for(np.array([0, 1, 1, 2, 2, 2])).to_bytes()
+        with pytest.raises(RansError):
+            RansTable.from_bytes(mutate(blob))
+
+    def test_freq_sum_mismatch_raises(self):
+        t = _table_for(np.array([0, 1, 1, 2]))
+        blob = bytearray(t.to_bytes())
+        blob[-2:] = (int.from_bytes(blob[-2:], "little") - 1).to_bytes(2, "little")
+        with pytest.raises(RansError):
+            RansTable.from_bytes(bytes(blob))
+
+
+class TestCoder:
+    def test_roundtrip_and_mode_byte_equality(self):
+        rng = np.random.default_rng(0)
+        tokens = rng.choice(
+            [3, 7, 7, 7, 40, 41], size=5000, p=[0.1, 0.3, 0.3, 0.1, 0.1, 0.1]
+        ).astype(np.int64)
+        table = _table_for(tokens)
+        with forced("reference"):
+            blob_ref = encode_tokens(tokens, table)
+            back_ref = decode_tokens(blob_ref, table, tokens.size)
+        with forced("fast"):
+            blob_fast = encode_tokens(tokens, table)
+            back_fast = decode_tokens(blob_fast, table, tokens.size)
+        assert blob_ref == blob_fast
+        assert (back_ref == tokens).all()
+        assert (back_fast == tokens).all()
+
+    def test_empty_stream(self):
+        table = _table_for(np.array([5]))
+        blob = encode_tokens(np.empty(0, dtype=np.int64), table)
+        assert decode_tokens(blob, table, 0).size == 0
+
+    def test_out_of_alphabet_symbol_raises(self):
+        table = _table_for(np.array([1, 2, 2]))
+        with pytest.raises(RansError):
+            encode_tokens(np.array([1, 99], dtype=np.int64), table)
+
+    def test_truncated_blob_raises(self):
+        tokens = np.arange(300, dtype=np.int64) % 5
+        table = _table_for(tokens)
+        blob = encode_tokens(tokens, table)
+        with pytest.raises(RansError):
+            decode_tokens(blob[: len(blob) // 2], table, tokens.size)
+
+    def test_trailing_bytes_raise(self):
+        tokens = np.arange(300, dtype=np.int64) % 5
+        table = _table_for(tokens)
+        blob = encode_tokens(tokens, table)
+        with pytest.raises(RansError):
+            decode_tokens(blob + b"\x00\x01", table, tokens.size)
+
+    def test_bad_lane_state_raises(self):
+        tokens = np.zeros(10, dtype=np.int64)
+        table = _table_for(tokens)
+        blob = bytearray(encode_tokens(tokens, table))
+        blob[4:8] = (0).to_bytes(4, "little")  # state below the coder bound
+        with pytest.raises(RansError):
+            decode_tokens(bytes(blob), table, tokens.size)
+
+    def test_lane_count_scales_with_stream(self):
+        assert pick_lanes(0) == 1
+        assert pick_lanes(1) == 1
+        assert pick_lanes(64 * 8) == 8
+        assert pick_lanes(10**9) == 2048  # capped
+
+
+class TestRle:
+    def test_collapse_expand_roundtrip(self):
+        codes = np.array([5, 5, 5, 1, 5, 5, 2, 2, 5], dtype=np.int64)
+        tokens, runs = rle_collapse(codes, 5)
+        assert (rle_expand(tokens, runs, 5) == codes).all()
+
+    def test_long_run_splits_at_255(self):
+        codes = np.full(RUN_MAX * 2 + 10, 9, dtype=np.int64)
+        tokens, runs = rle_collapse(codes, 9)
+        assert runs.tolist() == [RUN_MAX, RUN_MAX, 10]
+        assert (rle_expand(tokens, runs, 9) == codes).all()
+
+    def test_run_stats_counts_chunks(self):
+        codes = np.full(RUN_MAX + 1, 4, dtype=np.int64)
+        n_r, k = run_stats(codes, 4)
+        assert n_r == RUN_MAX + 1
+        assert k == 2
+
+    def test_should_rle_activation(self):
+        assert should_rle(100, 80, 10)
+        assert not should_rle(100, 30, 10)  # runs don't dominate
+        assert not should_rle(100, 80, 50)  # runs too fragmented
+        assert not should_rle(100, 0, 0)
+
+    def test_expand_rejects_mismatched_runs(self):
+        with pytest.raises(RansError):
+            rle_expand(np.array([5, 5], dtype=np.int64), np.array([3], np.uint8), 5)
+
+    def test_expand_rejects_zero_length_run(self):
+        with pytest.raises(RansError):
+            rle_expand(np.array([5], dtype=np.int64), np.array([0], np.uint8), 5)
+
+    def test_mode_equality(self):
+        rng = np.random.default_rng(1)
+        codes = np.where(rng.random(4000) < 0.7, 11, rng.integers(0, 40, 4000))
+        codes = codes.astype(np.int64)
+        with forced("reference"):
+            t_ref, r_ref = rle_collapse(codes, 11)
+        with forced("fast"):
+            t_fast, r_fast = rle_collapse(codes, 11)
+        assert (t_ref == t_fast).all()
+        assert (r_ref == r_fast).all()
+
+
+class TestProbe:
+    def test_run_dominated_stream_picks_rans(self):
+        """Long radius runs + high-entropy literals: the rANS sweet spot.
+
+        (On degenerate near-constant streams Huffman + gzip wins — the
+        gzip pass crushes the repetitive bitstream — and the probe
+        correctly keeps picking it there.)
+        """
+        rng = np.random.default_rng(2)
+        parts = []
+        for _ in range(400):
+            parts.append(np.full(40, 512, dtype=np.int64))
+            parts.append(rng.integers(300, 800, 40).astype(np.int64))
+        codes = np.concatenate(parts)
+        probe = probe_codes(codes)
+        assert probe.use_rle
+        assert probe.pick == "rans"
+        assert probe.n_tokens < codes.size
+
+    def test_oversized_alphabet_falls_back_to_huffman(self):
+        codes = np.arange(MAX_SYMBOLS + 10, dtype=np.int64)
+        probe = probe_codes(codes)
+        assert not probe.rans_ok
+        assert probe.pick == "huffman"
+
+    def test_probe_is_the_rans_plan(self):
+        codes = np.array([7, 7, 7, 7, 1, 2], dtype=np.int64)
+        probe = probe_codes(codes)
+        table = RansTable.from_counts(probe.values, probe.token_counts)
+        assert int(table.freqs.sum()) == PROB_SCALE
+
+
+class TestEntropyCodesStage:
+    def test_unknown_backend_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            EntropyCodesStage(LOSSLESS, backend="lz77")
+
+    def test_backends_constant(self):
+        assert ENTROPY_BACKENDS == ("huffman", "rans", "auto")
+
+    @pytest.mark.parametrize("profile", ["sz14-rans", "wavesz-dp-rans"])
+    def test_rans_profile_roundtrip(self, profile):
+        rng = np.random.default_rng(3)
+        f = np.cumsum(rng.standard_normal((40, 50)).astype(np.float32), axis=0) / 10
+        comp = get_codec(profile)
+        cf = comp.compress(f, 1e-3, "vr_rel")
+        assert cf.meta["entropy"] == "rans"
+        header = Container.from_bytes(cf.payload).header
+        assert header["entropy"] == "rans"
+        out = decompress_auto(cf.payload)
+        assert np.abs(out.astype(np.float64) - f.astype(np.float64)).max() <= 1.0
+
+    def test_huffman_payload_has_no_entropy_key(self):
+        rng = np.random.default_rng(4)
+        f = np.cumsum(rng.standard_normal((30, 30)).astype(np.float32), axis=0) / 10
+        cf = get_codec("wavesz-dp").compress(f, 1e-3, "vr_rel")
+        assert cf.meta["entropy"] == "huffman"
+        assert "entropy" not in Container.from_bytes(cf.payload).header
+
+    def test_auto_records_its_resolution(self):
+        rng = np.random.default_rng(5)
+        f = np.cumsum(rng.standard_normal((40, 40)).astype(np.float32), axis=0) / 10
+        cf = get_codec("wavesz-dp-auto").compress(f, 1e-3, "vr_rel")
+        assert cf.meta["entropy"] in ("huffman", "rans")
+        out = decompress_auto(cf.payload)
+        assert out.shape == f.shape
+
+    def test_pinned_huffman_stage_decodes_rans_payloads(self):
+        """Default decode factories read rANS streams: dispatch is by header."""
+        rng = np.random.default_rng(6)
+        f = np.cumsum(rng.standard_normal((30, 40)).astype(np.float32), axis=0) / 10
+        payload = get_codec("wavesz-dp-rans").compress(f, 1e-3, "vr_rel").payload
+        out = get_codec("wavesz-dp").decompress(payload)
+        assert out.shape == f.shape
+
+    def test_compat_subclass_is_pinned(self):
+        stage = HuffmanGzipCodesStage(LOSSLESS)
+        assert isinstance(stage, EntropyCodesStage)
+        assert stage.backend == "huffman"
+
+    def test_unknown_header_backend_raises(self):
+        rng = np.random.default_rng(7)
+        f = np.cumsum(rng.standard_normal((20, 20)).astype(np.float32), axis=0) / 10
+        comp = get_codec("wavesz-dp-rans")
+        payload = comp.compress(f, 1e-3, "vr_rel").payload
+        c = Container.from_bytes(payload)
+        c.header["entropy"] = "arith"
+        with pytest.raises(ContainerError):
+            comp.decompress(c.to_bytes())
+
+    def test_token_count_mismatch_raises(self):
+        """An RLE-free rANS header must declare exactly n tokens."""
+        rng = np.random.default_rng(8)
+        f = np.cumsum(rng.standard_normal((20, 20)).astype(np.float32), axis=0) / 10
+        comp = get_codec("wavesz-dp-rans")
+        payload = comp.compress(f, 1e-3, "vr_rel").payload
+        c = Container.from_bytes(payload)
+        c.header["n_codes"] = int(c.header["n_codes"]) + 1
+        with pytest.raises(ContainerError):
+            comp.decompress(c.to_bytes())
+
+
+class TestRegistrySurfacing:
+    def test_describe_lists_entropy_backends(self):
+        rows = {e["name"]: e["entropy_backends"] for e in REGISTRY.describe()}
+        assert rows["waveSZ-dp"] == ["huffman", "rans", "auto"]
+        assert rows["SZ-1.4"] == ["huffman", "rans", "auto"]
+        assert rows["waveSZ"] == []
+
+    def test_profiles_resolve_to_canonical_names(self):
+        assert REGISTRY.canonical("wavesz-dp-rans") == "waveSZ-dp"
+        assert REGISTRY.canonical("sz14-rans") == "SZ-1.4"
+        assert get_codec("wavesz-dp-rans").entropy == "rans"
+        assert get_codec("wavesz-dp-auto").entropy == "auto"
+
+
+class TestStoreSurfacing:
+    def test_manifest_records_tile_entropy(self, tmp_path):
+        from repro.store.store import ArrayStore, compress_field_tiles
+
+        rng = np.random.default_rng(9)
+        f = np.cumsum(rng.standard_normal((60, 64)).astype(np.float32), axis=0) / 10
+        m, _ = compress_field_tiles(f, codec="wavesz-dp-rans", n_tiles=3)
+        assert m["tile_entropy"] == ["rans", "rans", "rans"]
+        m2, _ = compress_field_tiles(f, codec="wavesz", n_tiles=2)
+        assert m2["tile_entropy"] == [None, None]
+
+        store = ArrayStore(tmp_path / "store")
+        store.put("demo", f, codec="wavesz-dp-rans", n_tiles=3)
+        (row,) = store.ls()
+        assert row["entropy"] == "rans"
+
+    def test_summarize_entropy(self):
+        from repro.store.store import summarize_entropy
+
+        assert summarize_entropy(None) == "-"
+        assert summarize_entropy([None, None]) == "-"
+        assert summarize_entropy(["rans", "rans"]) == "rans"
+        assert summarize_entropy(["huffman", "rans", None]) == "huffman+rans"
+
+
+class TestHistogramKernel:
+    def test_modes_agree(self):
+        rng = np.random.default_rng(10)
+        flat = rng.integers(0, 3000, size=5000).astype(np.int64)
+        from repro.encoding.histogram import symbol_histogram
+
+        with forced("reference"):
+            v_ref, c_ref = symbol_histogram(flat)
+        with forced("fast"):
+            v_fast, c_fast = symbol_histogram(flat)
+        assert (v_ref == v_fast).all()
+        assert (c_ref == c_fast).all()
+
+    def test_sparse_alphabet_agrees(self):
+        flat = np.array([0, 1 << 23, 1 << 23, 5], dtype=np.int64)
+        from repro.encoding.histogram import symbol_histogram
+
+        with forced("reference"):
+            ref = symbol_histogram(flat)
+        with forced("fast"):
+            fast = symbol_histogram(flat)
+        assert (ref[0] == fast[0]).all()
+        assert (ref[1] == fast[1]).all()
+
+    def test_validation_unchanged(self):
+        from repro.encoding.histogram import symbol_histogram
+
+        with pytest.raises(TypeError):
+            symbol_histogram(np.array([0.5]))
+        with pytest.raises(ValueError):
+            symbol_histogram(np.array([-1]))
+        v, c = symbol_histogram(np.empty(0, dtype=np.int64))
+        assert v.size == 0 and c.size == 0
+
+
+class TestGoldenBackwardCompat:
+    """Pre-rANS goldens must stay Huffman-coded with no ``entropy`` key."""
+
+    @staticmethod
+    def _load_goldens():
+        spec = importlib.util.spec_from_file_location(
+            "generate_goldens", DATA_DIR / "generate_goldens.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        manifest = json.loads((DATA_DIR / "manifest.json").read_text())
+        return mod, manifest
+
+    def test_pre_rans_goldens_carry_no_entropy_key(self):
+        mod, manifest = self._load_goldens()
+        pre_rans = [k for k in manifest if "rans" not in k and "auto" not in k]
+        assert len(pre_rans) >= 10
+        for key in pre_rans:
+            payload = (DATA_DIR / f"golden_{key}.bin").read_bytes()
+            assert "entropy" not in Container.from_bytes(payload).header, key
+
+    def test_rans_goldens_decode_in_both_kernel_modes(self):
+        mod, manifest = self._load_goldens()
+        rans_keys = [k for k in manifest if k.endswith(("_rans", "_rans_3d", "_rans_1d"))]
+        assert rans_keys
+        for key in rans_keys:
+            payload = (DATA_DIR / f"golden_{key}.bin").read_bytes()
+            assert Container.from_bytes(payload).header["entropy"] == "rans"
+            want = manifest[key]["output_sha256"]
+            for mode in ("fast", "reference"):
+                with forced(mode):
+                    out = decompress_auto(payload)
+                got = __import__("hashlib").sha256(
+                    np.ascontiguousarray(out).tobytes()
+                ).hexdigest()
+                assert got == want, (key, mode)
