@@ -1,0 +1,186 @@
+"""Dispatch-overhead microbench: pickled arrays vs shared-memory refs.
+
+Isolates what the zero-copy transport actually buys: the cost of moving
+one field to a process-pool worker and getting an acknowledgement back,
+with the compression work replaced by a touch function (attach the
+field, read one element).  Three channels:
+
+``pickle``
+    the classic path — the full array pickles through the executor pipe;
+``shm``
+    one ``memcpy`` into a pooled arena segment, then a tiny `FieldRef`
+    crosses the pipe (what `encode_job` does per job);
+``shm-reuse``
+    the ref alone — the field is already resident (the server's
+    socket→shm ingest path), so dispatch moves ~100 bytes.
+
+A second section times an end-to-end small-job batch through
+``run_batch`` with micro-batching off vs on, counting worker dispatches.
+
+``--smoke`` gates the transport claim: shm per-job dispatch overhead
+must be <= 0.5x pickle (a >= 2x reduction) on the smoke field.
+Archives ``BENCH_transport.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from common import RESULTS_DIR, emit, fmt_row
+
+from repro.service import make_job, run_batch
+from repro.service.shm import ShmArena, ShmTransport, touch_array, touch_ref
+
+#: 4 MiB float32 — a mid-size CESM-like field; big enough that copies
+#: dominate dispatch, small enough for quick iteration.
+FIELD_SHAPE = (1024, 1024)
+ITERS = 20
+WARMUP = 3
+N_SMALL_JOBS = 32
+
+
+def _per_job_ms(fn, iters: int = ITERS, warmup: int = WARMUP) -> float:
+    for _ in range(warmup):
+        fn()
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    return (time.perf_counter() - t0) / iters * 1e3
+
+
+def _dispatch_rows(field: np.ndarray) -> dict:
+    pool = ProcessPoolExecutor(max_workers=1)
+    transport = ShmTransport(min_bytes=1)
+    arena = transport.arena
+    expect = float(field.ravel()[0])
+    try:
+        def via_pickle() -> None:
+            assert pool.submit(touch_array, field).result() == expect
+
+        def via_shm() -> None:
+            ref = arena.put_array(field)
+            try:
+                assert pool.submit(touch_ref, ref).result() == expect
+            finally:
+                arena.release(ref.segment)
+
+        resident = arena.put_array(field)  # the server-ingest scenario
+
+        def via_shm_reuse() -> None:
+            assert pool.submit(touch_ref, resident).result() == expect
+
+        pickle_ms = _per_job_ms(via_pickle)
+        shm_ms = _per_job_ms(via_shm)
+        reuse_ms = _per_job_ms(via_shm_reuse)
+        arena.release(resident.segment)
+    finally:
+        pool.shutdown()
+        transport.close()
+    return {
+        "pickle_ms_per_job": pickle_ms,
+        "shm_ms_per_job": shm_ms,
+        "shm_reuse_ms_per_job": reuse_ms,
+        "speedup_shm": pickle_ms / shm_ms,
+        "speedup_shm_reuse": pickle_ms / reuse_ms,
+    }
+
+
+def _batching_rows() -> dict:
+    rng = np.random.default_rng(11)
+    jobs = [
+        make_job("sz10", rng.normal(size=(16, 16)).astype(np.float32),
+                 eb=1e-3)
+        for _ in range(N_SMALL_JOBS)
+    ]
+    out = {}
+    for label, batch_bytes in (("off", 0), ("on", 1 << 20)):
+        t0 = time.perf_counter()
+        results, stats = run_batch(
+            jobs, workers=2, pool_kind="process", batch_bytes=batch_bytes
+        )
+        wall_s = time.perf_counter() - t0
+        assert stats.totals["failed"] == 0
+        payloads = [r.output for r in results]
+        if "payloads" in out:
+            assert payloads == out["payloads"]  # batching is invisible
+        out["payloads"] = payloads
+        out[label] = {
+            "wall_s": wall_s,
+            "jobs_per_s": N_SMALL_JOBS / wall_s,
+            "dispatches": stats.events.get(
+                "batch.dispatches", N_SMALL_JOBS
+            ) if batch_bytes else N_SMALL_JOBS,
+            "occupancy": stats.gauges.get("batch.occupancy", 1.0),
+        }
+    del out["payloads"]
+    return out
+
+
+def test_transport(smoke: bool = False) -> None:
+    if not ShmArena.available():  # pragma: no cover - no /dev/shm
+        print("shared memory unavailable; transport bench skipped")
+        return
+    field = np.random.default_rng(5).normal(
+        size=FIELD_SHAPE
+    ).astype(np.float32)
+    dispatch = _dispatch_rows(field)
+    batching = _batching_rows()
+    n_cpu = os.cpu_count() or 1
+
+    widths = [10, 12, 10]
+    lines = [
+        f"per-job dispatch round-trip, {field.nbytes / 1e6:.1f} MB field, "
+        f"1 worker, {ITERS} iters ({n_cpu} cpu(s))",
+        fmt_row(["channel", "ms/job", "vs pickle"], widths),
+        fmt_row(["pickle", round(dispatch["pickle_ms_per_job"], 2),
+                 "1.0x"], widths),
+        fmt_row(["shm", round(dispatch["shm_ms_per_job"], 2),
+                 f"{dispatch['speedup_shm']:.1f}x"], widths),
+        fmt_row(["shm-reuse", round(dispatch["shm_reuse_ms_per_job"], 2),
+                 f"{dispatch['speedup_shm_reuse']:.1f}x"], widths),
+        "",
+        f"{N_SMALL_JOBS} small jobs (1 KB each), 2 process workers, "
+        "micro-batching off vs on (byte-identical outputs asserted)",
+        fmt_row(["batching", "wall s", "jobs/s", "dispatch"],
+                [10, 9, 9, 9]),
+    ]
+    for label in ("off", "on"):
+        r = batching[label]
+        lines.append(fmt_row([
+            label, round(r["wall_s"], 2), round(r["jobs_per_s"], 1),
+            r["dispatches"],
+        ], [10, 9, 9, 9]))
+    emit("transport", lines)
+
+    (RESULTS_DIR / "BENCH_transport.json").write_text(json.dumps({
+        "field_shape": list(FIELD_SHAPE),
+        "field_mb": field.nbytes / 1e6,
+        "iters": ITERS,
+        "n_cpu": n_cpu,
+        "dispatch": dispatch,
+        "batching": batching,
+        "note": (
+            "dispatch = pool round-trip with a touch function; "
+            "compression excluded so the channel cost is isolated"
+        ),
+    }, indent=2))
+
+    if smoke:
+        # the transport claim: shm dispatch overhead <= 0.5x pickle
+        assert dispatch["shm_ms_per_job"] <= 0.5 * dispatch[
+            "pickle_ms_per_job"
+        ], (
+            f"shm dispatch {dispatch['shm_ms_per_job']:.2f} ms/job not "
+            f"<= 0.5x pickle {dispatch['pickle_ms_per_job']:.2f} ms/job"
+        )
+        print("smoke gate passed: shm dispatch <= 0.5x pickle")
+
+
+if __name__ == "__main__":
+    test_transport(smoke="--smoke" in sys.argv[1:])

@@ -114,11 +114,19 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--port", type=int, default=8123)
     s.add_argument("--workers", type=int, default=None,
                    help="worker count (default: CPU count; 0 = inline)")
-    s.add_argument("--pool", choices=["process", "thread"],
+    s.add_argument("--pool", choices=["process", "thread", "inline"],
                    default="process")
     s.add_argument("--queue-size", type=int, default=128,
                    help="bounded queue capacity (backpressure threshold)")
     s.add_argument("--max-retries", type=int, default=2)
+    s.add_argument("--transport", choices=["auto", "shm", "pickle"],
+                   default="auto",
+                   help="field transport across the pool: shared-memory "
+                   "FieldRefs (process pools, zero-copy) or pickled "
+                   "arrays; auto picks shm whenever it pays")
+    s.add_argument("--batch-bytes", type=int, default=32768,
+                   help="coalesce jobs smaller than this many bytes into "
+                   "one worker dispatch (0 disables micro-batching)")
     s.add_argument("--store", type=Path, default=None,
                    help="array-store root to expose over the "
                    "store_put/store_read/store_slice ops")
@@ -139,9 +147,14 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("-o", "--outdir", type=Path, required=True)
     b.add_argument("--workers", type=int, default=None,
                    help="worker count (default: CPU count; 0 = inline)")
-    b.add_argument("--pool", choices=["process", "thread"],
+    b.add_argument("--pool", choices=["process", "thread", "inline"],
                    default="process")
     b.add_argument("--queue-size", type=int, default=128)
+    b.add_argument("--transport", choices=["auto", "shm", "pickle"],
+                   default="auto",
+                   help="field transport across the pool (see serve)")
+    b.add_argument("--batch-bytes", type=int, default=32768,
+                   help="micro-batch threshold in bytes (0 disables)")
     b.add_argument("--report", type=Path, default=None,
                    help="also write per-job results + ServiceStats as JSON")
 
@@ -407,6 +420,11 @@ def _cmd_codecs(_: argparse.Namespace) -> int:
         backends = entry.get("entropy_backends") or []
         tail = f" [entropy: {'|'.join(backends)}]" if backends else ""
         print(f"{entry['name']}: {names}{row}{tail}")
+    from .service.shm import ShmArena
+
+    resolved = "shm" if ShmArena.available() else "pickle"
+    print(f"service transport: {resolved} resolved for process pools "
+          "(thread/inline pools always use pickle in-process)")
     return 0
 
 
@@ -430,6 +448,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             pool_kind=args.pool,
             queue_size=args.queue_size,
             max_retries=args.max_retries,
+            transport=args.transport,
+            batch_bytes=args.batch_bytes,
             store_root=None if args.store is None else str(args.store),
             shard_map=shard_map,
         ))
@@ -491,6 +511,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         pool_kind=args.pool,
         queue_size=args.queue_size,
+        transport=args.transport,
+        batch_bytes=args.batch_bytes,
     )
     args.outdir.mkdir(parents=True, exist_ok=True)
     failed = 0

@@ -264,8 +264,24 @@ class ChaosHarness:
 
     # -- service suite ----------------------------------------------------
 
-    def run_service(self, *, runs: int = 6, ops_per_run: int = 4) -> ChaosReport:
-        """Sweep flaky-wire schedules against a live server."""
+    def run_service(
+        self, *, runs: int = 6, ops_per_run: int = 4, kill_runs: int = 2
+    ) -> ChaosReport:
+        """Sweep flaky-wire schedules against a live server, then SIGKILL
+        process-pool workers holding shared-memory leases.
+
+        The wire phase checks ``converges`` / ``at-most-once`` as before.
+        The kill phase (skipped where shared memory is unavailable) runs
+        a process-pool scheduler on the shm transport, SIGKILLs a worker
+        while jobs are in flight — i.e. mid-lease — and checks:
+
+        * ``converges-after-kill`` — every job still completes with the
+          byte-exact direct-path payload (the broken pool respawns and
+          the transient retry re-dispatches);
+        * ``lease-reclaimed``     — after the batch drains no segment
+          is leased, and after ``stop()`` the arena is empty: a killed
+          worker cannot strand ``/dev/shm``.
+        """
         import asyncio
         import threading
 
@@ -340,9 +356,110 @@ class ChaosHarness:
             asyncio.run_coroutine_threadsafe(srv.stop(), loop).result(10)
             loop.call_soon_threadsafe(loop.stop)
             thread.join(10)
+        for kill_run in range(kill_runs):
+            self._service_kill_run(runs + kill_run, violations, fired)
         return ChaosReport(
-            "service", self.seed, runs, fired, tuple(violations)
+            "service", self.seed, runs + kill_runs, fired, tuple(violations)
         )
+
+    def _service_kill_run(
+        self, run: int, violations: list[ChaosViolation], fired: dict[str, int]
+    ) -> None:
+        """One SIGKILL-mid-lease schedule (see :meth:`run_service`)."""
+        import asyncio
+        import signal
+
+        from ..codec.registry import get_codec
+        from ..service import BatchScheduler
+        from ..service.jobs import make_job
+        from ..service.shm import ShmArena
+
+        if not ShmArena.available():  # pragma: no cover - no /dev/shm
+            return
+
+        def bad(invariant: str, detail: str) -> None:
+            violations.append(ChaosViolation(
+                "service", self.seed, run, invariant, detail
+            ))
+
+        rs = self._run_seed(run)
+        rng = np.random.default_rng(rs)
+        # comfortably above SHM_MIN_BYTES so every job leases a segment
+        fld = rng.normal(size=(160, 160)).astype(np.float32)
+        direct = get_codec("sz10").compress(fld, 1e-3, "vr_rel").payload
+        fired["worker-kill"] = fired.get("worker-kill", 0) + 1
+
+        async def drive() -> None:
+            sched = BatchScheduler(
+                workers=2, pool_kind="process", max_retries=4,
+                backoff_base_s=0.01, transport="shm",
+            )
+            sched.start()
+            try:
+                handles = [
+                    await sched.submit(
+                        make_job("sz10", fld, eb=1e-3), block=True
+                    )
+                    for _ in range(4)
+                ]
+                # let dispatch copy fields into segments and hand out
+                # leases, then kill one worker mid-lease.
+                await asyncio.sleep(0.02 + 0.02 * (rs % 3))
+                procs = list(getattr(
+                    sched.pool.executor, "_processes", {}
+                ).values())
+                if procs:
+                    victim = procs[rs % len(procs)]
+                    try:
+                        os.kill(victim.pid, signal.SIGKILL)
+                    except (OSError, TypeError):  # pragma: no cover
+                        pass
+                for h in handles:
+                    try:
+                        result = await sched.wait(h)
+                    except ReproError as exc:
+                        bad(
+                            "converges-after-kill",
+                            f"job failed after worker kill: "
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                        continue
+                    if result.output != direct:
+                        bad(
+                            "converges-after-kill",
+                            "payload differs from the direct path "
+                            "after worker kill",
+                        )
+                arena = sched.transport.arena
+                if arena.leased_segments:
+                    bad(
+                        "lease-reclaimed",
+                        f"{arena.leased_segments} segment(s) still "
+                        "leased after the batch drained",
+                    )
+            finally:
+                await sched.stop()
+            arena = sched.transport.arena
+            if arena.resident_bytes:
+                bad(
+                    "lease-reclaimed",
+                    f"{arena.resident_bytes} bytes still resident "
+                    "after stop()",
+                )
+            stranded = [
+                entry for entry in (
+                    os.listdir("/dev/shm") if os.path.isdir("/dev/shm")
+                    else []
+                )
+                if entry.startswith(arena.prefix)
+            ]
+            if stranded:
+                bad(
+                    "lease-reclaimed",
+                    f"stranded shm segment(s): {stranded}",
+                )
+
+        asyncio.run(drive())
 
     # -- shard suite ------------------------------------------------------
 

@@ -33,9 +33,14 @@ from .queue import BoundedJobQueue
 from .resilience import CircuitBreaker, RetryPolicy
 from .scheduler import BatchScheduler, run_batch
 from .server import CompressionServer, ServiceClient, serve
+from .shm import FieldRef, PickleTransport, ShmArena, ShmTransport
 from .workers import WorkerPool, tile_compress_parallel
 
 __all__ = [
+    "FieldRef",
+    "ShmArena",
+    "ShmTransport",
+    "PickleTransport",
     "RetryPolicy",
     "CircuitBreaker",
     "CompressionJob",

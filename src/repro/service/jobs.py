@@ -143,6 +143,16 @@ class CompressionJob:
         assert self.payload is not None
         return len(self.payload)
 
+    @property
+    def batch_eligible(self) -> bool:
+        """Whether this job may ride a coalesced worker dispatch.
+
+        Multi-tile jobs are excluded: their bands are already an
+        intra-job parallel axis, and batching would serialize them
+        behind unrelated small jobs.
+        """
+        return self.n_tiles == 1
+
 
 def make_job(
     codec: str,

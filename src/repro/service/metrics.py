@@ -154,8 +154,12 @@ class MetricsRegistry:
         The resilience plane lives here: ``client.retries``,
         ``server.idem_hits``, ``watchdog.kills``, ``store.rollbacks``,
         ``store.fsck_repairs`` — anything that is a count of things that
-        happened rather than a per-codec job transition.  Appears in
-        every snapshot under ``events`` from the first bump.
+        happened rather than a per-codec job transition.  The transport
+        plane adds ``batch.dispatches`` / ``batch.jobs`` /
+        ``batch.fallbacks`` (micro-batching) and ``shm.leaks_reclaimed``
+        (segments the arena had to reclaim after a worker died holding a
+        lease).  Appears in every snapshot under ``events`` from the
+        first bump.
         """
         with self._lock:
             self._events[name] = self._events.get(name, 0) + n
@@ -166,6 +170,9 @@ class MetricsRegistry:
         Gauges are last-write-wins and appear in every snapshot from the
         moment they are first set — a producer (e.g. the store's tile
         cache) registers its series at construction by setting them to 0.
+        The transport plane publishes ``shm.resident_bytes`` (bytes the
+        arena currently maps) and ``batch.occupancy`` (mean jobs per
+        coalesced dispatch, a rolling view of how full batches run).
         """
         with self._lock:
             self._gauges[name] = float(value)

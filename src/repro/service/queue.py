@@ -109,6 +109,30 @@ class BoundedJobQueue:
         self._has_space.set()
         return handle
 
+    def peek(self) -> JobHandle | None:
+        """The handle :meth:`get` would return next, without removing it.
+
+        The micro-batcher's lookahead: a dispatcher that just pulled a
+        small job peeks at the head to decide whether the next job can
+        ride the same worker round-trip.
+        """
+        return self._heap[0][2] if self._heap else None
+
+    def get_nowait(self) -> JobHandle | None:
+        """Dequeue the head immediately, or ``None`` when empty.
+
+        Safe to interleave with :meth:`get`: all consumers run on one
+        event loop, so a peek-then-get_nowait pair is atomic between
+        awaits — the batch collector relies on that.
+        """
+        if not self._heap:
+            return None
+        _, _, handle = heapq.heappop(self._heap)
+        if not self._heap:
+            self._has_items.clear()
+        self._has_space.set()
+        return handle
+
     def close(self) -> None:
         """Close the queue and wake every waiter (drain-then-stop)."""
         self._closed = True

@@ -18,8 +18,6 @@ import asyncio
 import time
 from typing import Callable, Sequence
 
-import numpy as np
-
 from ..codec.registry import REGISTRY
 from ..errors import (
     DeadlineExpiredError,
@@ -34,7 +32,8 @@ from ..types import CompressedField
 from .jobs import CompressionJob, JobHandle, JobResult, JobState
 from .metrics import MetricsRegistry, ServiceStats
 from .queue import BoundedJobQueue
-from .workers import WorkerPool, compress_band, run_job
+from .shm import resolve_transport
+from .workers import WorkerPool, run_job
 
 __all__ = ["BatchScheduler", "run_batch"]
 
@@ -54,6 +53,10 @@ class BatchScheduler:
         backoff_cap_s: float = 1.0,
         hang_timeout_s: float | None = None,
         metrics: MetricsRegistry | None = None,
+        transport: str = "auto",
+        batch_bytes: int = 0,
+        batch_wait_s: float = 0.002,
+        batch_max_jobs: int = 16,
     ) -> None:
         self.pool = pool if pool is not None else WorkerPool(
             workers, kind=pool_kind
@@ -64,12 +67,29 @@ class BatchScheduler:
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.hang_timeout_s = hang_timeout_s
+        #: How fields cross the pool boundary.  ``"auto"`` resolves to
+        #: shared memory for process pools (zero-copy `FieldRef`s) and
+        #: pickle for thread/inline pools (same address space already).
+        self.transport = resolve_transport(
+            transport, self.pool.kind, metrics=self.metrics
+        )
+        #: Micro-batching: jobs smaller than ``batch_bytes`` coalesce
+        #: into one worker dispatch (at most ``batch_max_jobs``, waiting
+        #: at most ``batch_wait_s`` for company), so tiny fields stop
+        #: paying a full pool round-trip each.  ``0`` disables batching.
+        self.batch_bytes = batch_bytes
+        self.batch_wait_s = batch_wait_s
+        self.batch_max_jobs = max(1, batch_max_jobs)
+        self._batch_dispatches = 0
+        self._batch_jobs = 0
         self._dispatchers: list[asyncio.Task] = []
         self._in_flight = 0
         self._idle = asyncio.Event()
         self._idle.set()
         # Seam for tests and alternative work kinds: the function a worker
         # runs.  Must stay module-level-picklable for process pools.
+        # When substituted, dispatch bypasses the transport *and* the
+        # micro-batcher so the substituted function sees whole jobs.
         self._worker_fn: Callable[[CompressionJob], object] = run_job
 
     # -- intake ----------------------------------------------------------
@@ -138,6 +158,9 @@ class BatchScheduler:
         # a blown deadline means some worker is stuck mid-job; joining it
         # would re-introduce the unbounded wait the deadline exists to cap
         self.pool.shutdown(wait=not abandoned)
+        # after the pool is down no worker can hold a segment: unlink
+        # everything, reclaiming leases a killed worker left behind
+        self.transport.close()
 
     async def drain(self) -> None:
         """Wait until the queue is empty and no job is in flight."""
@@ -162,25 +185,138 @@ class BatchScheduler:
             except ServiceError:
                 return  # queue closed and drained
             self._in_flight += 1
+            group = [handle]
             try:
-                await self._run_one(handle)
+                if self._batchable(handle.job):
+                    group = await self._collect_group(handle)
+                if len(group) == 1:
+                    await self._run_one(handle)
+                else:
+                    await self._run_group(group)
             except asyncio.CancelledError:
-                # shutdown deadline expired mid-run: fail the handle so
-                # its waiter is released, then let the cancellation win.
-                if handle.result is None and handle.error is None:
-                    handle.finish(
-                        JobState.FAILED,
-                        error=JobFailedError(
-                            f"job {handle.job.job_id!r} cancelled at "
-                            "shutdown deadline"
-                        ),
-                    )
-                    self.metrics.count(handle.job.metrics_key, "failed")
+                # shutdown deadline expired mid-run: fail the handles so
+                # their waiters are released, then let the cancellation
+                # win.
+                for h in group:
+                    if h.result is None and h.error is None:
+                        h.finish(
+                            JobState.FAILED,
+                            error=JobFailedError(
+                                f"job {h.job.job_id!r} cancelled at "
+                                "shutdown deadline"
+                            ),
+                        )
+                        self.metrics.count(h.job.metrics_key, "failed")
                 raise
             finally:
-                self._in_flight -= 1
+                self._in_flight -= len(group)
                 if not self._in_flight and not self.queue.depth:
                     self._idle.set()
+
+    def _batchable(self, job: CompressionJob) -> bool:
+        """Whether a job may join a coalesced dispatch."""
+        return (
+            self.batch_bytes > 0
+            and self._worker_fn is run_job
+            and job.batch_eligible
+            and job.input_bytes < self.batch_bytes
+        )
+
+    async def _collect_group(self, first: JobHandle) -> list[JobHandle]:
+        """Greedily coalesce small jobs behind ``first``.
+
+        Drains every immediately-available batchable job (peek +
+        ``get_nowait`` is atomic between awaits — one event loop), then
+        waits at most ``batch_wait_s`` once for company before giving
+        up, so a lone small job's latency is bounded by design, not by
+        arrival luck.  A non-batchable head stops collection and stays
+        queued for another dispatcher.
+        """
+        group = [first]
+        waited = False
+        while len(group) < self.batch_max_jobs:
+            nxt = self.queue.peek()
+            if nxt is not None:
+                if not self._batchable(nxt.job):
+                    break
+                self.queue.get_nowait()
+                self._in_flight += 1
+                group.append(nxt)
+                continue
+            if waited or self.batch_wait_s <= 0 or self.queue.closed:
+                break
+            waited = True
+            await asyncio.sleep(self.batch_wait_s)
+        return group
+
+    async def _run_group(self, group: list[JobHandle]) -> None:
+        """One coalesced dispatch: N small jobs, one pool round-trip.
+
+        The whole group runs as a single worker call (the transport
+        packs shm-bound inputs into one segment).  Any group-level
+        failure falls back to dispatching each member individually
+        through :meth:`_run_one` — every job keeps its full retry
+        budget, so batching can never *reduce* a job's chances.
+        """
+        live: list[JobHandle] = []
+        for h in group:
+            if h.expired:
+                h.finish(
+                    JobState.EXPIRED,
+                    error=DeadlineExpiredError(
+                        f"job {h.job.job_id!r} missed its "
+                        f"{h.job.deadline_s:g}s deadline while queued"
+                    ),
+                )
+                self.metrics.count(h.job.metrics_key, "expired")
+                continue
+            h.state = JobState.RUNNING
+            h.started_at = time.monotonic()
+            h.attempts = 1
+            live.append(h)
+        if not live:
+            return
+        envelope = self.transport.encode_group([h.job for h in live])
+        t0 = time.monotonic()
+        try:
+            outputs = await self._guard_hang(
+                self.pool.run(envelope.fn, *envelope.args),
+                f"batch of {len(live)} jobs",
+            )
+            if not isinstance(outputs, list) or len(outputs) != len(live):
+                raise ServiceError(
+                    f"batched dispatch returned {type(outputs).__name__} "
+                    f"for {len(live)} jobs"
+                )
+        except Exception:  # noqa: BLE001 - group fails over to singles
+            self.metrics.incr("batch.fallbacks")
+            for h in live:
+                h.state = JobState.QUEUED
+                await self._run_one(h)
+            return
+        finally:
+            envelope.release()
+        run_s = time.monotonic() - t0
+        self._batch_dispatches += 1
+        self._batch_jobs += len(live)
+        self.metrics.incr("batch.dispatches")
+        self.metrics.incr("batch.jobs", len(live))
+        self.metrics.set_gauge(
+            "batch.occupancy", self._batch_jobs / self._batch_dispatches
+        )
+        for h, output in zip(live, outputs):
+            result = self._to_result(h, output, run_s=run_s)
+            h.finish(JobState.DONE, result=result)
+            self.metrics.observe_completion(
+                h.job.metrics_key,
+                latency_s=result.total_s,
+                bytes_in=h.job.input_bytes,
+                bytes_out=(
+                    len(result.output)
+                    if isinstance(result.output, (bytes, bytearray))
+                    else 0
+                ),
+            )
 
     async def _run_one(self, handle: JobHandle) -> None:
         job = handle.job
@@ -268,8 +404,14 @@ class BatchScheduler:
         """
         if self._wants_fanout(job):
             work = self._run_tiled(job)
+        elif self._worker_fn is run_job:
+            work = self._run_via_transport(job)
         else:
             work = self.pool.run(self._worker_fn, job)
+        return await self._guard_hang(work, f"job {job.job_id!r}")
+
+    async def _guard_hang(self, work, label: str) -> object:
+        """Await pool work under the watchdog's hang budget."""
         if self.hang_timeout_s is None:
             return await work
         try:
@@ -278,9 +420,25 @@ class BatchScheduler:
             self.pool.kill_hung()
             self.metrics.incr("watchdog.kills")
             raise WorkerHungError(
-                f"job {job.job_id!r} exceeded the {self.hang_timeout_s:g}s "
+                f"{label} exceeded the {self.hang_timeout_s:g}s "
                 "hang budget; worker killed and pool respawned"
             ) from None
+
+    async def _run_via_transport(self, job: CompressionJob) -> object:
+        """One pool execution with the field crossing by the transport's
+        channel (a `FieldRef` under shm, the job itself under pickle).
+
+        The input lease is released in ``finally`` — parent-owned, so a
+        worker SIGKILLed mid-job cannot leak the input segment — and
+        large worker-shipped outputs are reattached (and their one-shot
+        segments unlinked) in ``decode_result``.
+        """
+        envelope = self.transport.encode_job(job)
+        try:
+            output = await self.pool.run(envelope.fn, *envelope.args)
+        finally:
+            envelope.release()
+        return self.transport.decode_result(output)
 
     async def _run_tiled(self, job: CompressionJob) -> TiledResult:
         """Fan one dp job's tile bands across the pool (satellite wiring).
@@ -294,15 +452,17 @@ class BatchScheduler:
         """
         assert job.data is not None
         bound, slices = plan_bands(job.data, job.eb, job.mode, job.n_tiles)
-        compressed = await asyncio.gather(*(
-            self.pool.run(
-                compress_band,
-                job.codec,
-                np.ascontiguousarray(job.data[sl]),
-                bound.absolute,
-            )
+        envelopes = [
+            self.transport.encode_band(job, job.data[sl], bound.absolute)
             for sl in slices
-        ))
+        ]
+        try:
+            compressed = await asyncio.gather(*(
+                self.pool.run(env.fn, *env.args) for env in envelopes
+            ))
+        finally:
+            for env in envelopes:
+                env.release()
         self.metrics.incr("scheduler.tile_fanouts")
         return assemble_tiles(
             REGISTRY.canonical(job.codec), job.data, bound, slices, compressed
@@ -362,6 +522,8 @@ def run_batch(
     queue_size: int = 128,
     max_retries: int = 2,
     block: bool = True,
+    transport: str = "auto",
+    batch_bytes: int = 0,
     scheduler_kwargs: dict | None = None,
 ) -> tuple[list[JobResult | None], ServiceStats]:
     """Run a batch end-to-end and return (results, final stats).
@@ -369,7 +531,9 @@ def run_batch(
     Results align with ``jobs`` by position; a failed/expired job yields
     ``None`` in its slot (its error is recorded on the stats counters).
     ``block=True`` submits with waiting backpressure so any batch size
-    flows through the bounded queue.
+    flows through the bounded queue.  ``transport``/``batch_bytes``
+    forward to :class:`BatchScheduler` (shared-memory field transport
+    and the micro-batch coalescing threshold).
     """
 
     async def _main() -> tuple[list[JobResult | None], ServiceStats]:
@@ -379,6 +543,8 @@ def run_batch(
             pool_kind=pool_kind,
             queue_size=queue_size,
             max_retries=max_retries,
+            transport=transport,
+            batch_bytes=batch_bytes,
             **(scheduler_kwargs or {}),
         )
         results: list[JobResult | None] = [None] * len(jobs)

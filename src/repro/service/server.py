@@ -57,6 +57,7 @@ import asyncio
 import json
 import socket
 import struct
+import sys
 import time
 import uuid
 from collections import OrderedDict
@@ -117,7 +118,8 @@ def _pack(header: dict, body: bytes = b"") -> bytes:
     return _LEN.pack(len(j)) + j + body
 
 
-async def _read_frame(reader: asyncio.StreamReader) -> tuple[dict, bytes]:
+async def _read_header(reader: asyncio.StreamReader) -> tuple[dict, int]:
+    """Read one frame's header and validated body length (body not read)."""
     raw = await reader.readexactly(_LEN.size)
     (hlen,) = _LEN.unpack(raw)
     if not 0 < hlen <= _MAX_HEADER:
@@ -125,12 +127,17 @@ async def _read_frame(reader: asyncio.StreamReader) -> tuple[dict, bytes]:
     header = json.loads(await reader.readexactly(hlen))
     if not isinstance(header, dict):
         raise ServiceError("frame header is not a JSON object")
-    body = b""
     body_len = header.get("body_len", 0)
-    if body_len:
-        if not isinstance(body_len, int) or not 0 < body_len <= _MAX_BODY:
-            raise ServiceError(f"frame body length {body_len!r} out of range")
-        body = await reader.readexactly(body_len)
+    if body_len and (
+        not isinstance(body_len, int) or not 0 < body_len <= _MAX_BODY
+    ):
+        raise ServiceError(f"frame body length {body_len!r} out of range")
+    return header, int(body_len or 0)
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> tuple[dict, bytes]:
+    header, body_len = await _read_header(reader)
+    body = await reader.readexactly(body_len) if body_len else b""
     return header, body
 
 
@@ -147,6 +154,8 @@ class CompressionServer:
         queue_size: int = 128,
         max_retries: int = 2,
         hang_timeout_s: float | None = None,
+        transport: str = "auto",
+        batch_bytes: int = 0,
         store_root: str | None = None,
         store_cache_bytes: int | None = None,
         shard_map: dict | None = None,
@@ -162,6 +171,8 @@ class CompressionServer:
             queue_size=queue_size,
             max_retries=max_retries,
             hang_timeout_s=hang_timeout_s,
+            transport=transport,
+            batch_bytes=batch_bytes,
         )
         self.store = None
         if store_root is not None:
@@ -230,10 +241,13 @@ class CompressionServer:
         try:
             while True:
                 try:
-                    header, body = await _read_frame(reader)
+                    header, body, done = await self._read_request(reader)
                 except (asyncio.IncompleteReadError, ConnectionError):
                     break
-                response = await self._dispatch(header, body)
+                try:
+                    response = await self._dispatch(header, body)
+                finally:
+                    done()
                 writer.write(response)
                 await writer.drain()
         except Exception:  # noqa: BLE001 - connection-scoped failure
@@ -245,6 +259,52 @@ class CompressionServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[dict, Any, Callable[[], None]]:
+        """Read one request, routing large compress bodies socket→shm.
+
+        The classic path copies a field three times before the worker
+        sees it: ``readexactly`` joins chunks into ``bytes``,
+        ``_parse_field`` materialises an array, and the pool pickles it
+        through a pipe.  When the scheduler runs the shm transport, a
+        compress body streams chunk-by-chunk *directly into an arena
+        segment* instead — one copy, after which the job's `FieldRef`
+        crosses the pool by name.  Returns ``(header, body, done)``
+        where ``body`` is ``bytes`` (classic) or the adopted ``ndarray``
+        view (shm) and ``done()`` releases the server's segment lease
+        once the response is built.
+        """
+        header, body_len = await _read_header(reader)
+        arena = getattr(self.scheduler.transport, "arena", None)
+        min_bytes = getattr(self.scheduler.transport, "min_bytes", 0)
+        if (
+            arena is None
+            or header.get("op") != "compress"
+            or body_len < max(min_bytes, 1)
+            or sys.byteorder != "little"  # wire is LE; BE needs the copy
+        ):
+            body = await reader.readexactly(body_len) if body_len else b""
+            return header, body, lambda: None
+        shape = tuple(header.get("shape", ()))
+        dtype = np.dtype(str(header.get("dtype", "float32")))
+        self._check_field(shape, dtype, body_len)
+        name = arena.allocate(body_len)
+        buf = arena.buffer(name, body_len)
+        filled = 0
+        try:
+            while filled < body_len:
+                chunk = await reader.read(min(body_len - filled, 1 << 20))
+                if not chunk:
+                    raise asyncio.IncompleteReadError(bytes(filled), body_len)
+                buf[filled:filled + len(chunk)] = chunk
+                filled += len(chunk)
+        except BaseException:
+            arena.release(name)
+            raise
+        view = arena.adopt_view(name, dtype, shape)
+        return header, view, lambda: arena.release(name)
 
     async def _dispatch(self, header: dict, body: bytes) -> bytes:
         op = header.get("op")
@@ -302,6 +362,8 @@ class CompressionServer:
                     "in_flight": s._in_flight,
                     "workers": s.pool.size,
                     "pool_restarts": s.pool.restarts,
+                    "transport": s.transport.name,
+                    "batch_bytes": s.batch_bytes,
                     "store": (
                         "absent" if self.store is None
                         else f"{len(self.store.names())} dataset(s)"
@@ -431,18 +493,32 @@ class CompressionServer:
         return _pack({"ok": True, "name": str(header.get("name", ""))})
 
     @staticmethod
-    def _parse_field(header: dict, body: bytes) -> np.ndarray:
-        """Decode a raw little-endian field body against its shape header."""
-        shape = tuple(header.get("shape", ()))
-        dtype = np.dtype(str(header.get("dtype", "float32")))
+    def _check_field(
+        shape: tuple[int, ...], dtype: np.dtype, body_len: int
+    ) -> int:
         n = int(np.prod(shape, dtype=np.int64)) if shape else 0
         if n <= 0 or n > MAX_FIELD_POINTS:
             raise ServiceError(f"bad field shape {shape!r}")
-        if len(body) != n * dtype.itemsize:
+        if body_len != n * dtype.itemsize:
             raise ServiceError(
-                f"body holds {len(body)} bytes, shape {shape} needs "
+                f"body holds {body_len} bytes, shape {shape} needs "
                 f"{n * dtype.itemsize}"
             )
+        return n
+
+    @classmethod
+    def _parse_field(cls, header: dict, body: Any) -> np.ndarray:
+        """Decode a raw little-endian field body against its shape header.
+
+        ``body`` may already be the adopted shared-memory view built by
+        :meth:`_read_request` — it was validated and shaped there, so it
+        passes straight through to the job (zero additional copies).
+        """
+        if isinstance(body, np.ndarray):
+            return body
+        shape = tuple(header.get("shape", ()))
+        dtype = np.dtype(str(header.get("dtype", "float32")))
+        cls._check_field(shape, dtype, len(body))
         data = np.frombuffer(body, dtype=dtype.newbyteorder("<"))
         return data.astype(dtype).reshape(shape)
 
@@ -589,9 +665,14 @@ async def serve(
     store_note = (
         f", store at {server.store.root}" if server.store is not None else ""
     )
+    batch_note = (
+        f", batch<{server.scheduler.batch_bytes}B"
+        if server.scheduler.batch_bytes else ""
+    )
     print(f"wavesz service listening on {server.host}:{server.port} "
           f"({server.scheduler.pool.kind} pool, "
           f"{server.scheduler.pool.size} workers, "
+          f"{server.scheduler.transport.name} transport{batch_note}, "
           f"queue {server.scheduler.queue.maxsize}{store_note})", flush=True)
     stop_requested = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -688,21 +769,41 @@ class ServiceClient:
         """Read exactly ``n`` bytes, spending at most the time left until
         ``deadline`` — the timeout is re-armed before *every* recv so a
         byte-dripping peer cannot stretch one request past its budget.
+
+        Uses ``recv_into`` against one preallocated buffer, so a large
+        response body lands in place instead of accumulating per-chunk
+        ``bytes`` objects joined at the end.  Socket doubles without
+        ``recv_into`` (the chaos seam's :class:`FlakyConnection`) fall
+        back to plain ``recv``.
         """
-        chunks = []
-        while n:
+        buf = bytearray(n)
+        view = memoryview(buf)
+        # Resolved on the *type*: fault-injection wrappers (FlakyConnection)
+        # delegate unknown attributes to the real socket, and an instance
+        # getattr would sidestep their seam entirely.
+        recv_into = (
+            self._sock.recv_into
+            if hasattr(type(self._sock), "recv_into") else None
+        )
+        got = 0
+        while got < n:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise TimeoutError("request deadline expired mid-read")
             self._sock.settimeout(remaining)
-            chunk = self._sock.recv(min(n, 1 << 20))
-            if not chunk:
+            want = min(n - got, 1 << 20)
+            if recv_into is not None:
+                k = recv_into(view[got:got + want])
+            else:
+                chunk = self._sock.recv(want)
+                k = len(chunk)
+                view[got:got + k] = chunk
+            if not k:
                 raise ConnectionResetError(
                     "server closed the connection mid-frame"
                 )
-            chunks.append(chunk)
-            n -= len(chunk)
-        return b"".join(chunks)
+            got += k
+        return bytes(buf)
 
     def _once(
         self, header: dict, body: bytes, deadline: float

@@ -1,0 +1,849 @@
+"""Zero-copy shared-memory field transport for the worker pool.
+
+The service's dispatch chain used to move every field by value: the
+scheduler pickles the full ``ndarray`` into the process-pool pipe, the
+OS copies it through a socketpair, and the worker unpickles it again —
+three full-field copies per job *before* any compression happens, which
+is why ``BENCH_service.json`` showed throughput flat from 1→4 workers.
+This module replaces the value channel with a name channel:
+
+:class:`ShmArena`
+    A registry of refcounted ``multiprocessing.shared_memory`` segments
+    owned by the scheduler process.  Segments are leased per job,
+    released (and pooled or unlinked) when the job settles, reclaimed if
+    a worker is killed mid-lease, and unconditionally unlinked at
+    :meth:`ShmArena.close` and interpreter exit — the arena is the one
+    place segment lifetime lives, so a crash cannot strand ``/dev/shm``.
+
+:class:`FieldRef`
+    The picklable descriptor that crosses the pool instead of the array:
+    segment name, dtype, shape, offset, byte length.  A worker attaches
+    the segment by name and maps a read-only ``ndarray`` view over it —
+    no bytes move.  Offsets let many small fields (micro-batches) or the
+    contiguous tile bands of one field share a single segment.
+
+:class:`ShmTransport` / :class:`PickleTransport`
+    The scheduler-facing seam.  ``shm`` rewrites jobs into
+    :class:`_JobMessage` envelopes (inputs *and* large outputs ride
+    segments); ``pickle`` passes jobs through unchanged — the transparent
+    fallback for ``thread``/``inline`` pools (same address space, a copy
+    channel would only add work) and for platforms without usable shared
+    memory.  Both run the exact same :func:`~repro.service.workers.
+    run_job` in the worker, so results are byte-identical across
+    transports by construction.
+
+Worker-side module functions (:func:`run_job_message`,
+:func:`run_job_group`, :func:`run_band_message`) live here at module
+level so process pools can pickle them.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..errors import ServiceError
+from .jobs import CompressionJob
+
+__all__ = [
+    "SHM_MIN_BYTES",
+    "FieldRef",
+    "ShmArena",
+    "PickleTransport",
+    "ShmTransport",
+    "run_job_message",
+    "run_job_group",
+    "run_band_message",
+    "resolve_transport",
+]
+
+#: Fields smaller than this ride the pickle channel even under the shm
+#: transport: below ~64 KiB the segment machinery (shm_open + mmap +
+#: attach in the worker) costs more than pickling the bytes.  Micro-
+#: batching is the tool for small jobs, not shared memory.
+SHM_MIN_BYTES = 64 * 1024
+
+#: Segment payloads are packed at cache-line alignment so every view in a
+#: shared segment starts on an aligned address.
+_ALIGN = 64
+
+#: Largest segment the arena keeps in its free pool for reuse, and the
+#: pool's total byte budget.  Reusing a warm segment turns dispatch into
+#: a single memcpy; the cap keeps idle services from pinning memory.
+_POOL_MAX_SEGMENT = 64 * 1024 * 1024
+_POOL_MAX_BYTES = 256 * 1024 * 1024
+
+#: Worker-side attachment cache (name → SharedMemory).  Pooled segments
+#: keep their names across jobs, so workers re-map the same segment once.
+_ATTACH_CACHE_SLOTS = 16
+
+
+def _round_up(n: int, align: int = _ALIGN) -> int:
+    return (n + align - 1) // align * align
+
+
+def _size_class(nbytes: int) -> int:
+    """Pool bucket: next power of two, floored at one page."""
+    size = 4096
+    while size < nbytes:
+        size *= 2
+    return size
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """A picklable pointer into a shared-memory segment.
+
+    ``kind`` is ``"array"`` (a dtype/shape-typed field view) or
+    ``"bytes"`` (an opaque payload, e.g. a compressed container).
+    """
+
+    segment: str
+    kind: str
+    nbytes: int
+    offset: int = 0
+    dtype: str = ""
+    shape: tuple[int, ...] = ()
+
+
+class _Segment:
+    """One tracked segment: the mapping plus its lease count."""
+
+    __slots__ = ("shm", "size", "refs", "views")
+
+    def __init__(self, shm: Any, size: int) -> None:
+        self.shm = shm
+        self.size = size
+        self.refs = 0
+        #: Arrays we handed out over this segment (zero-copy adoption);
+        #: pinned so ``id()`` stays unambiguous for the lifetime of the
+        #: lease and the buffer cannot outlive its mapping.
+        self.views: list[np.ndarray] = []
+
+
+class ShmArena:
+    """Refcounted shared-memory segments with a crash-safe lifecycle.
+
+    Thread-safe: the asyncio scheduler allocates from the event loop
+    while the TCP server's body reader may fill segments from the same
+    loop and tests poke it from other threads.
+    """
+
+    _available: bool | None = None
+
+    def __init__(self, *, metrics: Any = None) -> None:
+        # Unique per-arena namespace: segments are named
+        # ``wsz<token>-<seq>`` (parent-created) / ``wsz<token>o...``
+        # (worker-created outputs), so leaked segments are findable by
+        # prefix and names are never reused within an arena.
+        self.prefix = f"wsz{secrets.token_hex(4)}"
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._segments: dict[str, _Segment] = {}
+        self._pool: dict[int, list[str]] = {}
+        self._pool_bytes = 0
+        self._seq = 0
+        self._adopted: dict[int, tuple[str, FieldRef]] = {}
+        self.leaks_reclaimed = 0
+        atexit.register(self.close)
+
+    # -- platform ---------------------------------------------------------
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this platform can create shared-memory segments."""
+        if cls._available is None:
+            try:
+                from multiprocessing import shared_memory
+
+                probe = shared_memory.SharedMemory(create=True, size=4096)
+                probe.close()
+                probe.unlink()
+                cls._available = True
+            except (ImportError, OSError, ValueError):
+                cls._available = False
+        return cls._available
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total bytes mapped by this arena (leased + pooled)."""
+        with self._lock:
+            return sum(s.size for s in self._segments.values())
+
+    @property
+    def leased_bytes(self) -> int:
+        """Bytes of segments currently leased to in-flight work."""
+        with self._lock:
+            return sum(s.size for s in self._segments.values() if s.refs > 0)
+
+    @property
+    def leased_segments(self) -> int:
+        with self._lock:
+            return sum(1 for s in self._segments.values() if s.refs > 0)
+
+    def _gauge(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge("shm.resident_bytes", self.resident_bytes)
+
+    # -- allocation -------------------------------------------------------
+
+    def _create_locked(self, size: int) -> _Segment:
+        from multiprocessing import shared_memory
+
+        self._seq += 1
+        name = f"{self.prefix}-{self._seq}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        seg = _Segment(shm, size)
+        self._segments[shm.name] = seg
+        return seg
+
+    def allocate(self, nbytes: int) -> str:
+        """Lease a segment of at least ``nbytes``; returns its name.
+
+        Reuses a pooled segment of the same size class when one is free
+        (dispatch then costs one memcpy, no syscalls); otherwise creates
+        a fresh one.  The caller owns one lease and must
+        :meth:`release` it exactly once.
+        """
+        if nbytes <= 0:
+            raise ServiceError(f"cannot allocate {nbytes} shared bytes")
+        size = _size_class(nbytes)
+        with self._lock:
+            free = self._pool.get(size)
+            if free:
+                name = free.pop()
+                self._pool_bytes -= size
+                seg = self._segments[name]
+            else:
+                seg = self._create_locked(size)
+                name = seg.shm.name
+            seg.refs = 1
+        self._gauge()
+        return name
+
+    def buffer(self, name: str, nbytes: int, offset: int = 0) -> memoryview:
+        """A writable view over ``nbytes`` of a leased segment."""
+        with self._lock:
+            seg = self._segments[name]
+        return seg.shm.buf[offset:offset + nbytes]
+
+    def lease(self, name: str, n: int = 1) -> None:
+        """Add ``n`` leases to a live segment."""
+        with self._lock:
+            self._segments[name].refs += n
+
+    def release(self, name: str, n: int = 1) -> None:
+        """Drop ``n`` leases; the last one pools or unlinks the segment."""
+        unlink: _Segment | None = None
+        with self._lock:
+            seg = self._segments.get(name)
+            if seg is None:
+                return  # already reclaimed (close() raced a late release)
+            seg.refs -= n
+            if seg.refs > 0:
+                return
+            for view in seg.views:
+                self._adopted.pop(id(view), None)
+            seg.views.clear()
+            if (
+                seg.size <= _POOL_MAX_SEGMENT
+                and self._pool_bytes + seg.size <= _POOL_MAX_BYTES
+            ):
+                self._pool.setdefault(seg.size, []).append(name)
+                self._pool_bytes += seg.size
+            else:
+                del self._segments[name]
+                unlink = seg
+        if unlink is not None:
+            self._unlink(unlink.shm)
+        self._gauge()
+
+    @staticmethod
+    def _unlink(shm: Any) -> None:
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover - close races
+            pass
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+    # -- field helpers ----------------------------------------------------
+
+    def put_array(self, data: np.ndarray) -> FieldRef:
+        """Copy one field into a fresh lease and describe it."""
+        data = np.ascontiguousarray(data)
+        name = self.allocate(data.nbytes)
+        dst = np.ndarray(data.shape, dtype=data.dtype,
+                         buffer=self.buffer(name, data.nbytes))
+        dst[...] = data
+        return FieldRef(
+            segment=name, kind="array", nbytes=data.nbytes,
+            dtype=str(data.dtype), shape=tuple(data.shape),
+        )
+
+    def put_bytes(self, payload: bytes) -> FieldRef:
+        """Copy an opaque payload into a fresh lease and describe it."""
+        name = self.allocate(len(payload))
+        self.buffer(name, len(payload))[:] = payload
+        return FieldRef(segment=name, kind="bytes", nbytes=len(payload))
+
+    def adopt_view(
+        self, name: str, dtype: np.dtype, shape: tuple[int, ...],
+        offset: int = 0,
+    ) -> np.ndarray:
+        """Map an ndarray over a leased segment and remember the mapping.
+
+        The zero-copy ingest path: the server streams a request body
+        straight into a segment, adopts a view, and hands that array to
+        ``make_job``.  When the scheduler later encodes the job,
+        :meth:`ref_of` recognises the array and ships a :class:`FieldRef`
+        instead of copying the field a second time.
+        """
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        view = np.ndarray(shape, dtype=dtype,
+                          buffer=self.buffer(name, nbytes, offset))
+        ref = FieldRef(
+            segment=name, kind="array", nbytes=nbytes, offset=offset,
+            dtype=str(dtype), shape=tuple(shape),
+        )
+        with self._lock:
+            seg = self._segments[name]
+            seg.views.append(view)
+            self._adopted[id(view)] = (name, ref)
+        return view
+
+    def ref_of(self, data: np.ndarray) -> FieldRef | None:
+        """The adopted :class:`FieldRef` backing ``data``, if any."""
+        with self._lock:
+            hit = self._adopted.get(id(data))
+        return hit[1] if hit is not None else None
+
+    # -- reclamation ------------------------------------------------------
+
+    def reclaim_orphans(self) -> int:
+        """Unlink worker-created output segments whose worker died.
+
+        Workers name their output segments ``<prefix>o...``; a worker
+        SIGKILLed between creating one and returning its ref leaks it.
+        The parent owns the namespace, so a prefix scan of ``/dev/shm``
+        finds and unlinks every orphan (best-effort on platforms without
+        a scannable shm directory).
+        """
+        shm_dir = "/dev/shm"
+        if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+            return 0
+        from multiprocessing import shared_memory
+
+        reclaimed = 0
+        marker = f"{self.prefix}o"
+        with self._lock:
+            tracked = set(self._segments)
+        for entry in os.listdir(shm_dir):
+            if not entry.startswith(marker) or entry in tracked:
+                continue
+            try:
+                orphan = shared_memory.SharedMemory(name=entry)
+            except (OSError, ValueError):  # pragma: no cover - races
+                continue
+            self._unlink(orphan)
+            reclaimed += 1
+        if reclaimed:
+            self.leaks_reclaimed += reclaimed
+            if self.metrics is not None:
+                self.metrics.incr("shm.leaks_reclaimed", reclaimed)
+        return reclaimed
+
+    def close(self) -> None:
+        """Unlink every segment (leaked leases included) and all orphans.
+
+        Idempotent and re-entrant-safe; registered with ``atexit`` so an
+        interpreter exit — orderly or not — cannot strand ``/dev/shm``.
+        The arena remains usable after close (a fresh allocation simply
+        creates a fresh segment), which keeps scheduler restart cheap.
+        """
+        with self._lock:
+            segments = list(self._segments.values())
+            leaked = sum(1 for s in segments if s.refs > 0)
+            self._segments.clear()
+            self._pool.clear()
+            self._pool_bytes = 0
+            self._adopted.clear()
+        for seg in segments:
+            seg.views.clear()
+            self._unlink(seg.shm)
+        if leaked:
+            self.leaks_reclaimed += leaked
+            if self.metrics is not None:
+                self.metrics.incr("shm.leaks_reclaimed", leaked)
+        self.reclaim_orphans()
+        self._gauge()
+
+
+# -- worker side ----------------------------------------------------------
+#
+# Everything below runs inside pool workers.  Attachments are cached by
+# name: pooled segments keep their names across jobs, so a warm worker
+# re-maps nothing.  Names are never reused by an arena, so a cached
+# mapping can never alias a different segment.
+
+_attachments: OrderedDict[str, Any] = OrderedDict()
+
+
+class _no_tracking:
+    """Open a ``SharedMemory`` without resource-tracker registration.
+
+    Before Python 3.13 every ``SharedMemory`` — attach included —
+    registers with the ``multiprocessing`` resource tracker, whose job
+    is to unlink "leaked" segments at process exit: exactly wrong for a
+    worker touching a segment the *scheduler* owns (fork start method:
+    the shared tracker would lose the parent's registration; spawn: the
+    worker's private tracker would unlink a live segment at worker
+    exit).  Suppressing the registration — rather than unregistering
+    after the fact — keeps the tracker's bookkeeping balanced under
+    both start methods.  Workers run one task at a time, so the brief
+    monkeypatch is not racy in practice.
+    """
+
+    def __enter__(self) -> None:
+        from multiprocessing import resource_tracker
+
+        self._mod = resource_tracker
+        self._orig = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+
+    def __exit__(self, *exc: Any) -> None:
+        self._mod.register = self._orig
+
+
+def _open_untracked(name: str, *, create: bool = False, size: int = 0) -> Any:
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(
+            name=name, create=create, size=size, track=False
+        )
+    except TypeError:  # Python < 3.13: no track= keyword
+        with _no_tracking():
+            return shared_memory.SharedMemory(
+                name=name, create=create, size=size
+            )
+
+
+def _attach(name: str) -> Any:
+    shm = _attachments.get(name)
+    if shm is not None:
+        _attachments.move_to_end(name)
+        return shm
+    shm = _open_untracked(name)
+    _attachments[name] = shm
+    while len(_attachments) > _ATTACH_CACHE_SLOTS:
+        _, old = _attachments.popitem(last=False)
+        try:
+            old.close()
+        except (OSError, BufferError):  # pragma: no cover - view still live
+            pass
+    return shm
+
+
+def _view(ref: FieldRef) -> np.ndarray:
+    """A read-only ndarray over a :class:`FieldRef` (zero copies)."""
+    shm = _attach(ref.segment)
+    arr = np.ndarray(
+        ref.shape, dtype=np.dtype(ref.dtype),
+        buffer=shm.buf[ref.offset:ref.offset + ref.nbytes],
+    )
+    arr.flags.writeable = False  # inputs are immutable; enforce it
+    return arr
+
+
+def _ref_bytes(ref: FieldRef) -> bytes:
+    shm = _attach(ref.segment)
+    return bytes(shm.buf[ref.offset:ref.offset + ref.nbytes])
+
+
+@dataclass(frozen=True)
+class _JobMessage:
+    """A :class:`CompressionJob` with its bulk fields swapped for refs."""
+
+    job_id: str
+    codec: str
+    op: str
+    eb: float
+    mode: str
+    priority: int
+    deadline_s: float | None
+    n_tiles: int
+    data_ref: FieldRef | None = None
+    payload_ref: FieldRef | None = None
+    payload: bytes | None = None
+    #: Worker-created output segments are named under this namespace so
+    #: the parent arena can reclaim them if the worker dies mid-return.
+    out_prefix: str = ""
+    out_min_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class _ShmResult:
+    """A job output whose payload rides a worker-created segment.
+
+    ``shell`` is the original result object with its bulk field blanked
+    (``payload=b""`` for compress results); the parent reattaches the
+    bytes and reconstructs the exact object the pickle path would have
+    returned — byte-identical by construction.
+    """
+
+    ref: FieldRef
+    shell: Any
+    kind: str  # "payload" (CompressedField/TiledResult) | "array"
+
+
+_out_seq = 0
+
+
+def _ship_bytes(payload: bytes, out_prefix: str) -> FieldRef:
+    """Create a one-shot output segment in the worker and fill it.
+
+    Untracked: the *parent* unlinks it (in ``decode_result``, or via the
+    orphan scan if this worker dies first) — this worker's exit must not.
+    """
+    global _out_seq
+    _out_seq += 1
+    name = f"{out_prefix}o{os.getpid()}x{_out_seq}"
+    shm = _open_untracked(name, create=True, size=len(payload))
+    shm.buf[:len(payload)] = payload
+    shm.close()
+    return FieldRef(segment=name, kind="bytes", nbytes=len(payload))
+
+
+def _encode_output(out: Any, msg: _JobMessage) -> Any:
+    """Route large outputs through shared memory (small ones pickle)."""
+    if not msg.out_prefix or msg.out_min_bytes <= 0:
+        return out
+    payload = getattr(out, "payload", None)
+    if isinstance(payload, bytes) and len(payload) >= msg.out_min_bytes:
+        ref = _ship_bytes(payload, msg.out_prefix)
+        return _ShmResult(ref=ref, shell=replace(out, payload=b""),
+                          kind="payload")
+    if isinstance(out, np.ndarray) and out.nbytes >= msg.out_min_bytes:
+        contig = np.ascontiguousarray(out)
+        ref = FieldRef(
+            segment=_ship_bytes(contig.tobytes(), msg.out_prefix).segment,
+            kind="array", nbytes=contig.nbytes,
+            dtype=str(contig.dtype), shape=tuple(contig.shape),
+        )
+        return _ShmResult(ref=ref, shell=None, kind="array")
+    return out
+
+
+def _job_of(msg: _JobMessage) -> CompressionJob:
+    data = _view(msg.data_ref) if msg.data_ref is not None else None
+    payload = msg.payload
+    if msg.payload_ref is not None:
+        payload = _ref_bytes(msg.payload_ref)
+    return CompressionJob(
+        job_id=msg.job_id, codec=msg.codec, op=msg.op,
+        data=data, payload=payload, eb=msg.eb, mode=msg.mode,
+        priority=msg.priority, deadline_s=msg.deadline_s,
+        n_tiles=msg.n_tiles,
+    )
+
+
+def run_job_message(msg: _JobMessage) -> Any:
+    """Worker entry for one shm-encoded job (the zero-copy twin of
+    :func:`~repro.service.workers.run_job`)."""
+    from .workers import run_job
+
+    return _encode_output(run_job(_job_of(msg)), msg)
+
+
+def run_job_group(msgs: Sequence[Any]) -> list[Any]:
+    """Worker entry for one micro-batched dispatch.
+
+    ``msgs`` holds :class:`_JobMessage` envelopes (shm transport) or
+    plain :class:`CompressionJob` objects (pickle transport); outputs
+    align with inputs.  Batched jobs are small by contract, so their
+    outputs return by value.
+    """
+    from .workers import run_job
+
+    return [
+        run_job(m if isinstance(m, CompressionJob) else _job_of(m))
+        for m in msgs
+    ]
+
+
+def run_band_message(codec: str, ref: FieldRef, eb_abs: float) -> Any:
+    """Worker entry for one tile band referenced inside a shared field."""
+    from .workers import compress_band
+
+    return compress_band(codec, np.ascontiguousarray(_view(ref)), eb_abs)
+
+
+# -- transports -----------------------------------------------------------
+
+
+@dataclass
+class _Envelope:
+    """One encoded dispatch: the picklable work plus its lease cleanup."""
+
+    fn: Callable[..., Any]
+    args: tuple
+    _cleanup: Callable[[], None] | None = None
+
+    def release(self) -> None:
+        if self._cleanup is not None:
+            cleanup, self._cleanup = self._cleanup, None
+            cleanup()
+
+
+class PickleTransport:
+    """Pass-through transport: jobs cross the pool by value.
+
+    The correct choice for ``thread``/``inline`` pools (same address
+    space — no copy happens anyway) and the fallback when shared memory
+    is unavailable.
+    """
+
+    name = "pickle"
+
+    def encode_job(self, job: CompressionJob) -> _Envelope:
+        from .workers import run_job
+
+        return _Envelope(fn=run_job, args=(job,))
+
+    def encode_group(self, jobs: Sequence[CompressionJob]) -> _Envelope:
+        return _Envelope(fn=run_job_group, args=(list(jobs),))
+
+    def encode_band(
+        self, job: CompressionJob, band: np.ndarray, eb_abs: float
+    ) -> _Envelope:
+        from .workers import compress_band
+
+        return _Envelope(
+            fn=compress_band,
+            args=(job.codec, np.ascontiguousarray(band), eb_abs),
+        )
+
+    def decode_result(self, out: Any) -> Any:
+        return out
+
+    def close(self) -> None:
+        pass
+
+
+class ShmTransport:
+    """Move fields by :class:`FieldRef`; copy only what must move.
+
+    Small jobs (< ``min_bytes``) still pickle — see :data:`SHM_MIN_BYTES`
+    — so the transport is strictly no-worse than pickling at every size.
+    """
+
+    name = "shm"
+
+    def __init__(
+        self, *, metrics: Any = None, min_bytes: int = SHM_MIN_BYTES,
+        arena: ShmArena | None = None,
+    ) -> None:
+        self.arena = arena if arena is not None else ShmArena(metrics=metrics)
+        self.min_bytes = min_bytes
+        self._pickle = PickleTransport()
+
+    # -- single job -------------------------------------------------------
+
+    def _field_ref(self, data: np.ndarray) -> tuple[FieldRef, bool]:
+        """(ref, owns_lease): adopt a server-ingested view or copy once."""
+        adopted = self.arena.ref_of(data)
+        if adopted is not None:
+            self.arena.lease(adopted.segment)
+            return adopted, True
+        return self.arena.put_array(data), True
+
+    def encode_job(self, job: CompressionJob) -> _Envelope:
+        if job.input_bytes < self.min_bytes:
+            return self._pickle.encode_job(job)
+        data_ref = payload_ref = None
+        if job.op == "compress":
+            assert job.data is not None
+            data_ref, _ = self._field_ref(job.data)
+            segment = data_ref.segment
+        else:
+            assert job.payload is not None
+            payload_ref = self.arena.put_bytes(bytes(job.payload))
+            segment = payload_ref.segment
+        msg = _JobMessage(
+            job_id=job.job_id, codec=job.codec, op=job.op,
+            eb=job.eb, mode=job.mode, priority=job.priority,
+            deadline_s=job.deadline_s, n_tiles=job.n_tiles,
+            data_ref=data_ref, payload_ref=payload_ref,
+            out_prefix=self.arena.prefix, out_min_bytes=self.min_bytes,
+        )
+        return _Envelope(
+            fn=run_job_message, args=(msg,),
+            _cleanup=lambda: self.arena.release(segment),
+        )
+
+    # -- micro-batch ------------------------------------------------------
+
+    def encode_group(self, jobs: Sequence[CompressionJob]) -> _Envelope:
+        """Pack every small job of one dispatch into a single segment."""
+        sizes = [_round_up(j.input_bytes) for j in jobs]
+        total = sum(sizes)
+        if total < self.min_bytes:
+            return self._pickle.encode_group(jobs)
+        name = self.arena.allocate(total)
+        msgs = []
+        offset = 0
+        for job, size in zip(jobs, sizes):
+            data_ref = payload_ref = None
+            if job.op == "compress":
+                assert job.data is not None
+                data = np.ascontiguousarray(job.data)
+                dst = np.ndarray(
+                    data.shape, dtype=data.dtype,
+                    buffer=self.arena.buffer(name, data.nbytes, offset),
+                )
+                dst[...] = data
+                data_ref = FieldRef(
+                    segment=name, kind="array", nbytes=data.nbytes,
+                    offset=offset, dtype=str(data.dtype),
+                    shape=tuple(data.shape),
+                )
+            else:
+                assert job.payload is not None
+                payload = bytes(job.payload)
+                self.arena.buffer(name, len(payload), offset)[:] = payload
+                payload_ref = FieldRef(
+                    segment=name, kind="bytes", nbytes=len(payload),
+                    offset=offset,
+                )
+            msgs.append(_JobMessage(
+                job_id=job.job_id, codec=job.codec, op=job.op,
+                eb=job.eb, mode=job.mode, priority=job.priority,
+                deadline_s=job.deadline_s, n_tiles=job.n_tiles,
+                data_ref=data_ref, payload_ref=payload_ref,
+            ))
+            offset += size
+        return _Envelope(
+            fn=run_job_group, args=(msgs,),
+            _cleanup=lambda: self.arena.release(name),
+        )
+
+    # -- tile bands -------------------------------------------------------
+
+    def encode_band(
+        self, job: CompressionJob, band: np.ndarray, eb_abs: float
+    ) -> _Envelope:
+        """One band of a fanned-out dp job, shipped by reference.
+
+        When the band is a contiguous row-slab of a field the arena
+        already holds (the common case: ``plan_bands`` slices axis 0 of
+        a C-contiguous array), the ref points into the *existing*
+        segment at an offset — the fan-out moves zero bytes.
+        """
+        if band.nbytes < self.min_bytes:
+            return self._pickle.encode_band(job, band, eb_abs)
+        parent = (
+            self.arena.ref_of(job.data) if job.data is not None else None
+        )
+        ref = None
+        if (
+            parent is not None
+            and band.flags.c_contiguous
+            and job.data is not None
+            and job.data.flags.c_contiguous
+        ):
+            span = np.byte_bounds(band) if hasattr(np, "byte_bounds") else (
+                band.__array_interface__["data"][0],
+                band.__array_interface__["data"][0] + band.nbytes,
+            )
+            base = (
+                job.data.__array_interface__["data"][0],
+                job.data.__array_interface__["data"][0] + job.data.nbytes,
+            )
+            if base[0] <= span[0] and span[1] <= base[1]:
+                self.arena.lease(parent.segment)
+                ref = FieldRef(
+                    segment=parent.segment, kind="array", nbytes=band.nbytes,
+                    offset=parent.offset + (span[0] - base[0]),
+                    dtype=str(band.dtype), shape=tuple(band.shape),
+                )
+        if ref is None:
+            ref = self.arena.put_array(band)
+        segment = ref.segment
+        return _Envelope(
+            fn=run_band_message, args=(job.codec, ref, eb_abs),
+            _cleanup=lambda: self.arena.release(segment),
+        )
+
+    # -- results ----------------------------------------------------------
+
+    def decode_result(self, out: Any) -> Any:
+        """Reattach a worker-shipped output (one copy, then unlink)."""
+        if not isinstance(out, _ShmResult):
+            return out
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=out.ref.segment, track=False)
+        except TypeError:
+            shm = shared_memory.SharedMemory(name=out.ref.segment)
+        try:
+            raw = bytes(shm.buf[:out.ref.nbytes])
+        finally:
+            ShmArena._unlink(shm)
+        if out.kind == "array":
+            return np.frombuffer(
+                raw, dtype=np.dtype(out.ref.dtype)
+            ).reshape(out.ref.shape).copy()
+        return replace(out.shell, payload=raw)
+
+    def close(self) -> None:
+        self.arena.close()
+
+
+def resolve_transport(
+    requested: str, pool_kind: str, *, metrics: Any = None,
+) -> PickleTransport | ShmTransport:
+    """Pick the transport for a scheduler.
+
+    ``"auto"`` uses shared memory exactly when it pays: a process pool on
+    a platform where segments work.  An explicit ``"shm"`` request falls
+    back to pickle (transparently, as the in-process pools share an
+    address space already) rather than failing — the service must come
+    up everywhere.
+    """
+    if requested not in ("auto", "shm", "pickle"):
+        raise ServiceError(
+            f"unknown transport {requested!r} (auto | shm | pickle)"
+        )
+    want_shm = requested in ("auto", "shm")
+    if want_shm and pool_kind == "process" and ShmArena.available():
+        return ShmTransport(metrics=metrics)
+    return PickleTransport()
+
+
+def _field_fingerprint(data: np.ndarray) -> float:  # pragma: no cover
+    """Touch a shared field (bench helper: forces a real page access)."""
+    return float(np.asarray(data).ravel()[0])
+
+
+def touch_ref(ref: FieldRef) -> float:
+    """Bench worker: attach a ref and touch its first element."""
+    return _field_fingerprint(_view(ref))
+
+
+def touch_array(data: np.ndarray) -> float:
+    """Bench worker: receive a pickled array and touch its first element."""
+    return _field_fingerprint(data)

@@ -24,7 +24,13 @@ across pool kinds and with the direct single-threaded library calls.
 from __future__ import annotations
 
 import asyncio
-from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Any, Callable
 
 import numpy as np
@@ -34,7 +40,38 @@ from ..parallel import TiledResult, assemble_tiles, plan_bands
 from ..types import CompressedField
 from .jobs import CompressionJob
 
-__all__ = ["run_job", "compress_band", "WorkerPool", "tile_compress_parallel"]
+__all__ = [
+    "run_job",
+    "compress_band",
+    "resolve_codec",
+    "WorkerPool",
+    "tile_compress_parallel",
+]
+
+#: Per-process codec instances, keyed by registry name.  Codecs are
+#: stateless between ``compress``/``decompress`` calls (each call builds
+#: its own pipeline), so one instance per worker process serves every job
+#: for that codec — the registry lookup leaves the hot path.
+_CODEC_CACHE: dict[str, Any] = {}
+
+
+def resolve_codec(name: str) -> Any:
+    """The process-local cached codec instance for a registry name."""
+    codec = _CODEC_CACHE.get(name)
+    if codec is None:
+        from ..codec.registry import get_codec
+
+        codec = _CODEC_CACHE[name] = get_codec(name)
+    return codec
+
+
+def _warm_worker() -> None:
+    """Process-pool initializer: pay the import cost at fork, not on the
+    first job.  The registry import pulls in numpy, the codec layer and
+    the kernel dispatch tables — tens of milliseconds that would
+    otherwise land on the first request each cold worker sees."""
+    import repro.codec.registry  # noqa: F401
+    import repro.streams  # noqa: F401
 
 
 def run_job(job: CompressionJob) -> Any:
@@ -49,7 +86,6 @@ def run_job(job: CompressionJob) -> Any:
     scheduler only routes past this function — to the band fan-out — for
     data-parallel codecs.
     """
-    from ..codec.registry import get_codec
     from ..streams import decompress_auto
 
     if job.op == "compress":
@@ -58,19 +94,17 @@ def run_job(job: CompressionJob) -> Any:
             from ..parallel import tile_compress
 
             return tile_compress(
-                get_codec(job.codec), job.data, job.eb, job.mode,
+                resolve_codec(job.codec), job.data, job.eb, job.mode,
                 n_tiles=job.n_tiles,
             )
-        return get_codec(job.codec).compress(job.data, job.eb, job.mode)
+        return resolve_codec(job.codec).compress(job.data, job.eb, job.mode)
     assert job.payload is not None
     return decompress_auto(bytes(job.payload))
 
 
 def compress_band(codec: str, band: np.ndarray, eb_abs: float) -> CompressedField:
     """Compress one tile band under an absolute bound (fan-out unit)."""
-    from ..codec.registry import get_codec
-
-    return get_codec(codec).compress(band, eb_abs, "abs")
+    return resolve_codec(codec).compress(band, eb_abs, "abs")
 
 
 class WorkerPool:
@@ -96,9 +130,9 @@ class WorkerPool:
             max_workers = os.cpu_count() or 1
         if max_workers < 0:
             raise ServiceError(f"max_workers must be >= 0, got {max_workers}")
-        if kind not in ("process", "thread"):
+        if kind not in ("process", "thread", "inline"):
             raise ServiceError(f"unknown pool kind {kind!r}")
-        self.kind = "inline" if max_workers == 0 else kind
+        self.kind = "inline" if (max_workers == 0 or kind == "inline") else kind
         self.size = max(1, max_workers)
         self._executor = None
         self._owned = True
@@ -111,7 +145,9 @@ class WorkerPool:
             return None
         if self._executor is None:
             if self.kind == "process":
-                self._executor = ProcessPoolExecutor(max_workers=self.size)
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.size, initializer=_warm_worker
+                )
             else:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.size, thread_name_prefix="repro-worker"
@@ -137,7 +173,19 @@ class WorkerPool:
             await asyncio.sleep(0)
             return fn(*args)
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self.executor, fn, *args)
+        try:
+            return await loop.run_in_executor(self.executor, fn, *args)
+        except BrokenExecutor:
+            # A worker died hard (OOM kill, SIGKILL, segfault) and took
+            # the executor down with it.  Respawn so the retry that this
+            # *transient* error triggers lands on a healthy pool instead
+            # of failing the same way instantly.
+            if self._owned and self.kind == "process":
+                broken, self._executor = self._executor, None
+                self.restarts += 1
+                if broken is not None:
+                    broken.shutdown(wait=False, cancel_futures=True)
+            raise
 
     def kill_hung(self) -> int:
         """Tear down the live executor so a hung worker cannot wedge the

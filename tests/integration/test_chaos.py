@@ -33,6 +33,22 @@ class TestServiceChaos:
         report.assert_clean()
         assert report.suite == "service"
 
+    def test_worker_kill_mid_lease_reclaims_and_converges(self):
+        """SIGKILL a process worker holding a shm lease: jobs still
+        finish byte-exactly on the respawned pool and the arena ends
+        empty (converges-after-kill + lease-reclaimed invariants)."""
+        from repro.service.shm import ShmArena
+
+        if not ShmArena.available():
+            import pytest
+
+            pytest.skip("shared memory unavailable")
+        report = ChaosHarness(seed=13).run_service(
+            runs=0, ops_per_run=0, kill_runs=2
+        )
+        report.assert_clean()
+        assert report.faults_fired.get("worker-kill") == 2
+
 
 class TestShardChaos:
     def test_shard_sweep_clean(self, tmp_path):

@@ -1,0 +1,223 @@
+"""Transport parity and hygiene: shm and pickle must be indistinguishable.
+
+The service's core promise is that *how* a field reaches a worker never
+changes *what* comes back: every (transport × pool kind × codec) cell of
+the matrix must produce the byte-exact payload of the direct library
+call.  Plus hygiene: a stopped scheduler holds zero shared-memory
+segments, micro-batching preserves results while cutting dispatches, and
+a server on the shm transport answers identically to one on pickle.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.codec.registry import get_codec
+from repro.parallel import tile_compress
+from repro.service import BatchScheduler, CompressionServer, ServiceClient
+from repro.service.jobs import make_job
+from repro.service.scheduler import run_batch
+from repro.service.shm import ShmArena
+
+needs_shm = pytest.mark.skipif(
+    not ShmArena.available(), reason="shared memory unavailable"
+)
+
+RNG = np.random.default_rng(77)
+FIELD = RNG.normal(size=(48, 64)).astype(np.float32)
+SMALL = RNG.normal(size=(10, 12)).astype(np.float32)
+
+
+def _direct(codec, data, n_tiles=1):
+    if n_tiles > 1:
+        return tile_compress(
+            get_codec(codec), data, 1e-3, "vr_rel", n_tiles=n_tiles
+        ).payload
+    return get_codec(codec).compress(data, 1e-3, "vr_rel").payload
+
+
+class TestParityMatrix:
+    @pytest.mark.parametrize("pool_kind", ["process", "thread", "inline"])
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
+    @pytest.mark.parametrize("codec,n_tiles", [("sz14", 1), ("wavesz-dp", 2)])
+    def test_byte_identical_with_direct_path(
+        self, pool_kind, transport, codec, n_tiles
+    ):
+        jobs = [
+            make_job(codec, FIELD, eb=1e-3, n_tiles=n_tiles),
+            make_job(codec, SMALL, eb=1e-3),
+        ]
+        results, _ = run_batch(
+            jobs, workers=2, pool_kind=pool_kind, transport=transport
+        )
+        assert results[0].output == _direct(codec, FIELD, n_tiles)
+        assert results[1].output == _direct(codec, SMALL)
+
+    @needs_shm
+    def test_forced_shm_ships_large_fields_by_ref(self):
+        """With the threshold floored, even small fields ride segments."""
+
+        async def main():
+            sched = BatchScheduler(
+                workers=2, pool_kind="process", transport="shm"
+            )
+            sched.transport.min_bytes = 1
+            async with sched:
+                handle = await sched.submit(make_job("sz14", FIELD, eb=1e-3))
+                result = await sched.wait(handle)
+            return result.output
+
+        assert asyncio.run(main()) == _direct("sz14", FIELD)
+
+    def test_decompress_parity_across_transports(self):
+        payload = _direct("sz14", FIELD)
+        for transport in ("shm", "pickle"):
+            results, _ = run_batch(
+                [make_job("auto", op="decompress", payload=payload)],
+                workers=2, pool_kind="process", transport=transport,
+            )
+            out = results[0].output
+            ref = get_codec("sz14").decompress(
+                get_codec("sz14").compress(FIELD, 1e-3, "vr_rel")
+            )
+            np.testing.assert_array_equal(out, ref)
+
+
+class TestMicroBatching:
+    def test_batched_results_identical_and_dispatches_coalesced(self):
+        jobs = [
+            make_job("sz10", SMALL + np.float32(i), eb=1e-3)
+            for i in range(8)
+        ]
+        batched, stats = run_batch(
+            jobs, workers=1, pool_kind="inline", batch_bytes=1 << 20
+        )
+        plain, _ = run_batch(jobs, workers=1, pool_kind="inline")
+        for b, p in zip(batched, plain):
+            assert b.output == p.output
+        events = stats.events
+        assert events.get("batch.dispatches", 0) >= 1
+        assert events.get("batch.jobs", 0) == 8
+        # fewer worker round-trips than jobs is the whole point
+        assert events["batch.dispatches"] < 8
+        assert stats.gauges["batch.occupancy"] > 1.0
+
+    def test_multi_tile_jobs_never_batch(self):
+        jobs = [
+            make_job("wavesz-dp", FIELD, eb=1e-3, n_tiles=2),
+            make_job("wavesz-dp", FIELD, eb=1e-3, n_tiles=2),
+        ]
+        results, stats = run_batch(
+            jobs, workers=1, pool_kind="inline", batch_bytes=1 << 30
+        )
+        assert stats.events.get("batch.dispatches", 0) == 0
+        for r in results:
+            assert r.output == _direct("wavesz-dp", FIELD, 2)
+
+    def test_worker_fn_seam_bypasses_batching(self):
+        async def main():
+            sched = BatchScheduler(
+                workers=1, pool_kind="inline", batch_bytes=1 << 30
+            )
+            sched._worker_fn = lambda job: b"substituted"
+            async with sched:
+                handles = [
+                    await sched.submit(make_job("sz10", SMALL, eb=1e-3))
+                    for _ in range(3)
+                ]
+                outs = [
+                    (await sched.wait(h)).output for h in handles
+                ]
+            assert outs == [b"substituted"] * 3
+            return sched.metrics.snapshot().events
+
+        events = asyncio.run(main())
+        assert events.get("batch.dispatches", 0) == 0
+
+
+@needs_shm
+class TestLeakHygiene:
+    def test_zero_resident_segments_after_stop(self):
+        async def main():
+            sched = BatchScheduler(
+                workers=2, pool_kind="process", transport="shm",
+                batch_bytes=4096,
+            )
+            sched.transport.min_bytes = 1
+            async with sched:
+                handles = [
+                    await sched.submit(
+                        make_job("sz14", FIELD + np.float32(i), eb=1e-3)
+                    )
+                    for i in range(4)
+                ]
+                for h in handles:
+                    await sched.wait(h)
+                arena = sched.transport.arena
+                assert arena.leased_segments == 0  # all leases settled
+            return sched.transport.arena
+
+        arena = asyncio.run(main())
+        assert arena.resident_bytes == 0
+        import os
+
+        assert not [
+            e for e in os.listdir("/dev/shm") if e.startswith(arena.prefix)
+        ]
+
+
+class _ServerFixture:
+    def __init__(self, **kwargs):
+        self.loop = asyncio.new_event_loop()
+        self.srv = CompressionServer(port=0, **kwargs)
+        started = threading.Event()
+
+        def runner():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.srv.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=runner, daemon=True)
+        self.thread.start()
+        assert started.wait(10)
+
+    def stop(self):
+        asyncio.run_coroutine_threadsafe(
+            self.srv.stop(), self.loop
+        ).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+
+
+@needs_shm
+class TestServerTransportParity:
+    def test_shm_and_pickle_servers_answer_identically(self):
+        # big enough to cross SHM_MIN_BYTES: the shm server really does
+        # stream socket -> segment for this field
+        big = RNG.normal(size=(192, 128)).astype(np.float32)
+        payloads, healths = [], []
+        for transport in ("shm", "pickle"):
+            fx = _ServerFixture(
+                workers=2, pool_kind="process", transport=transport,
+                batch_bytes=4096,
+            )
+            try:
+                with ServiceClient(port=fx.srv.port) as c:
+                    healths.append(c.health())
+                    payload, _ = c.compress(big, "sz14", eb=1e-3)
+                    payloads.append(bytes(payload))
+                    small_payload, _ = c.compress(SMALL, "sz14", eb=1e-3)
+                    assert bytes(small_payload) == _direct("sz14", SMALL)
+                    np.testing.assert_array_equal(
+                        c.decompress(payload),
+                        c.decompress(payloads[0]),
+                    )
+            finally:
+                fx.stop()
+        assert payloads[0] == payloads[1] == _direct("sz14", big)
+        assert healths[0]["transport"] == "shm"
+        assert healths[1]["transport"] == "pickle"
+        assert healths[0]["batch_bytes"] == 4096
